@@ -1,0 +1,260 @@
+// Benchmarks regenerating the paper's evaluation, one per table and
+// figure. Each benchmark measures per-query latency of both methods on the
+// paper's workload and reports the candidate statistics the paper plots as
+// custom benchmark metrics (candidates/op, redundant/op).
+//
+// The full sweeps with paper-style formatted tables are produced by
+// cmd/areabench; these testing.B benchmarks cover the same configurations
+// in a form `go test -bench` can run and compare over time.
+//
+// Datasets are cached per size across benchmarks to keep setup cost
+// amortized; use -benchtime to control measurement length.
+package vaq
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// benchDataSizes is the subset of the paper's 1E5..1E6 sweep exercised by
+// `go test -bench`. The full ten-point sweep runs via cmd/areabench.
+var benchDataSizes = []int{100_000, 300_000, 1_000_000}
+
+// benchQuerySizes matches Table II exactly.
+var benchQuerySizes = []float64{0.01, 0.02, 0.04, 0.08, 0.16, 0.32}
+
+var benchCache struct {
+	sync.Mutex
+	engines map[int]*Engine
+}
+
+func benchEngine(b *testing.B, n int) *Engine {
+	b.Helper()
+	benchCache.Lock()
+	defer benchCache.Unlock()
+	if benchCache.engines == nil {
+		benchCache.engines = make(map[int]*Engine)
+	}
+	if eng, ok := benchCache.engines[n]; ok {
+		return eng
+	}
+	rng := rand.New(rand.NewSource(int64(n)))
+	pts := UniformPoints(rng, n, UnitSquare())
+	eng, err := NewEngine(pts, UnitSquare())
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchCache.engines[n] = eng
+	return eng
+}
+
+func benchAreas(seed int64, querySize float64, count int) []Polygon {
+	rng := rand.New(rand.NewSource(seed))
+	areas := make([]Polygon, count)
+	for i := range areas {
+		areas[i] = RandomQueryPolygon(rng, 10, querySize, UnitSquare())
+	}
+	return areas
+}
+
+// runAreaQueries measures m over pre-generated areas and reports candidate
+// metrics.
+func runAreaQueries(b *testing.B, eng *Engine, m Method, areas []Polygon) {
+	b.Helper()
+	var candidates, redundant, results int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, st, err := eng.QueryWith(m, areas[i%len(areas)])
+		if err != nil {
+			b.Fatal(err)
+		}
+		candidates += st.Candidates
+		redundant += st.RedundantValidations
+		results += st.ResultSize
+	}
+	b.ReportMetric(float64(candidates)/float64(b.N), "candidates/op")
+	b.ReportMetric(float64(redundant)/float64(b.N), "redundant/op")
+	b.ReportMetric(float64(results)/float64(b.N), "results/op")
+}
+
+// BenchmarkTable1_DataSize reproduces Table I: both methods, data size
+// swept, query size fixed at 1%.
+func BenchmarkTable1_DataSize(b *testing.B) {
+	for _, n := range benchDataSizes {
+		areas := benchAreas(int64(n)+1, 0.01, 64)
+		b.Run(fmt.Sprintf("n=%d/traditional", n), func(b *testing.B) {
+			runAreaQueries(b, benchEngine(b, n), Traditional, areas)
+		})
+		b.Run(fmt.Sprintf("n=%d/voronoi", n), func(b *testing.B) {
+			runAreaQueries(b, benchEngine(b, n), VoronoiBFS, areas)
+		})
+	}
+}
+
+// BenchmarkFig4_TimeVsDataSize reproduces Figure 4 (time cost vs data
+// size): the ns/op column across sub-benchmarks is the figure's y axis.
+func BenchmarkFig4_TimeVsDataSize(b *testing.B) {
+	for _, n := range benchDataSizes {
+		areas := benchAreas(int64(n)+2, 0.01, 64)
+		for _, m := range []Method{Traditional, VoronoiBFS} {
+			b.Run(fmt.Sprintf("n=%d/%v", n, m), func(b *testing.B) {
+				runAreaQueries(b, benchEngine(b, n), m, areas)
+			})
+		}
+	}
+}
+
+// BenchmarkFig5_RedundantVsDataSize reproduces Figure 5 (redundant
+// validations vs data size): read the redundant/op metric.
+func BenchmarkFig5_RedundantVsDataSize(b *testing.B) {
+	for _, n := range benchDataSizes {
+		areas := benchAreas(int64(n)+3, 0.01, 64)
+		for _, m := range []Method{Traditional, VoronoiBFS} {
+			b.Run(fmt.Sprintf("n=%d/%v", n, m), func(b *testing.B) {
+				runAreaQueries(b, benchEngine(b, n), m, areas)
+			})
+		}
+	}
+}
+
+// BenchmarkTable2_QuerySize reproduces Table II: both methods, query size
+// swept 1..32%, data size fixed at 1E5.
+func BenchmarkTable2_QuerySize(b *testing.B) {
+	const n = 100_000
+	for _, qs := range benchQuerySizes {
+		areas := benchAreas(int64(qs*1000)+4, qs, 64)
+		b.Run(fmt.Sprintf("qs=%g%%/traditional", qs*100), func(b *testing.B) {
+			runAreaQueries(b, benchEngine(b, n), Traditional, areas)
+		})
+		b.Run(fmt.Sprintf("qs=%g%%/voronoi", qs*100), func(b *testing.B) {
+			runAreaQueries(b, benchEngine(b, n), VoronoiBFS, areas)
+		})
+	}
+}
+
+// BenchmarkFig6_TimeVsQuerySize reproduces Figure 6 (time cost vs query
+// size).
+func BenchmarkFig6_TimeVsQuerySize(b *testing.B) {
+	const n = 100_000
+	for _, qs := range benchQuerySizes {
+		areas := benchAreas(int64(qs*1000)+5, qs, 64)
+		for _, m := range []Method{Traditional, VoronoiBFS} {
+			b.Run(fmt.Sprintf("qs=%g%%/%v", qs*100, m), func(b *testing.B) {
+				runAreaQueries(b, benchEngine(b, n), m, areas)
+			})
+		}
+	}
+}
+
+// BenchmarkFig7_RedundantVsQuerySize reproduces Figure 7 (redundant
+// validations vs query size): read the redundant/op metric.
+func BenchmarkFig7_RedundantVsQuerySize(b *testing.B) {
+	const n = 100_000
+	for _, qs := range benchQuerySizes {
+		areas := benchAreas(int64(qs*1000)+6, qs, 64)
+		for _, m := range []Method{Traditional, VoronoiBFS} {
+			b.Run(fmt.Sprintf("qs=%g%%/%v", qs*100, m), func(b *testing.B) {
+				runAreaQueries(b, benchEngine(b, n), m, areas)
+			})
+		}
+	}
+}
+
+// BenchmarkAblationExpansionRule compares the published segment-expansion
+// rule with the strict cell-intersection rule (DESIGN.md §5.3).
+func BenchmarkAblationExpansionRule(b *testing.B) {
+	const n = 100_000
+	areas := benchAreas(7, 0.01, 64)
+	b.Run("published", func(b *testing.B) {
+		runAreaQueries(b, benchEngine(b, n), VoronoiBFS, areas)
+	})
+	b.Run("strict", func(b *testing.B) {
+		runAreaQueries(b, benchEngine(b, n), VoronoiBFSStrict, areas)
+	})
+}
+
+// BenchmarkAblationIndex compares seed/filter index structures for both
+// methods (the paper fixes the R-tree; this quantifies that choice).
+func BenchmarkAblationIndex(b *testing.B) {
+	const n = 100_000
+	rng := rand.New(rand.NewSource(8))
+	pts := UniformPoints(rng, n, UnitSquare())
+	areas := benchAreas(8, 0.01, 64)
+	for _, kind := range []IndexKind{RTreeIndex, RStarIndex, KDTreeIndex, QuadtreeIndex, GridIndex} {
+		eng, err := NewEngine(pts, UnitSquare(), WithIndex(kind))
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, m := range []Method{Traditional, VoronoiBFS} {
+			b.Run(fmt.Sprintf("%v/%v", kind, m), func(b *testing.B) {
+				runAreaQueries(b, eng, m, areas)
+			})
+		}
+	}
+}
+
+// BenchmarkAblationStoreIO measures both methods against the paged store
+// (the paper's IO-bound regime) with a pool holding ~3% of the pages.
+func BenchmarkAblationStoreIO(b *testing.B) {
+	const n = 100_000
+	rng := rand.New(rand.NewSource(9))
+	pts := UniformPoints(rng, n, UnitSquare())
+	eng, err := NewEngine(pts, UnitSquare(), WithStore(StoreConfig{
+		PageSize:     4096,
+		PoolPages:    256,
+		PayloadBytes: 256,
+	}))
+	if err != nil {
+		b.Fatal(err)
+	}
+	areas := benchAreas(9, 0.01, 64)
+	for _, m := range []Method{Traditional, VoronoiBFS} {
+		b.Run(m.String(), func(b *testing.B) {
+			var reads0 int
+			reads0, _, _ = eng.IOStats()
+			runAreaQueries(b, eng, m, areas)
+			reads1, _, _ := eng.IOStats()
+			b.ReportMetric(float64(reads1-reads0)/float64(b.N), "pagereads/op")
+		})
+	}
+}
+
+// BenchmarkAblationRectangleQuery runs axis-aligned rectangular query
+// areas — the traditional method's best case, per the paper's introduction
+// ("when the shape of the query area is a rectangle, this method has very
+// high efficiency"). Compare with BenchmarkTable2_QuerySize to see the
+// irregular-polygon gap appear.
+func BenchmarkAblationRectangleQuery(b *testing.B) {
+	const n = 100_000
+	rng := rand.New(rand.NewSource(10))
+	areas := make([]Polygon, 64)
+	for i := range areas {
+		areas[i] = RectangleQueryPolygon(rng, 0.01, 1, UnitSquare())
+	}
+	for _, m := range []Method{Traditional, VoronoiBFS} {
+		b.Run(m.String(), func(b *testing.B) {
+			runAreaQueries(b, benchEngine(b, n), m, areas)
+		})
+	}
+}
+
+// BenchmarkAblationPolygonComplexity sweeps the query polygon vertex count
+// (the paper fixes 10), showing how boundary complexity affects both
+// methods.
+func BenchmarkAblationPolygonComplexity(b *testing.B) {
+	const n = 100_000
+	for _, k := range []int{4, 10, 25, 50} {
+		rng := rand.New(rand.NewSource(int64(k)))
+		areas := make([]Polygon, 64)
+		for i := range areas {
+			areas[i] = RandomQueryPolygon(rng, k, 0.01, UnitSquare())
+		}
+		for _, m := range []Method{Traditional, VoronoiBFS} {
+			b.Run(fmt.Sprintf("k=%d/%v", k, m), func(b *testing.B) {
+				runAreaQueries(b, benchEngine(b, n), m, areas)
+			})
+		}
+	}
+}

@@ -1,0 +1,104 @@
+// Command areaquery runs a single ad-hoc area query against a generated
+// dataset and prints both methods' results and work statistics — a quick
+// way to see the paper's effect without the full benchmark harness.
+//
+// The polygon is given as a comma-separated list of x,y pairs:
+//
+//	areaquery -n 100000 -polygon "0.1,0.1 0.5,0.2 0.6,0.6 0.3,0.4 0.1,0.5"
+//
+// Without -polygon a random 10-gon covering 1% of the universe is used.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro"
+)
+
+func main() {
+	var (
+		n         = flag.Int("n", 100000, "number of points in the generated dataset")
+		seed      = flag.Int64("seed", 1, "random seed")
+		polygon   = flag.String("polygon", "", `query polygon as "x,y x,y x,y ..." (>= 3 vertices)`)
+		querySize = flag.Float64("querysize", 1, "random query size in percent (without -polygon)")
+		clustered = flag.Bool("clustered", false, "use clustered instead of uniform points")
+		strict    = flag.Bool("strict", false, "also run the strict expansion variant")
+		showIDs   = flag.Bool("ids", false, "print the matching point ids")
+	)
+	flag.Parse()
+
+	rng := rand.New(rand.NewSource(*seed))
+	var pts []vaq.Point
+	if *clustered {
+		pts = vaq.ClusteredPoints(rng, *n, 8, 0.04, vaq.UnitSquare())
+	} else {
+		pts = vaq.UniformPoints(rng, *n, vaq.UnitSquare())
+	}
+	fmt.Fprintf(os.Stderr, "building engine over %d points...\n", *n)
+	eng, err := vaq.NewEngine(pts, vaq.UnitSquare())
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	var area vaq.Polygon
+	if *polygon != "" {
+		area, err = parsePolygon(*polygon)
+		if err != nil {
+			fatalf("bad -polygon: %v", err)
+		}
+	} else {
+		area = vaq.RandomQueryPolygon(rng, 10, *querySize/100, vaq.UnitSquare())
+		fmt.Fprintf(os.Stderr, "random query polygon: %v\n", area.Outer)
+	}
+
+	methods := []vaq.Method{vaq.Traditional, vaq.VoronoiBFS}
+	if *strict {
+		methods = append(methods, vaq.VoronoiBFSStrict)
+	}
+	for _, m := range methods {
+		ids, st, err := eng.QueryWith(m, area)
+		if err != nil {
+			fatalf("%v: %v", m, err)
+		}
+		fmt.Printf("%-14s results=%-6d candidates=%-6d redundant=%-6d index_nodes=%-5d loads=%-6d time=%v\n",
+			m, st.ResultSize, st.Candidates, st.RedundantValidations,
+			st.IndexNodesVisited, st.RecordsLoaded, st.Duration)
+		if *showIDs {
+			fmt.Printf("  ids: %v\n", ids)
+		}
+	}
+}
+
+func parsePolygon(s string) (vaq.Polygon, error) {
+	fields := strings.Fields(s)
+	if len(fields) < 3 {
+		return vaq.Polygon{}, fmt.Errorf("need at least 3 vertices, got %d", len(fields))
+	}
+	pts := make([]vaq.Point, 0, len(fields))
+	for _, f := range fields {
+		xy := strings.Split(f, ",")
+		if len(xy) != 2 {
+			return vaq.Polygon{}, fmt.Errorf("vertex %q is not x,y", f)
+		}
+		x, err := strconv.ParseFloat(xy[0], 64)
+		if err != nil {
+			return vaq.Polygon{}, fmt.Errorf("vertex %q: %v", f, err)
+		}
+		y, err := strconv.ParseFloat(xy[1], 64)
+		if err != nil {
+			return vaq.Polygon{}, fmt.Errorf("vertex %q: %v", f, err)
+		}
+		pts = append(pts, vaq.Pt(x, y))
+	}
+	return vaq.NewPolygon(pts)
+}
+
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "areaquery: "+format+"\n", args...)
+	os.Exit(1)
+}

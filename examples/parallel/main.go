@@ -1,0 +1,69 @@
+// Parallel demonstrates concurrent area queries: the engine's index,
+// points and Voronoi topology are immutable after construction, so clones
+// (one per goroutine) can serve queries in parallel.
+//
+//	go run ./examples/parallel
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(11))
+	points := vaq.UniformPoints(rng, 200_000, vaq.UnitSquare())
+	vaq.HilbertSort(points, vaq.UnitSquare())
+
+	eng, err := vaq.NewEngine(points, vaq.UnitSquare())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A fixed query mix, shared by all workers.
+	queries := make([]vaq.Polygon, 256)
+	for i := range queries {
+		queries[i] = vaq.RandomQueryPolygon(rng, 10, 0.01, vaq.UnitSquare())
+	}
+
+	const queriesPerWorker = 500
+	workers := runtime.GOMAXPROCS(0)
+	if workers < 2 {
+		workers = 2 // demonstrate the pattern even on one CPU
+	}
+
+	var wg sync.WaitGroup
+	var totalResults atomic.Int64
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		clone, err := eng.Clone()
+		if err != nil {
+			log.Fatal(err)
+		}
+		wg.Add(1)
+		go func(worker int, local *vaq.Engine) {
+			defer wg.Done()
+			for i := 0; i < queriesPerWorker; i++ {
+				ids, _, err := local.Query(queries[(worker*queriesPerWorker+i)%len(queries)])
+				if err != nil {
+					log.Fatal(err)
+				}
+				totalResults.Add(int64(len(ids)))
+			}
+		}(w, clone)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	n := workers * queriesPerWorker
+	fmt.Printf("%d workers × %d queries = %d area queries in %v (%.0f queries/s, %d points returned)\n",
+		workers, queriesPerWorker, n, elapsed.Round(time.Millisecond),
+		float64(n)/elapsed.Seconds(), totalResults.Load())
+}

@@ -1,0 +1,58 @@
+// Streaming demonstrates the dynamic engine: sensor readings arrive over
+// time and area queries (a concave watch region) run between batches —
+// no index or Voronoi rebuild ever happens; each point is inserted
+// incrementally.
+//
+//	go run ./examples/streaming
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"repro"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(99))
+	eng := vaq.NewDynamicEngine(vaq.UnitSquare())
+
+	// A fixed concave watch region (~5% of the universe by MBR).
+	watch := vaq.MustPolygon([]vaq.Point{
+		vaq.Pt(0.40, 0.40), vaq.Pt(0.58, 0.44), vaq.Pt(0.62, 0.60),
+		vaq.Pt(0.52, 0.52), vaq.Pt(0.46, 0.62), vaq.Pt(0.38, 0.56),
+	})
+
+	fmt.Println("batch | total points | in watch region | candidates | query time")
+	fmt.Println("------+--------------+-----------------+------------+-----------")
+	for batch := 1; batch <= 10; batch++ {
+		// A batch of 5000 new readings drifts across the map.
+		cx := 0.3 + 0.05*float64(batch)
+		for i := 0; i < 5000; i++ {
+			p := vaq.Pt(
+				clamp(cx+rng.NormFloat64()*0.25),
+				clamp(0.5+rng.NormFloat64()*0.25),
+			)
+			if _, _, err := eng.Insert(p); err != nil {
+				log.Fatal(err)
+			}
+		}
+		ids, st, err := eng.Query(watch)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%5d | %12d | %15d | %10d | %v\n",
+			batch, eng.Len(), len(ids), st.Candidates, st.Duration)
+	}
+}
+
+func clamp(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}

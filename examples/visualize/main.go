@@ -1,0 +1,69 @@
+// Visualize regenerates the paper's illustrative figures as SVG files:
+//
+//   - fig3.svg — the Voronoi diagram and Delaunay triangulation of a small
+//     point set (paper Figure 3);
+//
+//   - fig2.svg — an area query with the result set in black and the Voronoi
+//     method's candidate shell in green, with the query MBR that the
+//     traditional method would scan (paper Figure 2).
+//
+//     go run ./examples/visualize
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+
+	"repro"
+)
+
+func main() {
+	// Figure 3: diagram structure on a small set.
+	rng := rand.New(rand.NewSource(3))
+	small := vaq.UniformPoints(rng, 60, vaq.UnitSquare())
+	smallEng, err := vaq.NewEngine(small, vaq.UnitSquare())
+	if err != nil {
+		log.Fatal(err)
+	}
+	// A microscopic query far outside the drawing focus renders the plain
+	// diagram (no result/candidate highlighting).
+	noQuery := vaq.MustPolygon([]vaq.Point{
+		vaq.Pt(-0.02, -0.02), vaq.Pt(-0.01, -0.02), vaq.Pt(-0.01, -0.01),
+	})
+	writeSVG("fig3.svg", func(f *os.File) error {
+		return smallEng.RenderQuerySVG(f, noQuery, vaq.RenderOptions{
+			WidthPx:      700,
+			DrawCells:    true,
+			DrawDelaunay: true,
+		})
+	})
+
+	// Figure 2: the candidate sets of an actual query on a denser set.
+	dense := vaq.UniformPoints(rng, 3_000, vaq.UnitSquare())
+	denseEng, err := vaq.NewEngine(dense, vaq.UnitSquare())
+	if err != nil {
+		log.Fatal(err)
+	}
+	area := vaq.RandomQueryPolygon(rng, 10, 0.08, vaq.UnitSquare())
+	writeSVG("fig2.svg", func(f *os.File) error {
+		return denseEng.RenderQuerySVG(f, area, vaq.RenderOptions{
+			WidthPx: 900,
+			DrawMBR: true,
+		})
+	})
+
+	fmt.Println("wrote fig3.svg (Voronoi + Delaunay) and fig2.svg (query with candidate shell)")
+}
+
+func writeSVG(name string, render func(*os.File) error) {
+	f, err := os.Create(name)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	if err := render(f); err != nil {
+		log.Fatal(err)
+	}
+}

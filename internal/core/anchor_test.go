@@ -1,0 +1,43 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/earcut"
+	"repro/internal/workload"
+)
+
+// TestRandomAnchorMatchesOracle runs Algorithm 1 with uniformly sampled
+// seed anchors ("an arbitrary position in A", taken literally) and checks
+// the result set is anchor-independent — the algorithm's claim.
+func TestRandomAnchorMatchesOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	eng, _ := newUniformEngine(t, rng, 10000)
+	for trial := 0; trial < 30; trial++ {
+		area := workload.RandomPolygon(rng, workload.PolygonConfig{
+			Vertices:  10,
+			QuerySize: 0.02,
+		}, unitBounds())
+		oracle, _, err := eng.Query(BruteForce, area)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sampler, err := earcut.NewSampler(area.Outer)
+		if err != nil {
+			t.Fatalf("trial %d: sampler: %v", trial, err)
+		}
+		region := PolygonRegion(area)
+		for rep := 0; rep < 5; rep++ {
+			anchored := AnchoredRegion{Region: region, Anchor: sampler.Sample(rng)}
+			got, _, err := eng.QueryRegion(VoronoiBFS, anchored)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !equalIDs(sortedIDs(got), sortedIDs(oracle)) {
+				t.Fatalf("trial %d rep %d: random-anchor result %d, oracle %d",
+					trial, rep, len(got), len(oracle))
+			}
+		}
+	}
+}

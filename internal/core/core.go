@@ -1,0 +1,233 @@
+// Package core implements the paper's contribution: the Voronoi-diagram
+// based area query (Algorithm 1) and the traditional filter-and-refine
+// baseline it is evaluated against, over pluggable spatial indexes and data
+// accessors.
+//
+// An area query returns every stored point inside a query polygon. The
+// traditional method window-queries the index with the polygon's MBR and
+// refines each candidate with a point-in-polygon test. The Voronoi method
+// seeds from the nearest neighbor of a point inside the polygon and expands
+// across the Delaunay/Voronoi adjacency, so its candidate set is the result
+// set plus a thin shell along the polygon boundary.
+//
+// Both methods run against the same index and the same record store, and
+// produce identical result sets; Stats captures the work each performed so
+// the paper's comparisons (candidates, redundant validations, time, IO) can
+// be reproduced.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/geom"
+)
+
+// Errors returned by the engine.
+var (
+	ErrNoData             = errors.New("core: dataset is empty")
+	ErrStrictNotSupported = errors.New("core: data source does not provide Voronoi cells (strict expansion unavailable)")
+)
+
+// SpatialIndex is the filtering index contract shared by both query
+// methods: a window (range) query for the traditional filter and a
+// nearest-neighbor query for the Voronoi seed. Implementations are provided
+// for the R-tree (the paper's choice), kd-tree, PR quadtree and uniform
+// grid.
+type SpatialIndex interface {
+	// Window calls fn for every stored point whose coordinates lie inside
+	// the closed rectangle q; fn returning false stops the scan. It returns
+	// the number of index nodes visited.
+	Window(q geom.Rect, fn func(id int64) bool) int
+	// Nearest returns the stored point id closest to q; ok is false when
+	// the index is empty. The second return is the number of index nodes
+	// visited.
+	Nearest(q geom.Point) (id int64, nodes int, ok bool)
+}
+
+// DataAccess is the record layer. Ids must be dense in [0, NumIDs()).
+//
+// Position and NeighborsFunc are index-resident information (the R-tree
+// leaf carries coordinates; the Voronoi topology is precomputed alongside
+// the index, as in the VoR-tree): reading them costs no simulated IO.
+// Load is the refinement fetch of the full record — the IO-accounted
+// operation both methods pay once per candidate.
+type DataAccess interface {
+	// NumIDs returns the id space size.
+	NumIDs() int
+	// Position returns the coordinates of id without performing record IO.
+	Position(id int64) geom.Point
+	// NeighborsFunc calls fn with each Voronoi neighbor of id; fn returning
+	// false stops the iteration.
+	NeighborsFunc(id int64, fn func(nb int64) bool)
+	// Load fetches the full record of id for refinement and returns its
+	// authoritative coordinates.
+	Load(id int64) (geom.Point, error)
+	// Each iterates all records (sequential scan), for oracles and tools.
+	Each(fn func(id int64, pos geom.Point) bool)
+}
+
+// CellSource is optionally implemented by DataAccess implementations that
+// can produce Voronoi cell polygons; it enables the strict expansion rule.
+type CellSource interface {
+	Cell(id int64) geom.Ring
+}
+
+// NeighborSlicer is optionally implemented by DataAccess implementations
+// whose neighbor lists live in memory as int32 slices; the engine uses it
+// to skip the per-neighbor callback on its hottest loop. The returned
+// slice must not be modified.
+type NeighborSlicer interface {
+	NeighborSlice(id int64) []int32
+}
+
+// Method selects an area-query algorithm.
+type Method int
+
+// The available area-query algorithms.
+const (
+	// Traditional is the classic filter-and-refine method: MBR window query
+	// on the index, then point-in-polygon refinement of every candidate.
+	Traditional Method = iota
+	// VoronoiBFS is the paper's Algorithm 1 with the published expansion
+	// rule (segment p–pn intersects the area).
+	VoronoiBFS
+	// VoronoiBFSStrict is Algorithm 1 with the conservative expansion rule
+	// (Voronoi cell of pn intersects the area); complete even on
+	// adversarial geometry, at higher expansion cost.
+	VoronoiBFSStrict
+	// BruteForce scans every record; the oracle baseline.
+	BruteForce
+)
+
+// String implements fmt.Stringer.
+func (m Method) String() string {
+	switch m {
+	case Traditional:
+		return "traditional"
+	case VoronoiBFS:
+		return "voronoi"
+	case VoronoiBFSStrict:
+		return "voronoi-strict"
+	case BruteForce:
+		return "brute-force"
+	default:
+		return fmt.Sprintf("method(%d)", int(m))
+	}
+}
+
+// Stats reports the work a single area query performed. Field semantics
+// follow the paper's evaluation: a "candidate" is a point whose containment
+// in the query area was validated against its loaded record, and a
+// validation is redundant when the point turns out to lie outside.
+type Stats struct {
+	Method     Method
+	ResultSize int
+	// Candidates is the number of containment validations performed.
+	Candidates int
+	// RedundantValidations = Candidates - ResultSize.
+	RedundantValidations int
+	// SegmentTests counts segment-vs-area tests (Voronoi method only).
+	SegmentTests int
+	// CellTests counts cell-vs-area tests (strict variant only).
+	CellTests int
+	// IndexNodesVisited counts index nodes touched (window or NN query).
+	IndexNodesVisited int
+	// RecordsLoaded counts refinement fetches through DataAccess.Load.
+	RecordsLoaded int
+	// Duration is the wall-clock time of the query.
+	Duration time.Duration
+}
+
+// Engine answers area queries over one dataset. It reuses internal scratch
+// space across queries, so an Engine must not be used concurrently; create
+// one Engine per goroutine over the same shared index and data.
+type Engine struct {
+	idx  SpatialIndex
+	data DataAccess
+
+	// Generation-stamped visited marks: visited[i] == gen means "seen this
+	// query". Avoids clearing an O(n) structure per query.
+	visited []uint32
+	gen     uint32
+	queue   []int64
+}
+
+// NewEngine returns an engine over the given index and data.
+func NewEngine(idx SpatialIndex, data DataAccess) *Engine {
+	return &Engine{
+		idx:     idx,
+		data:    data,
+		visited: make([]uint32, data.NumIDs()),
+	}
+}
+
+// Query runs an area query with the chosen method and returns the ids of
+// all points inside area (in method-dependent order) plus statistics.
+func (e *Engine) Query(m Method, area geom.Polygon) ([]int64, Stats, error) {
+	return e.QueryRegion(m, PolygonRegion(area))
+}
+
+// QueryRegion runs an area query against an arbitrary Region (polygon,
+// circle, or custom shape).
+func (e *Engine) QueryRegion(m Method, region Region) ([]int64, Stats, error) {
+	if e.data.NumIDs() == 0 {
+		return nil, Stats{Method: m}, ErrNoData
+	}
+	start := time.Now()
+	var (
+		ids   []int64
+		stats Stats
+		err   error
+	)
+	switch m {
+	case Traditional:
+		ids, stats, err = e.queryTraditional(region)
+	case VoronoiBFS:
+		ids, stats, err = e.queryVoronoi(region, false)
+	case VoronoiBFSStrict:
+		ids, stats, err = e.queryVoronoi(region, true)
+	case BruteForce:
+		ids, stats, err = e.queryBruteForce(region)
+	default:
+		return nil, Stats{Method: m}, fmt.Errorf("core: unknown method %d", int(m))
+	}
+	stats.Method = m
+	stats.ResultSize = len(ids)
+	stats.RedundantValidations = stats.Candidates - len(ids)
+	stats.Duration = time.Since(start)
+	return ids, stats, err
+}
+
+// ensureCapacity grows the visited table to cover n ids (used by the
+// dynamic engine, whose id space grows with insertions).
+func (e *Engine) ensureCapacity(n int) {
+	if len(e.visited) >= n {
+		return
+	}
+	grown := make([]uint32, n)
+	copy(grown, e.visited)
+	e.visited = grown
+}
+
+// nextGen advances the visited generation, handling wraparound by clearing.
+func (e *Engine) nextGen() {
+	e.gen++
+	if e.gen == 0 { // wrapped: all stamps are stale-but-plausible, clear
+		for i := range e.visited {
+			e.visited[i] = 0
+		}
+		e.gen = 1
+	}
+}
+
+// mark records id as visited for the current query; it reports whether the
+// id was new.
+func (e *Engine) mark(id int64) bool {
+	if e.visited[id] == e.gen {
+		return false
+	}
+	e.visited[id] = e.gen
+	return true
+}

@@ -1,0 +1,445 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/workload"
+)
+
+func unitBounds() geom.Rect { return geom.NewRect(0, 0, 1, 1) }
+
+func sortedIDs(ids []int64) []int64 {
+	out := append([]int64(nil), ids...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func equalIDs(a, b []int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// newUniformEngine builds an engine over n uniform points with an R-tree.
+func newUniformEngine(t testing.TB, rng *rand.Rand, n int) (*Engine, []geom.Point) {
+	t.Helper()
+	pts := workload.UniformPoints(rng, n, unitBounds())
+	data, err := NewMemoryData(pts, unitBounds())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewEngine(NewRTreeIndex(pts, 16), data), pts
+}
+
+func TestAllMethodsAgreeOnRandomWorkloads(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	eng, _ := newUniformEngine(t, rng, 5000)
+	methods := []Method{Traditional, VoronoiBFS, VoronoiBFSStrict, BruteForce}
+	for trial := 0; trial < 60; trial++ {
+		qs := []float64{0.005, 0.01, 0.04, 0.16}[trial%4]
+		area := workload.RandomPolygon(rng, workload.PolygonConfig{Vertices: 10, QuerySize: qs}, unitBounds())
+		var want []int64
+		for i, m := range methods {
+			got, stats, err := eng.Query(m, area)
+			if err != nil {
+				t.Fatalf("trial %d %v: %v", trial, m, err)
+			}
+			gotSorted := sortedIDs(got)
+			if i == 0 {
+				want = gotSorted
+			} else if !equalIDs(gotSorted, want) {
+				t.Fatalf("trial %d: %v returned %d ids, %v returned %d ids",
+					trial, methods[0], len(want), m, len(gotSorted))
+			}
+			if stats.ResultSize != len(got) {
+				t.Fatalf("stats.ResultSize %d != len %d", stats.ResultSize, len(got))
+			}
+			if stats.RedundantValidations != stats.Candidates-stats.ResultSize {
+				t.Fatalf("redundant accounting broken: %+v", stats)
+			}
+		}
+	}
+}
+
+func TestVoronoiReducesCandidates(t *testing.T) {
+	// The paper's headline: over the standard workload the Voronoi method
+	// validates far fewer candidates than the traditional method.
+	rng := rand.New(rand.NewSource(2))
+	eng, _ := newUniformEngine(t, rng, 20000)
+	var tradCand, vorCand, results int
+	for trial := 0; trial < 30; trial++ {
+		area := workload.RandomPolygon(rng, workload.PolygonConfig{Vertices: 10, QuerySize: 0.01}, unitBounds())
+		_, st1, err := eng.Query(Traditional, area)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, st2, err := eng.Query(VoronoiBFS, area)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tradCand += st1.Candidates
+		vorCand += st2.Candidates
+		results += st1.ResultSize
+	}
+	if vorCand >= tradCand {
+		t.Fatalf("Voronoi candidates %d >= traditional %d", vorCand, tradCand)
+	}
+	saved := 1 - float64(vorCand)/float64(tradCand)
+	// Paper reports 35-45% savings for 10-gon queries; accept a wide band.
+	if saved < 0.2 {
+		t.Errorf("candidate savings only %.1f%%", saved*100)
+	}
+	t.Logf("candidates: traditional=%d voronoi=%d results=%d savings=%.1f%%",
+		tradCand, vorCand, results, saved*100)
+}
+
+func TestEmptyQueryArea(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	eng, _ := newUniformEngine(t, rng, 50)
+	// A polygon far from every point (tiny sliver in a corner gap): query
+	// result may be empty; all methods must agree and not error.
+	area := geom.MustPolygon([]geom.Point{
+		geom.Pt(0.0001, 0.0001), geom.Pt(0.0002, 0.0001), geom.Pt(0.00015, 0.0002),
+	})
+	for _, m := range []Method{Traditional, VoronoiBFS, VoronoiBFSStrict, BruteForce} {
+		got, _, err := eng.Query(m, area)
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		if len(got) != 0 {
+			t.Fatalf("%v found %d points in empty sliver", m, len(got))
+		}
+	}
+}
+
+func TestQueryCoveringEverything(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	eng, pts := newUniformEngine(t, rng, 500)
+	area := geom.MustPolygon([]geom.Point{
+		geom.Pt(-1, -1), geom.Pt(2, -1), geom.Pt(2, 2), geom.Pt(-1, 2),
+	})
+	for _, m := range []Method{Traditional, VoronoiBFS, VoronoiBFSStrict, BruteForce} {
+		got, _, err := eng.Query(m, area)
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		if len(got) != len(pts) {
+			t.Fatalf("%v found %d of %d points", m, len(got), len(pts))
+		}
+	}
+}
+
+func TestConcaveAndHoleQueries(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	eng, _ := newUniformEngine(t, rng, 3000)
+
+	// Deep L-shape.
+	lshape := geom.MustPolygon([]geom.Point{
+		geom.Pt(0.1, 0.1), geom.Pt(0.9, 0.1), geom.Pt(0.9, 0.25),
+		geom.Pt(0.25, 0.25), geom.Pt(0.25, 0.9), geom.Pt(0.1, 0.9),
+	})
+	// Ring-like polygon with a hole.
+	holed := geom.MustPolygon([]geom.Point{
+		geom.Pt(0.2, 0.2), geom.Pt(0.8, 0.2), geom.Pt(0.8, 0.8), geom.Pt(0.2, 0.8),
+	})
+	if err := holed.AddHole([]geom.Point{
+		geom.Pt(0.35, 0.35), geom.Pt(0.65, 0.35), geom.Pt(0.65, 0.65), geom.Pt(0.35, 0.65),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for name, area := range map[string]geom.Polygon{"lshape": lshape, "holed": holed} {
+		want, _, err := eng.Query(BruteForce, area)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantSorted := sortedIDs(want)
+		for _, m := range []Method{Traditional, VoronoiBFS, VoronoiBFSStrict} {
+			got, _, err := eng.Query(m, area)
+			if err != nil {
+				t.Fatalf("%s/%v: %v", name, m, err)
+			}
+			if !equalIDs(sortedIDs(got), wantSorted) {
+				t.Fatalf("%s/%v: got %d ids, oracle %d", name, m, len(got), len(want))
+			}
+		}
+	}
+}
+
+func TestAllIndexesAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	pts := workload.UniformPoints(rng, 2000, unitBounds())
+	data, err := NewMemoryData(pts, unitBounds())
+	if err != nil {
+		t.Fatal(err)
+	}
+	indexes := map[string]SpatialIndex{
+		"rtree":    NewRTreeIndex(pts, 16),
+		"kdtree":   NewKDTreeIndex(pts),
+		"quadtree": NewQuadtreeIndex(pts, unitBounds(), 16),
+		"grid":     NewGridIndex(pts, unitBounds(), 8),
+	}
+	area := workload.RandomPolygon(rng, workload.PolygonConfig{Vertices: 10, QuerySize: 0.05}, unitBounds())
+	var want []int64
+	first := true
+	for name, idx := range indexes {
+		eng := NewEngine(idx, data)
+		for _, m := range []Method{Traditional, VoronoiBFS} {
+			got, _, err := eng.Query(m, area)
+			if err != nil {
+				t.Fatalf("%s/%v: %v", name, m, err)
+			}
+			gotSorted := sortedIDs(got)
+			if first {
+				want = gotSorted
+				first = false
+			} else if !equalIDs(gotSorted, want) {
+				t.Fatalf("%s/%v disagrees: %d vs %d ids", name, m, len(gotSorted), len(want))
+			}
+		}
+	}
+}
+
+func TestStoreDataCountsIO(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	pts := workload.UniformPoints(rng, 3000, unitBounds())
+	data, err := NewStoreData(pts, unitBounds(), StoreConfig{
+		PageSize:     1024,
+		PoolPages:    8,
+		PayloadBytes: 64,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := NewEngine(NewRTreeIndex(pts, 16), data)
+	area := workload.RandomPolygon(rng, workload.PolygonConfig{Vertices: 10, QuerySize: 0.02}, unitBounds())
+
+	data.Store().DropCache()
+	_, stTrad, err := eng.Query(Traditional, area)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ioTrad := data.IOStats()
+
+	data.Store().DropCache()
+	_, stVor, err := eng.Query(VoronoiBFS, area)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ioVor := data.IOStats()
+
+	if stTrad.RecordsLoaded != stTrad.Candidates {
+		t.Errorf("traditional: loads %d != candidates %d", stTrad.RecordsLoaded, stTrad.Candidates)
+	}
+	if stVor.RecordsLoaded != stVor.Candidates {
+		t.Errorf("voronoi: loads %d != candidates %d", stVor.RecordsLoaded, stVor.Candidates)
+	}
+	if ioTrad.PageReads == 0 || ioVor.PageReads == 0 {
+		t.Errorf("expected page reads, got trad=%+v vor=%+v", ioTrad, ioVor)
+	}
+	// Both methods return the same result over store-backed data too.
+	a, _, err := eng.Query(Traditional, area)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := eng.Query(VoronoiBFS, area)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equalIDs(sortedIDs(a), sortedIDs(b)) {
+		t.Error("methods disagree over store-backed data")
+	}
+}
+
+func TestDuplicatePointsRejected(t *testing.T) {
+	pts := []geom.Point{geom.Pt(0.5, 0.5), geom.Pt(0.5, 0.5), geom.Pt(0.2, 0.2)}
+	if _, err := NewMemoryData(pts, unitBounds()); !errors.Is(err, ErrDuplicatePoints) {
+		t.Errorf("err = %v, want ErrDuplicatePoints", err)
+	}
+	if _, err := NewStoreData(pts, unitBounds(), StoreConfig{}); !errors.Is(err, ErrDuplicatePoints) {
+		t.Errorf("store err = %v, want ErrDuplicatePoints", err)
+	}
+}
+
+// dataOnly hides the Cell method by forwarding only the DataAccess subset.
+type dataOnly struct{ d DataAccess }
+
+func (w dataOnly) NumIDs() int                                 { return w.d.NumIDs() }
+func (w dataOnly) Position(id int64) geom.Point                { return w.d.Position(id) }
+func (w dataOnly) NeighborsFunc(id int64, fn func(int64) bool) { w.d.NeighborsFunc(id, fn) }
+func (w dataOnly) Load(id int64) (geom.Point, error)           { return w.d.Load(id) }
+func (w dataOnly) Each(fn func(id int64, pos geom.Point) bool) { w.d.Each(fn) }
+
+func TestStrictWithoutCellsFails(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	pts := workload.UniformPoints(rng, 100, unitBounds())
+	data, err := NewMemoryData(pts, unitBounds())
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := NewEngine(NewRTreeIndex(pts, 16), dataOnly{data})
+	area := workload.RandomPolygon(rng, workload.PolygonConfig{QuerySize: 0.05}, unitBounds())
+	if _, _, err := eng.Query(VoronoiBFSStrict, area); !errors.Is(err, ErrStrictNotSupported) {
+		t.Errorf("err = %v, want ErrStrictNotSupported", err)
+	}
+	// The published rule must still work.
+	if _, _, err := eng.Query(VoronoiBFS, area); err != nil {
+		t.Errorf("published rule failed: %v", err)
+	}
+}
+
+func TestUnknownMethod(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	eng, _ := newUniformEngine(t, rng, 10)
+	area := geom.MustPolygon([]geom.Point{geom.Pt(0, 0), geom.Pt(1, 0), geom.Pt(0, 1)})
+	if _, _, err := eng.Query(Method(99), area); err == nil {
+		t.Error("unknown method should error")
+	}
+}
+
+func TestMethodString(t *testing.T) {
+	cases := map[Method]string{
+		Traditional:      "traditional",
+		VoronoiBFS:       "voronoi",
+		VoronoiBFSStrict: "voronoi-strict",
+		BruteForce:       "brute-force",
+		Method(42):       "method(42)",
+	}
+	for m, want := range cases {
+		if got := m.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int(m), got, want)
+		}
+	}
+}
+
+func TestEngineReusableAcrossManyQueries(t *testing.T) {
+	// The generation-stamped visited set must stay correct across many
+	// consecutive queries.
+	rng := rand.New(rand.NewSource(10))
+	eng, _ := newUniformEngine(t, rng, 1000)
+	for trial := 0; trial < 300; trial++ {
+		area := workload.RandomPolygon(rng, workload.PolygonConfig{Vertices: 6, QuerySize: 0.03}, unitBounds())
+		a, _, err := eng.Query(BruteForce, area)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, _, err := eng.Query(VoronoiBFS, area)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !equalIDs(sortedIDs(a), sortedIDs(b)) {
+			t.Fatalf("trial %d: voronoi diverged from oracle", trial)
+		}
+	}
+}
+
+func TestGenerationWraparound(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	eng, _ := newUniformEngine(t, rng, 200)
+	eng.gen = ^uint32(0) - 1 // two queries away from wrapping
+	area := workload.RandomPolygon(rng, workload.PolygonConfig{QuerySize: 0.1}, unitBounds())
+	want, _, err := eng.Query(BruteForce, area)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ { // crosses the wraparound
+		got, _, err := eng.Query(VoronoiBFS, area)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !equalIDs(sortedIDs(got), sortedIDs(want)) {
+			t.Fatalf("query %d after wraparound diverged", i)
+		}
+	}
+}
+
+func TestStatsPlausibility(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	eng, _ := newUniformEngine(t, rng, 10000)
+	area := workload.RandomPolygon(rng, workload.PolygonConfig{Vertices: 10, QuerySize: 0.02}, unitBounds())
+
+	_, st, err := eng.Query(VoronoiBFS, area)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Method != VoronoiBFS {
+		t.Errorf("Method = %v", st.Method)
+	}
+	if st.Candidates < st.ResultSize {
+		t.Errorf("candidates %d < result %d", st.Candidates, st.ResultSize)
+	}
+	if st.SegmentTests == 0 {
+		t.Error("expected segment tests for boundary points")
+	}
+	if st.CellTests != 0 {
+		t.Error("published rule should not perform cell tests")
+	}
+	if st.IndexNodesVisited == 0 {
+		t.Error("seed NN query should touch index nodes")
+	}
+	if st.Duration <= 0 {
+		t.Error("duration not measured")
+	}
+
+	_, st2, err := eng.Query(VoronoiBFSStrict, area)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.CellTests == 0 {
+		t.Error("strict rule should perform cell tests")
+	}
+	if st2.SegmentTests != 0 {
+		t.Error("strict rule should not perform segment tests")
+	}
+}
+
+func TestEmptyDataRejected(t *testing.T) {
+	data, err := NewMemoryData([]geom.Point{geom.Pt(0.5, 0.5)}, unitBounds())
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := NewEngine(NewRTreeIndex([]geom.Point{geom.Pt(0.5, 0.5)}, 16), data)
+	area := geom.MustPolygon([]geom.Point{geom.Pt(0, 0), geom.Pt(1, 0), geom.Pt(0, 1)})
+	if _, _, err := eng.Query(VoronoiBFS, area); err != nil {
+		t.Errorf("single point dataset should work: %v", err)
+	}
+}
+
+func BenchmarkTraditionalQuery(b *testing.B) {
+	rng := rand.New(rand.NewSource(13))
+	eng, _ := newUniformEngine(b, rng, 100_000)
+	areas := make([]geom.Polygon, 64)
+	for i := range areas {
+		areas[i] = workload.RandomPolygon(rng, workload.PolygonConfig{Vertices: 10, QuerySize: 0.01}, unitBounds())
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := eng.Query(Traditional, areas[i%len(areas)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkVoronoiQuery(b *testing.B) {
+	rng := rand.New(rand.NewSource(13))
+	eng, _ := newUniformEngine(b, rng, 100_000)
+	areas := make([]geom.Polygon, 64)
+	for i := range areas {
+		areas[i] = workload.RandomPolygon(rng, workload.PolygonConfig{Vertices: 10, QuerySize: 0.01}, unitBounds())
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := eng.Query(VoronoiBFS, areas[i%len(areas)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,181 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/geom"
+	"repro/internal/storage"
+	"repro/internal/voronoi"
+)
+
+// ErrDuplicatePoints is returned by the data constructors: Algorithm 1
+// identifies points with Voronoi sites, so coincident points would be
+// unreachable through the adjacency. Deduplicate before building.
+var ErrDuplicatePoints = errors.New("core: dataset contains duplicate coordinates")
+
+// MemoryData is an in-memory DataAccess: records live in Go slices and
+// Load performs no simulated IO. It is the fastest option and the one used
+// for pure-CPU benchmarking. MemoryData implements CellSource, so the
+// strict expansion rule is available.
+type MemoryData struct {
+	pts     []geom.Point
+	diagram *voronoi.Diagram
+}
+
+// NewMemoryData builds the Voronoi topology over pts and wraps both in a
+// DataAccess. bounds must contain all points (it bounds the Voronoi cells).
+func NewMemoryData(pts []geom.Point, bounds geom.Rect) (*MemoryData, error) {
+	d, err := voronoi.New(pts, bounds)
+	if err != nil {
+		return nil, err
+	}
+	if d.NumSites() != len(pts) {
+		return nil, ErrDuplicatePoints
+	}
+	return &MemoryData{pts: append([]geom.Point(nil), pts...), diagram: d}, nil
+}
+
+// NumIDs implements DataAccess.
+func (m *MemoryData) NumIDs() int { return len(m.pts) }
+
+// Position implements DataAccess.
+func (m *MemoryData) Position(id int64) geom.Point { return m.pts[id] }
+
+// NeighborsFunc implements DataAccess.
+func (m *MemoryData) NeighborsFunc(id int64, fn func(nb int64) bool) {
+	for _, nb := range m.diagram.Neighbors(int(id)) {
+		if !fn(int64(nb)) {
+			return
+		}
+	}
+}
+
+// NeighborSlice implements NeighborSlicer.
+func (m *MemoryData) NeighborSlice(id int64) []int32 {
+	return m.diagram.Neighbors(int(id))
+}
+
+// Load implements DataAccess; in-memory data loads for free.
+func (m *MemoryData) Load(id int64) (geom.Point, error) { return m.pts[id], nil }
+
+// Each implements DataAccess.
+func (m *MemoryData) Each(fn func(id int64, pos geom.Point) bool) {
+	for i, p := range m.pts {
+		if !fn(int64(i), p) {
+			return
+		}
+	}
+}
+
+// Cell implements CellSource.
+func (m *MemoryData) Cell(id int64) geom.Ring { return m.diagram.Cell(int(id)) }
+
+// Diagram exposes the underlying Voronoi diagram (for rendering and
+// inspection).
+func (m *MemoryData) Diagram() *voronoi.Diagram { return m.diagram }
+
+// StoreData is a DataAccess whose Load goes through a paged object store
+// with an LRU buffer pool, so every refinement fetch is IO-accounted. The
+// Voronoi topology and raw coordinates stay in memory (index-resident), as
+// in a VoR-tree deployment. StoreData implements CellSource.
+type StoreData struct {
+	mem   *MemoryData
+	store *storage.Store
+}
+
+// StoreConfig configures the simulated object store.
+type StoreConfig struct {
+	// PageSize in bytes; storage.DefaultPageSize when <= 0.
+	PageSize int
+	// PoolPages is the buffer pool capacity in pages (0 = no cache,
+	// negative = unbounded).
+	PoolPages int
+	// PayloadBytes of opaque attribute data per record, giving records
+	// realistic width. Zero is allowed.
+	PayloadBytes int
+}
+
+// NewStoreData builds the Voronoi topology over pts and materializes every
+// point as a record (coordinates + Voronoi neighbor ids + payload) in a
+// paged store.
+func NewStoreData(pts []geom.Point, bounds geom.Rect, cfg StoreConfig) (*StoreData, error) {
+	mem, err := NewMemoryData(pts, bounds)
+	if err != nil {
+		return nil, err
+	}
+	builder := storage.NewBuilder(storage.Options{
+		PageSize:  cfg.PageSize,
+		PoolPages: cfg.PoolPages,
+	})
+	payload := make([]byte, cfg.PayloadBytes)
+	for i, p := range pts {
+		nbs32 := mem.diagram.Neighbors(i)
+		nbs := make([]int64, len(nbs32))
+		for j, nb := range nbs32 {
+			nbs[j] = int64(nb)
+		}
+		rec := storage.PointRecord{
+			ID:        int64(i),
+			Pos:       p,
+			Neighbors: nbs,
+			Payload:   payload,
+		}
+		if err := builder.Append(rec); err != nil {
+			return nil, fmt.Errorf("core: building store: %w", err)
+		}
+	}
+	st, err := builder.Build()
+	if err != nil {
+		return nil, fmt.Errorf("core: building store: %w", err)
+	}
+	return &StoreData{mem: mem, store: st}, nil
+}
+
+// NumIDs implements DataAccess.
+func (s *StoreData) NumIDs() int { return s.mem.NumIDs() }
+
+// Position implements DataAccess (index-resident, no IO).
+func (s *StoreData) Position(id int64) geom.Point { return s.mem.Position(id) }
+
+// NeighborsFunc implements DataAccess (index-resident topology, no IO).
+func (s *StoreData) NeighborsFunc(id int64, fn func(nb int64) bool) {
+	s.mem.NeighborsFunc(id, fn)
+}
+
+// NeighborSlice implements NeighborSlicer.
+func (s *StoreData) NeighborSlice(id int64) []int32 {
+	return s.mem.NeighborSlice(id)
+}
+
+// Load implements DataAccess: it fetches the record through the buffer
+// pool, paying simulated IO.
+func (s *StoreData) Load(id int64) (geom.Point, error) {
+	rec, err := s.store.Get(id)
+	if err != nil {
+		return geom.Point{}, err
+	}
+	return rec.Pos, nil
+}
+
+// Each implements DataAccess via a sequential store scan.
+func (s *StoreData) Each(fn func(id int64, pos geom.Point) bool) {
+	_ = s.store.Scan(func(rec storage.PointRecord) bool {
+		return fn(rec.ID, rec.Pos)
+	})
+}
+
+// Cell implements CellSource.
+func (s *StoreData) Cell(id int64) geom.Ring { return s.mem.Cell(id) }
+
+// Diagram exposes the underlying Voronoi diagram.
+func (s *StoreData) Diagram() *voronoi.Diagram { return s.mem.Diagram() }
+
+// Store exposes the underlying object store (for IO statistics).
+func (s *StoreData) Store() *storage.Store { return s.store }
+
+// IOStats returns the accumulated buffer pool statistics.
+func (s *StoreData) IOStats() storage.BufferPoolStats { return s.store.Stats() }
+
+// ResetIOStats zeroes the IO counters (cache contents are kept).
+func (s *StoreData) ResetIOStats() { s.store.ResetStats() }

@@ -1,0 +1,136 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/delaunay"
+	"repro/internal/geom"
+	"repro/internal/rtree"
+	"repro/internal/voronoi"
+)
+
+// DynamicData adapts a dynamic Delaunay triangulation to the DataAccess
+// interface. Ids are the triangulation's site ids: the three fence sites
+// occupy 0..2 and are exposed as ordinary (far-away) points so the BFS can
+// route through them in sparse datasets; Each skips them, so the
+// brute-force oracle and scans see only user sites.
+type DynamicData struct {
+	dt *delaunay.Dynamic
+}
+
+// NumIDs implements DataAccess (fence sites included).
+func (d *DynamicData) NumIDs() int { return d.dt.NumSites() }
+
+// Position implements DataAccess.
+func (d *DynamicData) Position(id int64) geom.Point { return d.dt.Point(int(id)) }
+
+// NeighborsFunc implements DataAccess.
+func (d *DynamicData) NeighborsFunc(id int64, fn func(nb int64) bool) {
+	d.dt.Neighbors(int(id), func(nb int32) bool { return fn(int64(nb)) })
+}
+
+// Load implements DataAccess (in-memory, free).
+func (d *DynamicData) Load(id int64) (geom.Point, error) { return d.dt.Point(int(id)), nil }
+
+// Each implements DataAccess over user sites only.
+func (d *DynamicData) Each(fn func(id int64, pos geom.Point) bool) {
+	for i := delaunay.FirstSiteID; i < d.dt.NumSites(); i++ {
+		if !fn(int64(i), d.dt.Point(i)) {
+			return
+		}
+	}
+}
+
+// Cell implements CellSource: the site's Voronoi cell clipped to an
+// expanded universe (so fence-adjacent cells stay closed).
+func (d *DynamicData) Cell(id int64) geom.Ring {
+	site := d.dt.Point(int(id))
+	nbs := d.dt.NeighborIDs(int(id))
+	pts := make([]geom.Point, len(nbs))
+	for i, nb := range nbs {
+		pts[i] = d.dt.Point(int(nb))
+	}
+	u := d.dt.Universe()
+	clip := u.Expand(u.Width() + u.Height() + 1)
+	return voronoi.CellFromNeighbors(site, pts, clip)
+}
+
+// DynamicEngine answers area queries over a growing dataset: points are
+// inserted one at a time into a dynamic Delaunay triangulation and a
+// dynamic R-tree (R* split), and queries run at any moment with either
+// method — the update capability the paper leaves as future work.
+// Not safe for concurrent use.
+type DynamicEngine struct {
+	dt   *delaunay.Dynamic
+	tree *rtree.Tree
+	data *DynamicData
+	eng  *Engine
+}
+
+// NewDynamicEngine returns an empty dynamic engine over the universe
+// rectangle. All inserted points and query polygons must lie within it.
+func NewDynamicEngine(universe geom.Rect) *DynamicEngine {
+	dt := delaunay.NewDynamic(universe)
+	data := &DynamicData{dt: dt}
+	return &DynamicEngine{
+		dt:   dt,
+		tree: rtree.NewRStar(16),
+		data: data,
+		eng:  NewEngine(nil, data), // index attached below
+	}
+}
+
+// Len returns the number of inserted points.
+func (d *DynamicEngine) Len() int { return d.dt.NumUserSites() }
+
+// Universe returns the declared universe rectangle.
+func (d *DynamicEngine) Universe() geom.Rect { return d.dt.Universe() }
+
+// Point returns the coordinates of an inserted id.
+func (d *DynamicEngine) Point(id int64) geom.Point { return d.dt.Point(int(id)) }
+
+// Insert adds a point and returns its id. Inserting an existing coordinate
+// returns the existing id with inserted == false.
+func (d *DynamicEngine) Insert(p geom.Point) (id int64, inserted bool, err error) {
+	sid, ins, err := d.dt.InsertSite(p)
+	if err != nil {
+		return 0, false, err
+	}
+	if ins {
+		d.tree.Insert(int64(sid), geom.NewRect(p.X, p.Y, p.X, p.Y))
+	}
+	return int64(sid), ins, nil
+}
+
+// Query answers an area query. The area must lie within the universe.
+func (d *DynamicEngine) Query(m Method, area geom.Polygon) ([]int64, Stats, error) {
+	if d.Len() == 0 {
+		return nil, Stats{Method: m}, ErrNoData
+	}
+	if !d.dt.Universe().ContainsRect(area.Bounds()) {
+		return nil, Stats{Method: m}, fmt.Errorf(
+			"core: query area %v exceeds the dynamic engine universe %v",
+			area.Bounds(), d.dt.Universe())
+	}
+	d.eng.idx = dynamicIndex{tree: d.tree}
+	d.eng.ensureCapacity(d.data.NumIDs())
+	return d.eng.Query(m, area)
+}
+
+// dynamicIndex adapts the growing R-tree (user sites only) to
+// SpatialIndex.
+type dynamicIndex struct {
+	tree *rtree.Tree
+}
+
+// Window implements SpatialIndex.
+func (x dynamicIndex) Window(q geom.Rect, fn func(id int64) bool) int {
+	st := x.tree.Search(q, func(id int64, _ geom.Rect) bool { return fn(id) })
+	return st.NodesVisited
+}
+
+// Nearest implements SpatialIndex.
+func (x dynamicIndex) Nearest(q geom.Point) (int64, int, bool) {
+	item, st, ok := x.tree.NearestNeighbor(q)
+	return item.ID, st.NodesVisited, ok
+}

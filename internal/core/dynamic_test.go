@@ -1,0 +1,172 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/workload"
+)
+
+func TestDynamicEngineEmpty(t *testing.T) {
+	d := NewDynamicEngine(unitBounds())
+	area := geom.MustPolygon([]geom.Point{geom.Pt(0.1, 0.1), geom.Pt(0.5, 0.1), geom.Pt(0.3, 0.5)})
+	if _, _, err := d.Query(VoronoiBFS, area); err != ErrNoData {
+		t.Errorf("empty dynamic engine: err = %v, want ErrNoData", err)
+	}
+}
+
+func TestDynamicEngineRejectsOutOfUniverse(t *testing.T) {
+	d := NewDynamicEngine(unitBounds())
+	if _, _, err := d.Insert(geom.Pt(3, 3)); err == nil {
+		t.Error("insert outside universe should fail")
+	}
+	if _, _, err := d.Insert(geom.Pt(0.5, 0.5)); err != nil {
+		t.Fatal(err)
+	}
+	tooBig := geom.MustPolygon([]geom.Point{geom.Pt(-1, -1), geom.Pt(2, -1), geom.Pt(0.5, 2)})
+	if _, _, err := d.Query(VoronoiBFS, tooBig); err == nil {
+		t.Error("query exceeding universe should fail")
+	}
+}
+
+func TestDynamicEngineMatchesOracleWhileGrowing(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	d := NewDynamicEngine(unitBounds())
+	for batch := 0; batch < 8; batch++ {
+		for i := 0; i < 250; i++ {
+			if _, _, err := d.Insert(geom.Pt(rng.Float64(), rng.Float64())); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for trial := 0; trial < 5; trial++ {
+			area := workload.RandomPolygon(rng, workload.PolygonConfig{
+				Vertices:  10,
+				QuerySize: 0.05,
+			}, unitBounds())
+			oracle, _, err := d.Query(BruteForce, area)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, m := range []Method{Traditional, VoronoiBFS, VoronoiBFSStrict} {
+				got, _, err := d.Query(m, area)
+				if err != nil {
+					t.Fatalf("batch %d %v: %v", batch, m, err)
+				}
+				if !equalIDs(sortedIDs(got), sortedIDs(oracle)) {
+					t.Fatalf("batch %d (%d pts) %v: %d results, oracle %d",
+						batch, d.Len(), m, len(got), len(oracle))
+				}
+			}
+		}
+	}
+}
+
+func TestDynamicEngineNoFenceLeakage(t *testing.T) {
+	// A query covering the whole universe must return every inserted
+	// point and no fence sites.
+	rng := rand.New(rand.NewSource(2))
+	d := NewDynamicEngine(unitBounds())
+	const n = 500
+	for i := 0; i < n; i++ {
+		if _, _, err := d.Insert(geom.Pt(rng.Float64(), rng.Float64())); err != nil {
+			t.Fatal(err)
+		}
+	}
+	area := geom.MustPolygon([]geom.Point{
+		geom.Pt(0, 0), geom.Pt(1, 0), geom.Pt(1, 1), geom.Pt(0, 1),
+	})
+	for _, m := range []Method{Traditional, VoronoiBFS, BruteForce} {
+		ids, _, err := d.Query(m, area)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(ids) != n {
+			t.Fatalf("%v: %d results, want %d", m, len(ids), n)
+		}
+		for _, id := range ids {
+			if !unitBounds().ContainsPoint(d.Point(id)) {
+				t.Fatalf("%v: result %d outside universe (fence leak?)", m, id)
+			}
+		}
+	}
+}
+
+func TestDynamicEngineSparse(t *testing.T) {
+	// With very few points, the Voronoi BFS may need to route through
+	// fence sites; results must still match the oracle.
+	rng := rand.New(rand.NewSource(3))
+	d := NewDynamicEngine(unitBounds())
+	coords := []geom.Point{
+		geom.Pt(0.05, 0.05), geom.Pt(0.95, 0.95), geom.Pt(0.1, 0.9),
+	}
+	for _, p := range coords {
+		if _, _, err := d.Insert(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for trial := 0; trial < 50; trial++ {
+		area := workload.RandomPolygon(rng, workload.PolygonConfig{QuerySize: 0.2}, unitBounds())
+		oracle, _, err := d.Query(BruteForce, area)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, _, err := d.Query(VoronoiBFS, area)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !equalIDs(sortedIDs(got), sortedIDs(oracle)) {
+			t.Fatalf("trial %d: sparse dynamic voronoi diverged (%d vs %d)",
+				trial, len(got), len(oracle))
+		}
+	}
+}
+
+func TestDynamicEngineDuplicateInsert(t *testing.T) {
+	d := NewDynamicEngine(unitBounds())
+	id1, ins, err := d.Insert(geom.Pt(0.4, 0.4))
+	if err != nil || !ins {
+		t.Fatal(err)
+	}
+	id2, ins2, err := d.Insert(geom.Pt(0.4, 0.4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ins2 || id2 != id1 {
+		t.Errorf("duplicate insert: id=%d ins=%v", id2, ins2)
+	}
+	if d.Len() != 1 {
+		t.Errorf("Len = %d", d.Len())
+	}
+}
+
+func BenchmarkDynamicEngineInsert(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	d := NewDynamicEngine(unitBounds())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := d.Insert(geom.Pt(rng.Float64(), rng.Float64())); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDynamicEngineQuery(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	d := NewDynamicEngine(unitBounds())
+	for i := 0; i < 50_000; i++ {
+		if _, _, err := d.Insert(geom.Pt(rng.Float64(), rng.Float64())); err != nil {
+			b.Fatal(err)
+		}
+	}
+	areas := make([]geom.Polygon, 64)
+	for i := range areas {
+		areas[i] = workload.RandomPolygon(rng, workload.PolygonConfig{QuerySize: 0.01}, unitBounds())
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := d.Query(VoronoiBFS, areas[i%len(areas)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,169 @@
+package core
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/workload"
+)
+
+func TestCloneSharesDataIndependentScratch(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	eng, _ := newUniformEngine(t, rng, 2000)
+	clone := eng.Clone()
+	area := workload.RandomPolygon(rng, workload.PolygonConfig{QuerySize: 0.05}, unitBounds())
+	a, _, err := eng.Query(VoronoiBFS, area)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := clone.Query(VoronoiBFS, area)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equalIDs(sortedIDs(a), sortedIDs(b)) {
+		t.Error("clone disagrees with original")
+	}
+}
+
+func TestConcurrentClonesRaceFree(t *testing.T) {
+	// Shared MemoryData + R-tree, one Engine clone per goroutine. Run with
+	// -race to validate the read-only sharing contract.
+	rng := rand.New(rand.NewSource(2))
+	eng, _ := newUniformEngine(t, rng, 5000)
+	areas := make([]geom.Polygon, 16)
+	for i := range areas {
+		areas[i] = workload.RandomPolygon(rng, workload.PolygonConfig{QuerySize: 0.02}, unitBounds())
+	}
+	oracle := make([][]int64, len(areas))
+	for i, area := range areas {
+		ids, _, err := eng.Query(BruteForce, area)
+		if err != nil {
+			t.Fatal(err)
+		}
+		oracle[i] = sortedIDs(ids)
+	}
+
+	const workers = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			local := eng.Clone()
+			for rep := 0; rep < 20; rep++ {
+				i := (worker + rep) % len(areas)
+				ids, _, err := local.Query(VoronoiBFS, areas[i])
+				if err != nil {
+					errs <- err
+					return
+				}
+				if !equalIDs(sortedIDs(ids), oracle[i]) {
+					errs <- errMismatch(worker, i)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+type mismatchError struct{ worker, query int }
+
+func errMismatch(w, q int) error { return mismatchError{w, q} }
+func (e mismatchError) Error() string {
+	return "concurrent clone diverged from oracle"
+}
+
+func TestCountMatchesQuery(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	eng, _ := newUniformEngine(t, rng, 3000)
+	for trial := 0; trial < 20; trial++ {
+		area := workload.RandomPolygon(rng, workload.PolygonConfig{QuerySize: 0.03}, unitBounds())
+		ids, _, err := eng.Query(VoronoiBFS, area)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n, st, err := eng.Count(VoronoiBFS, area)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n != len(ids) {
+			t.Fatalf("Count = %d, Query len = %d", n, len(ids))
+		}
+		if st.ResultSize != n {
+			t.Fatalf("stats.ResultSize = %d, want %d", st.ResultSize, n)
+		}
+	}
+}
+
+func TestQueryBatchAggregates(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	eng, _ := newUniformEngine(t, rng, 3000)
+	areas := make([]geom.Polygon, 5)
+	for i := range areas {
+		areas[i] = workload.RandomPolygon(rng, workload.PolygonConfig{QuerySize: 0.02}, unitBounds())
+	}
+	results, agg, err := eng.QueryBatch(VoronoiBFS, areas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(areas) {
+		t.Fatalf("results = %d", len(results))
+	}
+	var wantResult, wantCand int
+	for i, area := range areas {
+		ids, st, err := eng.Query(VoronoiBFS, area)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !equalIDs(sortedIDs(results[i]), sortedIDs(ids)) {
+			t.Fatalf("batch result %d diverges", i)
+		}
+		wantResult += st.ResultSize
+		wantCand += st.Candidates
+	}
+	if agg.ResultSize != wantResult {
+		t.Errorf("aggregate ResultSize = %d, want %d", agg.ResultSize, wantResult)
+	}
+	if agg.Candidates != wantCand {
+		t.Errorf("aggregate Candidates = %d, want %d", agg.Candidates, wantCand)
+	}
+	if agg.Duration <= 0 {
+		t.Error("aggregate duration missing")
+	}
+}
+
+func TestRectangleQueriesFavorTraditional(t *testing.T) {
+	// The paper's introduction: for rectangular queries the traditional
+	// filter is nearly exact (candidates ≈ results). Verify, and verify
+	// both methods still agree.
+	rng := rand.New(rand.NewSource(5))
+	eng, _ := newUniformEngine(t, rng, 20000)
+	for trial := 0; trial < 20; trial++ {
+		rect := workload.RectanglePolygon(rng, 0.02, 0.5+rng.Float64()*2, unitBounds())
+		a, stTrad, err := eng.Query(Traditional, rect)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, _, err := eng.Query(VoronoiBFS, rect)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !equalIDs(sortedIDs(a), sortedIDs(b)) {
+			t.Fatal("methods disagree on rectangle query")
+		}
+		// Traditional candidates should be (almost) exactly the result set:
+		// only boundary-straddling float effects can differ.
+		if stTrad.RedundantValidations > stTrad.ResultSize/10+5 {
+			t.Errorf("trial %d: rectangle query traditional redundancy %d vs result %d — MBR filter should be near-exact",
+				trial, stTrad.RedundantValidations, stTrad.ResultSize)
+		}
+	}
+}

@@ -1,0 +1,64 @@
+package core
+
+import (
+	"container/heap"
+
+	"repro/internal/geom"
+)
+
+// KNearest returns the k stored points nearest to q in increasing distance
+// order, computed by Voronoi expansion (the VoR-tree property the paper
+// builds on, Sharifzadeh & Shahabi 2010): the first nearest neighbor comes
+// from the spatial index; thereafter the (j+1)-th nearest neighbor is
+// always a Voronoi neighbor of one of the first j, so a best-first
+// expansion over the Delaunay adjacency enumerates neighbors exactly. It
+// returns fewer than k items when the dataset is smaller.
+func (e *Engine) KNearest(q geom.Point, k int) ([]int64, Stats, error) {
+	var stats Stats
+	if k <= 0 || e.data.NumIDs() == 0 {
+		return nil, stats, nil
+	}
+	seed, nnNodes, ok := e.idx.Nearest(q)
+	stats.IndexNodesVisited += nnNodes
+	if !ok {
+		return nil, stats, ErrNoData
+	}
+
+	e.nextGen()
+	h := knnHeap{{id: seed, d2: q.Dist2(e.data.Position(seed))}}
+	e.mark(seed)
+
+	out := make([]int64, 0, k)
+	for len(h) > 0 && len(out) < k {
+		top := heap.Pop(&h).(knnEntry)
+		out = append(out, top.id)
+		stats.Candidates++
+		e.data.NeighborsFunc(top.id, func(nb int64) bool {
+			if e.mark(nb) {
+				heap.Push(&h, knnEntry{id: nb, d2: q.Dist2(e.data.Position(nb))})
+			}
+			return true
+		})
+	}
+	stats.ResultSize = len(out)
+	return out, stats, nil
+}
+
+type knnEntry struct {
+	id int64
+	d2 float64
+}
+
+type knnHeap []knnEntry
+
+func (h knnHeap) Len() int            { return len(h) }
+func (h knnHeap) Less(i, j int) bool  { return h[i].d2 < h[j].d2 }
+func (h knnHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *knnHeap) Push(x interface{}) { *h = append(*h, x.(knnEntry)) }
+func (h *knnHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}

@@ -1,0 +1,149 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/geom"
+)
+
+// queryTraditional implements the classic filter-and-refine area query:
+// the index filters with the region's MBR; every candidate's record is
+// loaded and validated with a containment test.
+func (e *Engine) queryTraditional(region Region) ([]int64, Stats, error) {
+	var stats Stats
+	var result []int64
+	var loadErr error
+	stats.IndexNodesVisited = e.idx.Window(region.Bounds(), func(id int64) bool {
+		pos, err := e.data.Load(id)
+		if err != nil {
+			loadErr = fmt.Errorf("core: loading candidate %d: %w", id, err)
+			return false
+		}
+		stats.RecordsLoaded++
+		stats.Candidates++
+		if region.ContainsPoint(pos) {
+			result = append(result, id)
+		}
+		return true
+	})
+	return result, stats, loadErr
+}
+
+// queryVoronoi implements Algorithm 1 of the paper.
+//
+// A seed — the nearest stored point to an interior position of the query
+// region — is found through the spatial index (the paper uses the same
+// R-tree both methods share). By Voronoi Property 3 the seed is an internal
+// or boundary point of the region. BFS then expands over the Voronoi
+// adjacency: internal points contribute all unvisited neighbors;
+// non-internal points contribute only neighbors reached by an expansion
+// test — the published rule tests the connecting segment against the
+// region, the strict rule tests the neighbor's Voronoi cell against it.
+func (e *Engine) queryVoronoi(region Region, strict bool) ([]int64, Stats, error) {
+	var stats Stats
+
+	var cells CellSource
+	if strict {
+		var ok bool
+		cells, ok = e.data.(CellSource)
+		if !ok {
+			return nil, stats, ErrStrictNotSupported
+		}
+	}
+
+	// Line 3-4: p_seed := NN(P, arbitrary position in A).
+	seedPos := region.InteriorPoint()
+	seed, nnNodes, ok := e.idx.Nearest(seedPos)
+	stats.IndexNodesVisited += nnNodes
+	if !ok {
+		return nil, stats, ErrNoData
+	}
+
+	e.nextGen()
+	e.queue = e.queue[:0]
+	e.mark(seed)
+	e.queue = append(e.queue, seed)
+
+	// Fast path: data sources exposing raw neighbor slices avoid one
+	// closure-based callback per neighbor on the hottest loop.
+	slicer, hasSlices := e.data.(NeighborSlicer)
+
+	// The expansion closures are hoisted out of the loop; curPos carries
+	// the popped candidate's position into them.
+	var curPos geom.Point
+	expandAll := func(nb int64) bool {
+		if e.mark(nb) {
+			e.queue = append(e.queue, nb)
+		}
+		return true
+	}
+	expandBoundary := func(nb int64) bool {
+		if e.visited[nb] == e.gen {
+			return true
+		}
+		enqueue := false
+		if strict {
+			stats.CellTests++
+			enqueue = regionIntersectsRing(region, cells.Cell(nb))
+		} else {
+			stats.SegmentTests++
+			enqueue = region.IntersectsSegment(geom.Seg(curPos, e.data.Position(nb)))
+		}
+		if enqueue {
+			e.mark(nb)
+			e.queue = append(e.queue, nb)
+		}
+		return true
+	}
+
+	var result []int64
+	for head := 0; head < len(e.queue); head++ {
+		p := e.queue[head]
+		pos, err := e.data.Load(p)
+		if err != nil {
+			return nil, stats, fmt.Errorf("core: loading candidate %d: %w", p, err)
+		}
+		stats.RecordsLoaded++
+		stats.Candidates++
+		curPos = pos
+
+		if region.ContainsPoint(pos) {
+			// Internal point: all unvisited Voronoi neighbors become
+			// candidates (Property 7 bounds them to internal/boundary).
+			result = append(result, p)
+			if hasSlices {
+				for _, nb := range slicer.NeighborSlice(p) {
+					expandAll(int64(nb))
+				}
+			} else {
+				e.data.NeighborsFunc(p, expandAll)
+			}
+			continue
+		}
+		// Boundary/external point: expand only toward neighbors that pass
+		// the expansion test.
+		if hasSlices {
+			for _, nb := range slicer.NeighborSlice(p) {
+				expandBoundary(int64(nb))
+			}
+		} else {
+			e.data.NeighborsFunc(p, expandBoundary)
+		}
+	}
+	return result, stats, nil
+}
+
+// queryBruteForce scans every record; it is the correctness oracle.
+func (e *Engine) queryBruteForce(region Region) ([]int64, Stats, error) {
+	var stats Stats
+	var result []int64
+	bounds := region.Bounds()
+	e.data.Each(func(id int64, pos geom.Point) bool {
+		stats.Candidates++
+		if bounds.ContainsPoint(pos) && region.ContainsPoint(pos) {
+			result = append(result, id)
+		}
+		return true
+	})
+	return result, stats, nil
+}

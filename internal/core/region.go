@@ -1,0 +1,74 @@
+package core
+
+import "repro/internal/geom"
+
+// Region is the query-shape contract the area-query algorithms need: an
+// MBR for the traditional filter, containment for refinement, segment
+// intersection for the published expansion rule, and an interior anchor
+// for the seed. Polygons (via PolygonRegion) and circles (via
+// CircleRegion) implement it; custom shapes can too.
+type Region interface {
+	Bounds() geom.Rect
+	ContainsPoint(geom.Point) bool
+	IntersectsSegment(geom.Segment) bool
+	InteriorPoint() geom.Point
+}
+
+// RingIntersecter is optionally implemented by Regions that can test
+// intersection against a convex ring exactly; the strict expansion rule
+// uses it when present and falls back to a generic vertex/edge/containment
+// test otherwise.
+type RingIntersecter interface {
+	IntersectsRing(geom.Ring) bool
+}
+
+// PolygonRegion wraps a polygon as a Region with prepared-predicate speed.
+func PolygonRegion(pg geom.Polygon) Region { return geom.Prepare(pg) }
+
+// CircleRegion wraps a disk as a Region.
+func CircleRegion(c geom.Circle) Region { return circleRegion{c} }
+
+type circleRegion struct{ c geom.Circle }
+
+func (r circleRegion) Bounds() geom.Rect                     { return r.c.Bounds() }
+func (r circleRegion) ContainsPoint(p geom.Point) bool       { return r.c.ContainsPoint(p) }
+func (r circleRegion) IntersectsSegment(s geom.Segment) bool { return r.c.IntersectsSegment(s) }
+func (r circleRegion) InteriorPoint() geom.Point             { return r.c.InteriorPoint() }
+
+// AnchoredRegion wraps a Region, overriding the seed anchor the Voronoi
+// BFS starts from. It enables the seed-anchor ablation for Algorithm 1's
+// "arbitrary position in A": pair it with a uniform interior sampler
+// (package earcut) to draw a fresh random anchor per query instead of the
+// default centroid-first anchor.
+type AnchoredRegion struct {
+	Region
+	Anchor geom.Point
+}
+
+// InteriorPoint returns the override anchor.
+func (a AnchoredRegion) InteriorPoint() geom.Point { return a.Anchor }
+
+// regionIntersectsRing reports whether region and the closed area bounded
+// by ring share a point, using RingIntersecter when available and a
+// generic vertex/edge/containment test otherwise (exact for convex rings,
+// which Voronoi cells are).
+func regionIntersectsRing(region Region, ring geom.Ring) bool {
+	if len(ring) == 0 {
+		return false
+	}
+	if ri, ok := region.(RingIntersecter); ok {
+		return ri.IntersectsRing(ring)
+	}
+	for _, v := range ring {
+		if region.ContainsPoint(v) {
+			return true
+		}
+	}
+	for i := range ring {
+		if region.IntersectsSegment(geom.Seg(ring[i], ring[(i+1)%len(ring)])) {
+			return true
+		}
+	}
+	// Ring may contain the region entirely.
+	return (geom.Polygon{Outer: ring}).ContainsPoint(region.InteriorPoint())
+}

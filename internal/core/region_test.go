@@ -1,0 +1,202 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func TestCircleQueriesMatchOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	eng, pts := newUniformEngine(t, rng, 5000)
+	for trial := 0; trial < 50; trial++ {
+		c := geom.NewCircle(
+			geom.Pt(rng.Float64(), rng.Float64()),
+			0.02+rng.Float64()*0.15,
+		)
+		region := CircleRegion(c)
+		want := make([]int64, 0)
+		for i, p := range pts {
+			if c.ContainsPoint(p) {
+				want = append(want, int64(i))
+			}
+		}
+		for _, m := range []Method{Traditional, VoronoiBFS, VoronoiBFSStrict, BruteForce} {
+			got, st, err := eng.QueryRegion(m, region)
+			if err != nil {
+				t.Fatalf("trial %d %v: %v", trial, m, err)
+			}
+			if !equalIDs(sortedIDs(got), want) {
+				t.Fatalf("trial %d %v: %d results, oracle %d", trial, m, len(got), len(want))
+			}
+			if st.ResultSize != len(got) {
+				t.Fatalf("stats mismatch")
+			}
+		}
+	}
+}
+
+func TestCircleVoronoiSavesCandidates(t *testing.T) {
+	// A disk fills ~78.5% of its MBR, so the traditional filter wastes
+	// ~21.5% plus index slack; the Voronoi method's shell should still be
+	// smaller for reasonable radii.
+	rng := rand.New(rand.NewSource(2))
+	eng, _ := newUniformEngine(t, rng, 20000)
+	var trad, vor int
+	for trial := 0; trial < 20; trial++ {
+		region := CircleRegion(geom.NewCircle(
+			geom.Pt(0.2+0.6*rng.Float64(), 0.2+0.6*rng.Float64()), 0.08))
+		_, st1, err := eng.QueryRegion(Traditional, region)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, st2, err := eng.QueryRegion(VoronoiBFS, region)
+		if err != nil {
+			t.Fatal(err)
+		}
+		trad += st1.Candidates
+		vor += st2.Candidates
+	}
+	if vor >= trad {
+		t.Errorf("circle queries: voronoi candidates %d >= traditional %d", vor, trad)
+	}
+	t.Logf("circle candidates: traditional=%d voronoi=%d (%.1f%% saved)",
+		trad, vor, 100*(1-float64(vor)/float64(trad)))
+}
+
+func TestRegionIntersectsRingGeneric(t *testing.T) {
+	// circleRegion does not implement RingIntersecter, so the generic path
+	// is exercised by strict-mode queries above; unit-test the helper too.
+	c := CircleRegion(geom.NewCircle(geom.Pt(0.5, 0.5), 0.1))
+	inside := geom.Ring{geom.Pt(0.48, 0.48), geom.Pt(0.52, 0.48), geom.Pt(0.5, 0.52)}
+	if !regionIntersectsRing(c, inside) {
+		t.Error("ring inside circle should intersect")
+	}
+	far := geom.Ring{geom.Pt(0.9, 0.9), geom.Pt(0.95, 0.9), geom.Pt(0.92, 0.95)}
+	if regionIntersectsRing(c, far) {
+		t.Error("distant ring should not intersect")
+	}
+	surrounding := geom.Ring{geom.Pt(0, 0), geom.Pt(1, 0), geom.Pt(1, 1), geom.Pt(0, 1)}
+	if !regionIntersectsRing(c, surrounding) {
+		t.Error("ring containing the whole circle should intersect")
+	}
+	if regionIntersectsRing(c, nil) {
+		t.Error("empty ring should not intersect")
+	}
+}
+
+func TestKNearestMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	eng, pts := newUniformEngine(t, rng, 2000)
+	for trial := 0; trial < 100; trial++ {
+		q := geom.Pt(rng.Float64(), rng.Float64())
+		for _, k := range []int{1, 5, 37, 200} {
+			got, _, err := eng.KNearest(q, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != k {
+				t.Fatalf("k=%d: got %d", k, len(got))
+			}
+			// Distances must be the k smallest, in order.
+			dists := make([]float64, len(pts))
+			for i, p := range pts {
+				dists[i] = q.Dist2(p)
+			}
+			sort.Float64s(dists)
+			for i, id := range got {
+				if q.Dist2(pts[id]) != dists[i] {
+					t.Fatalf("k=%d rank %d: dist %v, want %v",
+						k, i, q.Dist2(pts[id]), dists[i])
+				}
+			}
+		}
+	}
+}
+
+func TestKNearestEdgeCases(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	eng, pts := newUniformEngine(t, rng, 50)
+	if got, _, err := eng.KNearest(geom.Pt(0.5, 0.5), 0); err != nil || got != nil {
+		t.Errorf("k=0: %v, %v", got, err)
+	}
+	// k greater than the dataset returns everything, ordered.
+	got, _, err := eng.KNearest(geom.Pt(0.5, 0.5), 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(pts) {
+		t.Errorf("k>n returned %d of %d", len(got), len(pts))
+	}
+	for i := 1; i < len(got); i++ {
+		q := geom.Pt(0.5, 0.5)
+		if q.Dist2(pts[got[i-1]]) > q.Dist2(pts[got[i]]) {
+			t.Fatal("kNN output not ordered")
+		}
+	}
+}
+
+func TestKNearestFarQuery(t *testing.T) {
+	// Query point far outside the data: expansion must still be exact.
+	rng := rand.New(rand.NewSource(5))
+	eng, pts := newUniformEngine(t, rng, 500)
+	q := geom.Pt(5, -3)
+	got, _, err := eng.KNearest(q, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dists := make([]float64, len(pts))
+	for i, p := range pts {
+		dists[i] = q.Dist2(p)
+	}
+	sort.Float64s(dists)
+	for i, id := range got {
+		if math.Abs(q.Dist2(pts[id])-dists[i]) != 0 {
+			t.Fatalf("rank %d: %v vs %v", i, q.Dist2(pts[id]), dists[i])
+		}
+	}
+}
+
+func TestKNearestCandidateEfficiency(t *testing.T) {
+	// The expansion should pop exactly k candidates (the property
+	// guarantees no wasted pops).
+	rng := rand.New(rand.NewSource(6))
+	eng, _ := newUniformEngine(t, rng, 3000)
+	_, st, err := eng.KNearest(geom.Pt(0.5, 0.5), 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Candidates != 25 {
+		t.Errorf("kNN popped %d candidates for k=25", st.Candidates)
+	}
+}
+
+func BenchmarkKNearestVoronoi(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	eng, _ := newUniformEngine(b, rng, 100_000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := eng.KNearest(geom.Pt(rng.Float64(), rng.Float64()), 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCircleQueryVoronoi(b *testing.B) {
+	rng := rand.New(rand.NewSource(8))
+	eng, _ := newUniformEngine(b, rng, 100_000)
+	regions := make([]Region, 64)
+	for i := range regions {
+		regions[i] = CircleRegion(geom.NewCircle(
+			geom.Pt(0.2+0.6*rng.Float64(), 0.2+0.6*rng.Float64()), 0.056)) // ~1% of universe
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := eng.QueryRegion(VoronoiBFS, regions[i%len(regions)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

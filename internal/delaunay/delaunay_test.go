@@ -1,0 +1,486 @@
+package delaunay
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func uniformPoints(rng *rand.Rand, n int) []geom.Point {
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		pts[i] = geom.Pt(rng.Float64(), rng.Float64())
+	}
+	return pts
+}
+
+func TestBuildRejectsEmpty(t *testing.T) {
+	if _, err := Build(nil); err != ErrNoPoints {
+		t.Errorf("Build(nil) err = %v, want ErrNoPoints", err)
+	}
+}
+
+func TestSinglePoint(t *testing.T) {
+	tr, err := Build([]geom.Point{geom.Pt(1, 2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.NumSites() != 1 || tr.NumEdges() != 0 {
+		t.Errorf("sites=%d edges=%d", tr.NumSites(), tr.NumEdges())
+	}
+	if got := tr.NearestSite(geom.Pt(50, 50)); got != 0 {
+		t.Errorf("NearestSite = %d", got)
+	}
+	if len(tr.Neighbors(0)) != 0 {
+		t.Error("single point has no neighbors")
+	}
+}
+
+func TestTwoPoints(t *testing.T) {
+	tr, err := Build([]geom.Point{geom.Pt(0, 0), geom.Pt(1, 0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.NumEdges() != 1 {
+		t.Errorf("edges = %d, want 1", tr.NumEdges())
+	}
+	if nbs := tr.Neighbors(0); len(nbs) != 1 || nbs[0] != 1 {
+		t.Errorf("Neighbors(0) = %v", nbs)
+	}
+	if nbs := tr.Neighbors(1); len(nbs) != 1 || nbs[0] != 0 {
+		t.Errorf("Neighbors(1) = %v", nbs)
+	}
+	if got := tr.NearestSite(geom.Pt(0.9, 0)); got != 1 {
+		t.Errorf("NearestSite = %d, want 1", got)
+	}
+}
+
+func TestTriangleCCWAndCW(t *testing.T) {
+	for _, pts := range [][]geom.Point{
+		{geom.Pt(0, 0), geom.Pt(1, 0), geom.Pt(0.5, 1)},
+		{geom.Pt(0, 0), geom.Pt(0.5, 1), geom.Pt(1, 0)}, // other orientation
+	} {
+		tr, err := Build(pts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tr.NumEdges() != 3 {
+			t.Errorf("edges = %d, want 3", tr.NumEdges())
+		}
+		tris := tr.Triangles()
+		if len(tris) != 1 {
+			t.Fatalf("triangles = %v, want exactly 1", tris)
+		}
+		if err := tr.Validate(true); err != nil {
+			t.Error(err)
+		}
+	}
+}
+
+func TestCollinearPoints(t *testing.T) {
+	pts := []geom.Point{geom.Pt(0, 0), geom.Pt(1, 0), geom.Pt(2, 0), geom.Pt(3, 0), geom.Pt(4, 0)}
+	tr, err := Build(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.NumEdges() != 4 {
+		t.Errorf("collinear chain edges = %d, want 4", tr.NumEdges())
+	}
+	if len(tr.Triangles()) != 0 {
+		t.Error("collinear points should produce no triangles")
+	}
+	// Chain adjacency: interior points have 2 neighbors, endpoints 1.
+	if len(tr.Neighbors(0)) != 1 || len(tr.Neighbors(4)) != 1 {
+		t.Error("endpoints should have exactly 1 neighbor")
+	}
+	for i := 1; i <= 3; i++ {
+		if len(tr.Neighbors(i)) != 2 {
+			t.Errorf("interior point %d has %d neighbors, want 2", i, len(tr.Neighbors(i)))
+		}
+	}
+	if got := tr.NearestSite(geom.Pt(2.4, 5)); got != 2 {
+		t.Errorf("NearestSite = %d, want 2", got)
+	}
+}
+
+func TestDuplicatePoints(t *testing.T) {
+	pts := []geom.Point{
+		geom.Pt(0, 0), geom.Pt(1, 0), geom.Pt(0, 1),
+		geom.Pt(1, 0), // duplicate of index 1
+		geom.Pt(0, 0), // duplicate of index 0
+	}
+	tr, err := Build(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.NumSites() != 3 {
+		t.Errorf("distinct sites = %d, want 3", tr.NumSites())
+	}
+	if tr.Canonical(3) != 1 || tr.Canonical(4) != 0 || tr.Canonical(1) != 1 {
+		t.Errorf("canonical mapping wrong: %d %d", tr.Canonical(3), tr.Canonical(4))
+	}
+	// A duplicate's neighbors are its canonical's neighbors.
+	if got, want := tr.Neighbors(3), tr.Neighbors(1); len(got) != len(want) {
+		t.Errorf("duplicate neighbors %v != canonical neighbors %v", got, want)
+	}
+}
+
+func TestSquareWithCenter(t *testing.T) {
+	// 4 cocircular corners + center: classic degenerate configuration.
+	pts := []geom.Point{
+		geom.Pt(0, 0), geom.Pt(1, 0), geom.Pt(1, 1), geom.Pt(0, 1), geom.Pt(0.5, 0.5),
+	}
+	tr, err := Build(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Validate(true); err != nil {
+		t.Error(err)
+	}
+	tris := tr.Triangles()
+	if len(tris) != 4 {
+		t.Errorf("triangles = %d, want 4 (fan around center)", len(tris))
+	}
+	if got := len(tr.Neighbors(4)); got != 4 {
+		t.Errorf("center degree = %d, want 4", got)
+	}
+}
+
+func TestGridDegenerate(t *testing.T) {
+	// Regular grid: every unit square's corners are cocircular. Exact
+	// predicates must keep the structure consistent.
+	var pts []geom.Point
+	for x := 0; x < 8; x++ {
+		for y := 0; y < 8; y++ {
+			pts = append(pts, geom.Pt(float64(x), float64(y)))
+		}
+	}
+	tr, err := Build(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Validate(false); err != nil {
+		t.Fatal(err)
+	}
+	// Euler: for n points with h on the hull, triangles = 2n-2-h,
+	// edges = 3n-3-h... but cocircular ties allow any diagonal choice; the
+	// counts still must satisfy Euler's formula exactly.
+	n := tr.NumSites()
+	hull := tr.ConvexHull()
+	h := len(hull)
+	wantTris := 2*n - 2 - h
+	wantEdges := 3*n - 3 - h
+	if got := len(tr.Triangles()); got != wantTris {
+		t.Errorf("triangles = %d, want %d (n=%d h=%d)", got, wantTris, n, h)
+	}
+	if got := tr.NumEdges(); got != wantEdges {
+		t.Errorf("edges = %d, want %d", got, wantEdges)
+	}
+	// Empty circumcircle must hold non-strictly (no point strictly inside).
+	if err := tr.Validate(true); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEmptyCircumcircleRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	for _, n := range []int{4, 10, 50, 200} {
+		pts := uniformPoints(rng, n)
+		tr, err := Build(pts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := tr.Validate(true); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+	}
+}
+
+func TestEulerFormulaRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(202))
+	for trial := 0; trial < 20; trial++ {
+		n := 10 + rng.Intn(500)
+		tr, err := Build(uniformPoints(rng, n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		hull := tr.ConvexHull()
+		h := len(hull)
+		if got, want := len(tr.Triangles()), 2*n-2-h; got != want {
+			t.Fatalf("trial %d: triangles=%d want %d (n=%d h=%d)", trial, got, want, n, h)
+		}
+		if got, want := tr.NumEdges(), 3*n-3-h; got != want {
+			t.Fatalf("trial %d: edges=%d want %d", trial, got, want)
+		}
+	}
+}
+
+func TestConvexHullMatchesGeom(t *testing.T) {
+	rng := rand.New(rand.NewSource(303))
+	for trial := 0; trial < 20; trial++ {
+		pts := uniformPoints(rng, 30+rng.Intn(200))
+		tr, err := Build(pts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hullIdx := tr.ConvexHull()
+		got := make([]geom.Point, len(hullIdx))
+		for i, id := range hullIdx {
+			got[i] = pts[id]
+		}
+		want := geom.ConvexHull(pts)
+		if len(got) != len(want) {
+			t.Fatalf("hull size %d, want %d", len(got), len(want))
+		}
+		// Same vertex set (rotation-invariant comparison).
+		wantSet := make(map[geom.Point]bool, len(want))
+		for _, p := range want {
+			wantSet[p] = true
+		}
+		for _, p := range got {
+			if !wantSet[p] {
+				t.Fatalf("hull vertex %v not in reference hull", p)
+			}
+		}
+		if !geom.Ring(got).IsCounterClockwise() {
+			t.Error("hull should be CCW")
+		}
+	}
+}
+
+func TestNeighborsOrderedCCW(t *testing.T) {
+	rng := rand.New(rand.NewSource(404))
+	pts := uniformPoints(rng, 300)
+	tr, err := Build(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// For every site the neighbor list must be sorted by angle (CCW
+	// rotational order), allowing an arbitrary starting rotation.
+	for i := 0; i < len(pts); i++ {
+		nbs := tr.Neighbors(i)
+		if len(nbs) < 3 {
+			continue
+		}
+		angles := make([]float64, len(nbs))
+		for j, nb := range nbs {
+			d := pts[nb].Sub(pts[i])
+			angles[j] = math.Atan2(d.Y, d.X)
+		}
+		wraps := 0
+		for j := 0; j < len(angles); j++ {
+			if angles[(j+1)%len(angles)] < angles[j] {
+				wraps++
+			}
+		}
+		if wraps != 1 {
+			t.Fatalf("site %d neighbors not in CCW rotational order: angles %v", i, angles)
+		}
+	}
+}
+
+func TestNearestSiteMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(505))
+	pts := uniformPoints(rng, 500)
+	tr, err := Build(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 2000; trial++ {
+		q := geom.Pt(rng.Float64()*1.2-0.1, rng.Float64()*1.2-0.1)
+		got := tr.NearestSite(q)
+		want, wantD := 0, math.Inf(1)
+		for i, p := range pts {
+			if d := q.Dist2(p); d < wantD {
+				want, wantD = i, d
+			}
+		}
+		if q.Dist2(pts[got]) != wantD {
+			t.Fatalf("NearestSite(%v) = %d (d=%v), brute force %d (d=%v)",
+				q, got, q.Dist2(pts[got]), want, wantD)
+		}
+	}
+}
+
+func TestNearestSiteFromAnyStart(t *testing.T) {
+	rng := rand.New(rand.NewSource(606))
+	pts := uniformPoints(rng, 200)
+	tr, err := Build(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := geom.Pt(0.5, 0.5)
+	want := tr.NearestSite(q)
+	wantD := q.Dist2(pts[want])
+	for start := 0; start < len(pts); start += 7 {
+		got := tr.NearestSiteFrom(q, start)
+		if q.Dist2(pts[got]) != wantD {
+			t.Fatalf("NearestSiteFrom(start=%d) = %d, want distance %v", start, got, wantD)
+		}
+	}
+}
+
+func TestNeighborSymmetryLarge(t *testing.T) {
+	rng := rand.New(rand.NewSource(707))
+	tr, err := Build(uniformPoints(rng, 5000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Validate(false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEmptyCircumcircleSampledLarge(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large triangulation check")
+	}
+	rng := rand.New(rand.NewSource(808))
+	pts := uniformPoints(rng, 20000)
+	tr, err := Build(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tris := tr.Triangles()
+	// Sample triangles; for each, check the empty-circumcircle property
+	// against the sites adjacent to its three corners (the only candidates
+	// that could violate it locally) plus random far sites.
+	for trial := 0; trial < 2000; trial++ {
+		tri := tris[rng.Intn(len(tris))]
+		check := func(v int32) {
+			if v == tri[0] || v == tri[1] || v == tri[2] {
+				return
+			}
+			if tr.inCircle(tri[0], tri[1], tri[2], v) {
+				t.Fatalf("site %d strictly inside circumcircle of %v", v, tri)
+			}
+		}
+		for _, c := range tri {
+			for _, nb := range tr.Neighbors(int(c)) {
+				check(nb)
+			}
+		}
+		for k := 0; k < 5; k++ {
+			check(int32(rng.Intn(len(pts))))
+		}
+	}
+}
+
+func TestTrianglesAreCCWAndDistinct(t *testing.T) {
+	rng := rand.New(rand.NewSource(909))
+	tr, err := Build(uniformPoints(rng, 1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[Triangle]bool)
+	for _, tri := range tr.Triangles() {
+		if !tr.ccw(tri[0], tri[1], tri[2]) {
+			t.Fatalf("triangle %v not CCW", tri)
+		}
+		// Canonicalize rotation for the duplicate check.
+		c := tri
+		for c[0] != min3(c[0], c[1], c[2]) {
+			c = Triangle{c[1], c[2], c[0]}
+		}
+		if seen[c] {
+			t.Fatalf("duplicate triangle %v", c)
+		}
+		seen[c] = true
+	}
+}
+
+func min3(a, b, c int32) int32 {
+	m := a
+	if b < m {
+		m = b
+	}
+	if c < m {
+		m = c
+	}
+	return m
+}
+
+func TestClusteredDuplicateHeavyInput(t *testing.T) {
+	// Many coincident and near-coincident points.
+	rng := rand.New(rand.NewSource(111))
+	var pts []geom.Point
+	for i := 0; i < 50; i++ {
+		p := geom.Pt(rng.Float64(), rng.Float64())
+		for j := 0; j < 1+rng.Intn(4); j++ {
+			pts = append(pts, p) // exact duplicates
+		}
+	}
+	tr, err := Build(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.NumSites() != 50 {
+		t.Errorf("distinct sites = %d, want 50", tr.NumSites())
+	}
+	if err := tr.Validate(true); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEdgesEnumeration(t *testing.T) {
+	pts := []geom.Point{geom.Pt(0, 0), geom.Pt(1, 0), geom.Pt(0.5, 1)}
+	tr, err := Build(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	tr.Edges(func(a, b int32) bool {
+		count++
+		if a == b {
+			t.Errorf("self-loop edge %d-%d", a, b)
+		}
+		return true
+	})
+	if count != 3 {
+		t.Errorf("enumerated %d edges, want 3", count)
+	}
+	// Early stop.
+	count = 0
+	tr.Edges(func(a, b int32) bool { count++; return false })
+	if count != 1 {
+		t.Errorf("early stop enumerated %d, want 1", count)
+	}
+}
+
+func BenchmarkBuild10k(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	pts := uniformPoints(rng, 10_000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Build(pts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBuild100k(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	pts := uniformPoints(rng, 100_000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Build(pts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkNearestSite(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	pts := uniformPoints(rng, 100_000)
+	tr, err := Build(pts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	queries := uniformPoints(rng, 1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.NearestSite(queries[i%len(queries)])
+	}
+}

@@ -1,0 +1,372 @@
+package delaunay
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/geom"
+	"repro/internal/robust"
+)
+
+// Dynamic is an incrementally updatable Delaunay triangulation: sites are
+// inserted one at a time (Guibas & Stolfi's InsertSite, via Lischinski's
+// formulation: locate walk, star connection, in-circle edge swapping), so
+// the Voronoi topology used by the area query can track a growing dataset
+// without full rebuilds.
+//
+// The triangulation is bootstrapped from three "fence" sites forming a
+// triangle that strictly contains the declared universe. Every user site
+// therefore falls inside the current triangulation, which keeps the locate
+// walk and hull handling trivial. Fence sites occupy ids 0..2; user sites
+// get ids from FirstSiteID upward. Neighbor queries may report fence ids —
+// callers that only care about user sites filter with IsFence.
+type Dynamic struct {
+	pool     *edgePool
+	pts      []geom.Point
+	vertEdge []edgeID
+	universe geom.Rect
+	start    edgeID // walk entry point, updated to recent insertions
+	byCoord  map[geom.Point]int32
+}
+
+// FirstSiteID is the id of the first user site in a Dynamic triangulation.
+const FirstSiteID = 3
+
+// ErrOutsideUniverse is returned by InsertSite for points outside the
+// declared universe.
+var ErrOutsideUniverse = errors.New("delaunay: point outside the declared universe")
+
+// NewDynamic returns a dynamic triangulation accepting sites within
+// universe. The fence triangle is several universe-diagonals away, so
+// fence sites never shadow user sites in in-universe proximity queries.
+func NewDynamic(universe geom.Rect) *Dynamic {
+	if universe.IsEmpty() {
+		universe = geom.NewRect(0, 0, 1, 1)
+	}
+	w, h := universe.Width(), universe.Height()
+	m := w + h
+	if m == 0 {
+		m = 1
+	}
+	c := universe.Center()
+	// A triangle with a horizontal bottom edge below the universe and an
+	// apex far above; CCW orientation.
+	fence := [3]geom.Point{
+		geom.Pt(c.X-3*m, c.Y-2*m),
+		geom.Pt(c.X+3*m, c.Y-2*m),
+		geom.Pt(c.X, c.Y+3*m),
+	}
+	d := &Dynamic{
+		pool:     newEdgePool(64),
+		universe: universe,
+		byCoord:  make(map[geom.Point]int32, 64),
+	}
+	for _, p := range fence {
+		d.byCoord[p] = int32(len(d.pts))
+		d.pts = append(d.pts, p)
+	}
+	// Same wiring as the static 3-point base case (which Validate-level
+	// tests exercise heavily): a: 0->1, b: 1->2, then close the triangle.
+	p := d.pool
+	a := p.makeEdge(0, 1)
+	b := p.makeEdge(1, 2)
+	p.splice(sym(a), b)
+	cEdge := p.connect(b, a) // 2->0
+	d.vertEdge = []edgeID{a, b, cEdge}
+	d.start = a
+	return d
+}
+
+// NumSites returns the number of sites including the three fence sites.
+func (d *Dynamic) NumSites() int { return len(d.pts) }
+
+// NumUserSites returns the number of inserted (non-fence) sites.
+func (d *Dynamic) NumUserSites() int { return len(d.pts) - FirstSiteID }
+
+// Point returns the coordinates of site id.
+func (d *Dynamic) Point(id int) geom.Point { return d.pts[id] }
+
+// IsFence reports whether id is one of the three bootstrap fence sites.
+func (d *Dynamic) IsFence(id int) bool { return id < FirstSiteID }
+
+// Universe returns the declared universe rectangle.
+func (d *Dynamic) Universe() geom.Rect { return d.universe }
+
+func (d *Dynamic) ccw(a, b, c int32) bool {
+	pa, pb, pc := d.pts[a], d.pts[b], d.pts[c]
+	return robust.Orient2D(pa.X, pa.Y, pb.X, pb.Y, pc.X, pc.Y) > 0
+}
+
+func (d *Dynamic) inCircle(a, b, c, x int32) bool {
+	pa, pb, pc, px := d.pts[a], d.pts[b], d.pts[c], d.pts[x]
+	return robust.InCircle(pa.X, pa.Y, pb.X, pb.Y, pc.X, pc.Y, px.X, px.Y) > 0
+}
+
+// rightOfPt reports whether x lies strictly right of directed edge e.
+func (d *Dynamic) rightOfPt(x geom.Point, e edgeID) bool {
+	o := d.pts[d.pool.org[e]]
+	t := d.pts[d.pool.dst(e)]
+	return robust.Orient2D(x.X, x.Y, t.X, t.Y, o.X, o.Y) > 0
+}
+
+// rightOfID reports whether site v lies strictly right of edge e.
+func (d *Dynamic) rightOfID(v int32, e edgeID) bool {
+	return d.ccw(v, d.pool.dst(e), d.pool.org[e])
+}
+
+// onEdge reports whether x lies on the closed segment of edge e.
+func (d *Dynamic) onEdge(x geom.Point, e edgeID) bool {
+	a := d.pts[d.pool.org[e]]
+	b := d.pts[d.pool.dst(e)]
+	if robust.Orient2D(a.X, a.Y, b.X, b.Y, x.X, x.Y) != 0 {
+		return false
+	}
+	return geom.NewRect(a.X, a.Y, b.X, b.Y).ContainsPoint(x)
+}
+
+// locate walks from the previous insertion to an edge on whose left face x
+// lies (Guibas–Stolfi locate). x must be inside the fence triangle.
+func (d *Dynamic) locate(x geom.Point) edgeID {
+	p := d.pool
+	e := d.start
+	for steps := 0; ; steps++ {
+		if steps > 4*len(d.pts)+1000 {
+			panic("delaunay: locate walk did not terminate") // impossible on valid input
+		}
+		switch {
+		case x == d.pts[p.org[e]] || x == d.pts[p.dst(e)]:
+			return e
+		case d.rightOfPt(x, e):
+			e = sym(e)
+		case !d.rightOfPt(x, p.onext[e]):
+			e = p.onext[e]
+		case !d.rightOfPt(x, dprevEdge(p, e)):
+			e = dprevEdge(p, e)
+		default:
+			return e
+		}
+	}
+}
+
+// dprevEdge returns Dprev(e): the next edge into dst(e), clockwise.
+func dprevEdge(p *edgePool, e edgeID) edgeID {
+	return invRot(p.onext[invRot(e)])
+}
+
+// lprevEdge returns Lprev(e) = Sym(Onext(e)).
+func lprevEdge(p *edgePool, e edgeID) edgeID { return sym(p.onext[e]) }
+
+// swap rotates edge e counterclockwise within its quadrilateral
+// (Guibas–Stolfi Swap), replacing it with the opposite diagonal.
+func (d *Dynamic) swap(e edgeID) {
+	p := d.pool
+	a := p.oprev(e)
+	b := p.oprev(sym(e))
+	// a shares org with e, b with sym(e): they survive the swap and can
+	// anchor the vertex→edge table.
+	d.vertEdge[p.org[e]] = a
+	d.vertEdge[p.org[sym(e)]] = b
+	p.splice(e, a)
+	p.splice(sym(e), b)
+	p.splice(e, p.lnext(a))
+	p.splice(sym(e), p.lnext(b))
+	p.org[e] = p.dst(a)
+	p.org[sym(e)] = p.dst(b)
+	d.vertEdge[p.org[e]] = e
+	d.vertEdge[p.org[sym(e)]] = sym(e)
+}
+
+// InsertSite adds a site and restores the Delaunay property. It returns
+// the site's id; inserted reports whether a new site was created (false
+// when the coordinate already exists, in which case the existing id is
+// returned).
+func (d *Dynamic) InsertSite(x geom.Point) (id int, inserted bool, err error) {
+	if !d.universe.ContainsPoint(x) {
+		return 0, false, fmt.Errorf("%w: %v not in %v", ErrOutsideUniverse, x, d.universe)
+	}
+	if existing, dup := d.byCoord[x]; dup {
+		return int(existing), false, nil
+	}
+	p := d.pool
+
+	e := d.locate(x)
+	if x == d.pts[p.org[e]] {
+		return int(p.org[e]), false, nil
+	}
+	if x == d.pts[p.dst(e)] {
+		return int(p.dst(e)), false, nil
+	}
+	if d.onEdge(x, e) {
+		e = p.oprev(e)
+		d.deleteEdgeFixingVerts(p.onext[e])
+	}
+
+	newID := int32(len(d.pts))
+	d.pts = append(d.pts, x)
+	d.byCoord[x] = newID
+	d.vertEdge = append(d.vertEdge, nilEdge)
+
+	// Connect x to every vertex of the containing face.
+	base := p.makeEdge(p.org[e], newID)
+	d.vertEdge[newID] = sym(base)
+	p.splice(base, e)
+	startingEdge := base
+	for {
+		base = p.connect(e, sym(base))
+		e = p.oprev(base)
+		if p.lnext(e) == startingEdge {
+			break
+		}
+	}
+
+	// Examine suspect edges, swapping until locally Delaunay everywhere.
+	for {
+		t := p.oprev(e)
+		if d.rightOfID(p.dst(t), e) &&
+			d.inCircle(p.org[e], p.dst(t), p.dst(e), newID) {
+			d.swap(e)
+			e = p.oprev(e)
+		} else if p.onext[e] == startingEdge {
+			d.start = startingEdge
+			return int(newID), true, nil
+		} else {
+			e = lprevEdge(p, p.onext[e])
+		}
+	}
+}
+
+// deleteEdgeFixingVerts removes e, repointing vertex→edge entries that
+// reference either direction of it.
+func (d *Dynamic) deleteEdgeFixingVerts(e edgeID) {
+	p := d.pool
+	for _, side := range [2]edgeID{e, sym(e)} {
+		v := p.org[side]
+		if d.vertEdge[v] == side {
+			if next := p.onext[side]; next != side {
+				d.vertEdge[v] = next
+			} else {
+				d.vertEdge[v] = nilEdge
+			}
+		}
+	}
+	p.deleteEdge(e)
+}
+
+// Neighbors calls fn with each Delaunay neighbor of site id in rotational
+// order; fn returning false stops the iteration. Fence sites may be
+// reported.
+func (d *Dynamic) Neighbors(id int, fn func(nb int32) bool) {
+	start := d.vertEdge[id]
+	if start == nilEdge {
+		return
+	}
+	p := d.pool
+	e := start
+	for {
+		if !fn(p.dst(e)) {
+			return
+		}
+		e = p.onext[e]
+		if e == start {
+			return
+		}
+	}
+}
+
+// NeighborIDs returns the Delaunay neighbors of site id as a fresh slice.
+func (d *Dynamic) NeighborIDs(id int) []int32 {
+	var out []int32
+	d.Neighbors(id, func(nb int32) bool {
+		out = append(out, nb)
+		return true
+	})
+	return out
+}
+
+// NearestSite returns the user site closest to q via greedy descent over
+// the Delaunay graph (fence sites may be traversed but are never
+// returned). It returns -1 when no user sites exist.
+func (d *Dynamic) NearestSite(q geom.Point) int {
+	if d.NumUserSites() == 0 {
+		return -1
+	}
+	cur := int32(len(d.pts) - 1) // most recent insertion is a user site
+	curD := q.Dist2(d.pts[cur])
+	for {
+		best, bestD := cur, curD
+		d.Neighbors(int(cur), func(nb int32) bool {
+			if dd := q.Dist2(d.pts[nb]); dd < bestD {
+				best, bestD = nb, dd
+			}
+			return true
+		})
+		if best == cur {
+			break
+		}
+		cur, curD = best, bestD
+	}
+	if d.IsFence(int(cur)) {
+		// Only possible for query locations outside the data spread; fall
+		// back to an exact scan.
+		best, bestD := -1, 0.0
+		for i := FirstSiteID; i < len(d.pts); i++ {
+			if dd := q.Dist2(d.pts[i]); best == -1 || dd < bestD {
+				best, bestD = i, dd
+			}
+		}
+		return best
+	}
+	return int(cur)
+}
+
+// Validate checks neighbor symmetry, vertex→edge table consistency and the
+// local Delaunay property of every internal edge. Intended for tests.
+func (d *Dynamic) Validate() error {
+	p := d.pool
+	for v := range d.pts {
+		if start := d.vertEdge[v]; start != nilEdge && int(p.org[start]) != v {
+			return fmt.Errorf("delaunay: vertEdge[%d] has org %d", v, p.org[start])
+		}
+		symmetric := true
+		d.Neighbors(v, func(nb int32) bool {
+			found := false
+			d.Neighbors(int(nb), func(back int32) bool {
+				if int(back) == v {
+					found = true
+					return false
+				}
+				return true
+			})
+			if !found {
+				symmetric = false
+				return false
+			}
+			return true
+		})
+		if !symmetric {
+			return fmt.Errorf("delaunay: dynamic adjacency not symmetric at %d", v)
+		}
+	}
+	for q := 0; q < p.numQuads(); q++ {
+		if !p.quadAlive(q) {
+			continue
+		}
+		e := edgeID(q * 4)
+		a, b := p.org[e], p.dst(e)
+		c := p.dst(p.lnext(e)) // apex of the left face
+		x := p.dst(p.oprev(e)) // apex of the right face
+		if c == x {
+			continue
+		}
+		if p.lnext(p.lnext(p.lnext(e))) != e {
+			continue // left face is not a triangle (outer face)
+		}
+		if !d.ccw(a, b, c) || !d.ccw(b, a, x) {
+			continue // boundary configuration
+		}
+		if d.inCircle(a, b, c, x) {
+			return fmt.Errorf("delaunay: edge %d-%d not locally Delaunay (apexes %d, %d)", a, b, c, x)
+		}
+	}
+	return nil
+}

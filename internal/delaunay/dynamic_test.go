@@ -1,0 +1,229 @@
+package delaunay
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func unitUniverse() geom.Rect { return geom.NewRect(0, 0, 1, 1) }
+
+func TestDynamicEmpty(t *testing.T) {
+	d := NewDynamic(unitUniverse())
+	if d.NumUserSites() != 0 || d.NumSites() != FirstSiteID {
+		t.Fatalf("fresh dynamic: %d user, %d total", d.NumUserSites(), d.NumSites())
+	}
+	if got := d.NearestSite(geom.Pt(0.5, 0.5)); got != -1 {
+		t.Errorf("NearestSite on empty = %d, want -1", got)
+	}
+	if err := d.Validate(); err != nil {
+		t.Error(err)
+	}
+	// Fence triangle adjacency: each fence vertex has the other two.
+	for v := 0; v < FirstSiteID; v++ {
+		if got := len(d.NeighborIDs(v)); got != 2 {
+			t.Errorf("fence vertex %d has %d neighbors, want 2", v, got)
+		}
+	}
+}
+
+func TestDynamicRejectsOutside(t *testing.T) {
+	d := NewDynamic(unitUniverse())
+	if _, _, err := d.InsertSite(geom.Pt(2, 2)); err == nil {
+		t.Error("insert outside universe should fail")
+	}
+}
+
+func TestDynamicInsertAndValidateIncrementally(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	d := NewDynamic(unitUniverse())
+	for i := 0; i < 300; i++ {
+		p := geom.Pt(rng.Float64(), rng.Float64())
+		id, inserted, err := d.InsertSite(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !inserted {
+			t.Fatalf("random point %v reported duplicate", p)
+		}
+		if d.Point(id) != p {
+			t.Fatalf("Point(%d) = %v, want %v", id, d.Point(id), p)
+		}
+		if i%25 == 0 {
+			if err := d.Validate(); err != nil {
+				t.Fatalf("after %d inserts: %v", i+1, err)
+			}
+		}
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if d.NumUserSites() != 300 {
+		t.Errorf("user sites = %d", d.NumUserSites())
+	}
+}
+
+func TestDynamicDuplicateInsert(t *testing.T) {
+	d := NewDynamic(unitUniverse())
+	p := geom.Pt(0.3, 0.7)
+	id1, ins1, err := d.InsertSite(p)
+	if err != nil || !ins1 {
+		t.Fatalf("first insert: id=%d ins=%v err=%v", id1, ins1, err)
+	}
+	id2, ins2, err := d.InsertSite(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ins2 || id2 != id1 {
+		t.Errorf("duplicate insert: id=%d ins=%v, want id=%d ins=false", id2, ins2, id1)
+	}
+	if d.NumUserSites() != 1 {
+		t.Errorf("user sites = %d, want 1", d.NumUserSites())
+	}
+}
+
+func TestDynamicOnEdgeInsertion(t *testing.T) {
+	// Grid points force insertions exactly on existing Delaunay edges.
+	d := NewDynamic(unitUniverse())
+	for x := 0; x <= 4; x++ {
+		for y := 0; y <= 4; y++ {
+			p := geom.Pt(float64(x)/4, float64(y)/4)
+			if _, _, err := d.InsertSite(p); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	// Midpoints of grid cells' edges lie exactly on many triangulation
+	// edges.
+	for x := 0; x < 4; x++ {
+		p := geom.Pt(float64(x)/4+0.125, 0.5)
+		if _, _, err := d.InsertSite(p); err != nil {
+			t.Fatal(err)
+		}
+		if err := d.Validate(); err != nil {
+			t.Fatalf("after on-edge insert %v: %v", p, err)
+		}
+	}
+}
+
+func TestDynamicMatchesStaticBuild(t *testing.T) {
+	// Insert random points dynamically; compare the neighbor structure
+	// restricted to user sites against the static divide-and-conquer
+	// triangulation built over user points + fence points (Delaunay is
+	// unique for points in general position).
+	rng := rand.New(rand.NewSource(2))
+	d := NewDynamic(unitUniverse())
+	var pts []geom.Point
+	for i := 0; i < 150; i++ {
+		p := geom.Pt(rng.Float64(), rng.Float64())
+		pts = append(pts, p)
+		if _, _, err := d.InsertSite(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	all := make([]geom.Point, 0, len(pts)+FirstSiteID)
+	for i := 0; i < FirstSiteID; i++ {
+		all = append(all, d.Point(i))
+	}
+	all = append(all, pts...)
+	static, err := Build(all)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id := 0; id < d.NumSites(); id++ {
+		want := append([]int32(nil), static.Neighbors(id)...)
+		got := d.NeighborIDs(id)
+		sortInt32(want)
+		sortInt32(got)
+		if len(got) != len(want) {
+			t.Fatalf("site %d: dynamic degree %d, static %d", id, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("site %d: neighbors %v vs %v", id, got, want)
+			}
+		}
+	}
+}
+
+func sortInt32(xs []int32) {
+	sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] })
+}
+
+func TestDynamicNearestSite(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	d := NewDynamic(unitUniverse())
+	var pts []geom.Point
+	for i := 0; i < 400; i++ {
+		p := geom.Pt(rng.Float64(), rng.Float64())
+		pts = append(pts, p)
+		if _, _, err := d.InsertSite(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for trial := 0; trial < 1000; trial++ {
+		q := geom.Pt(rng.Float64(), rng.Float64())
+		got := d.NearestSite(q)
+		if d.IsFence(got) {
+			t.Fatalf("NearestSite returned fence site %d", got)
+		}
+		wantD := math.Inf(1)
+		for _, p := range pts {
+			if dd := q.Dist2(p); dd < wantD {
+				wantD = dd
+			}
+		}
+		if q.Dist2(d.Point(got)) != wantD {
+			t.Fatalf("NearestSite(%v): dist %v, want %v", q, q.Dist2(d.Point(got)), wantD)
+		}
+	}
+}
+
+func TestDynamicCocircularInsertions(t *testing.T) {
+	// Insert the corners of many axis-aligned squares: every quadruple is
+	// cocircular, stressing exact in-circle decisions during swaps.
+	d := NewDynamic(unitUniverse())
+	for s := 1; s <= 4; s++ {
+		side := float64(s) * 0.1
+		for _, p := range []geom.Point{
+			geom.Pt(0.5-side, 0.5-side), geom.Pt(0.5+side, 0.5-side),
+			geom.Pt(0.5+side, 0.5+side), geom.Pt(0.5-side, 0.5+side),
+		} {
+			if _, _, err := d.InsertSite(p); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := d.Validate(); err != nil {
+			t.Fatalf("after square %d: %v", s, err)
+		}
+	}
+}
+
+func TestDynamicSingleSite(t *testing.T) {
+	d := NewDynamic(unitUniverse())
+	if _, _, err := d.InsertSite(geom.Pt(0.5, 0.5)); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.NearestSite(geom.Pt(0.9, 0.9)); got != FirstSiteID {
+		t.Errorf("NearestSite = %d, want %d", got, FirstSiteID)
+	}
+	// The lone user site's neighbors are exactly the three fence sites.
+	nbs := d.NeighborIDs(FirstSiteID)
+	if len(nbs) != 3 {
+		t.Errorf("lone site neighbors = %v", nbs)
+	}
+}
+
+func BenchmarkDynamicInsert(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	d := NewDynamic(unitUniverse())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := d.InsertSite(geom.Pt(rng.Float64(), rng.Float64())); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

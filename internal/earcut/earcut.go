@@ -1,0 +1,180 @@
+// Package earcut triangulates simple polygons by ear clipping and builds
+// area-weighted samplers over the triangulation.
+//
+// The area-query algorithm seeds from "an arbitrary position in A"
+// (Algorithm 1, line 3). A triangulation-backed sampler draws that
+// position uniformly from the polygon's interior, which is the natural
+// reading of "arbitrary" and enables the seed-anchor ablation
+// (BenchmarkAblationSeedAnchor).
+package earcut
+
+import (
+	"errors"
+	"math/rand"
+
+	"repro/internal/geom"
+)
+
+// ErrNotSimple is returned when the ring cannot be triangulated (self-
+// intersecting or degenerate input).
+var ErrNotSimple = errors.New("earcut: ring is not a simple polygon")
+
+// Triangle is one triangle of a triangulation, as indices into the input
+// ring.
+type Triangle [3]int
+
+// Triangulate decomposes a simple ring (no holes) into n-2 triangles by
+// ear clipping. The ring may wind either way. O(n²) worst case, which is
+// fine for query polygons (tens of vertices).
+func Triangulate(ring geom.Ring) ([]Triangle, error) {
+	n := len(ring)
+	if n < 3 {
+		return nil, ErrNotSimple
+	}
+	// Work on a CCW copy of the index list.
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	if !ring.IsCounterClockwise() {
+		for i, j := 0, n-1; i < j; i, j = i+1, j-1 {
+			idx[i], idx[j] = idx[j], idx[i]
+		}
+	}
+
+	var out []Triangle
+	remaining := len(idx)
+	guard := 0
+	for remaining > 3 {
+		clipped := false
+		for i := 0; i < remaining; i++ {
+			prev := idx[(i-1+remaining)%remaining]
+			cur := idx[i]
+			next := idx[(i+1)%remaining]
+			if !isEar(ring, idx[:remaining], prev, cur, next) {
+				continue
+			}
+			out = append(out, Triangle{prev, cur, next})
+			copy(idx[i:], idx[i+1:remaining])
+			remaining--
+			clipped = true
+			break
+		}
+		if !clipped {
+			// No ear found: non-simple or fully degenerate remainder.
+			return nil, ErrNotSimple
+		}
+		if guard++; guard > 2*n*n {
+			return nil, ErrNotSimple
+		}
+	}
+	out = append(out, Triangle{idx[0], idx[1], idx[2]})
+
+	// Cross-check: for a simple ring the clipped triangle areas sum to the
+	// ring's absolute signed area. Self-intersecting rings that slipped
+	// through ear detection (e.g. bowties) fail this identity.
+	var sum float64
+	for _, t := range out {
+		sum += triArea(ring[t[0]], ring[t[1]], ring[t[2]])
+	}
+	want := ring.Area()
+	if diff := sum - want; diff > 1e-9*(1+want) || diff < -1e-9*(1+want) {
+		return nil, ErrNotSimple
+	}
+	return out, nil
+}
+
+// isEar reports whether cur is a convex vertex whose ear triangle contains
+// no other remaining vertex.
+func isEar(ring geom.Ring, remaining []int, prev, cur, next int) bool {
+	a, b, c := ring[prev], ring[cur], ring[next]
+	if geom.Orient(a, b, c) != geom.CounterClockwise {
+		return false // reflex or collinear vertex
+	}
+	for _, vi := range remaining {
+		if vi == prev || vi == cur || vi == next {
+			continue
+		}
+		if pointInTriangle(ring[vi], a, b, c) {
+			return false
+		}
+	}
+	return true
+}
+
+// pointInTriangle reports whether p lies in the closed CCW triangle abc.
+func pointInTriangle(p, a, b, c geom.Point) bool {
+	return geom.Orient(a, b, p) != geom.Clockwise &&
+		geom.Orient(b, c, p) != geom.Clockwise &&
+		geom.Orient(c, a, p) != geom.Clockwise
+}
+
+// Sampler draws uniform random points from the interior of a simple
+// polygon via its triangulation (area-weighted triangle choice, then
+// uniform barycentric sampling).
+type Sampler struct {
+	ring      geom.Ring
+	tris      []Triangle
+	cumAreas  []float64
+	totalArea float64
+}
+
+// NewSampler triangulates the polygon's outer ring and returns a sampler.
+// Holes are not supported; pass the outer ring of hole-free query
+// polygons.
+func NewSampler(ring geom.Ring) (*Sampler, error) {
+	tris, err := Triangulate(ring)
+	if err != nil {
+		return nil, err
+	}
+	s := &Sampler{ring: ring, tris: tris}
+	for _, t := range tris {
+		ar := triArea(ring[t[0]], ring[t[1]], ring[t[2]])
+		s.totalArea += ar
+		s.cumAreas = append(s.cumAreas, s.totalArea)
+	}
+	if s.totalArea <= 0 {
+		return nil, ErrNotSimple
+	}
+	return s, nil
+}
+
+// TotalArea returns the polygon area implied by the triangulation.
+func (s *Sampler) TotalArea() float64 { return s.totalArea }
+
+// NumTriangles returns the triangulation size (always n-2).
+func (s *Sampler) NumTriangles() int { return len(s.tris) }
+
+// Sample returns a uniform random interior point.
+func (s *Sampler) Sample(rng *rand.Rand) geom.Point {
+	target := rng.Float64() * s.totalArea
+	// Binary search the cumulative areas.
+	lo, hi := 0, len(s.cumAreas)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if s.cumAreas[mid] < target {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	t := s.tris[lo]
+	a, b, c := s.ring[t[0]], s.ring[t[1]], s.ring[t[2]]
+	// Uniform barycentric sample.
+	u, v := rng.Float64(), rng.Float64()
+	if u+v > 1 {
+		u, v = 1-u, 1-v
+	}
+	return geom.Point{
+		X: a.X + u*(b.X-a.X) + v*(c.X-a.X),
+		Y: a.Y + u*(b.Y-a.Y) + v*(c.Y-a.Y),
+	}
+}
+
+func triArea(a, b, c geom.Point) float64 {
+	ar := (b.Sub(a)).Cross(c.Sub(a)) / 2
+	if ar < 0 {
+		return -ar
+	}
+	return ar
+}

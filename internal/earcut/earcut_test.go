@@ -1,0 +1,147 @@
+package earcut
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/workload"
+)
+
+func square() geom.Ring {
+	return geom.Ring{geom.Pt(0, 0), geom.Pt(1, 0), geom.Pt(1, 1), geom.Pt(0, 1)}
+}
+
+func lRing() geom.Ring {
+	return geom.Ring{
+		geom.Pt(0, 0), geom.Pt(2, 0), geom.Pt(2, 1), geom.Pt(1, 1), geom.Pt(1, 2), geom.Pt(0, 2),
+	}
+}
+
+func TestTriangulateBasicShapes(t *testing.T) {
+	for name, ring := range map[string]geom.Ring{
+		"triangle": {geom.Pt(0, 0), geom.Pt(1, 0), geom.Pt(0.5, 1)},
+		"square":   square(),
+		"lshape":   lRing(),
+	} {
+		tris, err := Triangulate(ring)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(tris) != len(ring)-2 {
+			t.Errorf("%s: %d triangles, want %d", name, len(tris), len(ring)-2)
+		}
+		var sum float64
+		pg := geom.Polygon{Outer: ring}
+		for _, tr := range tris {
+			a, b, c := ring[tr[0]], ring[tr[1]], ring[tr[2]]
+			sum += triArea(a, b, c)
+			centroid := geom.Pt((a.X+b.X+c.X)/3, (a.Y+b.Y+c.Y)/3)
+			if !pg.ContainsPoint(centroid) {
+				t.Errorf("%s: triangle centroid %v outside polygon", name, centroid)
+			}
+		}
+		if math.Abs(sum-ring.Area()) > 1e-9 {
+			t.Errorf("%s: triangle areas sum to %v, polygon area %v", name, sum, ring.Area())
+		}
+	}
+}
+
+func TestTriangulateWindingInsensitive(t *testing.T) {
+	cw := append(geom.Ring(nil), lRing()...)
+	cw.Reverse()
+	tris, err := Triangulate(cw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tris) != len(cw)-2 {
+		t.Errorf("CW input: %d triangles", len(tris))
+	}
+}
+
+func TestTriangulateRejectsDegenerate(t *testing.T) {
+	if _, err := Triangulate(geom.Ring{geom.Pt(0, 0), geom.Pt(1, 1)}); err == nil {
+		t.Error("2-vertex ring should fail")
+	}
+	bowtie := geom.Ring{geom.Pt(0, 0), geom.Pt(2, 2), geom.Pt(2, 0), geom.Pt(0, 2)}
+	if _, err := Triangulate(bowtie); err == nil {
+		t.Error("bowtie should fail to triangulate")
+	}
+}
+
+func TestTriangulateRandomPolygons(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		pg := workload.RandomPolygon(rng, workload.PolygonConfig{
+			Vertices:  4 + rng.Intn(20),
+			QuerySize: 0.1,
+		}, geom.NewRect(0, 0, 1, 1))
+		tris, err := Triangulate(pg.Outer)
+		if err != nil {
+			t.Fatalf("trial %d: %v\nring: %v", trial, err, pg.Outer)
+		}
+		var sum float64
+		for _, tr := range tris {
+			sum += triArea(pg.Outer[tr[0]], pg.Outer[tr[1]], pg.Outer[tr[2]])
+		}
+		if math.Abs(sum-pg.Area()) > 1e-9*math.Max(1, pg.Area()) {
+			t.Fatalf("trial %d: area %v vs %v", trial, sum, pg.Area())
+		}
+	}
+}
+
+func TestSamplerUniformity(t *testing.T) {
+	// Sample the L-shape; all samples inside, and the two arms receive
+	// sample counts proportional to their areas.
+	s, err := NewSampler(lRing())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumTriangles() != 4 {
+		t.Errorf("NumTriangles = %d", s.NumTriangles())
+	}
+	if math.Abs(s.TotalArea()-3) > 1e-12 {
+		t.Errorf("TotalArea = %v", s.TotalArea())
+	}
+	pg := geom.Polygon{Outer: lRing()}
+	rng := rand.New(rand.NewSource(2))
+	inBase, inArm := 0, 0 // base: y<1 (area 2); arm: y>1 (area 1)
+	const n = 30000
+	for i := 0; i < n; i++ {
+		p := s.Sample(rng)
+		if !pg.ContainsPoint(p) {
+			t.Fatalf("sample %v outside polygon", p)
+		}
+		if p.Y < 1 {
+			inBase++
+		} else {
+			inArm++
+		}
+	}
+	frac := float64(inBase) / n
+	if math.Abs(frac-2.0/3.0) > 0.02 {
+		t.Errorf("base fraction = %v, want ~0.667 (uniformity broken)", frac)
+	}
+	_ = inArm
+}
+
+func TestSamplerOnRandomQueryPolygons(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 50; trial++ {
+		pg := workload.RandomPolygon(rng, workload.PolygonConfig{
+			Vertices:  10,
+			QuerySize: 0.05,
+		}, geom.NewRect(0, 0, 1, 1))
+		s, err := NewSampler(pg.Outer)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		for i := 0; i < 50; i++ {
+			p := s.Sample(rng)
+			if !pg.ContainsPoint(p) {
+				t.Fatalf("trial %d: sample %v escaped", trial, p)
+			}
+		}
+	}
+}

@@ -1,0 +1,113 @@
+package geom
+
+import "sort"
+
+// ClipRingToRect clips a convex or simple ring against an axis-aligned
+// rectangle using Sutherland–Hodgman. The clip region (the rectangle) is
+// convex, which is all Sutherland–Hodgman requires; a non-convex subject
+// ring may produce degenerate bridging edges, which is acceptable for
+// rendering and area estimation. The result is nil when the ring is
+// entirely outside.
+func ClipRingToRect(ring Ring, r Rect) Ring {
+	if len(ring) == 0 || r.IsEmpty() {
+		return nil
+	}
+	type edge struct {
+		inside func(Point) bool
+		cross  func(a, b Point) Point
+	}
+	edges := []edge{
+		{ // left: x >= MinX
+			inside: func(p Point) bool { return p.X >= r.MinX },
+			cross: func(a, b Point) Point {
+				t := (r.MinX - a.X) / (b.X - a.X)
+				return Pt(r.MinX, a.Y+t*(b.Y-a.Y))
+			},
+		},
+		{ // right: x <= MaxX
+			inside: func(p Point) bool { return p.X <= r.MaxX },
+			cross: func(a, b Point) Point {
+				t := (r.MaxX - a.X) / (b.X - a.X)
+				return Pt(r.MaxX, a.Y+t*(b.Y-a.Y))
+			},
+		},
+		{ // bottom: y >= MinY
+			inside: func(p Point) bool { return p.Y >= r.MinY },
+			cross: func(a, b Point) Point {
+				t := (r.MinY - a.Y) / (b.Y - a.Y)
+				return Pt(a.X+t*(b.X-a.X), r.MinY)
+			},
+		},
+		{ // top: y <= MaxY
+			inside: func(p Point) bool { return p.Y <= r.MaxY },
+			cross: func(a, b Point) Point {
+				t := (r.MaxY - a.Y) / (b.Y - a.Y)
+				return Pt(a.X+t*(b.X-a.X), r.MaxY)
+			},
+		},
+	}
+	out := append(Ring(nil), ring...)
+	for _, e := range edges {
+		if len(out) == 0 {
+			return nil
+		}
+		in := out
+		out = out[:0:0]
+		for i := range in {
+			cur, next := in[i], in[(i+1)%len(in)]
+			curIn, nextIn := e.inside(cur), e.inside(next)
+			switch {
+			case curIn && nextIn:
+				out = append(out, next)
+			case curIn && !nextIn:
+				out = append(out, e.cross(cur, next))
+			case !curIn && nextIn:
+				out = append(out, e.cross(cur, next), next)
+			}
+		}
+	}
+	return normalizeRing(out)
+}
+
+// ConvexHull returns the convex hull of pts in counterclockwise order using
+// the monotone-chain algorithm. Collinear points on the hull boundary are
+// dropped. The input slice is not modified.
+func ConvexHull(pts []Point) Ring {
+	n := len(pts)
+	if n < 3 {
+		return append(Ring(nil), pts...)
+	}
+	sorted := append([]Point(nil), pts...)
+	sortPoints(sorted)
+
+	hull := make(Ring, 0, 2*n)
+	// Lower hull.
+	for _, p := range sorted {
+		for len(hull) >= 2 && Orient(hull[len(hull)-2], hull[len(hull)-1], p) != CounterClockwise {
+			hull = hull[:len(hull)-1]
+		}
+		hull = append(hull, p)
+	}
+	// Upper hull.
+	lower := len(hull) + 1
+	for i := len(sorted) - 2; i >= 0; i-- {
+		p := sorted[i]
+		for len(hull) >= lower && Orient(hull[len(hull)-2], hull[len(hull)-1], p) != CounterClockwise {
+			hull = hull[:len(hull)-1]
+		}
+		hull = append(hull, p)
+	}
+	if len(hull) > 1 {
+		hull = hull[:len(hull)-1]
+	}
+	return hull
+}
+
+func sortPoints(pts []Point) {
+	sort.Slice(pts, func(i, j int) bool {
+		if pts[i].X != pts[j].X {
+			return pts[i].X < pts[j].X
+		}
+		return pts[i].Y < pts[j].Y
+	})
+}

@@ -1,0 +1,153 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestClipRingFullyInside(t *testing.T) {
+	ring := Ring{Pt(0.2, 0.2), Pt(0.8, 0.2), Pt(0.5, 0.8)}
+	got := ClipRingToRect(ring, NewRect(0, 0, 1, 1))
+	if len(got) != 3 {
+		t.Fatalf("clip of interior ring changed vertex count: %v", got)
+	}
+	if math.Abs(got.Area()-ring.Area()) > 1e-12 {
+		t.Errorf("area changed: %v -> %v", ring.Area(), got.Area())
+	}
+}
+
+func TestClipRingFullyOutside(t *testing.T) {
+	ring := Ring{Pt(5, 5), Pt(6, 5), Pt(5.5, 6)}
+	if got := ClipRingToRect(ring, NewRect(0, 0, 1, 1)); got != nil {
+		t.Errorf("clip of exterior ring should be nil, got %v", got)
+	}
+}
+
+func TestClipRingHalfOverlap(t *testing.T) {
+	// Square [-1,1]² clipped to [0,2]² leaves [0,1]².
+	ring := Ring{Pt(-1, -1), Pt(1, -1), Pt(1, 1), Pt(-1, 1)}
+	got := ClipRingToRect(ring, NewRect(0, 0, 2, 2))
+	if math.Abs(got.Area()-1) > 1e-12 {
+		t.Errorf("clipped area = %v, want 1", got.Area())
+	}
+	for _, p := range got {
+		if !NewRect(0, 0, 2, 2).ContainsPoint(p) {
+			t.Errorf("clipped vertex %v outside clip rect", p)
+		}
+	}
+}
+
+func TestClipRingSurroundsRect(t *testing.T) {
+	// Huge triangle containing the clip rect: the result is the rect
+	// itself.
+	ring := Ring{Pt(-100, -100), Pt(100, -100), Pt(0, 100)}
+	r := NewRect(0, 0, 1, 1)
+	got := ClipRingToRect(ring, r)
+	if math.Abs(got.Area()-1) > 1e-9 {
+		t.Errorf("clip area = %v, want 1 (the rect)", got.Area())
+	}
+}
+
+func TestClipRingEmptyInputs(t *testing.T) {
+	if got := ClipRingToRect(nil, NewRect(0, 0, 1, 1)); got != nil {
+		t.Errorf("nil ring -> %v", got)
+	}
+	if got := ClipRingToRect(Ring{Pt(0, 0), Pt(1, 0), Pt(0, 1)}, EmptyRect()); got != nil {
+		t.Errorf("empty rect -> %v", got)
+	}
+}
+
+func TestClipRingRandomConvex(t *testing.T) {
+	// For convex rings, the clipped area never exceeds either input area
+	// and all output vertices are inside the rect.
+	rng := rand.New(rand.NewSource(21))
+	clip := NewRect(0.25, 0.25, 0.75, 0.75)
+	for trial := 0; trial < 300; trial++ {
+		pts := make([]Point, 8)
+		for i := range pts {
+			pts[i] = Pt(rng.Float64(), rng.Float64())
+		}
+		hull := ConvexHull(pts)
+		if len(hull) < 3 {
+			continue
+		}
+		got := ClipRingToRect(hull, clip)
+		if got == nil {
+			continue
+		}
+		if got.Area() > hull.Area()+1e-9 || got.Area() > clip.Area()+1e-9 {
+			t.Fatalf("clip grew area: hull %v clip %v got %v",
+				hull.Area(), clip.Area(), got.Area())
+		}
+		for _, p := range got {
+			if !clip.Expand(1e-9).ContainsPoint(p) {
+				t.Fatalf("vertex %v escaped clip rect", p)
+			}
+		}
+	}
+}
+
+func TestConvexHullBasics(t *testing.T) {
+	pts := []Point{
+		Pt(0, 0), Pt(2, 0), Pt(2, 2), Pt(0, 2), // square corners
+		Pt(1, 1), Pt(0.5, 0.5), Pt(1.5, 0.3), // interior points
+		Pt(1, 0), // collinear on an edge
+	}
+	hull := ConvexHull(pts)
+	if len(hull) != 4 {
+		t.Fatalf("hull size = %d, want 4 (corners only): %v", len(hull), hull)
+	}
+	if !hull.IsConvex() {
+		t.Error("hull not convex")
+	}
+	if !hull.IsCounterClockwise() {
+		t.Error("hull not counterclockwise")
+	}
+	if got := hull.Area(); got != 4 {
+		t.Errorf("hull area = %v, want 4", got)
+	}
+}
+
+func TestConvexHullSmallInputs(t *testing.T) {
+	if got := ConvexHull(nil); len(got) != 0 {
+		t.Errorf("hull of nothing = %v", got)
+	}
+	one := []Point{Pt(1, 2)}
+	if got := ConvexHull(one); len(got) != 1 || got[0] != one[0] {
+		t.Errorf("hull of single point = %v", got)
+	}
+	two := []Point{Pt(1, 2), Pt(3, 4)}
+	if got := ConvexHull(two); len(got) != 2 {
+		t.Errorf("hull of two points = %v", got)
+	}
+}
+
+func TestConvexHullAllCollinear(t *testing.T) {
+	pts := []Point{Pt(0, 0), Pt(1, 1), Pt(2, 2), Pt(3, 3)}
+	hull := ConvexHull(pts)
+	// Degenerate hull: the two extreme points (no strict left turns exist).
+	if len(hull) > 2 {
+		t.Errorf("collinear hull = %v, want at most the 2 extremes", hull)
+	}
+}
+
+func TestConvexHullContainsAllPoints(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 100; trial++ {
+		pts := make([]Point, 30)
+		for i := range pts {
+			pts[i] = Pt(rng.Float64(), rng.Float64())
+		}
+		hull := ConvexHull(pts)
+		if len(hull) < 3 {
+			t.Fatal("random points should produce a proper hull")
+		}
+		pg := Polygon{Outer: hull}
+		for _, p := range pts {
+			if !pg.ContainsPoint(p) {
+				t.Fatalf("hull does not contain input point %v", p)
+			}
+		}
+	}
+}

@@ -1,0 +1,563 @@
+package geom
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Ring is a closed polygonal chain. The closing edge from the last vertex
+// back to the first is implicit; callers should not repeat the first vertex.
+type Ring []Point
+
+// Polygon is a simple polygon, optionally with holes. The area of the
+// polygon is the interior of Outer minus the interiors of Holes, evaluated
+// with the even-odd rule; containment is closed (boundary points are
+// contained).
+type Polygon struct {
+	Outer Ring
+	Holes []Ring
+}
+
+// Validation errors returned by NewPolygon.
+var (
+	ErrTooFewVertices = errors.New("geom: polygon ring needs at least 3 distinct vertices")
+	ErrZeroArea       = errors.New("geom: polygon ring has zero area")
+	ErrSelfIntersect  = errors.New("geom: polygon ring is self-intersecting")
+)
+
+// NewPolygon builds a polygon from an outer ring, normalizing it
+// (consecutive duplicate vertices removed, explicit closing vertex dropped)
+// and validating that it is a non-degenerate simple ring.
+func NewPolygon(outer []Point) (Polygon, error) {
+	ring := normalizeRing(outer)
+	if len(ring) < 3 {
+		return Polygon{}, ErrTooFewVertices
+	}
+	if !ring.IsSimple() {
+		return Polygon{}, ErrSelfIntersect
+	}
+	if ring.SignedArea() == 0 {
+		return Polygon{}, ErrZeroArea
+	}
+	return Polygon{Outer: ring}, nil
+}
+
+// MustPolygon is NewPolygon that panics on invalid input; intended for
+// tests and literals.
+func MustPolygon(outer []Point) Polygon {
+	pg, err := NewPolygon(outer)
+	if err != nil {
+		panic(fmt.Sprintf("geom: invalid polygon: %v", err))
+	}
+	return pg
+}
+
+// AddHole validates ring as a simple ring and adds it as a hole. The caller
+// is responsible for the hole lying inside the outer ring and holes being
+// disjoint; containment uses the even-odd rule so overlapping holes simply
+// flip parity.
+func (pg *Polygon) AddHole(hole []Point) error {
+	ring := normalizeRing(hole)
+	if len(ring) < 3 {
+		return ErrTooFewVertices
+	}
+	if !ring.IsSimple() {
+		return ErrSelfIntersect
+	}
+	if ring.SignedArea() == 0 {
+		return ErrZeroArea
+	}
+	pg.Holes = append(pg.Holes, ring)
+	return nil
+}
+
+// normalizeRing removes consecutive duplicates and a repeated closing
+// vertex.
+func normalizeRing(pts []Point) Ring {
+	out := make(Ring, 0, len(pts))
+	for _, p := range pts {
+		if len(out) > 0 && out[len(out)-1].Equal(p) {
+			continue
+		}
+		out = append(out, p)
+	}
+	for len(out) > 1 && out[0].Equal(out[len(out)-1]) {
+		out = out[:len(out)-1]
+	}
+	return out
+}
+
+// rings iterates the outer ring then each hole.
+func (pg Polygon) rings(fn func(Ring) bool) {
+	if !fn(pg.Outer) {
+		return
+	}
+	for _, h := range pg.Holes {
+		if !fn(h) {
+			return
+		}
+	}
+}
+
+// NumVertices returns the total vertex count over all rings.
+func (pg Polygon) NumVertices() int {
+	n := len(pg.Outer)
+	for _, h := range pg.Holes {
+		n += len(h)
+	}
+	return n
+}
+
+// Bounds returns the polygon's minimum bounding rectangle (holes cannot
+// extend it).
+func (pg Polygon) Bounds() Rect { return pg.Outer.Bounds() }
+
+// Area returns the area of the polygon: |outer| minus the hole areas.
+func (pg Polygon) Area() float64 {
+	a := absf(pg.Outer.SignedArea())
+	for _, h := range pg.Holes {
+		a -= absf(h.SignedArea())
+	}
+	return a
+}
+
+// Perimeter returns the total boundary length including hole boundaries.
+func (pg Polygon) Perimeter() float64 {
+	l := pg.Outer.Perimeter()
+	for _, h := range pg.Holes {
+		l += h.Perimeter()
+	}
+	return l
+}
+
+// ContainsPoint reports whether p lies in the closed polygon (boundary
+// points count as inside; points inside a hole do not, but hole boundaries
+// do).
+func (pg Polygon) ContainsPoint(p Point) bool {
+	if !pg.Bounds().ContainsPoint(p) {
+		return false
+	}
+	on := false
+	pg.rings(func(r Ring) bool {
+		if r.onBoundary(p) {
+			on = true
+			return false
+		}
+		return true
+	})
+	if on {
+		return true
+	}
+	inside := false
+	pg.rings(func(r Ring) bool {
+		if r.crossesRay(p) {
+			inside = !inside
+		}
+		return true
+	})
+	return inside
+}
+
+// IntersectsSegment reports whether the closed segment shares at least one
+// point with the closed polygon (endpoint inside, or edge crossing).
+func (pg Polygon) IntersectsSegment(s Segment) bool {
+	if !pg.Bounds().Intersects(s.Bounds()) {
+		return false
+	}
+	if pg.ContainsPoint(s.A) || pg.ContainsPoint(s.B) {
+		return true
+	}
+	hit := false
+	pg.rings(func(r Ring) bool {
+		for i := range r {
+			e := Seg(r[i], r[(i+1)%len(r)])
+			if s.Intersects(e) {
+				hit = true
+				return false
+			}
+		}
+		return true
+	})
+	return hit
+}
+
+// IntersectsRect reports whether the closed polygon and the closed
+// rectangle share at least one point.
+func (pg Polygon) IntersectsRect(r Rect) bool {
+	if !pg.Bounds().Intersects(r) {
+		return false
+	}
+	// Any rectangle corner inside the polygon, or any polygon vertex inside
+	// the rectangle, or any edge pair crossing.
+	for _, c := range r.Corners() {
+		if pg.ContainsPoint(c) {
+			return true
+		}
+	}
+	hit := false
+	pg.rings(func(ring Ring) bool {
+		for _, v := range ring {
+			if r.ContainsPoint(v) {
+				hit = true
+				return false
+			}
+		}
+		for i := range ring {
+			if Seg(ring[i], ring[(i+1)%len(ring)]).IntersectsRect(r) {
+				hit = true
+				return false
+			}
+		}
+		return true
+	})
+	return hit
+}
+
+// IntersectsRing reports whether the closed polygon and the closed region
+// bounded by ring share at least one point. Used by the strict expansion
+// rule with (convex) Voronoi cells.
+func (pg Polygon) IntersectsRing(ring Ring) bool {
+	if len(ring) == 0 {
+		return false
+	}
+	if !pg.Bounds().Intersects(ring.Bounds()) {
+		return false
+	}
+	for _, v := range ring {
+		if pg.ContainsPoint(v) {
+			return true
+		}
+	}
+	other := Polygon{Outer: ring}
+	var anyVertex bool
+	pg.rings(func(r Ring) bool {
+		for _, v := range r {
+			if other.ContainsPoint(v) {
+				anyVertex = true
+				return false
+			}
+		}
+		return true
+	})
+	if anyVertex {
+		return true
+	}
+	hit := false
+	pg.rings(func(r Ring) bool {
+		for i := range r {
+			e := Seg(r[i], r[(i+1)%len(r)])
+			for j := range ring {
+				if e.Intersects(Seg(ring[j], ring[(j+1)%len(ring)])) {
+					hit = true
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return hit
+}
+
+// InteriorPoint returns a point strictly inside the polygon's outer ring
+// and outside all holes. The centroid is preferred when it qualifies — for
+// area-query seeding a "fat" central anchor is far more robust than a point
+// near a spike. Otherwise the classic "point in polygon interior"
+// construction applies: take a convex vertex v; if the triangle
+// (prev, v, next) is empty of other vertices its centroid is interior,
+// otherwise the midpoint of v and the contained vertex farthest from the
+// chord is interior. If holes swallow both candidates, it falls back to
+// scanning midpoints of a vertical decomposition.
+func (pg Polygon) InteriorPoint() Point {
+	if c := pg.Outer.Centroid(); pg.ContainsPointStrict(c) {
+		return c
+	}
+	cand := pg.Outer.interiorPoint()
+	if pg.ContainsPointStrict(cand) {
+		return cand
+	}
+	// Fall back: cast a vertical line through each outer vertex x-midpoint
+	// and take the midpoint of consecutive edge crossings that lies inside.
+	b := pg.Bounds()
+	n := len(pg.Outer)
+	for i := 0; i < n; i++ {
+		x := (pg.Outer[i].X + pg.Outer[(i+1)%n].X) / 2
+		probe := Seg(Pt(x, b.MinY-1), Pt(x, b.MaxY+1))
+		var ys []float64
+		pg.rings(func(r Ring) bool {
+			for j := range r {
+				e := Seg(r[j], r[(j+1)%len(r)])
+				if ip, ok := probe.IntersectionPoint(e); ok {
+					ys = append(ys, ip.Y)
+				}
+			}
+			return true
+		})
+		sortFloats(ys)
+		for j := 0; j+1 < len(ys); j++ {
+			mid := Pt(x, (ys[j]+ys[j+1])/2)
+			if pg.ContainsPointStrict(mid) {
+				return mid
+			}
+		}
+	}
+	// Give up gracefully: the polygon centroid (may be on boundary for
+	// pathological inputs, still usable as a query anchor).
+	return pg.Outer.Centroid()
+}
+
+// ContainsPointStrict reports whether p lies strictly inside the polygon
+// (boundary points excluded).
+func (pg Polygon) ContainsPointStrict(p Point) bool {
+	on := false
+	pg.rings(func(r Ring) bool {
+		if r.onBoundary(p) {
+			on = true
+			return false
+		}
+		return true
+	})
+	if on {
+		return false
+	}
+	return pg.ContainsPoint(p)
+}
+
+// Clone returns a deep copy of the polygon.
+func (pg Polygon) Clone() Polygon {
+	out := Polygon{Outer: append(Ring(nil), pg.Outer...)}
+	for _, h := range pg.Holes {
+		out.Holes = append(out.Holes, append(Ring(nil), h...))
+	}
+	return out
+}
+
+// --- Ring methods ---
+
+// Bounds returns the ring's minimum bounding rectangle.
+func (r Ring) Bounds() Rect { return RectFromPoints(r...) }
+
+// SignedArea returns the signed area: positive when the ring is
+// counterclockwise.
+func (r Ring) SignedArea() float64 {
+	if len(r) < 3 {
+		return 0
+	}
+	var s float64
+	for i := range r {
+		j := (i + 1) % len(r)
+		s += r[i].Cross(r[j])
+	}
+	return s / 2
+}
+
+// Area returns the absolute enclosed area.
+func (r Ring) Area() float64 { return absf(r.SignedArea()) }
+
+// Perimeter returns the total edge length.
+func (r Ring) Perimeter() float64 {
+	var l float64
+	for i := range r {
+		l += r[i].Dist(r[(i+1)%len(r)])
+	}
+	return l
+}
+
+// Centroid returns the area centroid of the ring (vertex mean when the area
+// degenerates to zero).
+func (r Ring) Centroid() Point {
+	if len(r) == 0 {
+		return Point{}
+	}
+	var cx, cy, a float64
+	for i := range r {
+		j := (i + 1) % len(r)
+		cross := r[i].Cross(r[j])
+		cx += (r[i].X + r[j].X) * cross
+		cy += (r[i].Y + r[j].Y) * cross
+		a += cross
+	}
+	if a == 0 {
+		var sx, sy float64
+		for _, p := range r {
+			sx += p.X
+			sy += p.Y
+		}
+		n := float64(len(r))
+		return Point{sx / n, sy / n}
+	}
+	return Point{cx / (3 * a), cy / (3 * a)}
+}
+
+// IsCounterClockwise reports whether the ring winds counterclockwise.
+func (r Ring) IsCounterClockwise() bool { return r.SignedArea() > 0 }
+
+// Reverse reverses the winding order in place.
+func (r Ring) Reverse() {
+	for i, j := 0, len(r)-1; i < j; i, j = i+1, j-1 {
+		r[i], r[j] = r[j], r[i]
+	}
+}
+
+// IsSimple reports whether no two non-adjacent edges intersect and adjacent
+// edges meet only at their shared vertex. O(n²); intended for validation of
+// small query polygons, not bulk data.
+func (r Ring) IsSimple() bool {
+	n := len(r)
+	if n < 3 {
+		return false
+	}
+	for i := 0; i < n; i++ {
+		ei := Seg(r[i], r[(i+1)%n])
+		for j := i + 1; j < n; j++ {
+			ej := Seg(r[j], r[(j+1)%n])
+			adjacent := j == i+1 || (i == 0 && j == n-1)
+			if adjacent {
+				// Adjacent edges may only share the single common vertex;
+				// collinear overlap makes the ring non-simple.
+				if ei.IntersectsProper(ej) {
+					return false
+				}
+				var shared, otherI, otherJ Point
+				if j == i+1 {
+					shared, otherI, otherJ = r[j], r[i], r[(j+1)%n]
+				} else {
+					shared, otherI, otherJ = r[0], r[(i+1)%n], r[j]
+				}
+				if Orient(otherI, shared, otherJ) == Collinear &&
+					otherI.Sub(shared).Dot(otherJ.Sub(shared)) > 0 {
+					return false // spike: edges double back over each other
+				}
+			} else if ei.Intersects(ej) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// IsConvex reports whether the ring is convex (collinear runs allowed).
+func (r Ring) IsConvex() bool {
+	n := len(r)
+	if n < 3 {
+		return false
+	}
+	var dir Orientation
+	for i := 0; i < n; i++ {
+		o := Orient(r[i], r[(i+1)%n], r[(i+2)%n])
+		if o == Collinear {
+			continue
+		}
+		if dir == Collinear {
+			dir = o
+		} else if o != dir {
+			return false
+		}
+	}
+	return true
+}
+
+// onBoundary reports whether p lies on one of the ring's edges.
+func (r Ring) onBoundary(p Point) bool {
+	for i := range r {
+		if Seg(r[i], r[(i+1)%len(r)]).ContainsPoint(p) {
+			return true
+		}
+	}
+	return false
+}
+
+// crossesRay counts edge crossings of the horizontal ray from p toward +X
+// and reports whether the count is odd. The caller must have excluded
+// boundary points. Vertex crossings are disambiguated with the half-open
+// rule (an edge spans the ray iff exactly one endpoint is strictly above),
+// with the side test done exactly via Orient.
+func (r Ring) crossesRay(p Point) bool {
+	odd := false
+	n := len(r)
+	for i := 0; i < n; i++ {
+		a, b := r[i], r[(i+1)%n]
+		if (a.Y > p.Y) == (b.Y > p.Y) {
+			continue
+		}
+		// The edge spans the horizontal line through p. It crosses the
+		// rightward ray iff the crossing x exceeds p.X, i.e. iff p is on the
+		// appropriate side of the directed edge.
+		if a.Y < b.Y {
+			if Orient(a, b, p) == CounterClockwise {
+				odd = !odd
+			}
+		} else {
+			if Orient(b, a, p) == CounterClockwise {
+				odd = !odd
+			}
+		}
+	}
+	return odd
+}
+
+// interiorPoint returns a point strictly inside a simple ring.
+func (r Ring) interiorPoint() Point {
+	n := len(r)
+	if n == 0 {
+		return Point{}
+	}
+	if n < 3 {
+		return r[0]
+	}
+	// Find the lowest-then-leftmost vertex: it is convex.
+	vi := 0
+	for i, p := range r {
+		if p.Y < r[vi].Y || (p.Y == r[vi].Y && p.X < r[vi].X) {
+			vi = i
+		}
+	}
+	prev := r[(vi-1+n)%n]
+	v := r[vi]
+	next := r[(vi+1)%n]
+
+	// The triangle prev-v-next; if empty, its centroid is interior.
+	want := Orient(prev, v, next)
+	if want == Collinear {
+		return Midpoint(prev, next)
+	}
+	inTri := func(q Point) bool {
+		return Orient(prev, v, q) == want &&
+			Orient(v, next, q) == want &&
+			Orient(next, prev, q) == want
+	}
+	best := -1
+	bestDist := -1.0
+	for i, q := range r {
+		if i == vi || q.Equal(prev) || q.Equal(next) {
+			continue
+		}
+		if inTri(q) {
+			d := Seg(prev, next).Dist2Point(q)
+			if d > bestDist {
+				bestDist = d
+				best = i
+			}
+		}
+	}
+	if best < 0 {
+		return Point{(prev.X + v.X + next.X) / 3, (prev.Y + v.Y + next.Y) / 3}
+	}
+	return Midpoint(v, r[best])
+}
+
+func absf(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// sortFloats is a tiny insertion sort to avoid importing sort for a
+// handful of values.
+func sortFloats(xs []float64) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}

@@ -1,0 +1,423 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// unitSquare is the polygon [0,1]².
+func unitSquare() Polygon {
+	return MustPolygon([]Point{Pt(0, 0), Pt(1, 0), Pt(1, 1), Pt(0, 1)})
+}
+
+// lShape is a concave hexagon shaped like an L covering [0,2]² minus the
+// upper-right quadrant [1,2]×[1,2].
+func lShape() Polygon {
+	return MustPolygon([]Point{
+		Pt(0, 0), Pt(2, 0), Pt(2, 1), Pt(1, 1), Pt(1, 2), Pt(0, 2),
+	})
+}
+
+func TestNewPolygonValidation(t *testing.T) {
+	if _, err := NewPolygon([]Point{Pt(0, 0), Pt(1, 1)}); err != ErrTooFewVertices {
+		t.Errorf("two vertices: err = %v, want ErrTooFewVertices", err)
+	}
+	if _, err := NewPolygon([]Point{Pt(0, 0), Pt(1, 1), Pt(2, 2)}); err != ErrZeroArea && err != ErrSelfIntersect {
+		t.Errorf("collinear: err = %v, want ErrZeroArea or ErrSelfIntersect", err)
+	}
+	bowtie := []Point{Pt(0, 0), Pt(2, 2), Pt(2, 0), Pt(0, 2)}
+	if _, err := NewPolygon(bowtie); err != ErrSelfIntersect {
+		t.Errorf("bowtie: err = %v, want ErrSelfIntersect", err)
+	}
+	// Duplicate consecutive vertices and an explicit closing vertex are
+	// normalized away.
+	pg, err := NewPolygon([]Point{Pt(0, 0), Pt(0, 0), Pt(1, 0), Pt(1, 1), Pt(0, 1), Pt(0, 0)})
+	if err != nil {
+		t.Fatalf("normalizable polygon rejected: %v", err)
+	}
+	if len(pg.Outer) != 4 {
+		t.Errorf("normalized ring has %d vertices, want 4", len(pg.Outer))
+	}
+}
+
+func TestPolygonMeasures(t *testing.T) {
+	sq := unitSquare()
+	if got := sq.Area(); got != 1 {
+		t.Errorf("square area = %v", got)
+	}
+	if got := sq.Perimeter(); got != 4 {
+		t.Errorf("square perimeter = %v", got)
+	}
+	if got := sq.Bounds(); got != NewRect(0, 0, 1, 1) {
+		t.Errorf("square bounds = %v", got)
+	}
+	l := lShape()
+	if got := l.Area(); got != 3 {
+		t.Errorf("L area = %v, want 3", got)
+	}
+	if got := l.NumVertices(); got != 6 {
+		t.Errorf("L vertices = %v", got)
+	}
+}
+
+func TestRingWindingHelpers(t *testing.T) {
+	ccw := Ring{Pt(0, 0), Pt(1, 0), Pt(1, 1)}
+	if !ccw.IsCounterClockwise() {
+		t.Error("ccw ring misclassified")
+	}
+	cw := Ring{Pt(0, 0), Pt(1, 1), Pt(1, 0)}
+	if cw.IsCounterClockwise() {
+		t.Error("cw ring misclassified")
+	}
+	cw.Reverse()
+	if !cw.IsCounterClockwise() {
+		t.Error("Reverse should flip winding")
+	}
+	if ccw.SignedArea() != 0.5 {
+		t.Errorf("signed area = %v", ccw.SignedArea())
+	}
+}
+
+func TestContainsPointSquare(t *testing.T) {
+	sq := unitSquare()
+	inside := []Point{Pt(0.5, 0.5), Pt(0.001, 0.999)}
+	boundary := []Point{Pt(0, 0), Pt(1, 1), Pt(0.5, 0), Pt(0, 0.5), Pt(1, 0.3)}
+	outside := []Point{Pt(-0.1, 0.5), Pt(1.1, 0.5), Pt(0.5, -0.001), Pt(2, 2)}
+	for _, p := range inside {
+		if !sq.ContainsPoint(p) {
+			t.Errorf("inside point %v reported outside", p)
+		}
+		if !sq.ContainsPointStrict(p) {
+			t.Errorf("inside point %v not strictly inside", p)
+		}
+	}
+	for _, p := range boundary {
+		if !sq.ContainsPoint(p) {
+			t.Errorf("boundary point %v reported outside (closed semantics)", p)
+		}
+		if sq.ContainsPointStrict(p) {
+			t.Errorf("boundary point %v reported strictly inside", p)
+		}
+	}
+	for _, p := range outside {
+		if sq.ContainsPoint(p) {
+			t.Errorf("outside point %v reported inside", p)
+		}
+	}
+}
+
+func TestContainsPointConcave(t *testing.T) {
+	l := lShape()
+	if !l.ContainsPoint(Pt(0.5, 1.5)) {
+		t.Error("upper-left arm should be inside")
+	}
+	if !l.ContainsPoint(Pt(1.5, 0.5)) {
+		t.Error("lower-right arm should be inside")
+	}
+	if l.ContainsPoint(Pt(1.5, 1.5)) {
+		t.Error("notch should be outside")
+	}
+	if !l.ContainsPoint(Pt(1, 1.5)) {
+		t.Error("notch boundary should be inside (closed)")
+	}
+}
+
+func TestContainsPointVertexRayDegeneracies(t *testing.T) {
+	// A polygon whose vertices align horizontally with the probe point —
+	// the classic ray-casting trap.
+	diamond := MustPolygon([]Point{Pt(0, 0), Pt(2, -2), Pt(4, 0), Pt(2, 2)})
+	if !diamond.ContainsPoint(Pt(2, 0)) {
+		t.Error("center aligned with two vertices should be inside")
+	}
+	if diamond.ContainsPoint(Pt(-1, 0)) {
+		t.Error("left of polygon, ray through two vertices: outside")
+	}
+	if diamond.ContainsPoint(Pt(5, 0)) {
+		t.Error("right of polygon: outside")
+	}
+	if !diamond.ContainsPoint(Pt(0, 0)) {
+		t.Error("vertex itself should be contained")
+	}
+}
+
+func TestContainsPointVsReferenceImplementation(t *testing.T) {
+	// Compare the robust crossing test with a brute-force winding-number
+	// reference on random star polygons and random probes.
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		pg := randomStarPolygon(rng, 3+rng.Intn(15))
+		for i := 0; i < 200; i++ {
+			p := Pt(rng.Float64()*2-0.5, rng.Float64()*2-0.5)
+			if pg.Outer.onBoundary(p) {
+				continue // reference is unreliable exactly on edges
+			}
+			got := pg.ContainsPoint(p)
+			want := windingNumber(pg.Outer, p) != 0
+			if got != want {
+				t.Fatalf("trial %d: ContainsPoint(%v) = %v, winding says %v\nring: %v",
+					trial, p, got, want, pg.Outer)
+			}
+		}
+	}
+}
+
+// windingNumber is a float64 winding-number reference implementation.
+func windingNumber(r Ring, p Point) int {
+	wn := 0
+	n := len(r)
+	for i := 0; i < n; i++ {
+		a, b := r[i], r[(i+1)%n]
+		if a.Y <= p.Y {
+			if b.Y > p.Y && Orient(a, b, p) == CounterClockwise {
+				wn++
+			}
+		} else if b.Y <= p.Y && Orient(a, b, p) == Clockwise {
+			wn--
+		}
+	}
+	return wn
+}
+
+// randomStarPolygon builds a random simple star-shaped polygon around
+// (0.5, 0.5) with k vertices.
+func randomStarPolygon(rng *rand.Rand, k int) Polygon {
+	c := Pt(0.5, 0.5)
+	angles := make([]float64, k)
+	for i := range angles {
+		angles[i] = rng.Float64() * 2 * math.Pi
+	}
+	sortFloats(angles)
+	// Drop duplicate angles to guarantee simplicity.
+	pts := make([]Point, 0, k)
+	for i, a := range angles {
+		if i > 0 && a-angles[i-1] < 1e-9 {
+			continue
+		}
+		r := 0.1 + 0.4*rng.Float64()
+		pts = append(pts, Pt(c.X+r*math.Cos(a), c.Y+r*math.Sin(a)))
+	}
+	if len(pts) < 3 {
+		return MustPolygon([]Point{Pt(0.2, 0.2), Pt(0.8, 0.2), Pt(0.5, 0.8)})
+	}
+	pg, err := NewPolygon(pts)
+	if err != nil {
+		// Extremely unlikely; fall back to a triangle.
+		return MustPolygon([]Point{Pt(0.2, 0.2), Pt(0.8, 0.2), Pt(0.5, 0.8)})
+	}
+	return pg
+}
+
+func TestPolygonWithHole(t *testing.T) {
+	pg := MustPolygon([]Point{Pt(0, 0), Pt(4, 0), Pt(4, 4), Pt(0, 4)})
+	if err := pg.AddHole([]Point{Pt(1, 1), Pt(3, 1), Pt(3, 3), Pt(1, 3)}); err != nil {
+		t.Fatalf("AddHole: %v", err)
+	}
+	if got := pg.Area(); got != 12 {
+		t.Errorf("area with hole = %v, want 12", got)
+	}
+	if got := pg.Perimeter(); got != 16+8 {
+		t.Errorf("perimeter with hole = %v, want 24", got)
+	}
+	if pg.ContainsPoint(Pt(2, 2)) {
+		t.Error("point in hole should be outside")
+	}
+	if !pg.ContainsPoint(Pt(0.5, 2)) {
+		t.Error("point between outer and hole should be inside")
+	}
+	if !pg.ContainsPoint(Pt(1, 2)) {
+		t.Error("hole boundary should be contained (closed)")
+	}
+	if pg.ContainsPointStrict(Pt(1, 2)) {
+		t.Error("hole boundary is not strictly inside")
+	}
+}
+
+func TestAddHoleValidation(t *testing.T) {
+	pg := unitSquare()
+	if err := pg.AddHole([]Point{Pt(0, 0), Pt(1, 1)}); err != ErrTooFewVertices {
+		t.Errorf("AddHole two vertices: %v", err)
+	}
+	if err := pg.AddHole([]Point{Pt(0, 0), Pt(1, 1), Pt(0.5, 0.5), Pt(2, 2)}); err == nil {
+		t.Error("AddHole should reject degenerate ring")
+	}
+}
+
+func TestIntersectsSegment(t *testing.T) {
+	l := lShape()
+	tests := []struct {
+		name string
+		s    Segment
+		want bool
+	}{
+		{"entirely inside", Seg(Pt(0.2, 0.2), Pt(0.8, 0.8)), true},
+		{"crossing boundary", Seg(Pt(-1, 0.5), Pt(0.5, 0.5)), true},
+		{"through the notch only", Seg(Pt(1.2, 1.8), Pt(1.8, 1.2)), false},
+		{"notch corner touch", Seg(Pt(1, 1), Pt(2, 2)), true},
+		{"fully outside", Seg(Pt(3, 3), Pt(4, 4)), false},
+		{"grazing an edge collinearly", Seg(Pt(0.5, 0), Pt(1.5, 0)), true},
+		{"spanning the whole polygon", Seg(Pt(-1, 0.5), Pt(3, 0.5)), true},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := l.IntersectsSegment(tc.s); got != tc.want {
+				t.Errorf("IntersectsSegment = %v, want %v", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestIntersectsRect(t *testing.T) {
+	l := lShape()
+	tests := []struct {
+		name string
+		r    Rect
+		want bool
+	}{
+		{"rect inside polygon", NewRect(0.2, 0.2, 0.8, 0.8), true},
+		{"polygon inside rect", NewRect(-1, -1, 3, 3), true},
+		{"overlap arm", NewRect(1.5, 0.5, 3, 0.8), true},
+		{"inside notch", NewRect(1.2, 1.2, 1.8, 1.8), false},
+		{"touching notch corner", NewRect(1, 1, 1.8, 1.8), true},
+		{"fully outside", NewRect(3, 3, 4, 4), false},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := l.IntersectsRect(tc.r); got != tc.want {
+				t.Errorf("IntersectsRect = %v, want %v", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestIntersectsRing(t *testing.T) {
+	l := lShape()
+	inside := Ring{Pt(0.2, 0.2), Pt(0.5, 0.2), Pt(0.35, 0.5)}
+	if !l.IntersectsRing(inside) {
+		t.Error("triangle inside polygon should intersect")
+	}
+	notch := Ring{Pt(1.2, 1.2), Pt(1.8, 1.2), Pt(1.5, 1.8)}
+	if l.IntersectsRing(notch) {
+		t.Error("triangle in notch should not intersect")
+	}
+	surrounding := Ring{Pt(-1, -1), Pt(3, -1), Pt(3, 3), Pt(-1, 3)}
+	if !l.IntersectsRing(surrounding) {
+		t.Error("ring containing the polygon should intersect")
+	}
+	if l.IntersectsRing(nil) {
+		t.Error("empty ring should not intersect")
+	}
+}
+
+func TestInteriorPoint(t *testing.T) {
+	shapes := []Polygon{
+		unitSquare(),
+		lShape(),
+		MustPolygon([]Point{Pt(0, 0), Pt(10, 0), Pt(10, 1), Pt(1, 1), Pt(1, 10), Pt(0, 10)}),
+		// A crescent-like concave polygon.
+		MustPolygon([]Point{Pt(0, 0), Pt(4, 0), Pt(4, 4), Pt(3, 1), Pt(1, 1), Pt(0, 4)}),
+	}
+	for i, pg := range shapes {
+		p := pg.InteriorPoint()
+		if !pg.ContainsPointStrict(p) {
+			t.Errorf("shape %d: interior point %v not strictly inside", i, p)
+		}
+	}
+}
+
+func TestInteriorPointRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 200; trial++ {
+		pg := randomStarPolygon(rng, 3+rng.Intn(12))
+		p := pg.InteriorPoint()
+		if !pg.ContainsPointStrict(p) {
+			t.Fatalf("trial %d: interior point %v not inside %v", trial, p, pg.Outer)
+		}
+	}
+}
+
+func TestInteriorPointWithHoles(t *testing.T) {
+	pg := MustPolygon([]Point{Pt(0, 0), Pt(4, 0), Pt(4, 4), Pt(0, 4)})
+	// Hole right where the convex-corner heuristic would land.
+	if err := pg.AddHole([]Point{Pt(0.05, 0.05), Pt(2, 0.1), Pt(0.1, 2)}); err != nil {
+		t.Fatal(err)
+	}
+	p := pg.InteriorPoint()
+	if !pg.ContainsPointStrict(p) {
+		t.Errorf("interior point %v swallowed by hole", p)
+	}
+}
+
+func TestIsConvex(t *testing.T) {
+	if !unitSquare().Outer.IsConvex() {
+		t.Error("square should be convex")
+	}
+	if lShape().Outer.IsConvex() {
+		t.Error("L-shape should not be convex")
+	}
+	withCollinear := Ring{Pt(0, 0), Pt(1, 0), Pt(2, 0), Pt(2, 2), Pt(0, 2)}
+	if !withCollinear.IsConvex() {
+		t.Error("convex ring with collinear run misclassified")
+	}
+}
+
+func TestIsSimple(t *testing.T) {
+	if !(Ring{Pt(0, 0), Pt(1, 0), Pt(1, 1)}).IsSimple() {
+		t.Error("triangle should be simple")
+	}
+	bowtie := Ring{Pt(0, 0), Pt(2, 2), Pt(2, 0), Pt(0, 2)}
+	if bowtie.IsSimple() {
+		t.Error("bowtie should not be simple")
+	}
+	spike := Ring{Pt(0, 0), Pt(2, 0), Pt(1, 0), Pt(1, 1)}
+	if spike.IsSimple() {
+		t.Error("ring with doubled-back spike should not be simple")
+	}
+	if (Ring{Pt(0, 0), Pt(1, 1)}).IsSimple() {
+		t.Error("two-vertex ring cannot be simple")
+	}
+}
+
+func TestCentroid(t *testing.T) {
+	if got := unitSquare().Outer.Centroid(); !got.Near(Pt(0.5, 0.5)) {
+		t.Errorf("square centroid = %v", got)
+	}
+	tri := Ring{Pt(0, 0), Pt(3, 0), Pt(0, 3)}
+	if got := tri.Centroid(); !got.Near(Pt(1, 1)) {
+		t.Errorf("triangle centroid = %v", got)
+	}
+	degenerate := Ring{Pt(0, 0), Pt(1, 1), Pt(2, 2)}
+	if got := degenerate.Centroid(); !got.Near(Pt(1, 1)) {
+		t.Errorf("degenerate centroid fell back incorrectly: %v", got)
+	}
+}
+
+func TestClone(t *testing.T) {
+	pg := MustPolygon([]Point{Pt(0, 0), Pt(4, 0), Pt(4, 4), Pt(0, 4)})
+	if err := pg.AddHole([]Point{Pt(1, 1), Pt(2, 1), Pt(1, 2)}); err != nil {
+		t.Fatal(err)
+	}
+	cp := pg.Clone()
+	cp.Outer[0] = Pt(-100, -100)
+	cp.Holes[0][0] = Pt(-100, -100)
+	if pg.Outer[0] != Pt(0, 0) || pg.Holes[0][0] != Pt(1, 1) {
+		t.Error("Clone should be deep")
+	}
+}
+
+func TestAreaMatchesMonteCarlo(t *testing.T) {
+	// Statistical cross-check of Area vs ContainsPoint on a concave shape.
+	l := lShape()
+	rng := rand.New(rand.NewSource(13))
+	in := 0
+	const n = 200000
+	for i := 0; i < n; i++ {
+		if l.ContainsPoint(Pt(rng.Float64()*2, rng.Float64()*2)) {
+			in++
+		}
+	}
+	got := 4 * float64(in) / n // sample box area is 4
+	if math.Abs(got-3) > 0.05 {
+		t.Errorf("Monte Carlo area = %v, analytic 3", got)
+	}
+}

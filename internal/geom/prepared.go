@@ -1,0 +1,107 @@
+package geom
+
+// PreparedPolygon caches per-edge derived data (bounding boxes, flattened
+// edge list across rings) so repeated predicates against the same polygon —
+// the access pattern of an area query, which tests hundreds of candidates
+// against one query polygon — skip most exact orientation calls through
+// cheap interval rejects. Results are identical to the plain Polygon
+// methods.
+type PreparedPolygon struct {
+	pg    Polygon
+	bound Rect
+	edges []preparedEdge
+}
+
+type preparedEdge struct {
+	a, b Point
+	bb   Rect
+}
+
+// Prepare returns a PreparedPolygon for pg. pg must not be mutated while
+// the prepared form is in use.
+func Prepare(pg Polygon) *PreparedPolygon {
+	pp := &PreparedPolygon{pg: pg, bound: pg.Bounds()}
+	add := func(r Ring) bool {
+		for i := range r {
+			a, b := r[i], r[(i+1)%len(r)]
+			pp.edges = append(pp.edges, preparedEdge{a: a, b: b, bb: NewRect(a.X, a.Y, b.X, b.Y)})
+		}
+		return true
+	}
+	pg.rings(add)
+	return pp
+}
+
+// Polygon returns the underlying polygon.
+func (pp *PreparedPolygon) Polygon() Polygon { return pp.pg }
+
+// Bounds returns the polygon's MBR.
+func (pp *PreparedPolygon) Bounds() Rect { return pp.bound }
+
+// ContainsPoint reports whether p lies in the closed polygon. It fuses the
+// boundary check and the ray-crossing count into a single pass over the
+// edge list, consulting the exact orientation predicate only for edges
+// whose bounding interval makes them relevant.
+func (pp *PreparedPolygon) ContainsPoint(p Point) bool {
+	if !pp.bound.ContainsPoint(p) {
+		return false
+	}
+	odd := false
+	for i := range pp.edges {
+		e := &pp.edges[i]
+		// On-edge test, gated by the edge bounding box.
+		if e.bb.ContainsPoint(p) {
+			if Orient(e.a, e.b, p) == Collinear {
+				return true // boundary is contained (closed polygon)
+			}
+		}
+		// Ray-crossing accumulation (half-open rule on Y).
+		if (e.a.Y > p.Y) == (e.b.Y > p.Y) {
+			continue
+		}
+		if e.bb.MaxX < p.X {
+			continue // edge entirely left of the rightward ray
+		}
+		if e.a.Y < e.b.Y {
+			if Orient(e.a, e.b, p) == CounterClockwise {
+				odd = !odd
+			}
+		} else {
+			if Orient(e.b, e.a, p) == CounterClockwise {
+				odd = !odd
+			}
+		}
+	}
+	return odd
+}
+
+// IntersectsSegment reports whether the closed segment shares at least one
+// point with the closed polygon, using per-edge bounding-box rejection
+// before exact tests.
+func (pp *PreparedPolygon) IntersectsSegment(s Segment) bool {
+	sb := s.Bounds()
+	if !pp.bound.Intersects(sb) {
+		return false
+	}
+	if pp.ContainsPoint(s.A) || pp.ContainsPoint(s.B) {
+		return true
+	}
+	for i := range pp.edges {
+		e := &pp.edges[i]
+		if !e.bb.Intersects(sb) {
+			continue
+		}
+		if s.Intersects(Seg(e.a, e.b)) {
+			return true
+		}
+	}
+	return false
+}
+
+// InteriorPoint returns a point strictly inside the polygon (delegates to
+// the underlying polygon).
+func (pp *PreparedPolygon) InteriorPoint() Point { return pp.pg.InteriorPoint() }
+
+// IntersectsRing reports whether the polygon intersects the closed region
+// bounded by ring (delegates; used by the strict expansion rule).
+func (pp *PreparedPolygon) IntersectsRing(ring Ring) bool { return pp.pg.IntersectsRing(ring) }

@@ -1,0 +1,137 @@
+package geom
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestPreparedContainsMatchesPlain(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	shapes := []Polygon{unitSquare(), lShape()}
+	for trial := 0; trial < 30; trial++ {
+		shapes = append(shapes, randomStarPolygon(rng, 3+rng.Intn(12)))
+	}
+	holed := MustPolygon([]Point{Pt(0, 0), Pt(1, 0), Pt(1, 1), Pt(0, 1)})
+	if err := holed.AddHole([]Point{Pt(0.3, 0.3), Pt(0.7, 0.3), Pt(0.7, 0.7), Pt(0.3, 0.7)}); err != nil {
+		t.Fatal(err)
+	}
+	shapes = append(shapes, holed)
+
+	for si, pg := range shapes {
+		pp := Prepare(pg)
+		// Random probes plus exact boundary probes.
+		probes := make([]Point, 0, 600)
+		for i := 0; i < 500; i++ {
+			probes = append(probes, Pt(rng.Float64()*2.4-0.2, rng.Float64()*2.4-0.2))
+		}
+		for _, v := range pg.Outer {
+			probes = append(probes, v) // vertices
+		}
+		for i := range pg.Outer {
+			probes = append(probes, Midpoint(pg.Outer[i], pg.Outer[(i+1)%len(pg.Outer)]))
+		}
+		for _, h := range pg.Holes {
+			probes = append(probes, h...)
+		}
+		for _, p := range probes {
+			if got, want := pp.ContainsPoint(p), pg.ContainsPoint(p); got != want {
+				t.Fatalf("shape %d: prepared contains(%v) = %v, plain %v", si, p, got, want)
+			}
+		}
+	}
+}
+
+func TestPreparedIntersectsSegmentMatchesPlain(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	shapes := []Polygon{unitSquare(), lShape()}
+	for trial := 0; trial < 20; trial++ {
+		shapes = append(shapes, randomStarPolygon(rng, 3+rng.Intn(12)))
+	}
+	for si, pg := range shapes {
+		pp := Prepare(pg)
+		for i := 0; i < 800; i++ {
+			s := Seg(
+				Pt(rng.Float64()*2-0.5, rng.Float64()*2-0.5),
+				Pt(rng.Float64()*2-0.5, rng.Float64()*2-0.5),
+			)
+			if rng.Intn(4) == 0 { // short segments stress edge rejection
+				s.B = s.A.Add(Pt((rng.Float64()-0.5)*0.05, (rng.Float64()-0.5)*0.05))
+			}
+			if got, want := pp.IntersectsSegment(s), pg.IntersectsSegment(s); got != want {
+				t.Fatalf("shape %d: prepared intersects(%v) = %v, plain %v", si, s, got, want)
+			}
+		}
+	}
+}
+
+func TestPreparedAccessors(t *testing.T) {
+	pg := lShape()
+	pp := Prepare(pg)
+	if pp.Bounds() != pg.Bounds() {
+		t.Error("Bounds mismatch")
+	}
+	if pp.Polygon().Area() != pg.Area() {
+		t.Error("Polygon accessor mismatch")
+	}
+	if !pg.ContainsPointStrict(pp.InteriorPoint()) {
+		t.Error("InteriorPoint not inside")
+	}
+	tri := Ring{Pt(0.2, 0.2), Pt(0.5, 0.2), Pt(0.35, 0.5)}
+	if pp.IntersectsRing(tri) != pg.IntersectsRing(tri) {
+		t.Error("IntersectsRing mismatch")
+	}
+}
+
+func BenchmarkContainsPlain(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	pg := randomStarPolygon(rng, 10)
+	probes := make([]Point, 256)
+	for i := range probes {
+		probes[i] = Pt(rng.Float64(), rng.Float64())
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pg.ContainsPoint(probes[i%len(probes)])
+	}
+}
+
+func BenchmarkContainsPrepared(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	pp := Prepare(randomStarPolygon(rng, 10))
+	probes := make([]Point, 256)
+	for i := range probes {
+		probes[i] = Pt(rng.Float64(), rng.Float64())
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pp.ContainsPoint(probes[i%len(probes)])
+	}
+}
+
+func BenchmarkIntersectsSegmentPlain(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	pg := randomStarPolygon(rng, 10)
+	segs := make([]Segment, 256)
+	for i := range segs {
+		a := Pt(rng.Float64(), rng.Float64())
+		segs[i] = Seg(a, a.Add(Pt(0.02, 0.02)))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pg.IntersectsSegment(segs[i%len(segs)])
+	}
+}
+
+func BenchmarkIntersectsSegmentPrepared(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	pp := Prepare(randomStarPolygon(rng, 10))
+	segs := make([]Segment, 256)
+	for i := range segs {
+		a := Pt(rng.Float64(), rng.Float64())
+		segs[i] = Seg(a, a.Add(Pt(0.02, 0.02)))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pp.IntersectsSegment(segs[i%len(segs)])
+	}
+}

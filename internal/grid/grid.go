@@ -1,0 +1,162 @@
+// Package grid implements a uniform grid index over points: the simplest
+// filtering structure, used as a baseline in the area-query ablation
+// experiments. Cells are fixed-size buckets; range queries scan the cells
+// overlapping the query rectangle and nearest-neighbor queries expand ring
+// by ring around the query cell.
+package grid
+
+import (
+	"math"
+
+	"repro/internal/geom"
+)
+
+// Item is a stored point with an identifier.
+type Item struct {
+	ID    int64
+	Point geom.Point
+}
+
+// Index is a uniform grid over a fixed region. Build with New.
+type Index struct {
+	bounds geom.Rect
+	nx, ny int
+	cw, ch float64
+	cells  [][]Item
+	size   int
+}
+
+// New builds a grid sized so the average cell holds roughly targetPerCell
+// points (default 8 when non-positive). Points outside bounds are clamped
+// into border cells, so no input is lost.
+func New(bounds geom.Rect, items []Item, targetPerCell int) *Index {
+	if targetPerCell <= 0 {
+		targetPerCell = 8
+	}
+	n := len(items)
+	cellsWanted := n / targetPerCell
+	if cellsWanted < 1 {
+		cellsWanted = 1
+	}
+	side := int(math.Ceil(math.Sqrt(float64(cellsWanted))))
+	g := &Index{
+		bounds: bounds,
+		nx:     side,
+		ny:     side,
+		cw:     bounds.Width() / float64(side),
+		ch:     bounds.Height() / float64(side),
+		cells:  make([][]Item, side*side),
+		size:   n,
+	}
+	if g.cw == 0 {
+		g.cw = 1
+	}
+	if g.ch == 0 {
+		g.ch = 1
+	}
+	for _, it := range items {
+		c := g.cellOf(it.Point)
+		g.cells[c] = append(g.cells[c], it)
+	}
+	return g
+}
+
+// Len returns the number of stored points.
+func (g *Index) Len() int { return g.size }
+
+func (g *Index) clampIx(i int) int {
+	if i < 0 {
+		return 0
+	}
+	if i >= g.nx {
+		return g.nx - 1
+	}
+	return i
+}
+
+func (g *Index) clampIy(i int) int {
+	if i < 0 {
+		return 0
+	}
+	if i >= g.ny {
+		return g.ny - 1
+	}
+	return i
+}
+
+func (g *Index) cellOf(p geom.Point) int {
+	ix := g.clampIx(int((p.X - g.bounds.MinX) / g.cw))
+	iy := g.clampIy(int((p.Y - g.bounds.MinY) / g.ch))
+	return iy*g.nx + ix
+}
+
+// Search calls fn for every stored point inside the closed rectangle q; fn
+// returning false stops the search. It returns the number of cells visited.
+func (g *Index) Search(q geom.Rect, fn func(id int64, p geom.Point) bool) int {
+	if q.IsEmpty() {
+		return 0
+	}
+	ix0 := g.clampIx(int((q.MinX - g.bounds.MinX) / g.cw))
+	ix1 := g.clampIx(int((q.MaxX - g.bounds.MinX) / g.cw))
+	iy0 := g.clampIy(int((q.MinY - g.bounds.MinY) / g.ch))
+	iy1 := g.clampIy(int((q.MaxY - g.bounds.MinY) / g.ch))
+	visited := 0
+	for iy := iy0; iy <= iy1; iy++ {
+		for ix := ix0; ix <= ix1; ix++ {
+			visited++
+			for _, it := range g.cells[iy*g.nx+ix] {
+				if q.ContainsPoint(it.Point) {
+					if !fn(it.ID, it.Point) {
+						return visited
+					}
+				}
+			}
+		}
+	}
+	return visited
+}
+
+// NearestNeighbor returns the stored point closest to q; ok is false for an
+// empty index. It scans cells in expanding rings around q's cell, stopping
+// once the ring distance exceeds the best candidate.
+func (g *Index) NearestNeighbor(q geom.Point) (Item, bool) {
+	if g.size == 0 {
+		return Item{}, false
+	}
+	qx := g.clampIx(int((q.X - g.bounds.MinX) / g.cw))
+	qy := g.clampIy(int((q.Y - g.bounds.MinY) / g.ch))
+	best := Item{}
+	bestD := math.Inf(1)
+	found := false
+	maxRing := g.nx + g.ny
+	for ring := 0; ring <= maxRing; ring++ {
+		// Once a candidate exists, stop when the nearest possible point in
+		// this ring is farther than the candidate.
+		if found {
+			ringDist := float64(ring-1) * math.Min(g.cw, g.ch)
+			if ringDist > 0 && ringDist*ringDist > bestD {
+				break
+			}
+		}
+		for iy := qy - ring; iy <= qy+ring; iy++ {
+			if iy < 0 || iy >= g.ny {
+				continue
+			}
+			for ix := qx - ring; ix <= qx+ring; ix++ {
+				if ix < 0 || ix >= g.nx {
+					continue
+				}
+				// Ring boundary only (interior was scanned earlier).
+				if ring > 0 && ix != qx-ring && ix != qx+ring && iy != qy-ring && iy != qy+ring {
+					continue
+				}
+				for _, it := range g.cells[iy*g.nx+ix] {
+					if d := q.Dist2(it.Point); d < bestD {
+						best, bestD, found = it, d, true
+					}
+				}
+			}
+		}
+	}
+	return best, found
+}

@@ -1,0 +1,142 @@
+package grid
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func unitBounds() geom.Rect { return geom.NewRect(0, 0, 1, 1) }
+
+func randomItems(rng *rand.Rand, n int) []Item {
+	items := make([]Item, n)
+	for i := range items {
+		items[i] = Item{ID: int64(i), Point: geom.Pt(rng.Float64(), rng.Float64())}
+	}
+	return items
+}
+
+func TestEmpty(t *testing.T) {
+	g := New(unitBounds(), nil, 8)
+	if g.Len() != 0 {
+		t.Error("empty grid Len != 0")
+	}
+	if _, ok := g.NearestNeighbor(geom.Pt(0.5, 0.5)); ok {
+		t.Error("NN on empty grid should fail")
+	}
+	count := 0
+	g.Search(unitBounds(), func(int64, geom.Point) bool { count++; return true })
+	if count != 0 {
+		t.Error("search on empty grid found items")
+	}
+}
+
+func TestSearchMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{1, 3, 50, 1000} {
+		items := randomItems(rng, n)
+		g := New(unitBounds(), items, 8)
+		for trial := 0; trial < 200; trial++ {
+			q := geom.NewRect(rng.Float64(), rng.Float64(), rng.Float64(), rng.Float64())
+			got := make(map[int64]bool)
+			g.Search(q, func(id int64, _ geom.Point) bool { got[id] = true; return true })
+			want := 0
+			for _, it := range items {
+				if q.ContainsPoint(it.Point) {
+					want++
+					if !got[it.ID] {
+						t.Fatalf("missing %d", it.ID)
+					}
+				}
+			}
+			if len(got) != want {
+				t.Fatalf("got %d, want %d", len(got), want)
+			}
+		}
+	}
+}
+
+func TestNearestNeighborMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	items := randomItems(rng, 800)
+	g := New(unitBounds(), items, 8)
+	for trial := 0; trial < 500; trial++ {
+		q := geom.Pt(rng.Float64()*1.6-0.3, rng.Float64()*1.6-0.3)
+		got, ok := g.NearestNeighbor(q)
+		if !ok {
+			t.Fatal("NN failed")
+		}
+		wantD := math.Inf(1)
+		for _, it := range items {
+			if d := q.Dist2(it.Point); d < wantD {
+				wantD = d
+			}
+		}
+		if q.Dist2(got.Point) != wantD {
+			t.Fatalf("NN dist %v, want %v", q.Dist2(got.Point), wantD)
+		}
+	}
+}
+
+func TestPointsOutsideBoundsAreClamped(t *testing.T) {
+	items := []Item{
+		{1, geom.Pt(-5, -5)},
+		{2, geom.Pt(5, 5)},
+		{3, geom.Pt(0.5, 0.5)},
+	}
+	g := New(unitBounds(), items, 2)
+	if g.Len() != 3 {
+		t.Error("clamped points should still be stored")
+	}
+	// They must be findable via queries covering their true coordinates.
+	got := make(map[int64]bool)
+	g.Search(geom.NewRect(-10, -10, 10, 10), func(id int64, _ geom.Point) bool { got[id] = true; return true })
+	if len(got) != 3 {
+		t.Errorf("found %v, want all 3", got)
+	}
+}
+
+func TestSingleCellDegenerate(t *testing.T) {
+	// Zero-extent bounds: everything lands in one cell, queries still work.
+	items := []Item{{1, geom.Pt(2, 3)}, {2, geom.Pt(2, 3)}}
+	g := New(geom.NewRect(2, 3, 2, 3), items, 8)
+	count := 0
+	g.Search(geom.NewRect(0, 0, 5, 5), func(int64, geom.Point) bool { count++; return true })
+	if count != 2 {
+		t.Errorf("found %d, want 2", count)
+	}
+	if it, ok := g.NearestNeighbor(geom.Pt(0, 0)); !ok || it.Point != geom.Pt(2, 3) {
+		t.Error("NN in degenerate grid failed")
+	}
+}
+
+func TestEarlyStop(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := New(unitBounds(), randomItems(rng, 400), 8)
+	calls := 0
+	g.Search(unitBounds(), func(int64, geom.Point) bool { calls++; return false })
+	if calls != 1 {
+		t.Errorf("early stop after %d calls, want 1", calls)
+	}
+}
+
+func BenchmarkSearch(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	g := New(unitBounds(), randomItems(rng, 100_000), 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cx, cy := rng.Float64()*0.9, rng.Float64()*0.9
+		g.Search(geom.NewRect(cx, cy, cx+0.1, cy+0.1), func(int64, geom.Point) bool { return true })
+	}
+}
+
+func BenchmarkNearestNeighbor(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	g := New(unitBounds(), randomItems(rng, 100_000), 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.NearestNeighbor(geom.Pt(rng.Float64(), rng.Float64()))
+	}
+}

@@ -1,0 +1,101 @@
+// Package hilbert maps 2-D grid coordinates to positions along a Hilbert
+// space-filling curve and back.
+//
+// The curve is used as a spatial sort: points close on the curve are close
+// in the plane, which makes Hilbert order an excellent insertion order for
+// incremental Delaunay construction (near-linear walks between consecutive
+// insertions) and a good packing order for bulk-loaded R-trees.
+package hilbert
+
+// Order is the default curve order used by the helpers in this repository:
+// a 2^16 × 2^16 grid, giving 32-bit curve positions.
+const Order = 16
+
+// XYToD converts grid coordinates (x, y) in [0, 2^order) to the distance
+// along the Hilbert curve of the given order.
+func XYToD(order uint, x, y uint32) uint64 {
+	var rx, ry uint32
+	var d uint64
+	for s := uint32(1) << (order - 1); s > 0; s >>= 1 {
+		if x&s > 0 {
+			rx = 1
+		} else {
+			rx = 0
+		}
+		if y&s > 0 {
+			ry = 1
+		} else {
+			ry = 0
+		}
+		d += uint64(s) * uint64(s) * uint64((3*rx)^ry)
+		x, y = rot(s, x, y, rx, ry)
+	}
+	return d
+}
+
+// DToXY converts a distance along the Hilbert curve of the given order back
+// to grid coordinates. It is the inverse of XYToD.
+func DToXY(order uint, d uint64) (x, y uint32) {
+	t := d
+	for s := uint32(1); s < uint32(1)<<order; s <<= 1 {
+		rx := uint32(1) & uint32(t/2)
+		ry := uint32(1) & uint32(t^uint64(rx))
+		x, y = rot(s, x, y, rx, ry)
+		x += s * rx
+		y += s * ry
+		t /= 4
+	}
+	return x, y
+}
+
+// rot rotates/flips a quadrant appropriately.
+func rot(n, x, y, rx, ry uint32) (uint32, uint32) {
+	if ry == 0 {
+		if rx == 1 {
+			x = n - 1 - x
+			y = n - 1 - y
+		}
+		x, y = y, x
+	}
+	return x, y
+}
+
+// Scaler maps float64 coordinates in a bounding box onto Hilbert distances,
+// for sorting arbitrary planar point sets.
+type Scaler struct {
+	minX, minY   float64
+	spanX, spanY float64
+	order        uint
+	side         float64
+}
+
+// NewScaler returns a Scaler for points inside the box
+// [minX,maxX]×[minY,maxY]. Degenerate (zero-span) boxes are handled by
+// mapping the flat axis to 0.
+func NewScaler(minX, minY, maxX, maxY float64, order uint) *Scaler {
+	return &Scaler{
+		minX: minX, minY: minY,
+		spanX: maxX - minX, spanY: maxY - minY,
+		order: order,
+		side:  float64(uint64(1)<<order - 1),
+	}
+}
+
+// D returns the Hilbert distance of (x, y). Coordinates outside the box are
+// clamped.
+func (s *Scaler) D(x, y float64) uint64 {
+	return XYToD(s.order, s.grid(x, s.minX, s.spanX), s.grid(y, s.minY, s.spanY))
+}
+
+func (s *Scaler) grid(v, min, span float64) uint32 {
+	if span <= 0 {
+		return 0
+	}
+	f := (v - min) / span
+	if f < 0 {
+		f = 0
+	} else if f > 1 {
+		f = 1
+	}
+	return uint32(f * s.side)
+}

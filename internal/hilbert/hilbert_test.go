@@ -1,0 +1,118 @@
+package hilbert
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRoundTripExhaustiveSmallOrder(t *testing.T) {
+	const order = 4 // 16x16 grid, 256 cells
+	seen := make(map[uint64]bool)
+	for x := uint32(0); x < 1<<order; x++ {
+		for y := uint32(0); y < 1<<order; y++ {
+			d := XYToD(order, x, y)
+			if d >= 1<<(2*order) {
+				t.Fatalf("d out of range: (%d,%d) -> %d", x, y, d)
+			}
+			if seen[d] {
+				t.Fatalf("duplicate curve position %d for (%d,%d)", d, x, y)
+			}
+			seen[d] = true
+			gx, gy := DToXY(order, d)
+			if gx != x || gy != y {
+				t.Fatalf("round trip (%d,%d) -> %d -> (%d,%d)", x, y, d, gx, gy)
+			}
+		}
+	}
+	if len(seen) != 1<<(2*order) {
+		t.Fatalf("curve not a bijection: %d distinct positions", len(seen))
+	}
+}
+
+func TestCurveContinuity(t *testing.T) {
+	// Consecutive curve positions must be 4-neighbors on the grid: the
+	// defining property of a Hilbert curve.
+	const order = 5
+	px, py := DToXY(order, 0)
+	for d := uint64(1); d < 1<<(2*order); d++ {
+		x, y := DToXY(order, d)
+		dx := int64(x) - int64(px)
+		dy := int64(y) - int64(py)
+		if dx*dx+dy*dy != 1 {
+			t.Fatalf("curve jump at d=%d: (%d,%d) -> (%d,%d)", d, px, py, x, y)
+		}
+		px, py = x, y
+	}
+}
+
+func TestRoundTripPropertyOrder16(t *testing.T) {
+	f := func(x, y uint32) bool {
+		x %= 1 << Order
+		y %= 1 << Order
+		gx, gy := DToXY(Order, XYToD(Order, x, y))
+		return gx == x && gy == y
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestScalerClamps(t *testing.T) {
+	s := NewScaler(0, 0, 1, 1, Order)
+	inside := s.D(0.5, 0.5)
+	if lo := s.D(-10, 0.5); lo == inside {
+		t.Error("clamped low x should map to a corner column, not center")
+	}
+	// Out-of-range values must not panic and must clamp to the box.
+	if got, want := s.D(-5, -5), s.D(0, 0); got != want {
+		t.Errorf("clamp below: got %d, want %d", got, want)
+	}
+	if got, want := s.D(5, 5), s.D(1, 1); got != want {
+		t.Errorf("clamp above: got %d, want %d", got, want)
+	}
+}
+
+func TestScalerDegenerateBox(t *testing.T) {
+	s := NewScaler(2, 3, 2, 3, Order) // zero-span box
+	if got := s.D(2, 3); got != 0 {
+		t.Errorf("degenerate box should map to 0, got %d", got)
+	}
+	if got := s.D(7, -4); got != 0 {
+		t.Errorf("degenerate box should map everything to 0, got %d", got)
+	}
+}
+
+func TestScalerLocality(t *testing.T) {
+	// Statistical sanity: for random nearby pairs, Hilbert distance should
+	// usually be smaller than for random far pairs.
+	s := NewScaler(0, 0, 1, 1, Order)
+	rng := rand.New(rand.NewSource(7))
+	nearWins := 0
+	const trials = 2000
+	for i := 0; i < trials; i++ {
+		x, y := rng.Float64()*0.9, rng.Float64()*0.9
+		dNear := absDiff(s.D(x, y), s.D(x+0.001, y+0.001))
+		fx, fy := rng.Float64(), rng.Float64()
+		dFar := absDiff(s.D(x, y), s.D(fx, fy))
+		if dNear <= dFar {
+			nearWins++
+		}
+	}
+	if frac := float64(nearWins) / trials; frac < 0.9 {
+		t.Errorf("near pairs closer on curve only %.1f%% of trials, want >= 90%%", frac*100)
+	}
+}
+
+func absDiff(a, b uint64) uint64 {
+	if a > b {
+		return a - b
+	}
+	return b - a
+}
+
+func BenchmarkXYToD(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		XYToD(Order, uint32(i)&0xffff, uint32(i>>8)&0xffff)
+	}
+}

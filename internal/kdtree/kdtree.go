@@ -1,0 +1,175 @@
+// Package kdtree implements a static 2-d tree over points (Bentley 1975),
+// bulk-built by median splitting, supporting rectangular range queries and
+// branch-and-bound nearest-neighbor search.
+//
+// It serves as an alternative filtering index in the area-query ablation
+// experiments; semantics match the R-tree used by the paper.
+package kdtree
+
+import (
+	"sort"
+
+	"repro/internal/geom"
+)
+
+// Item is a stored point with an identifier.
+type Item struct {
+	ID    int64
+	Point geom.Point
+}
+
+// Tree is an immutable 2-d tree. Build with New; safe for concurrent
+// readers.
+type Tree struct {
+	items []Item // reordered copy; tree structure is implicit (median layout)
+}
+
+// New builds a kd-tree over items. The input slice is copied.
+func New(items []Item) *Tree {
+	t := &Tree{items: append([]Item(nil), items...)}
+	t.build(0, len(t.items), 0)
+	return t
+}
+
+// Len returns the number of stored items.
+func (t *Tree) Len() int { return len(t.items) }
+
+// build recursively arranges items[lo:hi] so the median by the split axis
+// sits at the middle position.
+func (t *Tree) build(lo, hi, axis int) {
+	if hi-lo <= 1 {
+		return
+	}
+	mid := (lo + hi) / 2
+	t.selectMedian(lo, hi, mid, axis)
+	t.build(lo, mid, 1-axis)
+	t.build(mid+1, hi, 1-axis)
+}
+
+// selectMedian partially sorts items[lo:hi] so the k-th element is in
+// place by the axis coordinate (quickselect with fallback to full sort for
+// tiny ranges).
+func (t *Tree) selectMedian(lo, hi, k, axis int) {
+	key := func(it Item) float64 {
+		if axis == 0 {
+			return it.Point.X
+		}
+		return it.Point.Y
+	}
+	for hi-lo > 8 {
+		// Median-of-three pivot.
+		a, b, c := key(t.items[lo]), key(t.items[(lo+hi)/2]), key(t.items[hi-1])
+		pivot := a
+		if (a <= b && b <= c) || (c <= b && b <= a) {
+			pivot = b
+		} else if (a <= c && c <= b) || (b <= c && c <= a) {
+			pivot = c
+		}
+		i, j := lo, hi-1
+		for i <= j {
+			for key(t.items[i]) < pivot {
+				i++
+			}
+			for key(t.items[j]) > pivot {
+				j--
+			}
+			if i <= j {
+				t.items[i], t.items[j] = t.items[j], t.items[i]
+				i++
+				j--
+			}
+		}
+		switch {
+		case k <= j:
+			hi = j + 1
+		case k >= i:
+			lo = i
+		default:
+			return
+		}
+	}
+	sub := t.items[lo:hi]
+	sort.Slice(sub, func(x, y int) bool { return key(sub[x]) < key(sub[y]) })
+}
+
+// Search calls fn for every stored point inside the closed rectangle q;
+// fn returning false stops the search. It returns the number of tree nodes
+// (elements) visited.
+func (t *Tree) Search(q geom.Rect, fn func(id int64, p geom.Point) bool) int {
+	visited := 0
+	var rec func(lo, hi, axis int) bool
+	rec = func(lo, hi, axis int) bool {
+		if lo >= hi {
+			return true
+		}
+		mid := (lo + hi) / 2
+		it := t.items[mid]
+		visited++
+		var coord, min, max float64
+		if axis == 0 {
+			coord, min, max = it.Point.X, q.MinX, q.MaxX
+		} else {
+			coord, min, max = it.Point.Y, q.MinY, q.MaxY
+		}
+		if min <= coord {
+			if !rec(lo, mid, 1-axis) {
+				return false
+			}
+		}
+		if q.ContainsPoint(it.Point) {
+			if !fn(it.ID, it.Point) {
+				return false
+			}
+		}
+		if coord <= max {
+			if !rec(mid+1, hi, 1-axis) {
+				return false
+			}
+		}
+		return true
+	}
+	rec(0, len(t.items), 0)
+	return visited
+}
+
+// NearestNeighbor returns the stored point closest to q; ok is false for an
+// empty tree.
+func (t *Tree) NearestNeighbor(q geom.Point) (Item, bool) {
+	if len(t.items) == 0 {
+		return Item{}, false
+	}
+	best := t.items[0]
+	bestD := q.Dist2(best.Point)
+	var rec func(lo, hi, axis int)
+	rec = func(lo, hi, axis int) {
+		if lo >= hi {
+			return
+		}
+		mid := (lo + hi) / 2
+		it := t.items[mid]
+		if d := q.Dist2(it.Point); d < bestD {
+			best, bestD = it, d
+		}
+		var diff float64
+		if axis == 0 {
+			diff = q.X - it.Point.X
+		} else {
+			diff = q.Y - it.Point.Y
+		}
+		near, far := lo, mid
+		nearHi, farHi := mid, hi
+		if diff > 0 {
+			near, nearHi = mid+1, hi
+			far, farHi = lo, mid
+		} else {
+			near, nearHi = lo, mid
+			far, farHi = mid+1, hi
+		}
+		rec(near, nearHi, 1-axis)
+		if diff*diff < bestD {
+			rec(far, farHi, 1-axis)
+		}
+	}
+	rec(0, len(t.items), 0)
+	return best, true
+}

@@ -1,0 +1,150 @@
+package kdtree
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func randomItems(rng *rand.Rand, n int) []Item {
+	items := make([]Item, n)
+	for i := range items {
+		items[i] = Item{ID: int64(i), Point: geom.Pt(rng.Float64(), rng.Float64())}
+	}
+	return items
+}
+
+func TestEmpty(t *testing.T) {
+	tr := New(nil)
+	if tr.Len() != 0 {
+		t.Error("empty tree Len != 0")
+	}
+	if _, ok := tr.NearestNeighbor(geom.Pt(0, 0)); ok {
+		t.Error("NN on empty tree should fail")
+	}
+	count := 0
+	tr.Search(geom.NewRect(0, 0, 1, 1), func(int64, geom.Point) bool { count++; return true })
+	if count != 0 {
+		t.Error("search on empty tree found items")
+	}
+}
+
+func TestSearchMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{1, 2, 7, 64, 1000} {
+		items := randomItems(rng, n)
+		tr := New(items)
+		for trial := 0; trial < 200; trial++ {
+			q := geom.NewRect(rng.Float64(), rng.Float64(), rng.Float64(), rng.Float64())
+			got := make(map[int64]bool)
+			tr.Search(q, func(id int64, _ geom.Point) bool { got[id] = true; return true })
+			want := 0
+			for _, it := range items {
+				if q.ContainsPoint(it.Point) {
+					want++
+					if !got[it.ID] {
+						t.Fatalf("n=%d: missing item %d in %v", n, it.ID, q)
+					}
+				}
+			}
+			if len(got) != want {
+				t.Fatalf("n=%d: got %d, want %d", n, len(got), want)
+			}
+		}
+	}
+}
+
+func TestSearchBoundaryInclusive(t *testing.T) {
+	items := []Item{
+		{1, geom.Pt(0, 0)}, {2, geom.Pt(1, 1)}, {3, geom.Pt(0.5, 1)}, {4, geom.Pt(1.0001, 0.5)},
+	}
+	tr := New(items)
+	got := make(map[int64]bool)
+	tr.Search(geom.NewRect(0, 0, 1, 1), func(id int64, _ geom.Point) bool { got[id] = true; return true })
+	if !got[1] || !got[2] || !got[3] || got[4] {
+		t.Errorf("boundary semantics wrong: %v", got)
+	}
+}
+
+func TestSearchEarlyStop(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	tr := New(randomItems(rng, 500))
+	calls := 0
+	tr.Search(geom.NewRect(0, 0, 1, 1), func(int64, geom.Point) bool { calls++; return calls < 5 })
+	if calls != 5 {
+		t.Errorf("early stop after %d calls", calls)
+	}
+}
+
+func TestNearestNeighborMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, n := range []int{1, 2, 10, 500} {
+		items := randomItems(rng, n)
+		tr := New(items)
+		for trial := 0; trial < 300; trial++ {
+			q := geom.Pt(rng.Float64()*1.4-0.2, rng.Float64()*1.4-0.2)
+			got, ok := tr.NearestNeighbor(q)
+			if !ok {
+				t.Fatal("NN failed")
+			}
+			wantD := math.Inf(1)
+			for _, it := range items {
+				if d := q.Dist2(it.Point); d < wantD {
+					wantD = d
+				}
+			}
+			if q.Dist2(got.Point) != wantD {
+				t.Fatalf("n=%d: NN dist %v, want %v", n, q.Dist2(got.Point), wantD)
+			}
+		}
+	}
+}
+
+func TestDuplicatePoints(t *testing.T) {
+	p := geom.Pt(0.5, 0.5)
+	items := make([]Item, 20)
+	for i := range items {
+		items[i] = Item{ID: int64(i), Point: p}
+	}
+	tr := New(items)
+	count := 0
+	tr.Search(geom.NewRect(0.5, 0.5, 0.5, 0.5), func(int64, geom.Point) bool { count++; return true })
+	if count != 20 {
+		t.Errorf("found %d duplicates, want 20", count)
+	}
+	if got, ok := tr.NearestNeighbor(geom.Pt(0, 0)); !ok || got.Point != p {
+		t.Error("NN among duplicates failed")
+	}
+}
+
+func TestInputNotModified(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	items := randomItems(rng, 100)
+	snapshot := append([]Item(nil), items...)
+	New(items)
+	for i := range items {
+		if items[i] != snapshot[i] {
+			t.Fatal("New modified the input slice")
+		}
+	}
+}
+
+func BenchmarkBuild100k(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	items := randomItems(rng, 100_000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		New(items)
+	}
+}
+
+func BenchmarkNearestNeighbor(b *testing.B) {
+	rng := rand.New(rand.NewSource(6))
+	tr := New(randomItems(rng, 100_000))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.NearestNeighbor(geom.Pt(rng.Float64(), rng.Float64()))
+	}
+}

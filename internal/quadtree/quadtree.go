@@ -1,0 +1,190 @@
+// Package quadtree implements a point-region (PR) quadtree (Samet 1984)
+// with bucketed leaves, supporting insertion, rectangular range queries and
+// best-first nearest-neighbor search.
+//
+// It serves as an alternative filtering index in the area-query ablation
+// experiments.
+package quadtree
+
+import (
+	"container/heap"
+
+	"repro/internal/geom"
+)
+
+// DefaultBucketSize is the leaf capacity used when NewTree receives a
+// non-positive bucket size.
+const DefaultBucketSize = 16
+
+// Item is a stored point with an identifier.
+type Item struct {
+	ID    int64
+	Point geom.Point
+}
+
+// Tree is a PR quadtree covering a fixed square region. Points outside the
+// region are rejected by Insert.
+type Tree struct {
+	root   *qnode
+	bounds geom.Rect
+	bucket int
+	size   int
+}
+
+type qnode struct {
+	bounds   geom.Rect
+	items    []Item    // leaf payload
+	children *[4]qnode // nil for leaves
+	depth    int
+}
+
+// maxDepth bounds subdivision so coincident points cannot recurse forever.
+const maxDepth = 48
+
+// NewTree returns an empty quadtree covering bounds.
+func NewTree(bounds geom.Rect, bucketSize int) *Tree {
+	if bucketSize <= 0 {
+		bucketSize = DefaultBucketSize
+	}
+	return &Tree{root: &qnode{bounds: bounds}, bounds: bounds, bucket: bucketSize}
+}
+
+// Len returns the number of stored points.
+func (t *Tree) Len() int { return t.size }
+
+// Bounds returns the covered region.
+func (t *Tree) Bounds() geom.Rect { return t.bounds }
+
+// Insert adds a point. It reports false (and stores nothing) when p is
+// outside the tree bounds.
+func (t *Tree) Insert(id int64, p geom.Point) bool {
+	if !t.bounds.ContainsPoint(p) {
+		return false
+	}
+	n := t.root
+	for n.children != nil {
+		n = &n.children[quadrant(n.bounds, p)]
+	}
+	n.items = append(n.items, Item{ID: id, Point: p})
+	t.size++
+	if len(n.items) > t.bucket && n.depth < maxDepth {
+		t.split(n)
+	}
+	return true
+}
+
+func (t *Tree) split(n *qnode) {
+	cx, cy := n.bounds.Center().X, n.bounds.Center().Y
+	var ch [4]qnode
+	ch[0] = qnode{bounds: geom.Rect{MinX: n.bounds.MinX, MinY: n.bounds.MinY, MaxX: cx, MaxY: cy}, depth: n.depth + 1}
+	ch[1] = qnode{bounds: geom.Rect{MinX: cx, MinY: n.bounds.MinY, MaxX: n.bounds.MaxX, MaxY: cy}, depth: n.depth + 1}
+	ch[2] = qnode{bounds: geom.Rect{MinX: n.bounds.MinX, MinY: cy, MaxX: cx, MaxY: n.bounds.MaxY}, depth: n.depth + 1}
+	ch[3] = qnode{bounds: geom.Rect{MinX: cx, MinY: cy, MaxX: n.bounds.MaxX, MaxY: n.bounds.MaxY}, depth: n.depth + 1}
+	items := n.items
+	n.items = nil
+	n.children = &ch
+	for _, it := range items {
+		c := &ch[quadrant(n.bounds, it.Point)]
+		c.items = append(c.items, it)
+	}
+	// A child may still overflow (clustered points); recurse.
+	for i := range ch {
+		if len(ch[i].items) > t.bucket && ch[i].depth < maxDepth {
+			t.split(&ch[i])
+		}
+	}
+}
+
+// quadrant picks the child index for p: 0=SW 1=SE 2=NW 3=NE, with points on
+// the center lines going east/north.
+func quadrant(b geom.Rect, p geom.Point) int {
+	c := b.Center()
+	q := 0
+	if p.X >= c.X {
+		q |= 1
+	}
+	if p.Y >= c.Y {
+		q |= 2
+	}
+	return q
+}
+
+// Search calls fn for every stored point inside the closed rectangle q; fn
+// returning false stops the search. It returns the number of tree nodes
+// visited.
+func (t *Tree) Search(q geom.Rect, fn func(id int64, p geom.Point) bool) int {
+	visited := 0
+	var rec func(n *qnode) bool
+	rec = func(n *qnode) bool {
+		visited++
+		if n.children != nil {
+			for i := range n.children {
+				c := &n.children[i]
+				if q.Intersects(c.bounds) {
+					if !rec(c) {
+						return false
+					}
+				}
+			}
+			return true
+		}
+		for _, it := range n.items {
+			if q.ContainsPoint(it.Point) {
+				if !fn(it.ID, it.Point) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	rec(t.root)
+	return visited
+}
+
+type nnEntry struct {
+	dist2 float64
+	node  *qnode
+	item  Item
+	leafI bool
+}
+
+type nnHeap []nnEntry
+
+func (h nnHeap) Len() int            { return len(h) }
+func (h nnHeap) Less(i, j int) bool  { return h[i].dist2 < h[j].dist2 }
+func (h nnHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *nnHeap) Push(x interface{}) { *h = append(*h, x.(nnEntry)) }
+func (h *nnHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// NearestNeighbor returns the stored point closest to q; ok is false for an
+// empty tree.
+func (t *Tree) NearestNeighbor(q geom.Point) (Item, bool) {
+	if t.size == 0 {
+		return Item{}, false
+	}
+	h := nnHeap{{dist2: t.root.bounds.Dist2Point(q), node: t.root}}
+	for len(h) > 0 {
+		e := heap.Pop(&h).(nnEntry)
+		if e.leafI {
+			return e.item, true
+		}
+		n := e.node
+		if n.children != nil {
+			for i := range n.children {
+				c := &n.children[i]
+				heap.Push(&h, nnEntry{dist2: c.bounds.Dist2Point(q), node: c})
+			}
+			continue
+		}
+		for _, it := range n.items {
+			heap.Push(&h, nnEntry{dist2: q.Dist2(it.Point), item: it, leafI: true})
+		}
+	}
+	return Item{}, false
+}

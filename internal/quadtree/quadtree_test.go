@@ -1,0 +1,140 @@
+package quadtree
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func unitBounds() geom.Rect { return geom.NewRect(0, 0, 1, 1) }
+
+func buildRandom(rng *rand.Rand, n int) (*Tree, []Item) {
+	tr := NewTree(unitBounds(), 8)
+	items := make([]Item, 0, n)
+	for i := 0; i < n; i++ {
+		it := Item{ID: int64(i), Point: geom.Pt(rng.Float64(), rng.Float64())}
+		if tr.Insert(it.ID, it.Point) {
+			items = append(items, it)
+		}
+	}
+	return tr, items
+}
+
+func TestInsertOutsideBounds(t *testing.T) {
+	tr := NewTree(unitBounds(), 4)
+	if tr.Insert(1, geom.Pt(2, 2)) {
+		t.Error("insert outside bounds should fail")
+	}
+	if tr.Len() != 0 {
+		t.Error("failed insert changed size")
+	}
+	if !tr.Insert(2, geom.Pt(1, 1)) {
+		t.Error("boundary point should insert")
+	}
+}
+
+func TestSearchMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{0, 1, 9, 100, 2000} {
+		tr, items := buildRandom(rng, n)
+		if tr.Len() != len(items) {
+			t.Fatalf("Len=%d items=%d", tr.Len(), len(items))
+		}
+		for trial := 0; trial < 100; trial++ {
+			q := geom.NewRect(rng.Float64(), rng.Float64(), rng.Float64(), rng.Float64())
+			got := make(map[int64]bool)
+			tr.Search(q, func(id int64, _ geom.Point) bool { got[id] = true; return true })
+			want := 0
+			for _, it := range items {
+				if q.ContainsPoint(it.Point) {
+					want++
+					if !got[it.ID] {
+						t.Fatalf("missing item %d", it.ID)
+					}
+				}
+			}
+			if len(got) != want {
+				t.Fatalf("got %d, want %d", len(got), want)
+			}
+		}
+	}
+}
+
+func TestNearestNeighborMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	tr, items := buildRandom(rng, 1000)
+	for trial := 0; trial < 500; trial++ {
+		q := geom.Pt(rng.Float64()*1.4-0.2, rng.Float64()*1.4-0.2)
+		got, ok := tr.NearestNeighbor(q)
+		if !ok {
+			t.Fatal("NN failed")
+		}
+		wantD := math.Inf(1)
+		for _, it := range items {
+			if d := q.Dist2(it.Point); d < wantD {
+				wantD = d
+			}
+		}
+		if q.Dist2(got.Point) != wantD {
+			t.Fatalf("NN dist %v, want %v", q.Dist2(got.Point), wantD)
+		}
+	}
+}
+
+func TestCoincidentPointsDoNotRecurseForever(t *testing.T) {
+	tr := NewTree(unitBounds(), 2)
+	p := geom.Pt(0.3, 0.7)
+	for i := int64(0); i < 100; i++ {
+		if !tr.Insert(i, p) {
+			t.Fatal("insert failed")
+		}
+	}
+	if tr.Len() != 100 {
+		t.Errorf("Len = %d", tr.Len())
+	}
+	count := 0
+	tr.Search(geom.NewRect(0.3, 0.7, 0.3, 0.7), func(int64, geom.Point) bool { count++; return true })
+	if count != 100 {
+		t.Errorf("found %d coincident points, want 100", count)
+	}
+}
+
+func TestSearchEarlyStop(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	tr, _ := buildRandom(rng, 300)
+	calls := 0
+	tr.Search(unitBounds(), func(int64, geom.Point) bool { calls++; return calls < 7 })
+	if calls != 7 {
+		t.Errorf("early stop after %d calls", calls)
+	}
+}
+
+func TestEmptyTreeNN(t *testing.T) {
+	tr := NewTree(unitBounds(), 4)
+	if _, ok := tr.NearestNeighbor(geom.Pt(0.5, 0.5)); ok {
+		t.Error("NN on empty tree should fail")
+	}
+}
+
+func BenchmarkInsert(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	tr := NewTree(unitBounds(), 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Insert(int64(i), geom.Pt(rng.Float64(), rng.Float64()))
+	}
+}
+
+func BenchmarkNearestNeighbor(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	tr := NewTree(unitBounds(), 16)
+	for i := 0; i < 100_000; i++ {
+		tr.Insert(int64(i), geom.Pt(rng.Float64(), rng.Float64()))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.NearestNeighbor(geom.Pt(rng.Float64(), rng.Float64()))
+	}
+}

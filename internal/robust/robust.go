@@ -1,0 +1,157 @@
+// Package robust implements exact geometric predicates.
+//
+// The two predicates that decide planar topology — orientation of a point
+// triple and the in-circle test — must never be wrong, or incremental
+// Delaunay construction corrupts its own invariants. Plain float64
+// evaluation is wrong exactly when it matters: when the determinant is close
+// to zero.
+//
+// Each predicate is evaluated in two stages, following the structure of
+// Shewchuk's adaptive predicates:
+//
+//  1. A fast float64 evaluation with a conservative forward error bound. If
+//     the magnitude of the result exceeds the bound, its sign is trusted.
+//  2. Otherwise the determinant is recomputed exactly with math/big.Rat.
+//     float64 → Rat conversion is lossless, so the fallback is exact.
+//
+// For uniformly random inputs the fallback triggers almost never, so the
+// amortized cost is a handful of multiplications per call.
+package robust
+
+import "math/big"
+
+// Error-bound coefficients. Derived the same way as Shewchuk's: each is
+// (k + c·epsilon)·epsilon for a small constant, rounded up generously. They
+// only need to be conservative (too large merely causes a needless exact
+// evaluation).
+const (
+	epsilon = 2.220446049250313e-16 // 2^-52
+
+	ccwErrBound      = (3.0 + 16.0*epsilon) * epsilon
+	inCircleErrBound = (10.0 + 96.0*epsilon) * epsilon
+)
+
+// Orient2D returns the sign of the (exact) signed area of triangle
+// (ax,ay)-(bx,by)-(cx,cy): +1 when the triple turns counterclockwise,
+// -1 when clockwise, 0 when collinear.
+func Orient2D(ax, ay, bx, by, cx, cy float64) int {
+	detLeft := (ax - cx) * (by - cy)
+	detRight := (ay - cy) * (bx - cx)
+	det := detLeft - detRight
+
+	var detSum float64
+	if detLeft > 0 {
+		if detRight <= 0 {
+			return sign(det)
+		}
+		detSum = detLeft + detRight
+	} else if detLeft < 0 {
+		if detRight >= 0 {
+			return sign(det)
+		}
+		detSum = -detLeft - detRight
+	} else {
+		return sign(det)
+	}
+
+	errBound := ccwErrBound * detSum
+	if det >= errBound || -det >= errBound {
+		return sign(det)
+	}
+	return orient2DExact(ax, ay, bx, by, cx, cy)
+}
+
+// InCircle returns the sign of the in-circle determinant: +1 when (dx,dy)
+// lies strictly inside the circumcircle of the counterclockwise triangle
+// (ax,ay)-(bx,by)-(cx,cy), -1 when strictly outside, 0 when cocircular.
+// If the triangle is clockwise the sign is flipped by the determinant
+// itself, as usual.
+func InCircle(ax, ay, bx, by, cx, cy, dx, dy float64) int {
+	adx := ax - dx
+	ady := ay - dy
+	bdx := bx - dx
+	bdy := by - dy
+	cdx := cx - dx
+	cdy := cy - dy
+
+	bdxcdy := bdx * cdy
+	cdxbdy := cdx * bdy
+	alift := adx*adx + ady*ady
+
+	cdxady := cdx * ady
+	adxcdy := adx * cdy
+	blift := bdx*bdx + bdy*bdy
+
+	adxbdy := adx * bdy
+	bdxady := bdx * ady
+	clift := cdx*cdx + cdy*cdy
+
+	det := alift*(bdxcdy-cdxbdy) + blift*(cdxady-adxcdy) + clift*(adxbdy-bdxady)
+
+	permanent := (abs(bdxcdy)+abs(cdxbdy))*alift +
+		(abs(cdxady)+abs(adxcdy))*blift +
+		(abs(adxbdy)+abs(bdxady))*clift
+	errBound := inCircleErrBound * permanent
+	if det > errBound || -det > errBound {
+		return sign(det)
+	}
+	return inCircleExact(ax, ay, bx, by, cx, cy, dx, dy)
+}
+
+func sign(x float64) int {
+	switch {
+	case x > 0:
+		return 1
+	case x < 0:
+		return -1
+	default:
+		return 0
+	}
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// rat converts a float64 to an exact rational. The conversion never loses
+// information because every finite float64 is a dyadic rational.
+func rat(x float64) *big.Rat { return new(big.Rat).SetFloat64(x) }
+
+func orient2DExact(ax, ay, bx, by, cx, cy float64) int {
+	// det = (ax-cx)(by-cy) - (ay-cy)(bx-cx), evaluated exactly.
+	acx := new(big.Rat).Sub(rat(ax), rat(cx))
+	bcy := new(big.Rat).Sub(rat(by), rat(cy))
+	acy := new(big.Rat).Sub(rat(ay), rat(cy))
+	bcx := new(big.Rat).Sub(rat(bx), rat(cx))
+
+	left := new(big.Rat).Mul(acx, bcy)
+	right := new(big.Rat).Mul(acy, bcx)
+	return left.Cmp(right)
+}
+
+func inCircleExact(ax, ay, bx, by, cx, cy, dx, dy float64) int {
+	adx := new(big.Rat).Sub(rat(ax), rat(dx))
+	ady := new(big.Rat).Sub(rat(ay), rat(dy))
+	bdx := new(big.Rat).Sub(rat(bx), rat(dx))
+	bdy := new(big.Rat).Sub(rat(by), rat(dy))
+	cdx := new(big.Rat).Sub(rat(cx), rat(dx))
+	cdy := new(big.Rat).Sub(rat(cy), rat(dy))
+
+	mul := func(a, b *big.Rat) *big.Rat { return new(big.Rat).Mul(a, b) }
+	sub := func(a, b *big.Rat) *big.Rat { return new(big.Rat).Sub(a, b) }
+	add := func(a, b *big.Rat) *big.Rat { return new(big.Rat).Add(a, b) }
+
+	alift := add(mul(adx, adx), mul(ady, ady))
+	blift := add(mul(bdx, bdx), mul(bdy, bdy))
+	clift := add(mul(cdx, cdx), mul(cdy, cdy))
+
+	bcdet := sub(mul(bdx, cdy), mul(cdx, bdy))
+	cadet := sub(mul(cdx, ady), mul(adx, cdy))
+	abdet := sub(mul(adx, bdy), mul(bdx, ady))
+
+	det := add(add(mul(alift, bcdet), mul(blift, cadet)), mul(clift, abdet))
+	return det.Sign()
+}

@@ -1,0 +1,63 @@
+package rtree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+// KNearest over extended (non-point) rectangles: MINDIST ordering must
+// hold for boxes too, including query points inside boxes (distance 0).
+func TestKNearestRectItems(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	items := randomRectItems(rng, 800)
+	tr := BulkLoad(items, 16)
+	for trial := 0; trial < 200; trial++ {
+		q := geom.Pt(rng.Float64(), rng.Float64())
+		got, _ := tr.KNearest(q, 12)
+		if len(got) != 12 {
+			t.Fatalf("got %d items", len(got))
+		}
+		dists := make([]float64, len(items))
+		for i, it := range items {
+			dists[i] = it.Rect.Dist2Point(q)
+		}
+		sort.Float64s(dists)
+		for i, it := range got {
+			if it.Rect.Dist2Point(q) != dists[i] {
+				t.Fatalf("trial %d rank %d: dist %v, want %v",
+					trial, i, it.Rect.Dist2Point(q), dists[i])
+			}
+		}
+	}
+}
+
+// Deletions down to and through the minimum fill of the root's children
+// must keep the tree queryable at every step.
+func TestDeleteShrinksRoot(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	tr := New(4) // tiny fan-out forces height quickly
+	items := randomPointItems(rng, 64)
+	for _, it := range items {
+		tr.Insert(it.ID, it.Rect)
+	}
+	startHeight := tr.Height()
+	if startHeight < 3 {
+		t.Fatalf("setup: height %d too small for the shrink test", startHeight)
+	}
+	for i, it := range items {
+		if !tr.Delete(it.ID, it.Rect) {
+			t.Fatalf("delete %d failed", it.ID)
+		}
+		remaining := len(items) - i - 1
+		got := collect(tr, geom.NewRect(0, 0, 1, 1))
+		if len(got) != remaining {
+			t.Fatalf("after %d deletes: %d findable, want %d", i+1, len(got), remaining)
+		}
+	}
+	if tr.Height() != 1 {
+		t.Errorf("empty tree height = %d, want 1", tr.Height())
+	}
+}

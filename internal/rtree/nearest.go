@@ -1,0 +1,77 @@
+package rtree
+
+import (
+	"container/heap"
+
+	"repro/internal/geom"
+)
+
+// nnEntry is a priority-queue element for best-first traversal: either a
+// node or a leaf item, ordered by MINDIST to the query point.
+type nnEntry struct {
+	dist2 float64
+	node  *node // nil for item entries
+	id    int64
+	rect  geom.Rect
+}
+
+type nnHeap []nnEntry
+
+func (h nnHeap) Len() int            { return len(h) }
+func (h nnHeap) Less(i, j int) bool  { return h[i].dist2 < h[j].dist2 }
+func (h nnHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *nnHeap) Push(x interface{}) { *h = append(*h, x.(nnEntry)) }
+func (h *nnHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// NearestNeighbor returns the stored item closest to q (by MINDIST of its
+// rectangle; for point data this is the true nearest point). ok is false
+// for an empty tree.
+func (t *Tree) NearestNeighbor(q geom.Point) (item Item, stats QueryStats, ok bool) {
+	items, st := t.KNearest(q, 1)
+	if len(items) == 0 {
+		return Item{}, st, false
+	}
+	return items[0], st, true
+}
+
+// KNearest returns up to k stored items in increasing distance from q,
+// using best-first search (Hjaltason & Samet). It also reports traversal
+// statistics.
+func (t *Tree) KNearest(q geom.Point, k int) ([]Item, QueryStats) {
+	var st QueryStats
+	if k <= 0 || t.size == 0 {
+		return nil, st
+	}
+	h := nnHeap{{dist2: t.root.bounds().Dist2Point(q), node: t.root}}
+	out := make([]Item, 0, k)
+	for len(h) > 0 {
+		e := heap.Pop(&h).(nnEntry)
+		if e.node == nil {
+			out = append(out, Item{ID: e.id, Rect: e.rect})
+			st.Results++
+			if len(out) == k {
+				return out, st
+			}
+			continue
+		}
+		n := e.node
+		st.NodesVisited++
+		if n.leaf {
+			for i, r := range n.rects {
+				st.EntriesScanned++
+				heap.Push(&h, nnEntry{dist2: r.Dist2Point(q), id: n.ids[i], rect: r})
+			}
+		} else {
+			for i, r := range n.rects {
+				heap.Push(&h, nnEntry{dist2: r.Dist2Point(q), node: n.children[i]})
+			}
+		}
+	}
+	return out, st
+}

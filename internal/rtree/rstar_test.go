@@ -1,0 +1,140 @@
+package rtree
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func TestRStarSearchMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{1, 17, 200, 2000} {
+		items := randomRectItems(rng, n)
+		tr := NewRStar(8)
+		for _, it := range items {
+			tr.Insert(it.ID, it.Rect)
+		}
+		if err := tr.Validate(true); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		for trial := 0; trial < 100; trial++ {
+			q := geom.NewRect(rng.Float64(), rng.Float64(), rng.Float64(), rng.Float64())
+			got := collect(tr, q)
+			want := bruteSearch(items, q)
+			if len(got) != len(want) {
+				t.Fatalf("n=%d: got %d, want %d", n, len(got), len(want))
+			}
+			for id := range want {
+				if !got[id] {
+					t.Fatalf("n=%d: missing %d", n, id)
+				}
+			}
+		}
+	}
+}
+
+func TestRStarNearestNeighbor(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	items := randomPointItems(rng, 1500)
+	tr := NewRStar(16)
+	for _, it := range items {
+		tr.Insert(it.ID, it.Rect)
+	}
+	for trial := 0; trial < 300; trial++ {
+		q := geom.Pt(rng.Float64(), rng.Float64())
+		got, _, ok := tr.NearestNeighbor(q)
+		if !ok {
+			t.Fatal("NN failed")
+		}
+		bestD := got.Rect.Dist2Point(q)
+		for _, it := range items {
+			if it.Rect.Dist2Point(q) < bestD {
+				t.Fatalf("NN suboptimal at %v", q)
+			}
+		}
+	}
+}
+
+func TestRStarDelete(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	items := randomPointItems(rng, 400)
+	tr := NewRStar(8)
+	for _, it := range items {
+		tr.Insert(it.ID, it.Rect)
+	}
+	for i, it := range items {
+		if !tr.Delete(it.ID, it.Rect) {
+			t.Fatalf("delete %d failed", it.ID)
+		}
+		if i%89 == 0 {
+			if err := tr.Validate(false); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if tr.Len() != 0 {
+		t.Errorf("Len = %d after deleting all", tr.Len())
+	}
+}
+
+func TestRStarPackingQuality(t *testing.T) {
+	// The R* split should produce meaningfully less node overlap than the
+	// quadratic split for uniformly random points: compare node visits on
+	// small window queries.
+	rng := rand.New(rand.NewSource(4))
+	items := randomPointItems(rng, 20000)
+	guttman := New(16)
+	rstar := NewRStar(16)
+	for _, it := range items {
+		guttman.Insert(it.ID, it.Rect)
+		rstar.Insert(it.ID, it.Rect)
+	}
+	var gNodes, sNodes int
+	for trial := 0; trial < 300; trial++ {
+		cx, cy := rng.Float64()*0.9, rng.Float64()*0.9
+		q := geom.NewRect(cx, cy, cx+0.05, cy+0.05)
+		gNodes += guttman.Search(q, func(int64, geom.Rect) bool { return true }).NodesVisited
+		sNodes += rstar.Search(q, func(int64, geom.Rect) bool { return true }).NodesVisited
+	}
+	t.Logf("node visits over 300 queries: guttman=%d rstar=%d", gNodes, sNodes)
+	if sNodes > gNodes {
+		t.Errorf("R* split visited more nodes (%d) than quadratic (%d)", sNodes, gNodes)
+	}
+}
+
+func TestRStarDuplicatePoints(t *testing.T) {
+	tr := NewRStar(4)
+	r := geom.NewRect(0.3, 0.3, 0.3, 0.3)
+	for i := int64(0); i < 40; i++ {
+		tr.Insert(i, r)
+	}
+	if err := tr.Validate(true); err != nil {
+		t.Fatal(err)
+	}
+	if got := collect(tr, r); len(got) != 40 {
+		t.Errorf("found %d, want 40", len(got))
+	}
+}
+
+func BenchmarkInsertRStar(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	tr := NewRStar(16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Insert(int64(i), geom.NewRect(rng.Float64(), rng.Float64(), rng.Float64(), rng.Float64()))
+	}
+}
+
+func BenchmarkWindowQueryRStar(b *testing.B) {
+	rng := rand.New(rand.NewSource(6))
+	tr := NewRStar(16)
+	for i := 0; i < 100_000; i++ {
+		tr.Insert(int64(i), geom.NewRect(rng.Float64(), rng.Float64(), rng.Float64(), rng.Float64()))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cx, cy := rng.Float64()*0.9, rng.Float64()*0.9
+		tr.Search(geom.NewRect(cx, cy, cx+0.1, cy+0.1), func(int64, geom.Rect) bool { return true })
+	}
+}

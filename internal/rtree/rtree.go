@@ -1,0 +1,424 @@
+// Package rtree implements a dynamic R-tree (Guttman 1984) with quadratic
+// node splitting, STR bulk loading, window (range) queries, deletion and
+// best-first nearest-neighbor search.
+//
+// This is the index both area-query methods share, exactly as in the paper:
+// the traditional method issues a window query with the query polygon's
+// MBR, and the Voronoi method issues one nearest-neighbor query to obtain
+// its seed. Per-query instrumentation (nodes visited, entries scanned) is
+// reported so the filtering cost of the two methods can be compared.
+package rtree
+
+import (
+	"fmt"
+
+	"repro/internal/geom"
+)
+
+// Default fan-out parameters. MinFill follows Guttman's 40% guideline.
+const (
+	DefaultMaxEntries = 16
+	DefaultMinEntries = 6
+)
+
+// Item is a stored spatial object: an identifier and its bounding
+// rectangle. Points are stored as degenerate rectangles.
+type Item struct {
+	ID   int64
+	Rect geom.Rect
+}
+
+// Tree is an R-tree. The zero value is not usable; construct with New or
+// BulkLoad. Not safe for concurrent mutation; concurrent readers are safe
+// in the absence of writers.
+type Tree struct {
+	root       *node
+	size       int
+	maxEntries int
+	minEntries int
+	rstar      bool // use R* split and choose-subtree (see NewRStar)
+}
+
+type node struct {
+	leaf     bool
+	rects    []geom.Rect // bounding rect per slot
+	ids      []int64     // leaf payloads (leaf only)
+	children []*node     // child pointers (internal only)
+}
+
+func (n *node) bounds() geom.Rect {
+	r := geom.EmptyRect()
+	for _, c := range n.rects {
+		r = r.Union(c)
+	}
+	return r
+}
+
+func (n *node) count() int { return len(n.rects) }
+
+// New returns an empty tree with the given fan-out; maxEntries < 4 or an
+// invalid min is replaced by defaults.
+func New(maxEntries int) *Tree {
+	if maxEntries < 4 {
+		maxEntries = DefaultMaxEntries
+	}
+	min := maxEntries * 2 / 5
+	if min < 2 {
+		min = 2
+	}
+	return &Tree{
+		root:       &node{leaf: true},
+		maxEntries: maxEntries,
+		minEntries: min,
+	}
+}
+
+// Len returns the number of stored items.
+func (t *Tree) Len() int { return t.size }
+
+// Height returns the height of the tree (1 for a root-only tree).
+func (t *Tree) Height() int {
+	h := 1
+	for n := t.root; !n.leaf; n = n.children[0] {
+		h++
+	}
+	return h
+}
+
+// Bounds returns the bounding rectangle of all stored items.
+func (t *Tree) Bounds() geom.Rect { return t.root.bounds() }
+
+// Insert adds an item to the tree.
+func (t *Tree) Insert(id int64, r geom.Rect) {
+	t.insertItem(id, r)
+	t.size++
+}
+
+// insertItem places the item without adjusting size (shared by Insert and
+// the Delete condense pass, which re-homes items that were never removed).
+func (t *Tree) insertItem(id int64, r geom.Rect) {
+	if sib := t.insertRec(t.root, id, r); sib != nil {
+		old := t.root
+		t.root = &node{
+			leaf:     false,
+			rects:    []geom.Rect{old.bounds(), sib.bounds()},
+			children: []*node{old, sib},
+		}
+	}
+}
+
+// insertRec descends to the least-enlargement leaf, inserts, and propagates
+// splits back up the recursion; it returns the new sibling when n split.
+func (t *Tree) insertRec(n *node, id int64, r geom.Rect) *node {
+	if n.leaf {
+		n.rects = append(n.rects, r)
+		n.ids = append(n.ids, id)
+	} else {
+		var i int
+		if t.rstar {
+			i = t.rstarChoosePath(n, r)
+		} else {
+			i = t.choosePath(n, r)
+		}
+		if sib := t.insertRec(n.children[i], id, r); sib != nil {
+			n.rects[i] = n.children[i].bounds()
+			n.rects = append(n.rects, sib.bounds())
+			n.children = append(n.children, sib)
+		} else {
+			n.rects[i] = n.rects[i].Union(r)
+		}
+	}
+	if n.count() > t.maxEntries {
+		if t.rstar {
+			return t.rstarSplit(n)
+		}
+		return t.splitNode(n)
+	}
+	return nil
+}
+
+// choosePath picks the child of n that needs least enlargement to include
+// r, breaking ties by smaller area.
+func (t *Tree) choosePath(n *node, r geom.Rect) int {
+	best := 0
+	bestEnl := n.rects[0].Enlargement(r)
+	bestArea := n.rects[0].Area()
+	for i := 1; i < len(n.rects); i++ {
+		enl := n.rects[i].Enlargement(r)
+		area := n.rects[i].Area()
+		if enl < bestEnl || (enl == bestEnl && area < bestArea) {
+			best, bestEnl, bestArea = i, enl, area
+		}
+	}
+	return best
+}
+
+// splitNode splits an overflowing node in place using Guttman's quadratic
+// split and returns the new sibling.
+func (t *Tree) splitNode(n *node) *node {
+	seedA, seedB := quadraticSeeds(n.rects)
+
+	// Move all slots out, then redistribute.
+	rects := n.rects
+	ids := n.ids
+	children := n.children
+	n.rects = nil
+	n.ids = nil
+	n.children = nil
+
+	sib := &node{leaf: n.leaf}
+	assign := func(dst *node, i int) {
+		dst.rects = append(dst.rects, rects[i])
+		if n.leaf {
+			dst.ids = append(dst.ids, ids[i])
+		} else {
+			dst.children = append(dst.children, children[i])
+		}
+	}
+	assign(n, seedA)
+	assign(sib, seedB)
+	boundsA := rects[seedA]
+	boundsB := rects[seedB]
+
+	remaining := make([]int, 0, len(rects)-2)
+	for i := range rects {
+		if i != seedA && i != seedB {
+			remaining = append(remaining, i)
+		}
+	}
+	for len(remaining) > 0 {
+		// Force-assign if one group must absorb the rest to reach min fill.
+		if n.count()+len(remaining) == t.minEntries {
+			for _, i := range remaining {
+				assign(n, i)
+				boundsA = boundsA.Union(rects[i])
+			}
+			break
+		}
+		if sib.count()+len(remaining) == t.minEntries {
+			for _, i := range remaining {
+				assign(sib, i)
+				boundsB = boundsB.Union(rects[i])
+			}
+			break
+		}
+		// Pick the entry with the strongest preference.
+		bestIdx, bestDiff, bestPos := -1, -1.0, 0
+		for pos, i := range remaining {
+			dA := boundsA.Enlargement(rects[i])
+			dB := boundsB.Enlargement(rects[i])
+			diff := dA - dB
+			if diff < 0 {
+				diff = -diff
+			}
+			if diff > bestDiff {
+				bestIdx, bestDiff, bestPos = i, diff, pos
+			}
+		}
+		i := bestIdx
+		remaining = append(remaining[:bestPos], remaining[bestPos+1:]...)
+		dA := boundsA.Enlargement(rects[i])
+		dB := boundsB.Enlargement(rects[i])
+		toA := dA < dB
+		if dA == dB {
+			if a, b := boundsA.Area(), boundsB.Area(); a != b {
+				toA = a < b
+			} else {
+				toA = n.count() <= sib.count()
+			}
+		}
+		if toA {
+			assign(n, i)
+			boundsA = boundsA.Union(rects[i])
+		} else {
+			assign(sib, i)
+			boundsB = boundsB.Union(rects[i])
+		}
+	}
+	return sib
+}
+
+// quadraticSeeds returns the pair of rect indices wasting the most area if
+// grouped together.
+func quadraticSeeds(rects []geom.Rect) (int, int) {
+	a, b := 0, 1
+	worst := -1.0
+	for i := 0; i < len(rects); i++ {
+		for j := i + 1; j < len(rects); j++ {
+			waste := rects[i].Union(rects[j]).Area() - rects[i].Area() - rects[j].Area()
+			if waste > worst {
+				worst, a, b = waste, i, j
+			}
+		}
+	}
+	return a, b
+}
+
+// QueryStats reports the work an index operation performed.
+type QueryStats struct {
+	NodesVisited   int // tree nodes touched
+	EntriesScanned int // leaf entries tested against the query
+	Results        int // matches reported
+}
+
+// Search calls fn for every item whose rectangle intersects query; fn
+// returning false stops the search. It returns traversal statistics.
+func (t *Tree) Search(query geom.Rect, fn func(id int64, r geom.Rect) bool) QueryStats {
+	var st QueryStats
+	t.search(t.root, query, fn, &st)
+	return st
+}
+
+func (t *Tree) search(n *node, query geom.Rect, fn func(int64, geom.Rect) bool, st *QueryStats) bool {
+	st.NodesVisited++
+	if n.leaf {
+		for i, r := range n.rects {
+			st.EntriesScanned++
+			if query.Intersects(r) {
+				st.Results++
+				if !fn(n.ids[i], r) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	for i, r := range n.rects {
+		if query.Intersects(r) {
+			if !t.search(n.children[i], query, fn, st) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Delete removes one item with the given id and rectangle. It reports
+// whether an item was removed. Underflowing nodes are condensed and their
+// orphaned entries reinserted (Guttman's CondenseTree).
+func (t *Tree) Delete(id int64, r geom.Rect) bool {
+	var orphans []Item
+	var orphanSubtrees []*node
+	removed := t.deleteRec(t.root, id, r, &orphans, &orphanSubtrees)
+	if !removed {
+		return false
+	}
+	t.size--
+	// Shrink a root with a single internal child.
+	for !t.root.leaf && t.root.count() == 1 {
+		t.root = t.root.children[0]
+	}
+	for _, it := range orphans {
+		t.insertItem(it.ID, it.Rect)
+	}
+	for _, sub := range orphanSubtrees {
+		t.reinsertSubtree(sub)
+	}
+	return true
+}
+
+func (t *Tree) deleteRec(n *node, id int64, r geom.Rect, orphans *[]Item, orphanSubtrees *[]*node) bool {
+	if n.leaf {
+		for i := range n.ids {
+			if n.ids[i] == id && n.rects[i] == r {
+				n.rects = append(n.rects[:i], n.rects[i+1:]...)
+				n.ids = append(n.ids[:i], n.ids[i+1:]...)
+				return true
+			}
+		}
+		return false
+	}
+	for i := 0; i < len(n.children); i++ {
+		if !n.rects[i].ContainsRect(r) {
+			continue
+		}
+		c := n.children[i]
+		if !t.deleteRec(c, id, r, orphans, orphanSubtrees) {
+			continue
+		}
+		if c.count() < t.minEntries && n.count() > 1 {
+			// Condense: remove the underflowing child, reinsert content.
+			n.rects = append(n.rects[:i], n.rects[i+1:]...)
+			n.children = append(n.children[:i], n.children[i+1:]...)
+			if c.leaf {
+				for j := range c.ids {
+					*orphans = append(*orphans, Item{ID: c.ids[j], Rect: c.rects[j]})
+				}
+			} else {
+				*orphanSubtrees = append(*orphanSubtrees, c)
+			}
+		} else {
+			n.rects[i] = c.bounds()
+		}
+		return true
+	}
+	return false
+}
+
+// reinsertSubtree reinserts every leaf item of an orphaned internal node.
+func (t *Tree) reinsertSubtree(n *node) {
+	if n.leaf {
+		for i := range n.ids {
+			t.insertItem(n.ids[i], n.rects[i])
+		}
+		return
+	}
+	for _, c := range n.children {
+		t.reinsertSubtree(c)
+	}
+}
+
+// Validate checks the structural invariants of the tree: bounding rects
+// cover children, all leaves at the same depth, the item count matches
+// Len, and — when checkMinFill is set — non-root nodes respect the minimum
+// fill (bulk-loaded trees may pack trailing nodes below it). Intended for
+// tests.
+func (t *Tree) Validate(checkMinFill bool) error {
+	leafDepth := -1
+	items := 0
+	var walk func(n *node, depth int, isRoot bool) error
+	walk = func(n *node, depth int, isRoot bool) error {
+		if !isRoot && checkMinFill {
+			if n.count() < t.minEntries {
+				return fmt.Errorf("rtree: node underfull: %d < %d", n.count(), t.minEntries)
+			}
+		}
+		if !isRoot && n.count() == 0 {
+			return fmt.Errorf("rtree: empty non-root node")
+		}
+		if n.count() > t.maxEntries {
+			return fmt.Errorf("rtree: node overfull: %d > %d", n.count(), t.maxEntries)
+		}
+		if n.leaf {
+			if leafDepth == -1 {
+				leafDepth = depth
+			} else if depth != leafDepth {
+				return fmt.Errorf("rtree: leaves at depths %d and %d", leafDepth, depth)
+			}
+			items += n.count()
+			if len(n.ids) != len(n.rects) {
+				return fmt.Errorf("rtree: leaf slot mismatch")
+			}
+			return nil
+		}
+		if len(n.children) != len(n.rects) {
+			return fmt.Errorf("rtree: internal slot mismatch")
+		}
+		for i, c := range n.children {
+			if !n.rects[i].ContainsRect(c.bounds()) {
+				return fmt.Errorf("rtree: child bounds %v escape slot rect %v", c.bounds(), n.rects[i])
+			}
+			if err := walk(c, depth+1, false); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := walk(t.root, 0, true); err != nil {
+		return err
+	}
+	if items != t.size {
+		return fmt.Errorf("rtree: item count %d != size %d", items, t.size)
+	}
+	return nil
+}

@@ -1,0 +1,420 @@
+package rtree
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func pointItem(id int64, x, y float64) Item {
+	return Item{ID: id, Rect: geom.NewRect(x, y, x, y)}
+}
+
+func randomPointItems(rng *rand.Rand, n int) []Item {
+	items := make([]Item, n)
+	for i := range items {
+		items[i] = pointItem(int64(i), rng.Float64(), rng.Float64())
+	}
+	return items
+}
+
+func randomRectItems(rng *rand.Rand, n int) []Item {
+	items := make([]Item, n)
+	for i := range items {
+		x, y := rng.Float64(), rng.Float64()
+		items[i] = Item{ID: int64(i), Rect: geom.NewRect(x, y, x+rng.Float64()*0.05, y+rng.Float64()*0.05)}
+	}
+	return items
+}
+
+// bruteSearch is the oracle for window queries.
+func bruteSearch(items []Item, q geom.Rect) map[int64]bool {
+	out := make(map[int64]bool)
+	for _, it := range items {
+		if q.Intersects(it.Rect) {
+			out[it.ID] = true
+		}
+	}
+	return out
+}
+
+func collect(t *Tree, q geom.Rect) map[int64]bool {
+	out := make(map[int64]bool)
+	t.Search(q, func(id int64, _ geom.Rect) bool {
+		out[id] = true
+		return true
+	})
+	return out
+}
+
+func TestEmptyTree(t *testing.T) {
+	tr := New(0)
+	if tr.Len() != 0 {
+		t.Error("empty tree should have Len 0")
+	}
+	if got := collect(tr, geom.NewRect(0, 0, 1, 1)); len(got) != 0 {
+		t.Errorf("search on empty tree returned %v", got)
+	}
+	if _, _, ok := tr.NearestNeighbor(geom.Pt(0, 0)); ok {
+		t.Error("NN on empty tree should report !ok")
+	}
+	if tr.Delete(1, geom.NewRect(0, 0, 0, 0)) {
+		t.Error("delete on empty tree should fail")
+	}
+	if err := tr.Validate(true); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInsertAndSearchSmall(t *testing.T) {
+	tr := New(4)
+	tr.Insert(1, geom.NewRect(0, 0, 1, 1))
+	tr.Insert(2, geom.NewRect(2, 2, 3, 3))
+	tr.Insert(3, geom.NewRect(0.5, 0.5, 2.5, 2.5))
+	if tr.Len() != 3 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	got := collect(tr, geom.NewRect(0.9, 0.9, 1.1, 1.1))
+	if !got[1] || !got[3] || got[2] {
+		t.Errorf("search = %v, want {1,3}", got)
+	}
+}
+
+func TestSearchMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{1, 5, 17, 100, 1000} {
+		items := randomRectItems(rng, n)
+		tr := New(8)
+		for _, it := range items {
+			tr.Insert(it.ID, it.Rect)
+		}
+		if err := tr.Validate(true); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		for trial := 0; trial < 100; trial++ {
+			q := geom.NewRect(rng.Float64(), rng.Float64(), rng.Float64(), rng.Float64())
+			got := collect(tr, q)
+			want := bruteSearch(items, q)
+			if len(got) != len(want) {
+				t.Fatalf("n=%d query %v: got %d results, want %d", n, q, len(got), len(want))
+			}
+			for id := range want {
+				if !got[id] {
+					t.Fatalf("n=%d query %v: missing id %d", n, q, id)
+				}
+			}
+		}
+	}
+}
+
+func TestBulkLoadMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, n := range []int{1, 16, 17, 256, 5000} {
+		items := randomPointItems(rng, n)
+		tr := BulkLoad(items, 16)
+		if tr.Len() != n {
+			t.Fatalf("n=%d: Len = %d", n, tr.Len())
+		}
+		if err := tr.Validate(false); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		for trial := 0; trial < 50; trial++ {
+			cx, cy := rng.Float64(), rng.Float64()
+			q := geom.NewRect(cx, cy, cx+0.2, cy+0.2)
+			got := collect(tr, q)
+			want := bruteSearch(items, q)
+			if len(got) != len(want) {
+				t.Fatalf("n=%d: got %d results, want %d", n, len(got), len(want))
+			}
+		}
+	}
+}
+
+func TestBulkLoadEmpty(t *testing.T) {
+	tr := BulkLoad(nil, 16)
+	if tr.Len() != 0 {
+		t.Error("empty bulk load should be empty")
+	}
+	if got := collect(tr, geom.NewRect(0, 0, 1, 1)); len(got) != 0 {
+		t.Error("search should find nothing")
+	}
+}
+
+func TestSearchEarlyStop(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	tr := BulkLoad(randomPointItems(rng, 500), 16)
+	calls := 0
+	tr.Search(geom.NewRect(0, 0, 1, 1), func(int64, geom.Rect) bool {
+		calls++
+		return calls < 10
+	})
+	if calls != 10 {
+		t.Errorf("early stop after %d calls, want 10", calls)
+	}
+}
+
+func TestSearchStats(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	tr := BulkLoad(randomPointItems(rng, 2000), 16)
+	st := tr.Search(geom.NewRect(0.4, 0.4, 0.6, 0.6), func(int64, geom.Rect) bool { return true })
+	if st.Results == 0 || st.NodesVisited == 0 || st.EntriesScanned < st.Results {
+		t.Errorf("implausible stats: %+v", st)
+	}
+	// A tiny query should visit far fewer nodes than a full scan.
+	full := tr.Search(tr.Bounds(), func(int64, geom.Rect) bool { return true })
+	if st.NodesVisited >= full.NodesVisited {
+		t.Errorf("selective query visited %d nodes, full scan %d", st.NodesVisited, full.NodesVisited)
+	}
+	if full.Results != 2000 {
+		t.Errorf("full scan found %d, want 2000", full.Results)
+	}
+}
+
+func TestNearestNeighborMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	items := randomPointItems(rng, 2000)
+	dynamic := New(8)
+	for _, it := range items {
+		dynamic.Insert(it.ID, it.Rect)
+	}
+	bulk := BulkLoad(items, 16)
+	for trial := 0; trial < 500; trial++ {
+		q := geom.Pt(rng.Float64()*1.4-0.2, rng.Float64()*1.4-0.2)
+		wantD := math.Inf(1)
+		for _, it := range items {
+			if d := it.Rect.Dist2Point(q); d < wantD {
+				wantD = d
+			}
+		}
+		for name, tr := range map[string]*Tree{"dynamic": dynamic, "bulk": bulk} {
+			got, _, ok := tr.NearestNeighbor(q)
+			if !ok {
+				t.Fatalf("%s: no NN", name)
+			}
+			if got.Rect.Dist2Point(q) != wantD {
+				t.Fatalf("%s: NN dist %v, want %v", name, got.Rect.Dist2Point(q), wantD)
+			}
+		}
+	}
+}
+
+func TestKNearestOrderedAndComplete(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	items := randomPointItems(rng, 500)
+	tr := BulkLoad(items, 16)
+	q := geom.Pt(0.5, 0.5)
+	for _, k := range []int{1, 5, 50, 500, 600} {
+		got, _ := tr.KNearest(q, k)
+		wantLen := k
+		if wantLen > len(items) {
+			wantLen = len(items)
+		}
+		if len(got) != wantLen {
+			t.Fatalf("k=%d: got %d items", k, len(got))
+		}
+		for i := 1; i < len(got); i++ {
+			if got[i-1].Rect.Dist2Point(q) > got[i].Rect.Dist2Point(q) {
+				t.Fatalf("k=%d: results not ordered at %d", k, i)
+			}
+		}
+		// Compare distance multiset with brute force.
+		dists := make([]float64, len(items))
+		for i, it := range items {
+			dists[i] = it.Rect.Dist2Point(q)
+		}
+		sort.Float64s(dists)
+		for i := range got {
+			if got[i].Rect.Dist2Point(q) != dists[i] {
+				t.Fatalf("k=%d: rank %d dist %v, want %v", k, i, got[i].Rect.Dist2Point(q), dists[i])
+			}
+		}
+	}
+	if got, _ := tr.KNearest(q, 0); got != nil {
+		t.Error("k=0 should return nil")
+	}
+}
+
+func TestDelete(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	items := randomPointItems(rng, 300)
+	tr := New(8)
+	for _, it := range items {
+		tr.Insert(it.ID, it.Rect)
+	}
+	// Delete in random order, validating along the way.
+	perm := rng.Perm(len(items))
+	for k, pi := range perm {
+		it := items[pi]
+		if !tr.Delete(it.ID, it.Rect) {
+			t.Fatalf("delete %d failed", it.ID)
+		}
+		if tr.Delete(it.ID, it.Rect) {
+			t.Fatalf("double delete %d succeeded", it.ID)
+		}
+		if tr.Len() != len(items)-k-1 {
+			t.Fatalf("Len = %d after %d deletes", tr.Len(), k+1)
+		}
+		if k%37 == 0 {
+			if err := tr.Validate(false); err != nil {
+				t.Fatalf("after %d deletes: %v", k+1, err)
+			}
+			// Remaining items still findable.
+			got := collect(tr, geom.NewRect(0, 0, 1, 1))
+			if len(got) != tr.Len() {
+				t.Fatalf("after %d deletes: %d of %d items findable", k+1, len(got), tr.Len())
+			}
+		}
+	}
+	if tr.Len() != 0 {
+		t.Errorf("tree not empty after deleting everything: %d", tr.Len())
+	}
+}
+
+func TestDeleteWrongRect(t *testing.T) {
+	tr := New(4)
+	tr.Insert(1, geom.NewRect(0, 0, 1, 1))
+	if tr.Delete(1, geom.NewRect(0, 0, 2, 2)) {
+		t.Error("delete with mismatched rect should fail")
+	}
+	if tr.Len() != 1 {
+		t.Error("failed delete should not change size")
+	}
+}
+
+func TestInsertDeleteInterleaved(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	tr := New(8)
+	live := make(map[int64]Item)
+	nextID := int64(0)
+	for step := 0; step < 3000; step++ {
+		if len(live) == 0 || rng.Float64() < 0.6 {
+			it := pointItem(nextID, rng.Float64(), rng.Float64())
+			nextID++
+			tr.Insert(it.ID, it.Rect)
+			live[it.ID] = it
+		} else {
+			for id, it := range live {
+				if !tr.Delete(id, it.Rect) {
+					t.Fatalf("step %d: delete %d failed", step, id)
+				}
+				delete(live, id)
+				break
+			}
+		}
+		if tr.Len() != len(live) {
+			t.Fatalf("step %d: Len %d != live %d", step, tr.Len(), len(live))
+		}
+	}
+	if err := tr.Validate(false); err != nil {
+		t.Fatal(err)
+	}
+	got := collect(tr, geom.NewRect(-1, -1, 2, 2))
+	if len(got) != len(live) {
+		t.Fatalf("found %d, want %d", len(got), len(live))
+	}
+	for id := range live {
+		if !got[id] {
+			t.Fatalf("live item %d not found", id)
+		}
+	}
+}
+
+func TestDuplicateRects(t *testing.T) {
+	tr := New(4)
+	r := geom.NewRect(0.5, 0.5, 0.5, 0.5)
+	for i := int64(0); i < 50; i++ {
+		tr.Insert(i, r)
+	}
+	if got := collect(tr, r); len(got) != 50 {
+		t.Errorf("found %d duplicates, want 50", len(got))
+	}
+	if err := tr.Validate(true); err != nil {
+		t.Error(err)
+	}
+	for i := int64(0); i < 50; i++ {
+		if !tr.Delete(i, r) {
+			t.Fatalf("delete duplicate %d failed", i)
+		}
+	}
+}
+
+func TestHeightGrowsLogarithmically(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	tr := New(16)
+	for i := 0; i < 10000; i++ {
+		tr.Insert(int64(i), geom.NewRect(rng.Float64(), rng.Float64(), rng.Float64(), rng.Float64()))
+	}
+	// With fan-out >= 6 (min fill), 10k items fit in height <= 6.
+	if h := tr.Height(); h > 6 {
+		t.Errorf("height = %d, suspiciously deep", h)
+	}
+}
+
+func TestBulkVsDynamicSameResults(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	items := randomRectItems(rng, 1000)
+	dyn := New(16)
+	for _, it := range items {
+		dyn.Insert(it.ID, it.Rect)
+	}
+	bulk := BulkLoad(items, 16)
+	for trial := 0; trial < 100; trial++ {
+		q := geom.NewRect(rng.Float64(), rng.Float64(), rng.Float64(), rng.Float64())
+		a, b := collect(dyn, q), collect(bulk, q)
+		if len(a) != len(b) {
+			t.Fatalf("dynamic found %d, bulk %d", len(a), len(b))
+		}
+	}
+	// Bulk-loaded trees should generally answer small queries with fewer
+	// node visits than insertion-built trees (packing quality).
+	var dynNodes, bulkNodes int
+	for trial := 0; trial < 200; trial++ {
+		cx, cy := rng.Float64(), rng.Float64()
+		q := geom.NewRect(cx, cy, cx+0.05, cy+0.05)
+		dynNodes += dyn.Search(q, func(int64, geom.Rect) bool { return true }).NodesVisited
+		bulkNodes += bulk.Search(q, func(int64, geom.Rect) bool { return true }).NodesVisited
+	}
+	if bulkNodes > dynNodes*2 {
+		t.Errorf("bulk tree much worse than dynamic: %d vs %d node visits", bulkNodes, dynNodes)
+	}
+}
+
+func BenchmarkInsert(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	tr := New(16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Insert(int64(i), geom.NewRect(rng.Float64(), rng.Float64(), rng.Float64(), rng.Float64()))
+	}
+}
+
+func BenchmarkBulkLoad100k(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	items := randomPointItems(rng, 100_000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		BulkLoad(items, 16)
+	}
+}
+
+func BenchmarkWindowQuery(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	tr := BulkLoad(randomPointItems(rng, 100_000), 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cx, cy := rng.Float64()*0.9, rng.Float64()*0.9
+		tr.Search(geom.NewRect(cx, cy, cx+0.1, cy+0.1), func(int64, geom.Rect) bool { return true })
+	}
+}
+
+func BenchmarkNearestNeighbor(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	tr := BulkLoad(randomPointItems(rng, 100_000), 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.NearestNeighbor(geom.Pt(rng.Float64(), rng.Float64()))
+	}
+}

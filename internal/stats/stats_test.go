@@ -1,0 +1,120 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.N != 0 || s.Mean != 0 || s.StdDev != 0 {
+		t.Errorf("empty summary = %+v", s)
+	}
+}
+
+func TestSummarizeKnownValues(t *testing.T) {
+	s := Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if s.N != 8 {
+		t.Errorf("N = %d", s.N)
+	}
+	if s.Mean != 5 {
+		t.Errorf("Mean = %v", s.Mean)
+	}
+	// Sample stddev of this classic dataset is sqrt(32/7).
+	if want := math.Sqrt(32.0 / 7.0); math.Abs(s.StdDev-want) > 1e-12 {
+		t.Errorf("StdDev = %v, want %v", s.StdDev, want)
+	}
+	if s.Min != 2 || s.Max != 9 {
+		t.Errorf("min/max = %v/%v", s.Min, s.Max)
+	}
+	if s.P50 != 4.5 {
+		t.Errorf("P50 = %v, want 4.5", s.P50)
+	}
+}
+
+func TestSummarizeSingle(t *testing.T) {
+	s := Summarize([]float64{3.5})
+	if s.Mean != 3.5 || s.Min != 3.5 || s.Max != 3.5 || s.P50 != 3.5 || s.P95 != 3.5 {
+		t.Errorf("single-value summary = %+v", s)
+	}
+	if s.StdDev != 0 {
+		t.Errorf("single-value stddev = %v", s.StdDev)
+	}
+}
+
+func TestPercentileEdges(t *testing.T) {
+	sorted := []float64{1, 2, 3, 4, 5}
+	cases := []struct {
+		p    float64
+		want float64
+	}{
+		{0, 1}, {1, 5}, {-0.5, 1}, {1.5, 5}, {0.5, 3}, {0.25, 2},
+	}
+	for _, tc := range cases {
+		if got := Percentile(sorted, tc.p); got != tc.want {
+			t.Errorf("Percentile(%v) = %v, want %v", tc.p, got, tc.want)
+		}
+	}
+	if got := Percentile(nil, 0.5); got != 0 {
+		t.Errorf("empty percentile = %v", got)
+	}
+}
+
+func TestAccumulatorMatchesSummarize(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	xs := make([]float64, 1000)
+	var acc Accumulator
+	for i := range xs {
+		xs[i] = rng.NormFloat64()*10 + 5
+		acc.Add(xs[i])
+	}
+	s := Summarize(xs)
+	if acc.N() != s.N {
+		t.Errorf("N: %d vs %d", acc.N(), s.N)
+	}
+	if math.Abs(acc.Mean()-s.Mean) > 1e-9 {
+		t.Errorf("Mean: %v vs %v", acc.Mean(), s.Mean)
+	}
+	if math.Abs(acc.StdDev()-s.StdDev) > 1e-9 {
+		t.Errorf("StdDev: %v vs %v", acc.StdDev(), s.StdDev)
+	}
+	if acc.Min() != s.Min || acc.Max() != s.Max {
+		t.Errorf("min/max: %v/%v vs %v/%v", acc.Min(), acc.Max(), s.Min, s.Max)
+	}
+}
+
+func TestAccumulatorEmpty(t *testing.T) {
+	var acc Accumulator
+	if acc.N() != 0 || acc.Mean() != 0 || acc.StdDev() != 0 || acc.Min() != 0 || acc.Max() != 0 {
+		t.Error("empty accumulator should be all zeros")
+	}
+}
+
+func TestSummaryStringIsStable(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3})
+	if got := s.String(); got == "" {
+		t.Error("empty String()")
+	}
+}
+
+func TestMeanWithinMinMaxProperty(t *testing.T) {
+	f := func(xs []float64) bool {
+		clean := xs[:0]
+		for _, x := range xs {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) && math.Abs(x) < 1e12 {
+				clean = append(clean, x)
+			}
+		}
+		if len(clean) == 0 {
+			return true
+		}
+		s := Summarize(clean)
+		return s.Min <= s.Mean+1e-9 && s.Mean <= s.Max+1e-9 &&
+			s.Min <= s.P50 && s.P50 <= s.Max && s.StdDev >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

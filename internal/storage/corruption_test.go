@@ -1,0 +1,80 @@
+package storage
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestDecodeNeverPanicsOnCorruption flips random bytes in encoded records
+// and pages: decoding must either succeed or fail with an error — never
+// panic or over-read.
+func TestDecodeNeverPanicsOnCorruption(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	rec := sampleRecord(7)
+	clean, err := rec.encode(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 5000; trial++ {
+		buf := append([]byte(nil), clean...)
+		// Corrupt 1-4 random bytes.
+		for k := 0; k <= rng.Intn(4); k++ {
+			buf[rng.Intn(len(buf))] ^= byte(1 + rng.Intn(255))
+		}
+		// Optionally truncate.
+		if rng.Intn(3) == 0 {
+			buf = buf[:rng.Intn(len(buf)+1)]
+		}
+		_, _ = decodeRecord(buf) // must not panic
+	}
+}
+
+// TestPageRecordNeverPanicsOnCorruption does the same at page level.
+func TestPageRecordNeverPanicsOnCorruption(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	b := newPageBuilder(512)
+	for i := int64(0); i < 8; i++ {
+		rec := sampleRecord(i)
+		raw, err := rec.encode(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !b.fits(len(raw)) {
+			break
+		}
+		b.add(raw)
+	}
+	clean := b.seal()
+	for trial := 0; trial < 5000; trial++ {
+		page := append([]byte(nil), clean...)
+		for k := 0; k <= rng.Intn(6); k++ {
+			page[rng.Intn(len(page))] ^= byte(1 + rng.Intn(255))
+		}
+		for slot := uint16(0); slot < 12; slot++ {
+			if raw, err := pageRecord(page, slot); err == nil {
+				_, _ = decodeRecord(raw) // must not panic
+			}
+		}
+	}
+}
+
+// TestPageRecordBadSlot covers out-of-range and corrupt-directory paths.
+func TestPageRecordBadSlot(t *testing.T) {
+	b := newPageBuilder(256)
+	rec := sampleRecord(1)
+	raw, err := rec.encode(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.add(raw)
+	page := b.seal()
+	if _, err := pageRecord(page, 1); err == nil {
+		t.Error("out-of-range slot should fail")
+	}
+	if _, err := pageRecord(nil, 0); err == nil {
+		t.Error("nil page should fail")
+	}
+	if got := pageSlotCount(nil); got != 0 {
+		t.Errorf("slot count of nil page = %d", got)
+	}
+}

@@ -1,0 +1,117 @@
+// Package storage implements the paged object store behind the area-query
+// engine.
+//
+// The paper frames the area query as IO-bound: the refinement step must
+// load each candidate's full geometry from the database before validating
+// it. This package supplies that database: a heap file of fixed-size pages
+// holding point records — coordinates, an application payload, and (in the
+// style of the VoR-tree, Sharifzadeh & Shahabi, VLDB 2010) the precomputed
+// Voronoi neighbor list of the point. Records are fetched through an LRU
+// buffer pool that counts page reads, so both area-query methods can report
+// how much IO their candidate sets cost.
+package storage
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// DefaultPageSize is the page size used when a Builder is given a
+// non-positive one. 4 KiB matches the usual OS/DBMS page.
+const DefaultPageSize = 4096
+
+// Errors returned by the store.
+var (
+	ErrNotFound       = errors.New("storage: record not found")
+	ErrRecordTooLarge = errors.New("storage: record larger than page")
+	ErrCorrupt        = errors.New("storage: corrupt page")
+)
+
+// RID is a record identifier: page number and slot within the page.
+type RID struct {
+	Page uint32
+	Slot uint16
+}
+
+// Page layout (sealed):
+//
+//	[0:2)            uint16 slot count k
+//	[2 : 2+6k)       slot directory: per slot, uint32 offset + uint16 length
+//	[...]            record bytes
+//
+// The builder accumulates records in memory and serializes the whole page
+// on seal.
+type pageBuilder struct {
+	size    int
+	records [][]byte
+	used    int // bytes if sealed now: header + directory + data
+}
+
+const (
+	pageHeaderLen = 2
+	slotDirLen    = 6
+)
+
+func newPageBuilder(size int) *pageBuilder {
+	return &pageBuilder{size: size, used: pageHeaderLen}
+}
+
+// fits reports whether a record of n bytes fits in the page.
+func (b *pageBuilder) fits(n int) bool {
+	return b.used+slotDirLen+n <= b.size
+}
+
+// add appends a record and returns its slot.
+func (b *pageBuilder) add(rec []byte) uint16 {
+	b.records = append(b.records, rec)
+	b.used += slotDirLen + len(rec)
+	return uint16(len(b.records) - 1)
+}
+
+func (b *pageBuilder) empty() bool { return len(b.records) == 0 }
+
+// seal serializes the page into a fresh buffer of exactly size bytes.
+func (b *pageBuilder) seal() []byte {
+	buf := make([]byte, b.size)
+	binary.LittleEndian.PutUint16(buf[0:pageHeaderLen], uint16(len(b.records)))
+	off := pageHeaderLen + slotDirLen*len(b.records)
+	for i, rec := range b.records {
+		dir := pageHeaderLen + slotDirLen*i
+		binary.LittleEndian.PutUint32(buf[dir:], uint32(off))
+		binary.LittleEndian.PutUint16(buf[dir+4:], uint16(len(rec)))
+		copy(buf[off:], rec)
+		off += len(rec)
+	}
+	return buf
+}
+
+// pageRecord extracts the slot-th record from a sealed page.
+func pageRecord(page []byte, slot uint16) ([]byte, error) {
+	if len(page) < pageHeaderLen {
+		return nil, ErrCorrupt
+	}
+	count := binary.LittleEndian.Uint16(page[0:pageHeaderLen])
+	if slot >= count {
+		return nil, fmt.Errorf("%w: slot %d of %d", ErrNotFound, slot, count)
+	}
+	dir := pageHeaderLen + slotDirLen*int(slot)
+	if dir+slotDirLen > len(page) {
+		return nil, ErrCorrupt
+	}
+	start := binary.LittleEndian.Uint32(page[dir:])
+	length := binary.LittleEndian.Uint16(page[dir+4:])
+	end := start + uint32(length)
+	if start > end || end > uint32(len(page)) {
+		return nil, ErrCorrupt
+	}
+	return page[start:end], nil
+}
+
+// pageSlotCount returns the number of records in a sealed page.
+func pageSlotCount(page []byte) int {
+	if len(page) < pageHeaderLen {
+		return 0
+	}
+	return int(binary.LittleEndian.Uint16(page[0:pageHeaderLen]))
+}

@@ -1,0 +1,110 @@
+package storage
+
+// BufferPoolStats counts the IO behavior of a store since creation or the
+// last ResetStats.
+type BufferPoolStats struct {
+	PageReads int   // pool misses: pages fetched from the backing file
+	CacheHits int   // pool hits
+	BytesRead int64 // bytes fetched from the backing file
+	Evictions int   // frames evicted to make room
+}
+
+// bufferPool is a fixed-capacity LRU page cache. A capacity of 0 disables
+// caching (every access is a miss), modeling a cold read path.
+type bufferPool struct {
+	capacity int
+	frames   map[uint32]*frame
+	head     *frame // most recently used
+	tail     *frame // least recently used
+	stats    BufferPoolStats
+}
+
+type frame struct {
+	pageID     uint32
+	data       []byte
+	prev, next *frame
+}
+
+func newBufferPool(capacity int) *bufferPool {
+	return &bufferPool{
+		capacity: capacity,
+		frames:   make(map[uint32]*frame),
+	}
+}
+
+// fetch returns the page via the cache, reading it with load on a miss.
+func (bp *bufferPool) fetch(pageID uint32, load func(uint32) []byte) []byte {
+	if f, ok := bp.frames[pageID]; ok {
+		bp.stats.CacheHits++
+		bp.moveToFront(f)
+		return f.data
+	}
+	data := load(pageID)
+	bp.stats.PageReads++
+	bp.stats.BytesRead += int64(len(data))
+	if bp.capacity <= 0 {
+		return data
+	}
+	f := &frame{pageID: pageID, data: data}
+	bp.frames[pageID] = f
+	bp.pushFront(f)
+	if len(bp.frames) > bp.capacity {
+		bp.evict()
+	}
+	return data
+}
+
+func (bp *bufferPool) pushFront(f *frame) {
+	f.prev = nil
+	f.next = bp.head
+	if bp.head != nil {
+		bp.head.prev = f
+	}
+	bp.head = f
+	if bp.tail == nil {
+		bp.tail = f
+	}
+}
+
+func (bp *bufferPool) moveToFront(f *frame) {
+	if bp.head == f {
+		return
+	}
+	// Unlink.
+	if f.prev != nil {
+		f.prev.next = f.next
+	}
+	if f.next != nil {
+		f.next.prev = f.prev
+	}
+	if bp.tail == f {
+		bp.tail = f.prev
+	}
+	bp.pushFront(f)
+}
+
+func (bp *bufferPool) evict() {
+	lru := bp.tail
+	if lru == nil {
+		return
+	}
+	if lru.prev != nil {
+		lru.prev.next = nil
+	}
+	bp.tail = lru.prev
+	if bp.head == lru {
+		bp.head = nil
+	}
+	delete(bp.frames, lru.pageID)
+	bp.stats.Evictions++
+}
+
+// reset clears the cache contents and statistics.
+func (bp *bufferPool) reset() {
+	bp.frames = make(map[uint32]*frame)
+	bp.head, bp.tail = nil, nil
+	bp.stats = BufferPoolStats{}
+}
+
+// resetStats clears counters but keeps cached pages.
+func (bp *bufferPool) resetStats() { bp.stats = BufferPoolStats{} }

@@ -1,0 +1,100 @@
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"repro/internal/geom"
+)
+
+// PointRecord is the stored representation of a spatial object: its
+// identifier, coordinates, the identifiers of its Voronoi neighbors
+// (VoR-tree layout, so neighbor expansion is one record fetch), and an
+// opaque application payload (attributes) that gives records realistic
+// width.
+type PointRecord struct {
+	ID        int64
+	Pos       geom.Point
+	Neighbors []int64
+	Payload   []byte
+}
+
+// record encoding (little endian):
+//
+//	int64   ID
+//	float64 X, float64 Y
+//	uint16  neighbor count n
+//	int64   × n neighbors
+//	uint16  payload length m
+//	byte    × m payload
+const recordFixedLen = 8 + 8 + 8 + 2 + 2
+
+// encodedLen returns the encoded size of r in bytes.
+func (r *PointRecord) encodedLen() int {
+	return recordFixedLen + 8*len(r.Neighbors) + len(r.Payload)
+}
+
+// encode appends the record to dst and returns the extended slice.
+func (r *PointRecord) encode(dst []byte) ([]byte, error) {
+	if len(r.Neighbors) > math.MaxUint16 {
+		return nil, fmt.Errorf("storage: record %d has %d neighbors, max %d",
+			r.ID, len(r.Neighbors), math.MaxUint16)
+	}
+	if len(r.Payload) > math.MaxUint16 {
+		return nil, fmt.Errorf("storage: record %d payload %d bytes, max %d",
+			r.ID, len(r.Payload), math.MaxUint16)
+	}
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], uint64(r.ID))
+	dst = append(dst, b[:]...)
+	binary.LittleEndian.PutUint64(b[:], math.Float64bits(r.Pos.X))
+	dst = append(dst, b[:]...)
+	binary.LittleEndian.PutUint64(b[:], math.Float64bits(r.Pos.Y))
+	dst = append(dst, b[:]...)
+	binary.LittleEndian.PutUint16(b[:2], uint16(len(r.Neighbors)))
+	dst = append(dst, b[:2]...)
+	for _, nb := range r.Neighbors {
+		binary.LittleEndian.PutUint64(b[:], uint64(nb))
+		dst = append(dst, b[:]...)
+	}
+	binary.LittleEndian.PutUint16(b[:2], uint16(len(r.Payload)))
+	dst = append(dst, b[:2]...)
+	dst = append(dst, r.Payload...)
+	return dst, nil
+}
+
+// decodeRecord parses a record from buf. The returned record's Neighbors
+// and Payload are fresh copies, safe to retain.
+func decodeRecord(buf []byte) (PointRecord, error) {
+	var r PointRecord
+	if len(buf) < recordFixedLen {
+		return r, fmt.Errorf("%w: record truncated (%d bytes)", ErrCorrupt, len(buf))
+	}
+	r.ID = int64(binary.LittleEndian.Uint64(buf[0:8]))
+	r.Pos.X = math.Float64frombits(binary.LittleEndian.Uint64(buf[8:16]))
+	r.Pos.Y = math.Float64frombits(binary.LittleEndian.Uint64(buf[16:24]))
+	n := int(binary.LittleEndian.Uint16(buf[24:26]))
+	off := 26
+	if len(buf) < off+8*n+2 {
+		return r, fmt.Errorf("%w: neighbor list truncated", ErrCorrupt)
+	}
+	if n > 0 {
+		r.Neighbors = make([]int64, n)
+		for i := 0; i < n; i++ {
+			r.Neighbors[i] = int64(binary.LittleEndian.Uint64(buf[off:]))
+			off += 8
+		}
+	} else {
+		off = 26
+	}
+	m := int(binary.LittleEndian.Uint16(buf[off:]))
+	off += 2
+	if len(buf) < off+m {
+		return r, fmt.Errorf("%w: payload truncated", ErrCorrupt)
+	}
+	if m > 0 {
+		r.Payload = append([]byte(nil), buf[off:off+m]...)
+	}
+	return r, nil
+}

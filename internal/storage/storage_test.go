@@ -1,0 +1,395 @@
+package storage
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/geom"
+)
+
+func sampleRecord(id int64) PointRecord {
+	return PointRecord{
+		ID:        id,
+		Pos:       geom.Pt(float64(id)*0.1, float64(id)*0.2),
+		Neighbors: []int64{id + 1, id + 2, id - 1},
+		Payload:   bytes.Repeat([]byte{byte(id)}, 16),
+	}
+}
+
+func TestRecordRoundTrip(t *testing.T) {
+	recs := []PointRecord{
+		{ID: 1, Pos: geom.Pt(0.5, -3.25)},
+		{ID: -42, Pos: geom.Pt(1e-300, 1e300), Neighbors: []int64{7}},
+		sampleRecord(9),
+		{ID: 0, Pos: geom.Pt(0, 0), Neighbors: nil, Payload: []byte{}},
+	}
+	for _, want := range recs {
+		buf, err := want.encode(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(buf) != want.encodedLen() {
+			t.Errorf("encodedLen = %d, actual %d", want.encodedLen(), len(buf))
+		}
+		got, err := decodeRecord(buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.ID != want.ID || got.Pos != want.Pos {
+			t.Errorf("round trip: got %+v, want %+v", got, want)
+		}
+		if len(got.Neighbors) != len(want.Neighbors) {
+			t.Errorf("neighbors: got %v, want %v", got.Neighbors, want.Neighbors)
+		}
+		if len(got.Payload) != len(want.Payload) {
+			t.Errorf("payload: got %d bytes, want %d", len(got.Payload), len(want.Payload))
+		}
+	}
+}
+
+func TestRecordRoundTripProperty(t *testing.T) {
+	f := func(id int64, x, y float64, neighbors []int64, payload []byte) bool {
+		if len(neighbors) > 400 || len(payload) > 400 {
+			return true
+		}
+		want := PointRecord{ID: id, Pos: geom.Pt(x, y), Neighbors: neighbors, Payload: payload}
+		buf, err := want.encode(nil)
+		if err != nil {
+			return false
+		}
+		got, err := decodeRecord(buf)
+		if err != nil {
+			return false
+		}
+		if got.ID != want.ID {
+			return false
+		}
+		// NaN-safe position comparison via bit patterns happens through
+		// encode/decode; compare with reflect on the full struct except
+		// NaN positions.
+		if x == x && y == y && got.Pos != want.Pos {
+			return false
+		}
+		if len(got.Neighbors) != len(neighbors) || len(got.Payload) != len(payload) {
+			return false
+		}
+		for i := range neighbors {
+			if got.Neighbors[i] != neighbors[i] {
+				return false
+			}
+		}
+		return bytes.Equal(got.Payload, payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecodeTruncated(t *testing.T) {
+	rec := sampleRecord(5)
+	buf, err := rec.encode(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 0; cut < len(buf); cut++ {
+		if _, err := decodeRecord(buf[:cut]); err == nil {
+			// Truncations inside the payload tail can still parse when the
+			// length prefix survives; only header/neighbor cuts must fail.
+			if cut < recordFixedLen+8*len(rec.Neighbors) {
+				t.Fatalf("decode of %d/%d bytes should fail", cut, len(buf))
+			}
+		}
+	}
+}
+
+func TestStoreBasic(t *testing.T) {
+	b := NewBuilder(Options{PageSize: 256, PoolPages: 4})
+	const n = 100
+	for i := int64(0); i < n; i++ {
+		if err := b.Append(sampleRecord(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Len() != n {
+		t.Fatalf("Len = %d", st.Len())
+	}
+	if st.NumPages() < 2 {
+		t.Fatalf("expected multiple pages, got %d", st.NumPages())
+	}
+	for i := int64(0); i < n; i++ {
+		rec, err := st.Get(i)
+		if err != nil {
+			t.Fatalf("Get(%d): %v", i, err)
+		}
+		want := sampleRecord(i)
+		if rec.ID != want.ID || rec.Pos != want.Pos || !reflect.DeepEqual(rec.Neighbors, want.Neighbors) {
+			t.Fatalf("Get(%d) = %+v, want %+v", i, rec, want)
+		}
+	}
+	if _, err := st.Get(12345); !errors.Is(err, ErrNotFound) {
+		t.Errorf("missing id: err = %v", err)
+	}
+}
+
+func TestDuplicateIDRejected(t *testing.T) {
+	b := NewBuilder(Options{})
+	if err := b.Append(sampleRecord(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Append(sampleRecord(1)); err == nil {
+		t.Error("duplicate id should be rejected")
+	}
+}
+
+func TestRecordTooLarge(t *testing.T) {
+	b := NewBuilder(Options{PageSize: 64})
+	rec := sampleRecord(1)
+	rec.Payload = make([]byte, 128)
+	if err := b.Append(rec); !errors.Is(err, ErrRecordTooLarge) {
+		t.Errorf("err = %v, want ErrRecordTooLarge", err)
+	}
+}
+
+func TestBufferPoolCounting(t *testing.T) {
+	b := NewBuilder(Options{PageSize: 256, PoolPages: 2})
+	for i := int64(0); i < 60; i++ {
+		if err := b.Append(sampleRecord(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First read: miss. Second read of the same id: hit.
+	if _, err := st.Get(0); err != nil {
+		t.Fatal(err)
+	}
+	if got := st.Stats(); got.PageReads != 1 || got.CacheHits != 0 {
+		t.Fatalf("after first read: %+v", got)
+	}
+	if _, err := st.Get(0); err != nil {
+		t.Fatal(err)
+	}
+	if got := st.Stats(); got.PageReads != 1 || got.CacheHits != 1 {
+		t.Fatalf("after repeat read: %+v", got)
+	}
+	// Thrash more pages than the pool holds: evictions and re-reads.
+	for i := int64(0); i < 60; i++ {
+		if _, err := st.Get(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stats := st.Stats()
+	if stats.Evictions == 0 {
+		t.Errorf("expected evictions with tiny pool: %+v", stats)
+	}
+	if stats.BytesRead != int64(stats.PageReads)*256 {
+		t.Errorf("BytesRead %d != PageReads %d × 256", stats.BytesRead, stats.PageReads)
+	}
+	// Cold cache after DropCache.
+	st.DropCache()
+	if _, err := st.Get(0); err != nil {
+		t.Fatal(err)
+	}
+	if got := st.Stats(); got.PageReads != 1 || got.CacheHits != 0 {
+		t.Fatalf("after drop: %+v", got)
+	}
+}
+
+func TestZeroPoolAlwaysMisses(t *testing.T) {
+	b := NewBuilder(Options{PageSize: 512, PoolPages: 0})
+	for i := int64(0); i < 10; i++ {
+		if err := b.Append(sampleRecord(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < 5; k++ {
+		if _, err := st.Get(3); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := st.Stats(); got.PageReads != 5 || got.CacheHits != 0 {
+		t.Errorf("zero pool: %+v", got)
+	}
+}
+
+func TestUnboundedPoolNeverEvicts(t *testing.T) {
+	b := NewBuilder(Options{PageSize: 128, PoolPages: -1})
+	for i := int64(0); i < 200; i++ {
+		rec := sampleRecord(i)
+		rec.Payload = nil
+		if err := b.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pass := 0; pass < 3; pass++ {
+		for i := int64(0); i < 200; i++ {
+			if _, err := st.Get(i); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	stats := st.Stats()
+	if stats.Evictions != 0 {
+		t.Errorf("unbounded pool evicted: %+v", stats)
+	}
+	if stats.PageReads != st.NumPages() {
+		t.Errorf("PageReads %d != NumPages %d", stats.PageReads, st.NumPages())
+	}
+}
+
+func TestScan(t *testing.T) {
+	b := NewBuilder(Options{PageSize: 256})
+	const n = 50
+	for i := int64(0); i < n; i++ {
+		if err := b.Append(sampleRecord(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[int64]bool)
+	if err := st.Scan(func(r PointRecord) bool { seen[r.ID] = true; return true }); err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != n {
+		t.Errorf("scan saw %d records, want %d", len(seen), n)
+	}
+	// Early stop.
+	count := 0
+	if err := st.Scan(func(PointRecord) bool { count++; return count < 5 }); err != nil {
+		t.Fatal(err)
+	}
+	if count != 5 {
+		t.Errorf("early stop scan saw %d", count)
+	}
+	// Scan must not touch the pool counters.
+	if got := st.Stats(); got.PageReads != 0 {
+		t.Errorf("scan should bypass the pool: %+v", got)
+	}
+}
+
+func TestWriteToReadRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	b := NewBuilder(Options{PageSize: 512, PoolPages: 8})
+	const n = 300
+	for i := int64(0); i < n; i++ {
+		rec := PointRecord{
+			ID:        i * 3,
+			Pos:       geom.Pt(rng.Float64(), rng.Float64()),
+			Neighbors: []int64{rng.Int63n(1000), rng.Int63n(1000)},
+			Payload:   []byte{byte(i), byte(i >> 8)},
+		}
+		if err := b.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := st.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	st2, err := Read(&buf, Options{PoolPages: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.Len() != st.Len() || st2.NumPages() != st.NumPages() || st2.PageSize() != st.PageSize() {
+		t.Fatalf("shape mismatch after round trip")
+	}
+	for i := int64(0); i < n; i++ {
+		a, err1 := st.Get(i * 3)
+		bb, err2 := st2.Get(i * 3)
+		if err1 != nil || err2 != nil {
+			t.Fatal(err1, err2)
+		}
+		if a.ID != bb.ID || a.Pos != bb.Pos || !reflect.DeepEqual(a.Neighbors, bb.Neighbors) || !bytes.Equal(a.Payload, bb.Payload) {
+			t.Fatalf("record %d mismatch after round trip", i*3)
+		}
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	if _, err := Read(bytes.NewReader([]byte("not a store")), Options{}); err == nil {
+		t.Error("garbage input should fail")
+	}
+	if _, err := Read(bytes.NewReader(nil), Options{}); err == nil {
+		t.Error("empty input should fail")
+	}
+}
+
+func TestIDsSorted(t *testing.T) {
+	b := NewBuilder(Options{})
+	for _, id := range []int64{5, 1, 9, 3} {
+		if err := b.Append(PointRecord{ID: id}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int64{1, 3, 5, 9}
+	if got := st.IDs(); !reflect.DeepEqual(got, want) {
+		t.Errorf("IDs = %v, want %v", got, want)
+	}
+}
+
+func BenchmarkGetHot(b *testing.B) {
+	bl := NewBuilder(Options{PoolPages: -1})
+	for i := int64(0); i < 10000; i++ {
+		if err := bl.Append(sampleRecord(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	st, err := bl.Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := st.Get(int64(i % 10000)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGetCold(b *testing.B) {
+	bl := NewBuilder(Options{PoolPages: 0})
+	for i := int64(0); i < 10000; i++ {
+		if err := bl.Append(sampleRecord(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	st, err := bl.Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := st.Get(int64(i % 10000)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

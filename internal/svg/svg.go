@@ -1,0 +1,153 @@
+// Package svg renders point sets, Voronoi diagrams, Delaunay
+// triangulations and area queries to SVG documents — the repository's
+// equivalent of the paper's Figures 2 and 3.
+package svg
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/geom"
+)
+
+// Canvas accumulates SVG elements over a world-coordinate viewport and
+// writes a standalone SVG document.
+type Canvas struct {
+	world  geom.Rect
+	width  float64
+	height float64
+	body   strings.Builder
+}
+
+// NewCanvas returns a canvas mapping the world rectangle onto a pixel
+// viewport of the given width; height preserves the aspect ratio.
+func NewCanvas(world geom.Rect, widthPx float64) *Canvas {
+	h := widthPx
+	if world.Width() > 0 {
+		h = widthPx * world.Height() / world.Width()
+	}
+	return &Canvas{world: world, width: widthPx, height: h}
+}
+
+// x maps a world x coordinate to pixels.
+func (c *Canvas) x(wx float64) float64 {
+	if c.world.Width() == 0 {
+		return 0
+	}
+	return (wx - c.world.MinX) / c.world.Width() * c.width
+}
+
+// y maps a world y coordinate to pixels (flipped: SVG y grows downward).
+func (c *Canvas) y(wy float64) float64 {
+	if c.world.Height() == 0 {
+		return 0
+	}
+	return c.height - (wy-c.world.MinY)/c.world.Height()*c.height
+}
+
+// Style is a minimal subset of SVG presentation attributes.
+type Style struct {
+	Stroke      string
+	StrokeWidth float64
+	Fill        string
+	Opacity     float64
+}
+
+func (s Style) attrs() string {
+	var b strings.Builder
+	if s.Stroke != "" {
+		fmt.Fprintf(&b, ` stroke=%q`, s.Stroke)
+	}
+	if s.StrokeWidth > 0 {
+		fmt.Fprintf(&b, ` stroke-width="%g"`, s.StrokeWidth)
+	}
+	fill := s.Fill
+	if fill == "" {
+		fill = "none"
+	}
+	fmt.Fprintf(&b, ` fill=%q`, fill)
+	if s.Opacity > 0 && s.Opacity < 1 {
+		fmt.Fprintf(&b, ` opacity="%g"`, s.Opacity)
+	}
+	return b.String()
+}
+
+// Circle draws a circle of radius r pixels at world point p.
+func (c *Canvas) Circle(p geom.Point, r float64, st Style) {
+	fmt.Fprintf(&c.body, `<circle cx="%.2f" cy="%.2f" r="%g"%s/>`+"\n",
+		c.x(p.X), c.y(p.Y), r, st.attrs())
+}
+
+// Segment draws a line segment in world coordinates.
+func (c *Canvas) Segment(s geom.Segment, st Style) {
+	fmt.Fprintf(&c.body, `<line x1="%.2f" y1="%.2f" x2="%.2f" y2="%.2f"%s/>`+"\n",
+		c.x(s.A.X), c.y(s.A.Y), c.x(s.B.X), c.y(s.B.Y), st.attrs())
+}
+
+// Ring draws a closed polygonal ring in world coordinates.
+func (c *Canvas) Ring(r geom.Ring, st Style) {
+	if len(r) == 0 {
+		return
+	}
+	var pts strings.Builder
+	for i, p := range r {
+		if i > 0 {
+			pts.WriteByte(' ')
+		}
+		fmt.Fprintf(&pts, "%.2f,%.2f", c.x(p.X), c.y(p.Y))
+	}
+	fmt.Fprintf(&c.body, `<polygon points="%s"%s/>`+"\n", pts.String(), st.attrs())
+}
+
+// Polygon draws a polygon with holes using an even-odd fill path.
+func (c *Canvas) Polygon(pg geom.Polygon, st Style) {
+	var d strings.Builder
+	writeRing := func(r geom.Ring) {
+		for i, p := range r {
+			if i == 0 {
+				fmt.Fprintf(&d, "M%.2f %.2f", c.x(p.X), c.y(p.Y))
+			} else {
+				fmt.Fprintf(&d, "L%.2f %.2f", c.x(p.X), c.y(p.Y))
+			}
+		}
+		d.WriteString("Z")
+	}
+	writeRing(pg.Outer)
+	for _, h := range pg.Holes {
+		writeRing(h)
+	}
+	fmt.Fprintf(&c.body, `<path d="%s" fill-rule="evenodd"%s/>`+"\n", d.String(), st.attrs())
+}
+
+// Rect draws a rectangle in world coordinates.
+func (c *Canvas) Rect(r geom.Rect, st Style) {
+	if r.IsEmpty() {
+		return
+	}
+	fmt.Fprintf(&c.body, `<rect x="%.2f" y="%.2f" width="%.2f" height="%.2f"%s/>`+"\n",
+		c.x(r.MinX), c.y(r.MaxY), c.x(r.MaxX)-c.x(r.MinX), c.y(r.MinY)-c.y(r.MaxY), st.attrs())
+}
+
+// Text draws a text label at world point p.
+func (c *Canvas) Text(p geom.Point, size float64, fill, text string) {
+	fmt.Fprintf(&c.body, `<text x="%.2f" y="%.2f" font-size="%g" fill=%q>%s</text>`+"\n",
+		c.x(p.X), c.y(p.Y), size, fill, escape(text))
+}
+
+func escape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}
+
+// WriteTo writes the complete SVG document.
+func (c *Canvas) WriteTo(w io.Writer) (int64, error) {
+	var out strings.Builder
+	fmt.Fprintf(&out, `<svg xmlns="http://www.w3.org/2000/svg" width="%g" height="%g" viewBox="0 0 %g %g">`+"\n",
+		c.width, c.height, c.width, c.height)
+	out.WriteString(`<rect width="100%" height="100%" fill="white"/>` + "\n")
+	out.WriteString(c.body.String())
+	out.WriteString("</svg>\n")
+	n, err := io.WriteString(w, out.String())
+	return int64(n), err
+}

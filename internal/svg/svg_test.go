@@ -1,0 +1,104 @@
+package svg
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func render(t *testing.T, draw func(*Canvas)) string {
+	t.Helper()
+	c := NewCanvas(geom.NewRect(0, 0, 1, 1), 400)
+	draw(c)
+	var buf bytes.Buffer
+	if _, err := c.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+func TestDocumentSkeleton(t *testing.T) {
+	doc := render(t, func(c *Canvas) {})
+	for _, want := range []string{"<svg", "</svg>", `width="400"`, `height="400"`} {
+		if !strings.Contains(doc, want) {
+			t.Errorf("document missing %q:\n%s", want, doc)
+		}
+	}
+}
+
+func TestAspectRatio(t *testing.T) {
+	c := NewCanvas(geom.NewRect(0, 0, 2, 1), 400)
+	var buf bytes.Buffer
+	if _, err := c.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `height="200"`) {
+		t.Errorf("2:1 world should give 400x200 canvas:\n%s", buf.String())
+	}
+}
+
+func TestElements(t *testing.T) {
+	doc := render(t, func(c *Canvas) {
+		c.Circle(geom.Pt(0.5, 0.5), 3, Style{Fill: "red"})
+		c.Segment(geom.Seg(geom.Pt(0, 0), geom.Pt(1, 1)), Style{Stroke: "blue", StrokeWidth: 2})
+		c.Ring(geom.Ring{geom.Pt(0, 0), geom.Pt(1, 0), geom.Pt(0.5, 1)}, Style{Stroke: "black"})
+		c.Rect(geom.NewRect(0.1, 0.1, 0.9, 0.9), Style{Stroke: "green"})
+		c.Text(geom.Pt(0.2, 0.2), 12, "black", "label <&>")
+	})
+	for _, want := range []string{"<circle", "<line", "<polygon", "<rect", "<text", "label &lt;&amp;&gt;"} {
+		if !strings.Contains(doc, want) {
+			t.Errorf("document missing %q", want)
+		}
+	}
+}
+
+func TestYAxisFlipped(t *testing.T) {
+	// World (0.5, 1) is the top-center: pixel y must be 0.
+	doc := render(t, func(c *Canvas) {
+		c.Circle(geom.Pt(0.5, 1), 1, Style{Fill: "red"})
+	})
+	if !strings.Contains(doc, `cy="0.00"`) {
+		t.Errorf("top of world should map to pixel y=0:\n%s", doc)
+	}
+}
+
+func TestPolygonWithHoleUsesEvenOdd(t *testing.T) {
+	pg := geom.MustPolygon([]geom.Point{geom.Pt(0, 0), geom.Pt(1, 0), geom.Pt(1, 1), geom.Pt(0, 1)})
+	if err := pg.AddHole([]geom.Point{geom.Pt(0.25, 0.25), geom.Pt(0.75, 0.25), geom.Pt(0.5, 0.75)}); err != nil {
+		t.Fatal(err)
+	}
+	doc := render(t, func(c *Canvas) {
+		c.Polygon(pg, Style{Fill: "gray"})
+	})
+	if !strings.Contains(doc, `fill-rule="evenodd"`) {
+		t.Error("polygon with holes should use even-odd fill")
+	}
+	if strings.Count(doc, "Z") != 2 {
+		t.Errorf("path should close 2 rings:\n%s", doc)
+	}
+}
+
+func TestEmptyShapesAreSkipped(t *testing.T) {
+	doc := render(t, func(c *Canvas) {
+		c.Ring(nil, Style{})
+		c.Rect(geom.EmptyRect(), Style{})
+	})
+	if strings.Contains(doc, "<polygon") || strings.Contains(doc, "<rect x=") {
+		t.Errorf("empty shapes should render nothing:\n%s", doc)
+	}
+}
+
+func TestDegenerateWorld(t *testing.T) {
+	c := NewCanvas(geom.NewRect(3, 4, 3, 4), 100) // zero-extent world
+	c.Circle(geom.Pt(3, 4), 2, Style{Fill: "red"})
+	var buf bytes.Buffer
+	if _, err := c.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Must not panic or emit NaN.
+	if strings.Contains(buf.String(), "NaN") {
+		t.Errorf("degenerate world produced NaN:\n%s", buf.String())
+	}
+}

@@ -1,0 +1,135 @@
+// Package voronoi exposes the Voronoi diagram of a point set as the dual of
+// its Delaunay triangulation (package delaunay).
+//
+// The area-query algorithm needs three things from the diagram: the Voronoi
+// neighbors VN(P, p) of a site, nearest-site location (paper Property 3:
+// the nearest site to q is the site whose cell contains q), and — for the
+// strict expansion variant and for rendering — the cell polygon of a site,
+// clipped to a bounding rectangle.
+package voronoi
+
+import (
+	"fmt"
+
+	"repro/internal/delaunay"
+	"repro/internal/geom"
+)
+
+// Diagram is a Voronoi diagram over a fixed point set, valid within Bounds.
+// It is immutable and safe for concurrent readers.
+type Diagram struct {
+	tri    *delaunay.Triangulation
+	bounds geom.Rect
+}
+
+// New builds the Voronoi diagram of pts, with cells clipped to bounds.
+// bounds should contain all points; it is also the universe for unbounded
+// hull cells.
+func New(pts []geom.Point, bounds geom.Rect) (*Diagram, error) {
+	t, err := delaunay.Build(pts)
+	if err != nil {
+		return nil, fmt.Errorf("voronoi: %w", err)
+	}
+	return FromTriangulation(t, bounds), nil
+}
+
+// FromTriangulation wraps an existing triangulation without rebuilding it.
+func FromTriangulation(t *delaunay.Triangulation, bounds geom.Rect) *Diagram {
+	return &Diagram{tri: t, bounds: bounds}
+}
+
+// Triangulation returns the underlying Delaunay triangulation.
+func (d *Diagram) Triangulation() *delaunay.Triangulation { return d.tri }
+
+// Bounds returns the clipping rectangle of the diagram.
+func (d *Diagram) Bounds() geom.Rect { return d.bounds }
+
+// NumSites returns the number of distinct sites.
+func (d *Diagram) NumSites() int { return d.tri.NumSites() }
+
+// Site returns the coordinates of site i.
+func (d *Diagram) Site(i int) geom.Point { return d.tri.Point(i) }
+
+// Neighbors returns the Voronoi neighbors of site i — exactly its Delaunay
+// neighbors (Property 4: the structures are dual). The slice aliases
+// internal storage and must not be modified.
+func (d *Diagram) Neighbors(i int) []int32 { return d.tri.Neighbors(i) }
+
+// NearestSite returns the site whose cell contains q, which by Property 3
+// is the nearest site to q.
+func (d *Diagram) NearestSite(q geom.Point) int { return d.tri.NearestSite(q) }
+
+// NearestSiteFrom is NearestSite with a walk hint.
+func (d *Diagram) NearestSiteFrom(q geom.Point, start int) int {
+	return d.tri.NearestSiteFrom(q, start)
+}
+
+// Cell returns the Voronoi cell of site i clipped to the diagram bounds, as
+// a counterclockwise ring. The cell is computed as the intersection of the
+// bounding rectangle with the bisector half-planes toward each Voronoi
+// neighbor, which is exact up to floating-point bisector crossings and
+// needs no special-casing for unbounded hull cells.
+func (d *Diagram) Cell(i int) geom.Ring {
+	site := d.tri.Point(i)
+	corners := d.bounds.Corners()
+	ring := geom.Ring(corners[:])
+	for _, nb := range d.tri.Neighbors(i) {
+		ring = clipHalfPlane(ring, site, d.tri.Point(int(nb)))
+		if len(ring) == 0 {
+			return nil
+		}
+	}
+	return ring
+}
+
+// CellFromNeighbors computes the Voronoi cell of a site given its Voronoi
+// neighbors' coordinates, clipped to bounds — the same construction Cell
+// uses, exposed for callers (such as the dynamic triangulation) that hold
+// the topology themselves.
+func CellFromNeighbors(site geom.Point, neighbors []geom.Point, bounds geom.Rect) geom.Ring {
+	corners := bounds.Corners()
+	ring := geom.Ring(corners[:])
+	for _, nb := range neighbors {
+		ring = clipHalfPlane(ring, site, nb)
+		if len(ring) == 0 {
+			return nil
+		}
+	}
+	return ring
+}
+
+// CellArea returns the area of the (clipped) cell of site i.
+func (d *Diagram) CellArea(i int) float64 { return d.Cell(i).Area() }
+
+// clipHalfPlane clips ring to the half-plane of locations at least as close
+// to site as to other (Sutherland–Hodgman against the perpendicular
+// bisector).
+func clipHalfPlane(ring geom.Ring, site, other geom.Point) geom.Ring {
+	inside := func(p geom.Point) bool {
+		return p.Dist2(site) <= p.Dist2(other)
+	}
+	cross := func(a, b geom.Point) geom.Point {
+		// Solve |a+td-site|² = |a+td-other|² for t along d = b-a.
+		dir := b.Sub(a)
+		denom := 2 * dir.Dot(other.Sub(site))
+		if denom == 0 {
+			return a // segment parallel to the bisector; degenerate
+		}
+		t := (a.Dist2(other) - a.Dist2(site)) / denom
+		return a.Add(dir.Scale(t))
+	}
+	var out geom.Ring
+	for i := range ring {
+		cur, next := ring[i], ring[(i+1)%len(ring)]
+		curIn, nextIn := inside(cur), inside(next)
+		switch {
+		case curIn && nextIn:
+			out = append(out, next)
+		case curIn && !nextIn:
+			out = append(out, cross(cur, next))
+		case !curIn && nextIn:
+			out = append(out, cross(cur, next), next)
+		}
+	}
+	return out
+}

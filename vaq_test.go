@@ -1,0 +1,396 @@
+package vaq
+
+import (
+	"bytes"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+)
+
+func sorted(ids []int64) []int64 {
+	out := append([]int64(nil), ids...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func equal(a, b []int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestQuickstartFlow(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	pts := UniformPoints(rng, 5000, UnitSquare())
+	eng, err := NewEngine(pts, UnitSquare())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eng.Len() != 5000 {
+		t.Errorf("Len = %d", eng.Len())
+	}
+	if eng.Bounds() != UnitSquare() {
+		t.Errorf("Bounds = %v", eng.Bounds())
+	}
+	area := RandomQueryPolygon(rng, 10, 0.02, UnitSquare())
+	ids, stats, err := eng.Query(area)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Method != VoronoiBFS {
+		t.Errorf("default method = %v", stats.Method)
+	}
+	// Every returned point is inside; every omitted point outside.
+	inIDs := make(map[int64]bool)
+	for _, id := range ids {
+		inIDs[id] = true
+		if !area.ContainsPoint(eng.Point(id)) {
+			t.Errorf("returned id %d outside area", id)
+		}
+	}
+	for i, p := range pts {
+		if area.ContainsPoint(p) && !inIDs[int64(i)] {
+			t.Errorf("point %d inside area but missing from result", i)
+		}
+	}
+}
+
+func TestMethodsAgreeViaPublicAPI(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	pts := UniformPoints(rng, 3000, UnitSquare())
+	eng, err := NewEngine(pts, UnitSquare())
+	if err != nil {
+		t.Fatal(err)
+	}
+	area := RandomQueryPolygon(rng, 10, 0.05, UnitSquare())
+	var want []int64
+	for i, m := range []Method{Traditional, VoronoiBFS, VoronoiBFSStrict, BruteForce} {
+		got, _, err := eng.QueryWith(m, area)
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		g := sorted(got)
+		if i == 0 {
+			want = g
+		} else if !equal(g, want) {
+			t.Fatalf("%v disagrees with Traditional", m)
+		}
+	}
+}
+
+func TestAllIndexKinds(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	pts := UniformPoints(rng, 1000, UnitSquare())
+	area := RandomQueryPolygon(rng, 8, 0.05, UnitSquare())
+	var want []int64
+	for i, kind := range []IndexKind{RTreeIndex, RStarIndex, KDTreeIndex, QuadtreeIndex, GridIndex} {
+		eng, err := NewEngine(pts, UnitSquare(), WithIndex(kind))
+		if err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+		got, _, err := eng.Query(area)
+		if err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+		g := sorted(got)
+		if i == 0 {
+			want = g
+		} else if !equal(g, want) {
+			t.Fatalf("index %v disagrees", kind)
+		}
+	}
+	if _, err := NewEngine(pts, UnitSquare(), WithIndex(IndexKind(9))); err == nil {
+		t.Error("unknown index kind should fail")
+	}
+}
+
+func TestIndexKindString(t *testing.T) {
+	names := map[IndexKind]string{
+		RTreeIndex: "rtree", RStarIndex: "rstar", KDTreeIndex: "kdtree",
+		QuadtreeIndex: "quadtree", GridIndex: "grid",
+		IndexKind(9): "index(9)",
+	}
+	for k, want := range names {
+		if got := k.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int(k), got, want)
+		}
+	}
+}
+
+func TestWithStoreIOVisible(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	pts := UniformPoints(rng, 2000, UnitSquare())
+	eng, err := NewEngine(pts, UnitSquare(), WithStore(StoreConfig{
+		PageSize:     1024,
+		PoolPages:    8,
+		PayloadBytes: 32,
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := eng.IOStats(); !ok {
+		t.Fatal("IOStats should be available with WithStore")
+	}
+	area := RandomQueryPolygon(rng, 10, 0.05, UnitSquare())
+	if _, _, err := eng.Query(area); err != nil {
+		t.Fatal(err)
+	}
+	reads, _, _ := eng.IOStats()
+	if reads == 0 {
+		t.Error("expected page reads after a query")
+	}
+	eng.ResetIOStats()
+	if reads2, _, _ := eng.IOStats(); reads2 != 0 {
+		t.Error("ResetIOStats did not zero counters")
+	}
+	// Engines without a store report !ok and tolerate Reset.
+	eng2, err := NewEngine(pts, UnitSquare())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := eng2.IOStats(); ok {
+		t.Error("IOStats should be unavailable without WithStore")
+	}
+	eng2.ResetIOStats() // must not panic
+}
+
+func TestDuplicatePointsError(t *testing.T) {
+	pts := []Point{Pt(0.5, 0.5), Pt(0.5, 0.5), Pt(0.1, 0.1)}
+	if _, err := NewEngine(pts, UnitSquare()); err == nil {
+		t.Error("duplicate points should be rejected")
+	}
+}
+
+func TestClusteredWorkloadEndToEnd(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	pts := ClusteredPoints(rng, 3000, 6, 0.03, UnitSquare())
+	eng, err := NewEngine(pts, UnitSquare())
+	if err != nil {
+		t.Fatal(err)
+	}
+	area := RandomQueryPolygon(rng, 10, 0.04, UnitSquare())
+	a, _, err := eng.QueryWith(Traditional, area)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := eng.QueryWith(VoronoiBFS, area)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equal(sorted(a), sorted(b)) {
+		t.Error("methods disagree on clustered data")
+	}
+}
+
+func TestRenderQuerySVG(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	pts := UniformPoints(rng, 400, UnitSquare())
+	eng, err := NewEngine(pts, UnitSquare())
+	if err != nil {
+		t.Fatal(err)
+	}
+	area := RandomQueryPolygon(rng, 10, 0.08, UnitSquare())
+	var buf bytes.Buffer
+	if err := eng.RenderQuerySVG(&buf, area, RenderOptions{
+		DrawCells:    true,
+		DrawDelaunay: true,
+		DrawMBR:      true,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	doc := buf.String()
+	for _, want := range []string{"<svg", "</svg>", "<circle", "<polygon", "<path", "<rect"} {
+		if !strings.Contains(doc, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+	// Result points (black) and shell points (green) should both exist for
+	// a query of this size.
+	if !strings.Contains(doc, `fill="black"`) {
+		t.Error("no result points rendered")
+	}
+	if !strings.Contains(doc, `fill="#00aa44"`) {
+		t.Error("no candidate-shell points rendered")
+	}
+}
+
+func TestDynamicEnginePublicAPI(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	eng := NewDynamicEngine(UnitSquare())
+	if eng.Universe() != UnitSquare() {
+		t.Error("Universe mismatch")
+	}
+	var ids []int64
+	for i := 0; i < 1000; i++ {
+		id, ins, err := eng.Insert(Pt(rng.Float64(), rng.Float64()))
+		if err != nil || !ins {
+			t.Fatalf("insert %d: ins=%v err=%v", i, ins, err)
+		}
+		ids = append(ids, id)
+	}
+	if eng.Len() != 1000 {
+		t.Fatalf("Len = %d", eng.Len())
+	}
+	area := RandomQueryPolygon(rng, 10, 0.05, UnitSquare())
+	a, _, err := eng.Query(area)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := eng.QueryWith(BruteForce, area)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equal(sorted(a), sorted(b)) {
+		t.Error("dynamic query diverges from oracle")
+	}
+	// Result points are really inside.
+	for _, id := range a {
+		if !area.ContainsPoint(eng.Point(id)) {
+			t.Errorf("result %d outside area", id)
+		}
+	}
+	_ = ids
+}
+
+func TestClonePublicAPI(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	pts := UniformPoints(rng, 500, UnitSquare())
+	eng, err := NewEngine(pts, UnitSquare())
+	if err != nil {
+		t.Fatal(err)
+	}
+	clone, err := eng.Clone()
+	if err != nil {
+		t.Fatal(err)
+	}
+	area := RandomQueryPolygon(rng, 10, 0.1, UnitSquare())
+	a, _, err := eng.Query(area)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := clone.Query(area)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equal(sorted(a), sorted(b)) {
+		t.Error("clone diverges")
+	}
+	// Store-backed engines refuse to clone.
+	se, err := NewEngine(pts, UnitSquare(), WithStore(StoreConfig{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := se.Clone(); err == nil {
+		t.Error("store-backed clone should fail")
+	}
+}
+
+func TestCountAndBatchPublicAPI(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	pts := UniformPoints(rng, 800, UnitSquare())
+	eng, err := NewEngine(pts, UnitSquare())
+	if err != nil {
+		t.Fatal(err)
+	}
+	areas := []Polygon{
+		RandomQueryPolygon(rng, 10, 0.02, UnitSquare()),
+		RandomQueryPolygon(rng, 10, 0.08, UnitSquare()),
+	}
+	n, _, err := eng.Count(VoronoiBFS, areas[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids, _, err := eng.QueryWith(VoronoiBFS, areas[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(ids) {
+		t.Errorf("Count = %d, Query len = %d", n, len(ids))
+	}
+	results, agg, err := eng.QueryBatch(Traditional, areas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 || agg.ResultSize != len(results[0])+len(results[1]) {
+		t.Errorf("batch aggregate broken: %d results, agg %d", len(results), agg.ResultSize)
+	}
+}
+
+func TestQueryCirclePublicAPI(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	pts := UniformPoints(rng, 2000, UnitSquare())
+	eng, err := NewEngine(pts, UnitSquare())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewCircle(Pt(0.5, 0.5), 0.15)
+	var want []int64
+	for i, p := range pts {
+		if c.ContainsPoint(p) {
+			want = append(want, int64(i))
+		}
+	}
+	for _, m := range []Method{Traditional, VoronoiBFS, BruteForce} {
+		got, _, err := eng.QueryCircle(m, c)
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		if !equal(sorted(got), want) {
+			t.Fatalf("%v circle query: %d results, want %d", m, len(got), len(want))
+		}
+	}
+}
+
+func TestKNearestPublicAPI(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	pts := UniformPoints(rng, 1000, UnitSquare())
+	eng, err := NewEngine(pts, UnitSquare())
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := Pt(0.3, 0.7)
+	got, st, err := eng.KNearest(q, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 7 || st.Candidates != 7 {
+		t.Fatalf("KNearest: %d results, %d candidates", len(got), st.Candidates)
+	}
+	for i := 1; i < len(got); i++ {
+		if q.Dist2(pts[got[i-1]]) > q.Dist2(pts[got[i]]) {
+			t.Fatal("KNearest not ordered")
+		}
+	}
+	// Rank 1 matches a linear scan.
+	best := 0
+	for i, p := range pts {
+		if q.Dist2(p) < q.Dist2(pts[best]) {
+			best = i
+		}
+	}
+	if got[0] != int64(best) {
+		t.Errorf("nearest = %d, want %d", got[0], best)
+	}
+}
+
+func TestDiagramAccessor(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	pts := UniformPoints(rng, 100, UnitSquare())
+	for _, opts := range [][]Option{nil, {WithStore(StoreConfig{})}} {
+		eng, err := NewEngine(pts, UnitSquare(), opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d := eng.Diagram()
+		if d == nil || d.NumSites() != 100 {
+			t.Fatal("Diagram accessor broken")
+		}
+	}
+}
