@@ -240,6 +240,36 @@ func BenchmarkAblationRectangleQuery(b *testing.B) {
 	}
 }
 
+// BenchmarkQueryBatchParallel measures batch throughput of the parallel
+// executor on the paper's 100k uniform workload at pool sizes 1, 2, 4 and
+// 8. Each iteration runs one full 64-query batch, so the ns/op ratio
+// between p=1 and p=4 is the parallel speedup (≈ core count on unloaded
+// multi-core hardware; the queries/s metric is the absolute throughput).
+func BenchmarkQueryBatchParallel(b *testing.B) {
+	const n = 100_000
+	rng := rand.New(rand.NewSource(11))
+	pts := UniformPoints(rng, n, UnitSquare())
+	areas := benchAreas(11, 0.01, 64)
+	for _, p := range []int{1, 2, 4, 8} {
+		eng, err := NewEngine(pts, UnitSquare(), WithParallelism(p))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("p=%d", p), func(b *testing.B) {
+			queries := 0
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := eng.QueryBatch(VoronoiBFS, areas); err != nil {
+					b.Fatal(err)
+				}
+				queries += len(areas)
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(queries)/b.Elapsed().Seconds(), "queries/s")
+		})
+	}
+}
+
 // BenchmarkAblationPolygonComplexity sweeps the query polygon vertex count
 // (the paper fixes 10), showing how boundary complexity affects both
 // methods.

@@ -8,6 +8,7 @@
 //	areabench -exp fig5
 //	areabench -exp all -datasizes 100000,200000 -repeats 50
 //	areabench -exp table2 -store -payload 64 -poolpages 256
+//	areabench -exp throughput -parallel 1,2,4,8 -queries 1024
 package main
 
 import (
@@ -23,7 +24,9 @@ import (
 
 func main() {
 	var (
-		exp        = flag.String("exp", "all", "experiment: table1|table2|fig4|fig5|fig6|fig7|all")
+		exp        = flag.String("exp", "all", "experiment: table1|table2|fig4|fig5|fig6|fig7|throughput|all")
+		parallel   = flag.String("parallel", "1,2,4,8", "comma-separated worker-pool sizes (with -exp throughput)")
+		queries    = flag.Int("queries", 512, "batch length (with -exp throughput)")
 		repeats    = flag.Int("repeats", 100, "repeats per configuration (paper: 1000)")
 		seed       = flag.Int64("seed", 20200420, "random seed")
 		vertices   = flag.Int("vertices", 10, "query polygon vertex count (paper: 10)")
@@ -66,6 +69,31 @@ func main() {
 		for _, p := range pcts {
 			cfg.QuerySizes = append(cfg.QuerySizes, p/100)
 		}
+	}
+
+	if *exp == "throughput" {
+		pool, err := parseInts(*parallel)
+		if err != nil {
+			fatalf("bad -parallel: %v", err)
+		}
+		dataSize := 0 // RunThroughput defaults to 1E5
+		if len(cfg.DataSizes) > 0 && *dataSizes != "" {
+			dataSize = cfg.DataSizes[0]
+		}
+		rows, err := bench.RunThroughput(bench.ThroughputConfig{
+			DataSize:    dataSize,
+			Queries:     *queries,
+			QuerySize:   cfg.FixedQuerySize,
+			Vertices:    cfg.Vertices,
+			Parallelism: pool,
+			Seed:        cfg.Seed,
+		})
+		if err != nil {
+			fatalf("throughput sweep: %v", err)
+		}
+		fmt.Println("## Batch throughput — parallel QueryBatch, Voronoi method")
+		fmt.Print(bench.FormatThroughput(rows))
+		return
 	}
 
 	needData := map[string]bool{"table1": true, "fig4": true, "fig5": true, "all": true}

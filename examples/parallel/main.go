@@ -1,6 +1,11 @@
-// Parallel demonstrates concurrent area queries: the engine's index,
-// points and Voronoi topology are immutable after construction, so clones
-// (one per goroutine) can serve queries in parallel.
+// Parallel demonstrates concurrent area queries. An Engine is immutable
+// after construction — index, Voronoi topology and point data are only
+// read by queries, and per-query scratch state lives in an internal pool —
+// so goroutines share one Engine directly, and QueryBatch spreads a batch
+// over a worker pool sized by WithParallelism.
+//
+// The demo runs the same batch sequentially and in parallel, verifies the
+// results match, and prints the throughput of each.
 //
 //	go run ./examples/parallel
 package main
@@ -10,8 +15,6 @@ import (
 	"log"
 	"math/rand"
 	"runtime"
-	"sync"
-	"sync/atomic"
 	"time"
 
 	"repro"
@@ -22,48 +25,69 @@ func main() {
 	points := vaq.UniformPoints(rng, 200_000, vaq.UnitSquare())
 	vaq.HilbertSort(points, vaq.UnitSquare())
 
-	eng, err := vaq.NewEngine(points, vaq.UnitSquare())
+	workers := runtime.GOMAXPROCS(0)
+	if workers < 2 {
+		workers = 2 // demonstrate the pool even on one CPU
+	}
+	// One engine serves both runs: single queries always execute on the
+	// calling goroutine (the sequential baseline), while QueryRegions
+	// spreads the batch over the worker pool.
+	eng, err := vaq.NewEngine(points, vaq.UnitSquare(), vaq.WithParallelism(workers))
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	// A fixed query mix, shared by all workers.
-	queries := make([]vaq.Polygon, 256)
-	for i := range queries {
-		queries[i] = vaq.RandomQueryPolygon(rng, 10, 0.01, vaq.UnitSquare())
+	// One batch mixing polygon and circle regions, shared by both runs.
+	regions := make([]vaq.Region, 2048)
+	for i := range regions {
+		if i%4 == 3 {
+			c := vaq.NewCircle(vaq.Pt(0.1+0.8*rng.Float64(), 0.1+0.8*rng.Float64()), 0.05)
+			regions[i] = vaq.CircleRegion(c)
+		} else {
+			pg := vaq.RandomQueryPolygon(rng, 10, 0.01, vaq.UnitSquare())
+			regions[i] = vaq.PolygonRegion(pg)
+		}
 	}
 
-	const queriesPerWorker = 500
-	workers := runtime.GOMAXPROCS(0)
-	if workers < 2 {
-		workers = 2 // demonstrate the pattern even on one CPU
-	}
-
-	var wg sync.WaitGroup
-	var totalResults atomic.Int64
+	// Sequential baseline: one query at a time on this goroutine (a batch
+	// of one never engages the pool).
 	start := time.Now()
-	for w := 0; w < workers; w++ {
-		clone, err := eng.Clone()
+	seqOut := make([][]int64, len(regions))
+	var seqStats vaq.Stats
+	for i := range regions {
+		out, st, err := eng.QueryRegions(vaq.VoronoiBFS, regions[i:i+1])
 		if err != nil {
 			log.Fatal(err)
 		}
-		wg.Add(1)
-		go func(worker int, local *vaq.Engine) {
-			defer wg.Done()
-			for i := 0; i < queriesPerWorker; i++ {
-				ids, _, err := local.Query(queries[(worker*queriesPerWorker+i)%len(queries)])
-				if err != nil {
-					log.Fatal(err)
-				}
-				totalResults.Add(int64(len(ids)))
-			}
-		}(w, clone)
+		seqOut[i] = out[0]
+		seqStats.Add(st)
 	}
-	wg.Wait()
-	elapsed := time.Since(start)
+	seqWall := time.Since(start)
 
-	n := workers * queriesPerWorker
-	fmt.Printf("%d workers × %d queries = %d area queries in %v (%.0f queries/s, %d points returned)\n",
-		workers, queriesPerWorker, n, elapsed.Round(time.Millisecond),
-		float64(n)/elapsed.Seconds(), totalResults.Load())
+	start = time.Now()
+	parOut, parStats, err := eng.QueryRegions(vaq.VoronoiBFS, regions)
+	if err != nil {
+		log.Fatal(err)
+	}
+	parWall := time.Since(start)
+
+	for i := range regions {
+		if len(seqOut[i]) != len(parOut[i]) {
+			log.Fatalf("query %d: sequential %d ids, parallel %d ids",
+				i, len(seqOut[i]), len(parOut[i]))
+		}
+	}
+	if seqStats.Candidates != parStats.Candidates {
+		log.Fatalf("stats diverged: sequential %d candidates, parallel %d",
+			seqStats.Candidates, parStats.Candidates)
+	}
+
+	n := len(regions)
+	fmt.Printf("%d area queries over %d points (%d results)\n",
+		n, eng.Len(), parStats.ResultSize)
+	fmt.Printf("sequential:          %8v  (%7.0f queries/s)\n",
+		seqWall.Round(time.Millisecond), float64(n)/seqWall.Seconds())
+	fmt.Printf("parallel (%d workers): %8v  (%7.0f queries/s, %.2fx)\n",
+		workers, parWall.Round(time.Millisecond), float64(n)/parWall.Seconds(),
+		seqWall.Seconds()/parWall.Seconds())
 }

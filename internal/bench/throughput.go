@@ -1,0 +1,147 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/exec"
+	"repro/internal/geom"
+	"repro/internal/workload"
+)
+
+// ThroughputConfig parameterizes a batch-throughput sweep: one dataset,
+// one fixed query workload, the worker-pool size swept.
+type ThroughputConfig struct {
+	// DataSize is the point count (default 1E5, the paper's base size).
+	DataSize int
+	// Queries is the batch length (default 512).
+	Queries int
+	// QuerySize is the query MBR area fraction (default 0.01).
+	QuerySize float64
+	// Vertices per query polygon (default 10).
+	Vertices int
+	// Parallelism lists the worker-pool sizes to sweep (default 1,2,4,8).
+	Parallelism []int
+	// Method to execute (default the paper's VoronoiBFS).
+	Method core.Method
+	// Seed makes runs reproducible.
+	Seed int64
+}
+
+func (c ThroughputConfig) withDefaults() ThroughputConfig {
+	if c.DataSize <= 0 {
+		c.DataSize = 1e5
+	}
+	if c.Queries <= 0 {
+		c.Queries = 512
+	}
+	if c.QuerySize <= 0 {
+		c.QuerySize = 0.01
+	}
+	if c.Vertices < 3 {
+		c.Vertices = 10
+	}
+	if len(c.Parallelism) == 0 {
+		c.Parallelism = []int{1, 2, 4, 8}
+	}
+	if c.Seed == 0 {
+		c.Seed = 20200420
+	}
+	return c
+}
+
+// ThroughputRow is one pool size's measurement.
+type ThroughputRow struct {
+	Workers int
+	Wall    time.Duration // wall-clock time for the whole batch
+	QPS     float64       // queries per second of wall-clock
+	Speedup float64       // relative to the Workers == 1 (or first) row
+}
+
+// RunThroughput measures wall-clock batch throughput of the same query
+// batch at each requested pool size, verifying every run returns the
+// result set of the first.
+func RunThroughput(cfg ThroughputConfig) ([]ThroughputRow, error) {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	bounds := geom.NewRect(0, 0, 1, 1)
+	pts := workload.UniformPoints(rng, cfg.DataSize, bounds)
+	data, err := core.NewMemoryData(pts, bounds)
+	if err != nil {
+		return nil, fmt.Errorf("bench: building dataset (n=%d): %w", cfg.DataSize, err)
+	}
+	eng := core.NewEngine(core.NewRTreeIndex(pts, 16), data)
+
+	regions := make([]core.Region, cfg.Queries)
+	for i := range regions {
+		regions[i] = core.PolygonRegion(workload.RandomPolygon(rng, workload.PolygonConfig{
+			Vertices:  cfg.Vertices,
+			QuerySize: cfg.QuerySize,
+		}, bounds))
+	}
+
+	var baseline [][]int64
+	var baseWall time.Duration
+	rows := make([]ThroughputRow, 0, len(cfg.Parallelism))
+	for _, workers := range cfg.Parallelism {
+		if workers <= 0 { // report the pool size the executor will use
+			workers = runtime.GOMAXPROCS(0)
+		}
+		start := time.Now()
+		out, _, err := exec.QueryBatch(eng, cfg.Method, regions, exec.Options{NumWorkers: workers})
+		wall := time.Since(start)
+		if err != nil {
+			return nil, fmt.Errorf("bench: throughput batch (workers=%d): %w", workers, err)
+		}
+		if baseline == nil {
+			baseline, baseWall = out, wall
+		} else if err := sameResults(baseline, out); err != nil {
+			return nil, fmt.Errorf("bench: workers=%d diverged from baseline: %w", workers, err)
+		}
+		rows = append(rows, ThroughputRow{
+			Workers: workers,
+			Wall:    wall,
+			QPS:     float64(cfg.Queries) / wall.Seconds(),
+			Speedup: baseWall.Seconds() / wall.Seconds(),
+		})
+	}
+	return rows, nil
+}
+
+// sameResults compares two batch outputs query-for-query as sets.
+func sameResults(a, b [][]int64) error {
+	if len(a) != len(b) {
+		return fmt.Errorf("batch lengths %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			return fmt.Errorf("query %d: %d vs %d ids", i, len(a[i]), len(b[i]))
+		}
+		seen := make(map[int64]bool, len(a[i]))
+		for _, id := range a[i] {
+			seen[id] = true
+		}
+		for _, id := range b[i] {
+			if !seen[id] {
+				return fmt.Errorf("query %d: id %d missing from baseline", i, id)
+			}
+		}
+	}
+	return nil
+}
+
+// FormatThroughput renders the sweep as an aligned text table.
+func FormatThroughput(rows []ThroughputRow) string {
+	var b strings.Builder
+	b.WriteString("Workers | Batch wall time | Queries/s | Speedup\n")
+	b.WriteString(strings.Repeat("-", 52) + "\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%7d | %15v | %9.0f | %6.2fx\n",
+			r.Workers, r.Wall.Round(time.Microsecond), r.QPS, r.Speedup)
+	}
+	return b.String()
+}

@@ -1,0 +1,50 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunThroughputSmallSweep(t *testing.T) {
+	rows, err := RunThroughput(ThroughputConfig{
+		DataSize:    2000,
+		Queries:     24,
+		Parallelism: []int{1, 4},
+		Seed:        7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[0].Workers != 1 || rows[1].Workers != 4 {
+		t.Fatalf("worker columns wrong: %+v", rows)
+	}
+	for _, r := range rows {
+		if r.Wall <= 0 || r.QPS <= 0 || r.Speedup <= 0 {
+			t.Errorf("implausible row: %+v", r)
+		}
+	}
+	if rows[0].Speedup != 1 {
+		t.Errorf("baseline speedup = %v, want 1", rows[0].Speedup)
+	}
+
+	table := FormatThroughput(rows)
+	if !strings.Contains(table, "Workers") || !strings.Contains(table, "Speedup") {
+		t.Errorf("table missing headers:\n%s", table)
+	}
+	if len(strings.Split(strings.TrimSpace(table), "\n")) != 4 {
+		t.Errorf("table should have 2 header + 2 data lines:\n%s", table)
+	}
+}
+
+func TestRunThroughputDefaultsApplied(t *testing.T) {
+	cfg := ThroughputConfig{}.withDefaults()
+	if cfg.DataSize != 1e5 || cfg.Queries != 512 || cfg.QuerySize != 0.01 {
+		t.Errorf("defaults wrong: %+v", cfg)
+	}
+	if cfg.Vertices != 10 || len(cfg.Parallelism) == 0 || cfg.Seed == 0 {
+		t.Errorf("defaults wrong: %+v", cfg)
+	}
+}

@@ -1,0 +1,101 @@
+package core
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/workload"
+)
+
+// TestSharedEngineConcurrentQueries pins the tentpole contract directly at
+// the core layer: two (and more) goroutines sharing ONE Engine — no clones
+// — can Query simultaneously. Run with -race.
+func TestSharedEngineConcurrentQueries(t *testing.T) {
+	rng := rand.New(rand.NewSource(20))
+	eng, _ := newUniformEngine(t, rng, 5000)
+	areas := make([]geom.Polygon, 12)
+	oracle := make([][]int64, len(areas))
+	for i := range areas {
+		areas[i] = workload.RandomPolygon(rng, workload.PolygonConfig{QuerySize: 0.02}, unitBounds())
+		ids, _, err := eng.Query(BruteForce, areas[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		oracle[i] = sortedIDs(ids)
+	}
+
+	for _, workers := range []int{2, 8} {
+		var wg sync.WaitGroup
+		errs := make(chan error, workers)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(worker int) {
+				defer wg.Done()
+				for rep := 0; rep < 25; rep++ {
+					i := (worker + rep) % len(areas)
+					m := []Method{VoronoiBFS, VoronoiBFSStrict, Traditional}[rep%3]
+					ids, _, err := eng.Query(m, areas[i])
+					if err != nil {
+						errs <- err
+						return
+					}
+					if !equalIDs(sortedIDs(ids), oracle[i]) {
+						errs <- errMismatch(worker, i)
+						return
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		close(errs)
+		for err := range errs {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+	}
+}
+
+// TestSharedEngineConcurrentKNearest exercises the other scratch-using
+// entry point under concurrency.
+func TestSharedEngineConcurrentKNearest(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	eng, _ := newUniformEngine(t, rng, 2000)
+	queries := make([]geom.Point, 16)
+	oracle := make([][]int64, len(queries))
+	for i := range queries {
+		queries[i] = geom.Pt(rng.Float64(), rng.Float64())
+		ids, _, err := eng.KNearest(queries[i], 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		oracle[i] = append([]int64(nil), ids...)
+	}
+
+	const workers = 6
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			for rep := 0; rep < 30; rep++ {
+				i := (worker + rep) % len(queries)
+				ids, _, err := eng.KNearest(queries[i], 10)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if !equalIDs(ids, oracle[i]) {
+					errs <- errMismatch(worker, i)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}

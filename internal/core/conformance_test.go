@@ -1,0 +1,101 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/workload"
+)
+
+// TestCrossMethodConformance is the repository's conformance matrix: for
+// seeded random workloads (uniform and clustered) and every index kind,
+// the paper's Voronoi method (both expansion rules), the traditional
+// filter-and-refine baseline and the brute-force oracle must return
+// identical id sets on the same query areas. It pins the core correctness
+// claim the whole evaluation rests on — all methods answer the same
+// question — across every index/data-distribution combination the public
+// API can configure.
+func TestCrossMethodConformance(t *testing.T) {
+	const n = 3000
+
+	workloads := []struct {
+		name string
+		gen  func(rng *rand.Rand) []geom.Point
+	}{
+		{"uniform", func(rng *rand.Rand) []geom.Point {
+			return workload.UniformPoints(rng, n, unitBounds())
+		}},
+		{"clustered", func(rng *rand.Rand) []geom.Point {
+			return workload.ClusteredPoints(rng, n, 8, 0.03, unitBounds())
+		}},
+	}
+	indexes := []struct {
+		name  string
+		build func(pts []geom.Point) SpatialIndex
+	}{
+		{"rtree", func(pts []geom.Point) SpatialIndex { return NewRTreeIndex(pts, 16) }},
+		{"rstar", func(pts []geom.Point) SpatialIndex { return NewRStarIndex(pts, 16) }},
+		{"kdtree", func(pts []geom.Point) SpatialIndex { return NewKDTreeIndex(pts) }},
+		{"quadtree", func(pts []geom.Point) SpatialIndex { return NewQuadtreeIndex(pts, unitBounds(), 16) }},
+		{"grid", func(pts []geom.Point) SpatialIndex { return NewGridIndex(pts, unitBounds(), 8) }},
+	}
+	methods := []Method{VoronoiBFS, VoronoiBFSStrict, Traditional}
+
+	for wi, wl := range workloads {
+		t.Run(wl.name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(100 + int64(wi)))
+			pts := wl.gen(rng)
+			data, err := NewMemoryData(pts, unitBounds())
+			if err != nil {
+				t.Fatal(err)
+			}
+			// One query mix per workload, shared by every index so any
+			// disagreement points at the index or method, not the areas.
+			type query struct {
+				name   string
+				region Region
+			}
+			var queries []query
+			for i, qs := range []float64{0.005, 0.01, 0.04, 0.16} {
+				pg := workload.RandomPolygon(rng, workload.PolygonConfig{
+					Vertices:  10,
+					QuerySize: qs,
+				}, unitBounds())
+				queries = append(queries, query{fmt.Sprintf("polygon%d", i), PolygonRegion(pg)})
+			}
+			queries = append(queries, query{"circle", CircleRegion(geom.NewCircle(
+				geom.Pt(0.3+0.4*rng.Float64(), 0.3+0.4*rng.Float64()), 0.1))})
+
+			// The oracle is index-independent.
+			oracleEng := NewEngine(indexes[0].build(pts), data)
+			oracle := make([][]int64, len(queries))
+			for qi, q := range queries {
+				ids, _, err := oracleEng.QueryRegion(BruteForce, q.region)
+				if err != nil {
+					t.Fatalf("oracle %s: %v", q.name, err)
+				}
+				oracle[qi] = sortedIDs(ids)
+			}
+
+			for _, ix := range indexes {
+				t.Run(ix.name, func(t *testing.T) {
+					eng := NewEngine(ix.build(pts), data)
+					for qi, q := range queries {
+						for _, m := range methods {
+							got, _, err := eng.QueryRegion(m, q.region)
+							if err != nil {
+								t.Fatalf("%s/%v: %v", q.name, m, err)
+							}
+							if !equalIDs(sortedIDs(got), oracle[qi]) {
+								t.Errorf("%s/%v: %d ids, oracle %d",
+									q.name, m, len(got), len(oracle[qi]))
+							}
+						}
+					}
+				})
+			}
+		})
+	}
+}

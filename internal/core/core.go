@@ -19,6 +19,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sync"
 	"time"
 
 	"repro/internal/geom"
@@ -140,27 +141,26 @@ type Stats struct {
 	Duration time.Duration
 }
 
-// Engine answers area queries over one dataset. It reuses internal scratch
-// space across queries, so an Engine must not be used concurrently; create
-// one Engine per goroutine over the same shared index and data.
+// Engine answers area queries over one dataset. After construction it
+// holds only immutable references to the index and data; all per-query
+// mutable state lives in pooled queryScratch values, so Query, QueryRegion
+// and KNearest are safe for concurrent use from multiple goroutines — as
+// long as the SpatialIndex and DataAccess themselves are read-safe
+// (MemoryData and every provided index are; StoreData is not, because its
+// buffer pool mutates on every Load).
 type Engine struct {
 	idx  SpatialIndex
 	data DataAccess
 
-	// Generation-stamped visited marks: visited[i] == gen means "seen this
-	// query". Avoids clearing an O(n) structure per query.
-	visited []uint32
-	gen     uint32
-	queue   []int64
+	// scratch pools per-query state (*queryScratch); see scratch.go.
+	scratch sync.Pool
 }
 
 // NewEngine returns an engine over the given index and data.
 func NewEngine(idx SpatialIndex, data DataAccess) *Engine {
-	return &Engine{
-		idx:     idx,
-		data:    data,
-		visited: make([]uint32, data.NumIDs()),
-	}
+	e := &Engine{idx: idx, data: data}
+	e.scratch.New = func() interface{} { return newScratch(e.data.NumIDs()) }
+	return e
 }
 
 // Query runs an area query with the chosen method and returns the ids of
@@ -200,34 +200,16 @@ func (e *Engine) QueryRegion(m Method, region Region) ([]int64, Stats, error) {
 	return ids, stats, err
 }
 
-// ensureCapacity grows the visited table to cover n ids (used by the
-// dynamic engine, whose id space grows with insertions).
-func (e *Engine) ensureCapacity(n int) {
-	if len(e.visited) >= n {
-		return
-	}
-	grown := make([]uint32, n)
-	copy(grown, e.visited)
-	e.visited = grown
-}
-
-// nextGen advances the visited generation, handling wraparound by clearing.
-func (e *Engine) nextGen() {
-	e.gen++
-	if e.gen == 0 { // wrapped: all stamps are stale-but-plausible, clear
-		for i := range e.visited {
-			e.visited[i] = 0
-		}
-		e.gen = 1
-	}
-}
-
-// mark records id as visited for the current query; it reports whether the
-// id was new.
-func (e *Engine) mark(id int64) bool {
-	if e.visited[id] == e.gen {
-		return false
-	}
-	e.visited[id] = e.gen
-	return true
+// Add accumulates other's counters (and Duration) into s. It is the merge
+// operation batch executors use to fold per-query or per-worker statistics
+// into an aggregate; Method is left untouched.
+func (s *Stats) Add(other Stats) {
+	s.ResultSize += other.ResultSize
+	s.Candidates += other.Candidates
+	s.RedundantValidations += other.RedundantValidations
+	s.SegmentTests += other.SegmentTests
+	s.CellTests += other.CellTests
+	s.IndexNodesVisited += other.IndexNodesVisited
+	s.RecordsLoaded += other.RecordsLoaded
+	s.Duration += other.Duration
 }

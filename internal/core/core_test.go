@@ -343,23 +343,30 @@ func TestEngineReusableAcrossManyQueries(t *testing.T) {
 }
 
 func TestGenerationWraparound(t *testing.T) {
-	rng := rand.New(rand.NewSource(11))
-	eng, _ := newUniformEngine(t, rng, 200)
-	eng.gen = ^uint32(0) - 1 // two queries away from wrapping
-	area := workload.RandomPolygon(rng, workload.PolygonConfig{QuerySize: 0.1}, unitBounds())
-	want, _, err := eng.Query(BruteForce, area)
-	if err != nil {
-		t.Fatal(err)
-	}
-	for i := 0; i < 4; i++ { // crosses the wraparound
-		got, _, err := eng.Query(VoronoiBFS, area)
-		if err != nil {
-			t.Fatal(err)
+	// Scratch-level: crossing the uint32 generation boundary must clear the
+	// stale stamps instead of treating them as current.
+	s := newScratch(200)
+	s.visited[7] = 1       // stale stamp that collides with gen == 1 after wrap
+	s.gen = ^uint32(0) - 1 // two generations away from wrapping
+	for i := 0; i < 4; i++ {  // crosses the wraparound
+		s.nextGen()
+		if s.seen(7) {
+			t.Fatalf("generation %d: stale stamp read as visited", i)
 		}
-		if !equalIDs(sortedIDs(got), sortedIDs(want)) {
-			t.Fatalf("query %d after wraparound diverged", i)
+		if !s.mark(7) {
+			t.Fatalf("generation %d: first mark not fresh", i)
+		}
+		if s.mark(7) {
+			t.Fatalf("generation %d: second mark not deduplicated", i)
 		}
 	}
+
+	// Engine queries only ever reach a scratch through acquireScratch,
+	// which advances the generation exactly as above; query correctness
+	// across many generations is pinned by
+	// TestEngineReusableAcrossManyQueries. (An engine-level wrap test would
+	// need sync.Pool to hand back a specific poisoned scratch, which the
+	// pool does not guarantee — the test would silently go vacuous.)
 }
 
 func TestStatsPlausibility(t *testing.T) {

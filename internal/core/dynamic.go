@@ -59,7 +59,9 @@ func (d *DynamicData) Cell(id int64) geom.Ring {
 // inserted one at a time into a dynamic Delaunay triangulation and a
 // dynamic R-tree (R* split), and queries run at any moment with either
 // method — the update capability the paper leaves as future work.
-// Not safe for concurrent use.
+// Unlike the static Engine, a DynamicEngine is single-writer and not safe
+// for concurrent use: Insert mutates the triangulation and the R-tree that
+// in-flight queries traverse.
 type DynamicEngine struct {
 	dt   *delaunay.Dynamic
 	tree *rtree.Tree
@@ -72,11 +74,12 @@ type DynamicEngine struct {
 func NewDynamicEngine(universe geom.Rect) *DynamicEngine {
 	dt := delaunay.NewDynamic(universe)
 	data := &DynamicData{dt: dt}
+	tree := rtree.NewRStar(16)
 	return &DynamicEngine{
 		dt:   dt,
-		tree: rtree.NewRStar(16),
+		tree: tree,
 		data: data,
-		eng:  NewEngine(nil, data), // index attached below
+		eng:  NewEngine(dynamicIndex{tree: tree}, data),
 	}
 }
 
@@ -112,8 +115,6 @@ func (d *DynamicEngine) Query(m Method, area geom.Polygon) ([]int64, Stats, erro
 			"core: query area %v exceeds the dynamic engine universe %v",
 			area.Bounds(), d.dt.Universe())
 	}
-	d.eng.idx = dynamicIndex{tree: d.tree}
-	d.eng.ensureCapacity(d.data.NumIDs())
 	return d.eng.Query(m, area)
 }
 

@@ -6,11 +6,13 @@ import (
 	"repro/internal/geom"
 )
 
-// Clone returns a new Engine sharing this engine's index and data but with
-// independent scratch state, so the clone and the original can run queries
-// concurrently as long as the shared DataAccess is safe for concurrent
-// reads. MemoryData is; StoreData is not (its buffer pool mutates on every
-// load) — callers using a store must clone the data too.
+// Clone returns a new Engine sharing this engine's index and data.
+//
+// Deprecated: an Engine is safe for concurrent queries since per-query
+// scratch state moved into a pool — goroutines can share one Engine
+// directly (provided the DataAccess is read-safe: MemoryData is, StoreData
+// is not because its buffer pool mutates on every load). Clone is kept for
+// callers structured around one engine per goroutine.
 func (e *Engine) Clone() *Engine {
 	return NewEngine(e.idx, e.data)
 }
@@ -31,27 +33,26 @@ func (e *Engine) Count(m Method, area geom.Polygon) (int, Stats, error) {
 	return len(ids), stats, nil
 }
 
-// QueryBatch answers a sequence of area queries with the same method,
-// returning per-query results and aggregate statistics. The engine's
-// scratch structures are reused across the batch.
+// QueryBatch answers a sequence of area queries with the same method on
+// the calling goroutine, returning per-query results and aggregate
+// statistics. For parallel batch execution over the same engine see
+// package exec.
 func (e *Engine) QueryBatch(m Method, areas []geom.Polygon) ([][]int64, Stats, error) {
-	out := make([][]int64, len(areas))
-	var agg Stats
-	agg.Method = m
-	for i, area := range areas {
-		ids, st, err := e.Query(m, area)
+	return e.QueryBatchRegions(m, Polygons(areas))
+}
+
+// QueryBatchRegions is QueryBatch over arbitrary prepared Regions, allowing
+// polygon and circle queries to share one batch.
+func (e *Engine) QueryBatchRegions(m Method, regions []Region) ([][]int64, Stats, error) {
+	out := make([][]int64, len(regions))
+	agg := Stats{Method: m}
+	for i, region := range regions {
+		ids, st, err := e.QueryRegion(m, region)
 		if err != nil {
 			return nil, agg, fmt.Errorf("core: batch query %d: %w", i, err)
 		}
 		out[i] = ids
-		agg.ResultSize += st.ResultSize
-		agg.Candidates += st.Candidates
-		agg.RedundantValidations += st.RedundantValidations
-		agg.SegmentTests += st.SegmentTests
-		agg.CellTests += st.CellTests
-		agg.IndexNodesVisited += st.IndexNodesVisited
-		agg.RecordsLoaded += st.RecordsLoaded
-		agg.Duration += st.Duration
+		agg.Add(st)
 	}
 	return out, agg, nil
 }

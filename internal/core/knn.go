@@ -24,9 +24,10 @@ func (e *Engine) KNearest(q geom.Point, k int) ([]int64, Stats, error) {
 		return nil, stats, ErrNoData
 	}
 
-	e.nextGen()
+	s := e.acquireScratch()
+	defer e.releaseScratch(s)
 	h := knnHeap{{id: seed, d2: q.Dist2(e.data.Position(seed))}}
-	e.mark(seed)
+	s.mark(seed)
 
 	out := make([]int64, 0, k)
 	for len(h) > 0 && len(out) < k {
@@ -34,7 +35,7 @@ func (e *Engine) KNearest(q geom.Point, k int) ([]int64, Stats, error) {
 		out = append(out, top.id)
 		stats.Candidates++
 		e.data.NeighborsFunc(top.id, func(nb int64) bool {
-			if e.mark(nb) {
+			if s.mark(nb) {
 				heap.Push(&h, knnEntry{id: nb, d2: q.Dist2(e.data.Position(nb))})
 			}
 			return true

@@ -59,10 +59,10 @@ func (e *Engine) queryVoronoi(region Region, strict bool) ([]int64, Stats, error
 		return nil, stats, ErrNoData
 	}
 
-	e.nextGen()
-	e.queue = e.queue[:0]
-	e.mark(seed)
-	e.queue = append(e.queue, seed)
+	s := e.acquireScratch()
+	defer e.releaseScratch(s)
+	s.mark(seed)
+	s.queue = append(s.queue, seed)
 
 	// Fast path: data sources exposing raw neighbor slices avoid one
 	// closure-based callback per neighbor on the hottest loop.
@@ -72,13 +72,13 @@ func (e *Engine) queryVoronoi(region Region, strict bool) ([]int64, Stats, error
 	// the popped candidate's position into them.
 	var curPos geom.Point
 	expandAll := func(nb int64) bool {
-		if e.mark(nb) {
-			e.queue = append(e.queue, nb)
+		if s.mark(nb) {
+			s.queue = append(s.queue, nb)
 		}
 		return true
 	}
 	expandBoundary := func(nb int64) bool {
-		if e.visited[nb] == e.gen {
+		if s.seen(nb) {
 			return true
 		}
 		enqueue := false
@@ -90,15 +90,15 @@ func (e *Engine) queryVoronoi(region Region, strict bool) ([]int64, Stats, error
 			enqueue = region.IntersectsSegment(geom.Seg(curPos, e.data.Position(nb)))
 		}
 		if enqueue {
-			e.mark(nb)
-			e.queue = append(e.queue, nb)
+			s.mark(nb)
+			s.queue = append(s.queue, nb)
 		}
 		return true
 	}
 
 	var result []int64
-	for head := 0; head < len(e.queue); head++ {
-		p := e.queue[head]
+	for head := 0; head < len(s.queue); head++ {
+		p := s.queue[head]
 		pos, err := e.data.Load(p)
 		if err != nil {
 			return nil, stats, fmt.Errorf("core: loading candidate %d: %w", p, err)

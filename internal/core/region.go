@@ -25,6 +25,15 @@ type RingIntersecter interface {
 // PolygonRegion wraps a polygon as a Region with prepared-predicate speed.
 func PolygonRegion(pg geom.Polygon) Region { return geom.Prepare(pg) }
 
+// Polygons prepares a polygon slice as a Region batch.
+func Polygons(areas []geom.Polygon) []Region {
+	regions := make([]Region, len(areas))
+	for i, area := range areas {
+		regions[i] = PolygonRegion(area)
+	}
+	return regions
+}
+
 // CircleRegion wraps a disk as a Region.
 func CircleRegion(c geom.Circle) Region { return circleRegion{c} }
 

@@ -1,0 +1,69 @@
+package core
+
+// queryScratch is the per-query mutable state of the engine: the
+// generation-stamped visited table and the BFS frontier queue. Isolating it
+// from the Engine (which otherwise holds only immutable references to the
+// index and data) is what makes one Engine safe for concurrent queries —
+// each in-flight query owns exactly one scratch, checked out of a sync.Pool
+// and returned when the query finishes.
+type queryScratch struct {
+	// Generation-stamped visited marks: visited[i] == gen means "seen this
+	// query". Avoids clearing an O(n) structure per query.
+	visited []uint32
+	gen     uint32
+	queue   []int64
+}
+
+// newScratch returns a scratch covering n ids.
+func newScratch(n int) *queryScratch {
+	return &queryScratch{visited: make([]uint32, n)}
+}
+
+// ensureCapacity grows the visited table to cover n ids (the dynamic
+// engine's id space grows with insertions; pooled scratches built before an
+// insertion must catch up on checkout).
+func (s *queryScratch) ensureCapacity(n int) {
+	if len(s.visited) >= n {
+		return
+	}
+	grown := make([]uint32, n)
+	copy(grown, s.visited)
+	s.visited = grown
+}
+
+// nextGen advances the visited generation, handling wraparound by clearing.
+func (s *queryScratch) nextGen() {
+	s.gen++
+	if s.gen == 0 { // wrapped: all stamps are stale-but-plausible, clear
+		for i := range s.visited {
+			s.visited[i] = 0
+		}
+		s.gen = 1
+	}
+}
+
+// mark records id as visited for the current query; it reports whether the
+// id was new.
+func (s *queryScratch) mark(id int64) bool {
+	if s.visited[id] == s.gen {
+		return false
+	}
+	s.visited[id] = s.gen
+	return true
+}
+
+// seen reports whether id was already marked this query.
+func (s *queryScratch) seen(id int64) bool { return s.visited[id] == s.gen }
+
+// acquireScratch checks a scratch out of the engine's pool, sized to the
+// current id space with a fresh generation and an empty queue.
+func (e *Engine) acquireScratch() *queryScratch {
+	s := e.scratch.Get().(*queryScratch)
+	s.ensureCapacity(e.data.NumIDs())
+	s.queue = s.queue[:0]
+	s.nextGen()
+	return s
+}
+
+// releaseScratch returns a scratch to the pool for reuse by later queries.
+func (e *Engine) releaseScratch(s *queryScratch) { e.scratch.Put(s) }

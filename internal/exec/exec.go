@@ -1,0 +1,154 @@
+// Package exec runs batches of area queries on a bounded worker pool.
+//
+// The paper's per-query algorithms parallelize trivially once the engine's
+// per-query scratch state is isolated (see core.Engine): every query reads
+// the shared immutable index, Voronoi topology and point data, and writes
+// only its own result slot. The executor therefore needs no locking on the
+// hot path — workers claim chunks of the query slice from a shared atomic
+// cursor (chunked work-stealing: large enough claims to amortize the
+// cursor contention, small enough that an unlucky worker stuck on an
+// expensive query strands at most one chunk), accumulate statistics into a
+// per-worker Stats, and the per-worker stats merge into one aggregate
+// after the pool drains.
+package exec
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+)
+
+// DefaultChunk is the number of consecutive queries a worker claims per
+// steal when Options.Chunk is unset. Area queries are microseconds to
+// milliseconds each, so single-query claims would rattle the shared cursor
+// while very large claims would serialize the tail of the batch.
+const DefaultChunk = 8
+
+// Options configures a batch run.
+type Options struct {
+	// NumWorkers is the goroutine count; <= 0 means runtime.GOMAXPROCS(0).
+	// The pool never spawns more workers than there are queries, and 1
+	// runs the whole batch on the calling goroutine.
+	NumWorkers int
+	// Chunk is the number of queries claimed per steal; <= 0 means
+	// DefaultChunk.
+	Chunk int
+}
+
+// workers resolves the effective worker count for n queries.
+func (o Options) workers(n int) int {
+	w := o.NumWorkers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	return w
+}
+
+// chunk resolves the effective chunk size.
+func (o Options) chunk() int {
+	if o.Chunk <= 0 {
+		return DefaultChunk
+	}
+	return o.Chunk
+}
+
+// QueryBatch answers every region with method m against the shared engine,
+// returning per-query results aligned with regions and aggregate
+// statistics. The aggregate is the sum over per-query stats — Duration is
+// summed per-query time, not batch wall clock, so it is comparable with a
+// sequential run of the same batch. On error the batch stops early and
+// returns the lowest-indexed error among those observed before the pool
+// drained (a parallel run may therefore report a different failing query
+// than a sequential run of the same batch, which always reports the first).
+//
+// The engine's DataAccess must be read-safe (core.MemoryData is;
+// core.StoreData is not) when NumWorkers > 1.
+func QueryBatch(eng *core.Engine, m core.Method, regions []core.Region, opts Options) ([][]int64, core.Stats, error) {
+	n := len(regions)
+	agg := core.Stats{Method: m}
+	if n == 0 {
+		return nil, agg, nil
+	}
+	workers := opts.workers(n)
+	if workers == 1 {
+		return eng.QueryBatchRegions(m, regions)
+	}
+	out := make([][]int64, n)
+	workerStats := make([]core.Stats, workers)
+	err := run(n, workers, opts.chunk(), func(worker, i int) error {
+		ids, st, err := eng.QueryRegion(m, regions[i])
+		if err != nil {
+			return err
+		}
+		out[i] = ids
+		workerStats[worker].Add(st)
+		return nil
+	})
+	if err != nil {
+		return nil, agg, err
+	}
+	for _, ws := range workerStats {
+		agg.Add(ws)
+	}
+	return out, agg, nil
+}
+
+// run executes fn(worker, i) for every i in [0, n) across workers
+// goroutines. Each worker claims chunks of indexes from a shared cursor;
+// on the first error all workers stop claiming and the lowest-indexed
+// observed error wins.
+func run(n, workers, chunk int, fn func(worker, i int) error) error {
+	var (
+		cursor atomic.Int64
+		failed atomic.Bool
+
+		mu       sync.Mutex
+		firstErr error
+		firstIdx int
+		wg       sync.WaitGroup
+	)
+	fail := func(i int, err error) {
+		mu.Lock()
+		if firstErr == nil || i < firstIdx {
+			firstErr, firstIdx = err, i
+		}
+		mu.Unlock()
+		failed.Store(true)
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			for !failed.Load() {
+				start := int(cursor.Add(int64(chunk))) - chunk
+				if start >= n {
+					return
+				}
+				end := start + chunk
+				if end > n {
+					end = n
+				}
+				for i := start; i < end; i++ {
+					if failed.Load() {
+						return
+					}
+					if err := fn(worker, i); err != nil {
+						fail(i, err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return fmt.Errorf("exec: batch query %d: %w", firstIdx, firstErr)
+	}
+	return nil
+}

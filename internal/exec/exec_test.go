@@ -1,0 +1,215 @@
+package exec
+
+import (
+	"errors"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/workload"
+)
+
+func unitBounds() geom.Rect { return geom.NewRect(0, 0, 1, 1) }
+
+func sortedIDs(ids []int64) []int64 {
+	out := append([]int64(nil), ids...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func equalIDs(a, b []int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func newEngine(t testing.TB, n int, seed int64) *core.Engine {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	pts := workload.UniformPoints(rng, n, unitBounds())
+	data, err := core.NewMemoryData(pts, unitBounds())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return core.NewEngine(core.NewRTreeIndex(pts, 16), data)
+}
+
+// mixedRegions builds a batch alternating random polygons and circles — the
+// two public query shapes sharing one batch.
+func mixedRegions(rng *rand.Rand, count int) []core.Region {
+	regions := make([]core.Region, count)
+	for i := range regions {
+		if i%2 == 0 {
+			pg := workload.RandomPolygon(rng, workload.PolygonConfig{
+				Vertices:  10,
+				QuerySize: []float64{0.005, 0.01, 0.04}[i%3],
+			}, unitBounds())
+			regions[i] = core.PolygonRegion(pg)
+		} else {
+			c := geom.NewCircle(geom.Pt(0.1+0.8*rng.Float64(), 0.1+0.8*rng.Float64()),
+				0.02+0.08*rng.Float64())
+			regions[i] = core.CircleRegion(c)
+		}
+	}
+	return regions
+}
+
+func TestParallelMatchesSequentialQueryForQuery(t *testing.T) {
+	eng := newEngine(t, 8000, 1)
+	rng := rand.New(rand.NewSource(2))
+	regions := mixedRegions(rng, 64)
+
+	for _, m := range []core.Method{core.Traditional, core.VoronoiBFS} {
+		seq, _, err := QueryBatch(eng, m, regions, Options{NumWorkers: 1})
+		if err != nil {
+			t.Fatalf("%v sequential: %v", m, err)
+		}
+		for _, workers := range []int{2, 4, 8} {
+			par, _, err := QueryBatch(eng, m, regions, Options{NumWorkers: workers})
+			if err != nil {
+				t.Fatalf("%v workers=%d: %v", m, workers, err)
+			}
+			for i := range regions {
+				if !equalIDs(sortedIDs(par[i]), sortedIDs(seq[i])) {
+					t.Fatalf("%v workers=%d: query %d diverged (%d vs %d ids)",
+						m, workers, i, len(par[i]), len(seq[i]))
+				}
+			}
+		}
+	}
+}
+
+func TestAggregateStatsEqualSumOfSequentialStats(t *testing.T) {
+	// The merge of per-worker stats must equal the sum of sequential
+	// per-query stats for every deterministic counter; only Duration is
+	// timing-dependent.
+	eng := newEngine(t, 5000, 3)
+	rng := rand.New(rand.NewSource(4))
+	regions := mixedRegions(rng, 40)
+
+	var want core.Stats
+	for i, region := range regions {
+		_, st, err := eng.QueryRegion(core.VoronoiBFS, region)
+		if err != nil {
+			t.Fatalf("sequential query %d: %v", i, err)
+		}
+		want.Add(st)
+	}
+
+	_, agg, err := QueryBatch(eng, core.VoronoiBFS, regions, Options{NumWorkers: 4, Chunk: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agg.Method != core.VoronoiBFS {
+		t.Errorf("aggregate Method = %v", agg.Method)
+	}
+	if agg.ResultSize != want.ResultSize {
+		t.Errorf("ResultSize = %d, want %d", agg.ResultSize, want.ResultSize)
+	}
+	if agg.Candidates != want.Candidates {
+		t.Errorf("Candidates = %d, want %d", agg.Candidates, want.Candidates)
+	}
+	if agg.RedundantValidations != want.RedundantValidations {
+		t.Errorf("RedundantValidations = %d, want %d", agg.RedundantValidations, want.RedundantValidations)
+	}
+	if agg.SegmentTests != want.SegmentTests {
+		t.Errorf("SegmentTests = %d, want %d", agg.SegmentTests, want.SegmentTests)
+	}
+	if agg.IndexNodesVisited != want.IndexNodesVisited {
+		t.Errorf("IndexNodesVisited = %d, want %d", agg.IndexNodesVisited, want.IndexNodesVisited)
+	}
+	if agg.RecordsLoaded != want.RecordsLoaded {
+		t.Errorf("RecordsLoaded = %d, want %d", agg.RecordsLoaded, want.RecordsLoaded)
+	}
+	if agg.Duration <= 0 {
+		t.Error("aggregate Duration missing")
+	}
+}
+
+// failingData poisons Load for one id, simulating an unreadable record.
+type failingData struct {
+	core.DataAccess
+	poisoned int64
+}
+
+var errPoisoned = errors.New("injected load failure")
+
+func (f *failingData) Load(id int64) (geom.Point, error) {
+	if id == f.poisoned {
+		return geom.Point{}, errPoisoned
+	}
+	return f.DataAccess.Load(id)
+}
+
+func TestBatchErrorStopsAndSurfaces(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	pts := workload.UniformPoints(rng, 2000, unitBounds())
+	data, err := core.NewMemoryData(pts, unitBounds())
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := core.NewRTreeIndex(pts, 16)
+
+	// Poison a point every wide query certainly loads: a brute-force result.
+	wide := workload.RandomPolygon(rng, workload.PolygonConfig{QuerySize: 0.3}, unitBounds())
+	okEng := core.NewEngine(idx, data)
+	ids, _, err := okEng.Query(core.BruteForce, wide)
+	if err != nil || len(ids) == 0 {
+		t.Fatalf("oracle setup: %v (%d ids)", err, len(ids))
+	}
+	eng := core.NewEngine(idx, &failingData{DataAccess: data, poisoned: ids[0]})
+
+	regions := make([]core.Region, 32)
+	for i := range regions {
+		regions[i] = core.PolygonRegion(wide)
+	}
+	for _, workers := range []int{1, 4} {
+		_, _, err := QueryBatch(eng, core.Traditional, regions, Options{NumWorkers: workers})
+		if !errors.Is(err, errPoisoned) {
+			t.Errorf("workers=%d: err = %v, want the injected failure", workers, err)
+		}
+		if err != nil && !strings.Contains(err.Error(), "batch query") {
+			t.Errorf("workers=%d: error lacks batch context: %v", workers, err)
+		}
+	}
+}
+
+func TestEmptyAndOversubscribedBatches(t *testing.T) {
+	eng := newEngine(t, 500, 6)
+	out, agg, err := QueryBatch(eng, core.VoronoiBFS, nil, Options{NumWorkers: 4})
+	if err != nil || out != nil {
+		t.Fatalf("empty batch: out=%v err=%v", out, err)
+	}
+	if agg.Candidates != 0 {
+		t.Errorf("empty batch did work: %+v", agg)
+	}
+
+	// More workers than queries must clamp, not deadlock or skip.
+	rng := rand.New(rand.NewSource(7))
+	regions := mixedRegions(rng, 3)
+	out, _, err = QueryBatch(eng, core.VoronoiBFS, regions, Options{NumWorkers: 64, Chunk: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, ids := range out {
+		want, _, err := eng.QueryRegion(core.VoronoiBFS, regions[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !equalIDs(sortedIDs(ids), sortedIDs(want)) {
+			t.Fatalf("query %d diverged with oversubscribed pool", i)
+		}
+	}
+}
+
+// Batch throughput at different pool sizes is benchmarked at the public
+// API level: BenchmarkQueryBatchParallel in the repository root.

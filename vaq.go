@@ -23,6 +23,26 @@
 // Both methods always return the same result set; stats expose the work
 // performed (candidates, redundant validations, index node visits,
 // record loads and — with WithStore — page IO).
+//
+// # Concurrency model
+//
+// An Engine is immutable after NewEngine returns: the spatial index, the
+// Voronoi topology and the point data are never modified by queries, and
+// all per-query scratch state is pooled internally. Query, QueryWith,
+// QueryCircle, QueryRegions, KNearest, Count and QueryBatch are therefore
+// safe for concurrent use from any number of goroutines sharing one
+// Engine. Two exceptions:
+//
+//   - Engines built WithStore serialize on the record store's buffer pool,
+//     which mutates on every load; they must not be queried concurrently,
+//     and their batches always run sequentially.
+//   - DynamicEngine remains single-writer and is not safe for concurrent
+//     use at all: Insert mutates the triangulation and R-tree that
+//     in-flight queries traverse.
+//
+// QueryBatch additionally runs the batch itself in parallel on a bounded
+// worker pool — WithParallelism(n) sets the pool size (default GOMAXPROCS;
+// 1 keeps batches on the calling goroutine).
 package vaq
 
 import (
@@ -31,6 +51,7 @@ import (
 	"math/rand"
 
 	"repro/internal/core"
+	"repro/internal/exec"
 	"repro/internal/geom"
 	"repro/internal/svg"
 	"repro/internal/voronoi"
@@ -59,7 +80,16 @@ type (
 	Method = core.Method
 	// Stats reports the work one query performed.
 	Stats = core.Stats
+	// Region is a prepared query shape — build one with PolygonRegion or
+	// CircleRegion; polygons and circles can share one QueryRegions batch.
+	Region = core.Region
 )
+
+// PolygonRegion prepares a polygon for (repeated or batched) querying.
+func PolygonRegion(pg Polygon) Region { return core.PolygonRegion(pg) }
+
+// CircleRegion prepares a circle for (repeated or batched) querying.
+func CircleRegion(c Circle) Region { return core.CircleRegion(c) }
 
 // The available query methods.
 const (
@@ -172,11 +202,12 @@ type StoreConfig = core.StoreConfig
 type Option func(*config)
 
 type config struct {
-	index      IndexKind
-	rtreeFan   int
-	store      *StoreConfig
-	quadBucket int
-	gridCell   int
+	index       IndexKind
+	rtreeFan    int
+	store       *StoreConfig
+	quadBucket  int
+	gridCell    int
+	parallelism int
 }
 
 // WithIndex selects the filtering index (default RTreeIndex, as in the
@@ -197,16 +228,28 @@ func WithStore(cfg StoreConfig) Option {
 	return func(c *config) { s := cfg; c.store = &s }
 }
 
-// Engine answers area queries over a fixed point set. It is not safe for
-// concurrent use; build one Engine per goroutine (they can share nothing —
-// construction is cheap relative to dataset builds, or use separate
-// engines over separate data).
+// WithParallelism sets the worker-pool size QueryBatch and QueryRegions
+// run on. The default (n <= 0) is runtime.GOMAXPROCS; 1 keeps batches
+// sequential on the calling goroutine. Store-backed engines (WithStore)
+// ignore this and always run sequentially — their buffer pool is not safe
+// for concurrent loads.
+func WithParallelism(n int) Option {
+	return func(c *config) { c.parallelism = n }
+}
+
+// Engine answers area queries over a fixed point set. Engines are read-
+// safe after construction: any number of goroutines may share one Engine
+// and query it concurrently, and QueryBatch spreads a batch over an
+// internal worker pool (see WithParallelism). The one exception is an
+// engine built WithStore, whose buffer pool mutates on every record load —
+// such engines must be confined to one goroutine at a time.
 type Engine struct {
-	eng    *core.Engine
-	points []Point
-	bounds Rect
-	data   core.DataAccess
-	store  *core.StoreData // nil without WithStore
+	eng         *core.Engine
+	points      []Point
+	bounds      Rect
+	data        core.DataAccess
+	store       *core.StoreData // nil without WithStore
+	parallelism int             // 0 = GOMAXPROCS; forced to 1 with store
 }
 
 // NewEngine builds the Voronoi topology, the spatial index and (optionally)
@@ -249,12 +292,17 @@ func NewEngine(points []Point, bounds Rect, opts ...Option) (*Engine, error) {
 		return nil, fmt.Errorf("vaq: unknown index kind %v", cfg.index)
 	}
 
+	parallelism := cfg.parallelism
+	if sd != nil {
+		parallelism = 1 // the store's buffer pool mutates on every load
+	}
 	return &Engine{
-		eng:    core.NewEngine(idx, data),
-		points: append([]Point(nil), points...),
-		bounds: bounds,
-		data:   data,
-		store:  sd,
+		eng:         core.NewEngine(idx, data),
+		points:      append([]Point(nil), points...),
+		bounds:      bounds,
+		data:        data,
+		store:       sd,
+		parallelism: parallelism,
 	}, nil
 }
 
@@ -289,25 +337,37 @@ func (e *Engine) Count(m Method, area Polygon) (int, Stats, error) {
 }
 
 // QueryBatch answers a sequence of queries with one method, returning
-// per-query results and aggregated statistics.
+// per-query results and aggregated statistics. The batch runs on the
+// engine's worker pool (see WithParallelism); the aggregate Duration is
+// the sum of per-query times, comparable with a sequential run.
 func (e *Engine) QueryBatch(m Method, areas []Polygon) ([][]int64, Stats, error) {
-	return e.eng.QueryBatch(m, areas)
+	return e.QueryRegions(m, core.Polygons(areas))
+}
+
+// QueryRegions is QueryBatch over prepared Regions, letting polygon and
+// circle queries share one (parallel) batch.
+func (e *Engine) QueryRegions(m Method, regions []Region) ([][]int64, Stats, error) {
+	return exec.QueryBatch(e.eng, m, regions, exec.Options{NumWorkers: e.parallelism})
 }
 
 // Clone returns an engine sharing this engine's (read-only) index, points
-// and Voronoi topology with independent query scratch state, enabling
-// concurrent queries from multiple goroutines — one clone each. Cloning a
-// store-backed engine is refused: its buffer pool mutates on reads and is
-// not safe to share.
+// and Voronoi topology.
+//
+// Deprecated: engines are safe for concurrent queries since per-query
+// scratch state moved into an internal pool — share the Engine directly
+// instead. Clone is kept for callers structured around one engine per
+// goroutine. Cloning a store-backed engine is still refused: its buffer
+// pool mutates on reads and is not safe to share.
 func (e *Engine) Clone() (*Engine, error) {
 	if e.store != nil {
 		return nil, fmt.Errorf("vaq: cannot clone a store-backed engine (buffer pool is not concurrency-safe)")
 	}
 	return &Engine{
-		eng:    e.eng.Clone(),
-		points: e.points,
-		bounds: e.bounds,
-		data:   e.data,
+		eng:         e.eng,
+		points:      e.points,
+		bounds:      e.bounds,
+		data:        e.data,
+		parallelism: e.parallelism,
 	}, nil
 }
 
@@ -347,7 +407,9 @@ func (e *Engine) ResetIOStats() {
 // point — the update capability the paper leaves as future work. Points
 // are inserted into a dynamic Delaunay triangulation (incremental
 // Guibas–Stolfi insertion) and an R*-split R-tree; queries run at any
-// moment with any method. Not safe for concurrent use.
+// moment with any method. Unlike Engine, a DynamicEngine is single-writer
+// and not safe for any concurrent use: Insert mutates the structures
+// in-flight queries traverse.
 type DynamicEngine struct {
 	d *core.DynamicEngine
 }
