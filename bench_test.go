@@ -288,3 +288,57 @@ func BenchmarkAblationPolygonComplexity(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkShardedQuery measures batch-query throughput of the sharded
+// engine against an unsharded baseline on a store-backed dataset (the
+// regime sharding targets: every shard owns a private record store and
+// buffer pool, so aggregate cache capacity and lock independence grow
+// with the shard count, and on multi-core hardware the scatter adds
+// shard-level parallelism on top of batch parallelism). Each iteration
+// runs one full 64-query batch; compare ns/op across the shards=N
+// sub-benchmarks and read queries/s for absolute throughput.
+func BenchmarkShardedQuery(b *testing.B) {
+	const n = 100_000
+	rng := rand.New(rand.NewSource(12))
+	pts := UniformPoints(rng, n, UnitSquare())
+	areas := benchAreas(12, 0.01, 64)
+	store := StoreConfig{PageSize: 4096, PoolPages: 1024, PayloadBytes: 256}
+
+	single, err := NewEngine(pts, UnitSquare(), WithStore(store))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("single", func(b *testing.B) {
+		benchShardedBatch(b, func(m Method, areas []Polygon) ([][]int64, Stats, error) {
+			return single.QueryBatch(m, areas)
+		}, single.IOStats, areas)
+	})
+
+	for _, shards := range []int{1, 2, 4, 8} {
+		eng, err := NewShardedEngine(pts, UnitSquare(), WithShards(shards), WithStore(store))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			benchShardedBatch(b, eng.QueryBatch, eng.IOStats, areas)
+		})
+	}
+}
+
+func benchShardedBatch(b *testing.B, batch func(Method, []Polygon) ([][]int64, Stats, error),
+	ioStats func() (int, int, bool), areas []Polygon) {
+	b.Helper()
+	queries := 0
+	reads0, _, _ := ioStats()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := batch(VoronoiBFS, areas); err != nil {
+			b.Fatal(err)
+		}
+		queries += len(areas)
+	}
+	b.StopTimer()
+	reads1, _, _ := ioStats()
+	b.ReportMetric(float64(queries)/b.Elapsed().Seconds(), "queries/s")
+	b.ReportMetric(float64(reads1-reads0)/float64(b.N), "pagereads/op")
+}

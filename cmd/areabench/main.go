@@ -9,6 +9,7 @@
 //	areabench -exp all -datasizes 100000,200000 -repeats 50
 //	areabench -exp table2 -store -payload 64 -poolpages 256
 //	areabench -exp throughput -parallel 1,2,4,8 -queries 1024
+//	areabench -exp sharded -shards 1,2,4,8 -store -queries 512
 package main
 
 import (
@@ -24,9 +25,10 @@ import (
 
 func main() {
 	var (
-		exp        = flag.String("exp", "all", "experiment: table1|table2|fig4|fig5|fig6|fig7|throughput|all")
+		exp        = flag.String("exp", "all", "experiment: table1|table2|fig4|fig5|fig6|fig7|throughput|sharded|all")
 		parallel   = flag.String("parallel", "1,2,4,8", "comma-separated worker-pool sizes (with -exp throughput)")
-		queries    = flag.Int("queries", 512, "batch length (with -exp throughput)")
+		shards     = flag.String("shards", "1,2,4,8", "comma-separated shard counts (with -exp sharded)")
+		queries    = flag.Int("queries", 512, "batch length (with -exp throughput|sharded)")
 		repeats    = flag.Int("repeats", 100, "repeats per configuration (paper: 1000)")
 		seed       = flag.Int64("seed", 20200420, "random seed")
 		vertices   = flag.Int("vertices", 10, "query polygon vertex count (paper: 10)")
@@ -93,6 +95,36 @@ func main() {
 		}
 		fmt.Println("## Batch throughput — parallel QueryBatch, Voronoi method")
 		fmt.Print(bench.FormatThroughput(rows))
+		return
+	}
+
+	if *exp == "sharded" {
+		counts, err := parseInts(*shards)
+		if err != nil {
+			fatalf("bad -shards: %v", err)
+		}
+		dataSize := 0 // RunShardedThroughput defaults to 1E5
+		if len(cfg.DataSizes) > 0 && *dataSizes != "" {
+			dataSize = cfg.DataSizes[0]
+		}
+		rows, err := bench.RunShardedThroughput(bench.ShardedThroughputConfig{
+			DataSize:  dataSize,
+			Queries:   *queries,
+			QuerySize: cfg.FixedQuerySize,
+			Vertices:  cfg.Vertices,
+			Shards:    counts,
+			Store:     cfg.Store,
+			Seed:      cfg.Seed,
+		})
+		if err != nil {
+			fatalf("sharded sweep: %v", err)
+		}
+		backing := "in-memory records"
+		if cfg.Store != nil {
+			backing = "store-backed records (per-shard buffer pools)"
+		}
+		fmt.Printf("## Sharded vs single engine — batch scatter-gather, Voronoi method, %s\n", backing)
+		fmt.Print(bench.FormatShardedThroughput(rows))
 		return
 	}
 

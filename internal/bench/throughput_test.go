@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"repro/internal/core"
 	"strings"
 	"testing"
 )
@@ -46,5 +47,62 @@ func TestRunThroughputDefaultsApplied(t *testing.T) {
 	}
 	if cfg.Vertices != 10 || len(cfg.Parallelism) == 0 || cfg.Seed == 0 {
 		t.Errorf("defaults wrong: %+v", cfg)
+	}
+	// The zero Method (Traditional) must be replaced by the paper's method,
+	// or the "Voronoi method" table headers lie.
+	if cfg.Method != core.VoronoiBFS {
+		t.Errorf("Method default = %v, want %v", cfg.Method, core.VoronoiBFS)
+	}
+	if kept := (ThroughputConfig{Method: core.VoronoiBFSStrict}).withDefaults(); kept.Method != core.VoronoiBFSStrict {
+		t.Errorf("explicit Method overridden: %v", kept.Method)
+	}
+}
+
+func TestRunShardedThroughputSmallSweep(t *testing.T) {
+	rows, err := RunShardedThroughput(ShardedThroughputConfig{
+		DataSize: 2000,
+		Queries:  24,
+		Shards:   []int{1, 4},
+		Workers:  4,
+		Seed:     7,
+		Store:    &core.StoreConfig{PageSize: 1024, PoolPages: 8, PayloadBytes: 16},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d, want baseline + 2 shard counts", len(rows))
+	}
+	if rows[0].Shards != 0 || rows[0].Speedup != 1 {
+		t.Fatalf("baseline row wrong: %+v", rows[0])
+	}
+	if rows[1].Shards != 1 || rows[2].Shards != 4 {
+		t.Fatalf("shard columns wrong: %+v", rows)
+	}
+	for _, r := range rows {
+		if r.Wall <= 0 || r.QPS <= 0 || r.Speedup <= 0 {
+			t.Errorf("implausible row: %+v", r)
+		}
+	}
+
+	table := FormatShardedThroughput(rows)
+	if !strings.Contains(table, "Shards") || !strings.Contains(table, "single") {
+		t.Errorf("table missing headers:\n%s", table)
+	}
+	if len(strings.Split(strings.TrimSpace(table), "\n")) != 5 {
+		t.Errorf("table should have 2 header + 3 data lines:\n%s", table)
+	}
+}
+
+func TestRunShardedThroughputDefaultsApplied(t *testing.T) {
+	cfg := ShardedThroughputConfig{}.withDefaults()
+	if cfg.DataSize != 1e5 || cfg.Queries != 256 || cfg.QuerySize != 0.01 {
+		t.Errorf("defaults wrong: %+v", cfg)
+	}
+	if cfg.Vertices != 10 || len(cfg.Shards) != 4 || cfg.Seed == 0 {
+		t.Errorf("defaults wrong: %+v", cfg)
+	}
+	if cfg.Method != core.VoronoiBFS {
+		t.Errorf("Method default = %v, want %v", cfg.Method, core.VoronoiBFS)
 	}
 }

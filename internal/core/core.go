@@ -75,6 +75,14 @@ type CellSource interface {
 	Cell(id int64) geom.Ring
 }
 
+// CellBoxSource is optionally implemented by DataAccess implementations
+// that can produce Voronoi cell bounding rectangles cheaply. The strict
+// expansion uses it as a fast reject before building the exact cell: a
+// cell whose box misses the region cannot intersect it.
+type CellBoxSource interface {
+	CellBox(id int64) geom.Rect
+}
+
 // NeighborSlicer is optionally implemented by DataAccess implementations
 // whose neighbor lists live in memory as int32 slices; the engine uses it
 // to skip the per-neighbor callback on its hottest loop. The returned
@@ -146,8 +154,8 @@ type Stats struct {
 // mutable state lives in pooled queryScratch values, so Query, QueryRegion
 // and KNearest are safe for concurrent use from multiple goroutines — as
 // long as the SpatialIndex and DataAccess themselves are read-safe
-// (MemoryData and every provided index are; StoreData is not, because its
-// buffer pool mutates on every Load).
+// (MemoryData and every provided index are lock-free reads; StoreData
+// serializes buffer-pool mutations behind a mutex).
 type Engine struct {
 	idx  SpatialIndex
 	data DataAccess

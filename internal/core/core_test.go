@@ -346,9 +346,9 @@ func TestGenerationWraparound(t *testing.T) {
 	// Scratch-level: crossing the uint32 generation boundary must clear the
 	// stale stamps instead of treating them as current.
 	s := newScratch(200)
-	s.visited[7] = 1       // stale stamp that collides with gen == 1 after wrap
-	s.gen = ^uint32(0) - 1 // two generations away from wrapping
-	for i := 0; i < 4; i++ {  // crosses the wraparound
+	s.visited[7] = 1         // stale stamp that collides with gen == 1 after wrap
+	s.gen = ^uint32(0) - 1   // two generations away from wrapping
+	for i := 0; i < 4; i++ { // crosses the wraparound
 		s.nextGen()
 		if s.seen(7) {
 			t.Fatalf("generation %d: stale stamp read as visited", i)

@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"repro/internal/geom"
 	"repro/internal/storage"
@@ -21,6 +22,14 @@ var ErrDuplicatePoints = errors.New("core: dataset contains duplicate coordinate
 type MemoryData struct {
 	pts     []geom.Point
 	diagram *voronoi.Diagram
+
+	// boxOnce fills boxes — per-cell bounding rectangles, 32 bytes each —
+	// on the strict expansion's first use. Cell rings are deliberately not
+	// retained: the boxes alone carry the fast reject, and measurements
+	// showed no win from caching the rings once the reject and the
+	// prepared region predicates are in place.
+	boxOnce sync.Once
+	boxes   []geom.Rect
 }
 
 // NewMemoryData builds the Voronoi topology over pts and wraps both in a
@@ -71,6 +80,22 @@ func (m *MemoryData) Each(fn func(id int64, pos geom.Point) bool) {
 // Cell implements CellSource.
 func (m *MemoryData) Cell(id int64) geom.Ring { return m.diagram.Cell(int(id)) }
 
+// CellBox implements CellBoxSource: the bounding rectangle of id's clipped
+// Voronoi cell. The boxes for the whole dataset are computed lazily on
+// first call (sync.Once, so concurrent queries are safe) — only engines
+// that run the strict expansion pay the one-time O(n) fill, and the
+// retained state is 32 bytes per point.
+func (m *MemoryData) CellBox(id int64) geom.Rect {
+	m.boxOnce.Do(func() {
+		boxes := make([]geom.Rect, len(m.pts))
+		for i := range m.pts {
+			boxes[i] = m.diagram.Cell(i).Bounds()
+		}
+		m.boxes = boxes
+	})
+	return m.boxes[id]
+}
+
 // Diagram exposes the underlying Voronoi diagram (for rendering and
 // inspection).
 func (m *MemoryData) Diagram() *voronoi.Diagram { return m.diagram }
@@ -78,7 +103,10 @@ func (m *MemoryData) Diagram() *voronoi.Diagram { return m.diagram }
 // StoreData is a DataAccess whose Load goes through a paged object store
 // with an LRU buffer pool, so every refinement fetch is IO-accounted. The
 // Voronoi topology and raw coordinates stay in memory (index-resident), as
-// in a VoR-tree deployment. StoreData implements CellSource.
+// in a VoR-tree deployment. StoreData implements CellSource. It is safe
+// for concurrent use: the store's buffer pool serializes its mutations
+// behind a mutex, so concurrent Loads contend on that lock rather than
+// race (shard the data — package shard — to scale past the contention).
 type StoreData struct {
 	mem   *MemoryData
 	store *storage.Store
@@ -167,6 +195,9 @@ func (s *StoreData) Each(fn func(id int64, pos geom.Point) bool) {
 
 // Cell implements CellSource.
 func (s *StoreData) Cell(id int64) geom.Ring { return s.mem.Cell(id) }
+
+// CellBox implements CellBoxSource (index-resident, no IO).
+func (s *StoreData) CellBox(id int64) geom.Rect { return s.mem.CellBox(id) }
 
 // Diagram exposes the underlying Voronoi diagram.
 func (s *StoreData) Diagram() *voronoi.Diagram { return s.mem.Diagram() }

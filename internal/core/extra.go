@@ -10,9 +10,8 @@ import (
 //
 // Deprecated: an Engine is safe for concurrent queries since per-query
 // scratch state moved into a pool — goroutines can share one Engine
-// directly (provided the DataAccess is read-safe: MemoryData is, StoreData
-// is not because its buffer pool mutates on every load). Clone is kept for
-// callers structured around one engine per goroutine.
+// directly (both MemoryData and StoreData are safe for concurrent use).
+// Clone is kept for callers structured around one engine per goroutine.
 func (e *Engine) Clone() *Engine {
 	return NewEngine(e.idx, e.data)
 }

@@ -43,12 +43,16 @@ func (e *Engine) queryVoronoi(region Region, strict bool) ([]int64, Stats, error
 	var stats Stats
 
 	var cells CellSource
+	var cellBoxes CellBoxSource // optional fast reject for the strict rule
+	var rectRegion RectIntersecter
 	if strict {
 		var ok bool
 		cells, ok = e.data.(CellSource)
 		if !ok {
 			return nil, stats, ErrStrictNotSupported
 		}
+		cellBoxes, _ = e.data.(CellBoxSource)
+		rectRegion, _ = region.(RectIntersecter)
 	}
 
 	// Line 3-4: p_seed := NN(P, arbitrary position in A).
@@ -83,8 +87,23 @@ func (e *Engine) queryVoronoi(region Region, strict bool) ([]int64, Stats, error
 		}
 		enqueue := false
 		if strict {
+			// One cell-vs-area decision, resolved by the cheapest exact
+			// path available: reject when the cell's precomputed bounding
+			// box misses the region (the common case along the shell),
+			// accept when the site itself is in the region (the site lies
+			// in its own cell), and only otherwise test the exact cell
+			// ring. All three agree with the full test, so results and
+			// counters are path-independent.
 			stats.CellTests++
-			enqueue = regionIntersectsRing(region, cells.Cell(nb))
+			switch {
+			case cellBoxes != nil && rectRegion != nil &&
+				!rectRegion.IntersectsRect(cellBoxes.CellBox(nb)):
+				enqueue = false
+			case region.ContainsPoint(e.data.Position(nb)):
+				enqueue = true
+			default:
+				enqueue = regionIntersectsRing(region, cells.Cell(nb))
+			}
 		} else {
 			stats.SegmentTests++
 			enqueue = region.IntersectsSegment(geom.Seg(curPos, e.data.Position(nb)))

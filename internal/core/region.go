@@ -22,6 +22,15 @@ type RingIntersecter interface {
 	IntersectsRing(geom.Ring) bool
 }
 
+// RectIntersecter is optionally implemented by Regions that can test
+// intersection against a rectangle exactly; the strict expansion rule uses
+// it to reject whole Voronoi cells by their precomputed bounding boxes
+// before building the exact cell ring. Prepared polygons and circles
+// implement it.
+type RectIntersecter interface {
+	IntersectsRect(geom.Rect) bool
+}
+
 // PolygonRegion wraps a polygon as a Region with prepared-predicate speed.
 func PolygonRegion(pg geom.Polygon) Region { return geom.Prepare(pg) }
 
@@ -42,6 +51,7 @@ type circleRegion struct{ c geom.Circle }
 func (r circleRegion) Bounds() geom.Rect                     { return r.c.Bounds() }
 func (r circleRegion) ContainsPoint(p geom.Point) bool       { return r.c.ContainsPoint(p) }
 func (r circleRegion) IntersectsSegment(s geom.Segment) bool { return r.c.IntersectsSegment(s) }
+func (r circleRegion) IntersectsRect(rect geom.Rect) bool    { return r.c.IntersectsRect(rect) }
 func (r circleRegion) InteriorPoint() geom.Point             { return r.c.InteriorPoint() }
 
 // AnchoredRegion wraps a Region, overriding the seed anchor the Voronoi

@@ -67,8 +67,8 @@ func (o Options) chunk() int {
 // drained (a parallel run may therefore report a different failing query
 // than a sequential run of the same batch, which always reports the first).
 //
-// The engine's DataAccess must be read-safe (core.MemoryData is;
-// core.StoreData is not) when NumWorkers > 1.
+// The engine's DataAccess must be safe for concurrent use when
+// NumWorkers > 1 (both core.MemoryData and core.StoreData are).
 func QueryBatch(eng *core.Engine, m core.Method, regions []core.Region, opts Options) ([][]int64, core.Stats, error) {
 	n := len(regions)
 	agg := core.Stats{Method: m}
@@ -81,7 +81,7 @@ func QueryBatch(eng *core.Engine, m core.Method, regions []core.Region, opts Opt
 	}
 	out := make([][]int64, n)
 	workerStats := make([]core.Stats, workers)
-	err := run(n, workers, opts.chunk(), func(worker, i int) error {
+	idx, err := run(n, workers, opts.chunk(), func(worker, i int) error {
 		ids, st, err := eng.QueryRegion(m, regions[i])
 		if err != nil {
 			return err
@@ -91,7 +91,7 @@ func QueryBatch(eng *core.Engine, m core.Method, regions []core.Region, opts Opt
 		return nil
 	})
 	if err != nil {
-		return nil, agg, err
+		return nil, agg, fmt.Errorf("exec: batch query %d: %w", idx, err)
 	}
 	for _, ws := range workerStats {
 		agg.Add(ws)
@@ -99,11 +99,44 @@ func QueryBatch(eng *core.Engine, m core.Method, regions []core.Region, opts Opt
 	return out, agg, nil
 }
 
+// Run executes fn(worker, i) for every i in [0, n) on a pool sized by
+// opts. It is the pool primitive beneath QueryBatch, exported for callers
+// with non-query task shapes — the sharded engine submits shard
+// construction and per-(query, shard) scatter tasks through it. worker
+// identifies the executing goroutine in [0, Workers(n)), so fn can
+// accumulate into per-worker state without locking; with one worker
+// everything runs on the calling goroutine. On error the pool stops
+// claiming new tasks and the lowest-indexed observed error wins, wrapped
+// with its task index.
+func Run(n int, opts Options, fn func(worker, i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	workers := opts.workers(n)
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(0, i); err != nil {
+				return fmt.Errorf("exec: task %d: %w", i, err)
+			}
+		}
+		return nil
+	}
+	idx, err := run(n, workers, opts.chunk(), fn)
+	if err != nil {
+		return fmt.Errorf("exec: task %d: %w", idx, err)
+	}
+	return nil
+}
+
+// Workers returns the worker count Run and QueryBatch will use for n
+// tasks, for callers sizing per-worker accumulators.
+func (o Options) Workers(n int) int { return o.workers(n) }
+
 // run executes fn(worker, i) for every i in [0, n) across workers
 // goroutines. Each worker claims chunks of indexes from a shared cursor;
 // on the first error all workers stop claiming and the lowest-indexed
-// observed error wins.
-func run(n, workers, chunk int, fn func(worker, i int) error) error {
+// observed error wins; run returns it with its index, unwrapped.
+func run(n, workers, chunk int, fn func(worker, i int) error) (int, error) {
 	var (
 		cursor atomic.Int64
 		failed atomic.Bool
@@ -147,8 +180,5 @@ func run(n, workers, chunk int, fn func(worker, i int) error) error {
 		}(w)
 	}
 	wg.Wait()
-	if firstErr != nil {
-		return fmt.Errorf("exec: batch query %d: %w", firstIdx, firstErr)
-	}
-	return nil
+	return firstIdx, firstErr
 }

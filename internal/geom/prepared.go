@@ -103,5 +103,71 @@ func (pp *PreparedPolygon) IntersectsSegment(s Segment) bool {
 func (pp *PreparedPolygon) InteriorPoint() Point { return pp.pg.InteriorPoint() }
 
 // IntersectsRing reports whether the polygon intersects the closed region
-// bounded by ring (delegates; used by the strict expansion rule).
-func (pp *PreparedPolygon) IntersectsRing(ring Ring) bool { return pp.pg.IntersectsRing(ring) }
+// bounded by ring — the strict expansion rule's hot test. It mirrors
+// Polygon.IntersectsRing (vertex containment both ways, then edge
+// crossings) but reuses the cached polygon MBR, the prepared containment
+// test, and per-edge bounding boxes to skip edges far from the ring.
+func (pp *PreparedPolygon) IntersectsRing(ring Ring) bool {
+	if len(ring) == 0 {
+		return false
+	}
+	rb := ring.Bounds()
+	if !pp.bound.Intersects(rb) {
+		return false
+	}
+	// Boundary contact first: per-edge boxes skip edges far from the ring,
+	// so a disjoint ring (the common strict-expansion reject) costs one
+	// box compare per edge and no containment scans.
+	for i := range pp.edges {
+		e := &pp.edges[i]
+		if !e.bb.Intersects(rb) {
+			continue
+		}
+		s := Seg(e.a, e.b)
+		for j := range ring {
+			if s.Intersects(Seg(ring[j], ring[(j+1)%len(ring)])) {
+				return true
+			}
+		}
+	}
+	// No boundary contact: the shapes are nested or disjoint, and one
+	// containment probe each way decides which.
+	if pp.ContainsPoint(ring[0]) {
+		return true // ring inside the polygon
+	}
+	// Polygon inside the ring (edges[0].a is an outer-ring vertex).
+	return (Polygon{Outer: ring}).ContainsPoint(pp.edges[0].a)
+}
+
+// IntersectsRect reports whether the closed polygon and the closed
+// rectangle share at least one point (used by the strict expansion rule
+// to discard Voronoi cells by bounding box, so it is hot). It mirrors
+// Polygon.IntersectsRect — rect corner inside polygon, polygon vertex
+// inside rect, or crossing edges — on the cached MBR, prepared
+// containment and per-edge boxes.
+func (pp *PreparedPolygon) IntersectsRect(r Rect) bool {
+	if !pp.bound.Intersects(r) {
+		return false
+	}
+	if r.ContainsRect(pp.bound) {
+		return true // rect swallows the polygon (vertices included)
+	}
+	// Boundary contact first (cheap per-edge box gate); containment only
+	// when no edge touches the rect.
+	for i := range pp.edges {
+		e := &pp.edges[i]
+		if !e.bb.Intersects(r) {
+			continue
+		}
+		if r.ContainsPoint(e.a) || r.ContainsPoint(e.b) {
+			return true
+		}
+		if Seg(e.a, e.b).IntersectsRect(r) {
+			return true
+		}
+	}
+	// No boundary contact: the rect lies entirely in one face of the
+	// polygon arrangement (inside, inside a hole, or outside); one corner
+	// decides.
+	return pp.ContainsPoint(Pt(r.MinX, r.MinY))
+}

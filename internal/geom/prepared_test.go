@@ -1,6 +1,7 @@
 package geom
 
 import (
+	"math"
 	"math/rand"
 	"testing"
 )
@@ -133,5 +134,77 @@ func BenchmarkIntersectsSegmentPrepared(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		pp.IntersectsSegment(segs[i%len(segs)])
+	}
+}
+
+func TestPreparedIntersectsRectMatchesPlain(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	shapes := []Polygon{unitSquare(), lShape()}
+	for trial := 0; trial < 20; trial++ {
+		shapes = append(shapes, randomStarPolygon(rng, 3+rng.Intn(12)))
+	}
+	holed := MustPolygon([]Point{Pt(0, 0), Pt(1, 0), Pt(1, 1), Pt(0, 1)})
+	if err := holed.AddHole([]Point{Pt(0.3, 0.3), Pt(0.7, 0.3), Pt(0.7, 0.7), Pt(0.3, 0.7)}); err != nil {
+		t.Fatal(err)
+	}
+	shapes = append(shapes, holed)
+
+	for si, pg := range shapes {
+		pp := Prepare(pg)
+		for trial := 0; trial < 400; trial++ {
+			// Rects from tiny (cell-box scale) to polygon-swallowing.
+			cx, cy := rng.Float64()*2.4-0.2, rng.Float64()*2.4-0.2
+			w, h := rng.Float64()*rng.Float64()*2, rng.Float64()*rng.Float64()*2
+			r := NewRect(cx, cy, cx+w, cy+h)
+			if got, want := pp.IntersectsRect(r), pg.IntersectsRect(r); got != want {
+				t.Fatalf("shape %d: prepared IntersectsRect(%v) = %v, plain %v", si, r, got, want)
+			}
+		}
+		// Degenerate rects on vertices and edge midpoints.
+		for i, v := range pg.Outer {
+			r := NewRect(v.X, v.Y, v.X, v.Y)
+			if got, want := pp.IntersectsRect(r), pg.IntersectsRect(r); got != want {
+				t.Fatalf("shape %d: vertex rect %d: prepared %v, plain %v", si, i, got, want)
+			}
+		}
+	}
+}
+
+func TestPreparedIntersectsRingMatchesPlain(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	shapes := []Polygon{unitSquare(), lShape()}
+	for trial := 0; trial < 20; trial++ {
+		shapes = append(shapes, randomStarPolygon(rng, 3+rng.Intn(12)))
+	}
+	holed := MustPolygon([]Point{Pt(0, 0), Pt(1, 0), Pt(1, 1), Pt(0, 1)})
+	if err := holed.AddHole([]Point{Pt(0.3, 0.3), Pt(0.7, 0.3), Pt(0.7, 0.7), Pt(0.3, 0.7)}); err != nil {
+		t.Fatal(err)
+	}
+	shapes = append(shapes, holed)
+
+	for si, pg := range shapes {
+		pp := Prepare(pg)
+		for trial := 0; trial < 300; trial++ {
+			// Convex rings of 3..8 vertices at assorted scales, like the
+			// Voronoi cells the strict rule tests.
+			cx, cy := rng.Float64()*2.4-0.2, rng.Float64()*2.4-0.2
+			radius := 0.01 + rng.Float64()*rng.Float64()
+			k := 3 + rng.Intn(6)
+			ring := make(Ring, 0, k)
+			for j := 0; j < k; j++ {
+				ang := (float64(j) + rng.Float64()*0.7) / float64(k) * 2 * math.Pi
+				ring = append(ring, Pt(cx+radius*math.Cos(ang), cy+radius*math.Sin(ang)))
+			}
+			hull := ConvexHull(ring)
+			if len(hull) < 3 {
+				continue
+			}
+			if got, want := pp.IntersectsRing(hull), pg.IntersectsRing(hull); got != want {
+				t.Fatalf("shape %d trial %d: prepared IntersectsRing = %v, plain %v", si, trial, got, want)
+			}
+		}
+		if got, want := pp.IntersectsRing(nil), pg.IntersectsRing(nil); got != want {
+			t.Fatalf("shape %d: empty ring: prepared %v, plain %v", si, got, want)
+		}
 	}
 }

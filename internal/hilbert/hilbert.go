@@ -7,6 +7,8 @@
 // insertions) and a good packing order for bulk-loaded R-trees.
 package hilbert
 
+import "sort"
+
 // Order is the default curve order used by the helpers in this repository:
 // a 2^16 × 2^16 grid, giving 32-bit curve positions.
 const Order = 16
@@ -58,6 +60,50 @@ func rot(n, x, y, rx, ry uint32) (uint32, uint32) {
 		x, y = y, x
 	}
 	return x, y
+}
+
+// Partition splits the index range [0, len(keys)) into at most parts
+// contiguous runs of Hilbert-curve order: indexes are sorted by key (ties
+// broken by index, so the result is deterministic) and cut into runs of
+// near-equal size — the first len(keys)%parts runs hold one extra item.
+// Because consecutive curve positions are adjacent in the plane, each run
+// is a spatially coherent tile; this is the shard assignment used by the
+// sharded engine. parts is clamped to [1, len(keys)], so no returned run
+// is empty; a nil result means keys was empty.
+func Partition(keys []uint64, parts int) [][]int {
+	n := len(keys)
+	if n == 0 {
+		return nil
+	}
+	if parts < 1 {
+		parts = 1
+	}
+	if parts > n {
+		parts = n
+	}
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		ka, kb := keys[order[a]], keys[order[b]]
+		if ka != kb {
+			return ka < kb
+		}
+		return order[a] < order[b]
+	})
+	out := make([][]int, parts)
+	size, extra := n/parts, n%parts
+	pos := 0
+	for p := 0; p < parts; p++ {
+		run := size
+		if p < extra {
+			run++
+		}
+		out[p] = order[pos : pos+run : pos+run]
+		pos += run
+	}
+	return out
 }
 
 // Scaler maps float64 coordinates in a bounding box onto Hilbert distances,

@@ -116,3 +116,65 @@ func BenchmarkXYToD(b *testing.B) {
 		XYToD(Order, uint32(i)&0xffff, uint32(i>>8)&0xffff)
 	}
 }
+
+func TestPartition(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for _, tc := range []struct{ n, parts int }{
+		{0, 4}, {1, 1}, {1, 5}, {7, 3}, {100, 1}, {100, 7}, {100, 100}, {100, 250}, {64, 0},
+	} {
+		keys := make([]uint64, tc.n)
+		for i := range keys {
+			keys[i] = uint64(rng.Int63n(1000)) // duplicates likely
+		}
+		runs := Partition(keys, tc.parts)
+		if tc.n == 0 {
+			if runs != nil {
+				t.Errorf("n=0: got %d runs, want nil", len(runs))
+			}
+			continue
+		}
+		wantParts := tc.parts
+		if wantParts < 1 {
+			wantParts = 1
+		}
+		if wantParts > tc.n {
+			wantParts = tc.n
+		}
+		if len(runs) != wantParts {
+			t.Errorf("n=%d parts=%d: got %d runs, want %d", tc.n, tc.parts, len(runs), wantParts)
+		}
+		seen := make(map[int]bool, tc.n)
+		var prevKey uint64
+		var prevIdx, total int
+		first := true
+		minSize, maxSize := tc.n, 0
+		for _, run := range runs {
+			if len(run) == 0 {
+				t.Fatalf("n=%d parts=%d: empty run", tc.n, tc.parts)
+			}
+			if len(run) < minSize {
+				minSize = len(run)
+			}
+			if len(run) > maxSize {
+				maxSize = len(run)
+			}
+			for _, idx := range run {
+				if seen[idx] {
+					t.Fatalf("index %d assigned twice", idx)
+				}
+				seen[idx] = true
+				total++
+				if !first && (keys[idx] < prevKey || (keys[idx] == prevKey && idx < prevIdx)) {
+					t.Fatalf("n=%d parts=%d: order violated at index %d", tc.n, tc.parts, idx)
+				}
+				prevKey, prevIdx, first = keys[idx], idx, false
+			}
+		}
+		if total != tc.n {
+			t.Errorf("n=%d parts=%d: %d indexes assigned", tc.n, tc.parts, total)
+		}
+		if maxSize-minSize > 1 {
+			t.Errorf("n=%d parts=%d: run sizes range %d..%d, want near-equal", tc.n, tc.parts, minSize, maxSize)
+		}
+	}
+}

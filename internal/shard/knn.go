@@ -1,0 +1,72 @@
+package shard
+
+import (
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+)
+
+// KNearest returns the k stored points nearest to q in increasing
+// distance order (ties broken by ascending global id), computed by a
+// multi-shard frontier: shards are visited in increasing MINDIST(q,
+// shard bounds) order, and the walk stops as soon as the next shard's
+// bounds cannot beat the current k-th distance — every unvisited shard is
+// then provably unable to contribute. Within each shard the per-shard
+// engine runs the exact Voronoi expansion of the unsharded engine.
+func (e *Engine) KNearest(q geom.Point, k int) ([]int64, core.Stats, error) {
+	var stats core.Stats
+	if k <= 0 {
+		return nil, stats, nil
+	}
+
+	// Frontier order: shards by squared MINDIST to q.
+	order := make([]int, len(e.shards))
+	mindist := make([]float64, len(e.shards))
+	for si := range e.shards {
+		order[si] = si
+		mindist[si] = e.shards[si].bounds.Dist2Point(q)
+	}
+	sort.Slice(order, func(a, b int) bool { return mindist[order[a]] < mindist[order[b]] })
+
+	type cand struct {
+		id int64
+		d2 float64
+	}
+	var best []cand
+	for _, si := range order {
+		// Expansion test: a shard whose MINDIST exceeds the current k-th
+		// distance cannot improve the result, and neither can any shard
+		// after it in the frontier order. Equal distance still expands, so
+		// boundary ties are never dropped.
+		if len(best) == k && mindist[si] > best[k-1].d2 {
+			break
+		}
+		s := &e.shards[si]
+		local, st, err := s.eng.KNearest(q, k)
+		stats.Add(st)
+		if err != nil {
+			return nil, stats, err
+		}
+		for _, id := range local {
+			gid := s.global[id]
+			best = append(best, cand{id: gid, d2: q.Dist2(e.points[gid])})
+		}
+		sort.Slice(best, func(a, b int) bool {
+			if best[a].d2 != best[b].d2 {
+				return best[a].d2 < best[b].d2
+			}
+			return best[a].id < best[b].id
+		})
+		if len(best) > k {
+			best = best[:k]
+		}
+	}
+
+	out := make([]int64, len(best))
+	for i, c := range best {
+		out[i] = c.id
+	}
+	stats.ResultSize = len(out)
+	return out, stats, nil
+}

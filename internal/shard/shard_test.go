@@ -1,0 +1,526 @@
+package shard
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/exec"
+	"repro/internal/geom"
+	"repro/internal/workload"
+)
+
+func unitBounds() geom.Rect { return geom.NewRect(0, 0, 1, 1) }
+
+// memBuild is the BuildFunc used throughout the tests: in-memory data, STR
+// R-tree, exactly the single-engine construction.
+func memBuild(_ int, pts []geom.Point, bounds geom.Rect) (*core.Engine, error) {
+	data, err := core.NewMemoryData(pts, bounds)
+	if err != nil {
+		return nil, err
+	}
+	return core.NewEngine(core.NewRTreeIndex(pts, 16), data), nil
+}
+
+func newSharded(t testing.TB, pts []geom.Point, shards int) *Engine {
+	t.Helper()
+	e, err := New(pts, unitBounds(), Config{Shards: shards, Build: memBuild})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func newOracle(t testing.TB, pts []geom.Point) *core.Engine {
+	t.Helper()
+	eng, err := memBuild(0, pts, unitBounds())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng
+}
+
+func sorted(ids []int64) []int64 {
+	out := append([]int64(nil), ids...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func equalIDs(a, b []int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// testWorkloads returns the uniform and clustered datasets the conformance
+// grid runs over.
+func testWorkloads(n int) map[string][]geom.Point {
+	return map[string][]geom.Point{
+		"uniform":   workload.UniformPoints(rand.New(rand.NewSource(41)), n, unitBounds()),
+		"clustered": workload.ClusteredPoints(rand.New(rand.NewSource(42)), n, 8, 0.03, unitBounds()),
+	}
+}
+
+var testShardCounts = []int{1, 2, 7, 16}
+
+// TestConformanceToSingleEngine is the acceptance grid: every query method
+// × shard counts 1/2/7/16 × uniform and clustered workloads must return
+// the exact sorted global id set of a single engine over the same points.
+func TestConformanceToSingleEngine(t *testing.T) {
+	const n = 3000
+	for wname, pts := range testWorkloads(n) {
+		oracle := newOracle(t, pts)
+		rng := rand.New(rand.NewSource(43))
+		areas := make([]geom.Polygon, 12)
+		circles := make([]geom.Circle, 4)
+		for i := range areas {
+			areas[i] = workload.RandomPolygon(rng, workload.PolygonConfig{
+				Vertices:  10,
+				QuerySize: []float64{0.004, 0.02, 0.08}[i%3],
+			}, unitBounds())
+		}
+		for i := range circles {
+			circles[i] = geom.NewCircle(
+				geom.Pt(0.2+0.6*rng.Float64(), 0.2+0.6*rng.Float64()),
+				0.01+0.1*rng.Float64())
+		}
+
+		for _, shards := range testShardCounts {
+			se := newSharded(t, pts, shards)
+			if got := se.NumShards(); got != shards {
+				t.Fatalf("%s: NumShards = %d, want %d", wname, got, shards)
+			}
+			name := fmt.Sprintf("%s/shards=%d", wname, shards)
+
+			for _, m := range []core.Method{core.Traditional, core.VoronoiBFS, core.VoronoiBFSStrict, core.BruteForce} {
+				for ai, area := range areas {
+					want, _, err := oracle.Query(m, area)
+					if err != nil {
+						t.Fatalf("%s %v: oracle: %v", name, m, err)
+					}
+					got, _, err := se.Query(m, area)
+					if err != nil {
+						t.Fatalf("%s %v: sharded: %v", name, m, err)
+					}
+					if !equalIDs(got, sorted(want)) {
+						t.Errorf("%s %v area %d: %d ids, oracle %d", name, m, ai, len(got), len(want))
+					}
+
+					n, _, err := se.Count(m, area)
+					if err != nil {
+						t.Fatalf("%s %v: count: %v", name, m, err)
+					}
+					if n != len(want) {
+						t.Errorf("%s %v area %d: Count = %d, want %d", name, m, ai, n, len(want))
+					}
+				}
+				for ci, c := range circles {
+					want, _, err := oracle.QueryRegion(m, core.CircleRegion(c))
+					if err != nil {
+						t.Fatalf("%s %v: oracle circle: %v", name, m, err)
+					}
+					got, _, err := se.QueryRegion(m, core.CircleRegion(c))
+					if err != nil {
+						t.Fatalf("%s %v: sharded circle: %v", name, m, err)
+					}
+					if !equalIDs(got, sorted(want)) {
+						t.Errorf("%s %v circle %d diverged", name, m, ci)
+					}
+				}
+			}
+
+			// Batched entry point, mixed polygons and circles.
+			regions := make([]core.Region, 0, len(areas)+len(circles))
+			for _, a := range areas {
+				regions = append(regions, core.PolygonRegion(a))
+			}
+			for _, c := range circles {
+				regions = append(regions, core.CircleRegion(c))
+			}
+			got, _, err := se.QueryRegions(core.VoronoiBFS, regions)
+			if err != nil {
+				t.Fatalf("%s: QueryRegions: %v", name, err)
+			}
+			want, _, err := oracle.QueryBatchRegions(core.VoronoiBFS, regions)
+			if err != nil {
+				t.Fatalf("%s: oracle batch: %v", name, err)
+			}
+			for i := range regions {
+				if !equalIDs(got[i], sorted(want[i])) {
+					t.Errorf("%s: batch query %d diverged", name, i)
+				}
+			}
+
+			// KNearest at several k, including k > len(points) of a shard
+			// and k > total.
+			for _, k := range []int{1, 3, 17, n/len(testShardCounts) + 5, n + 10} {
+				for rep := 0; rep < 5; rep++ {
+					q := geom.Pt(rng.Float64(), rng.Float64())
+					want, _, err := oracle.KNearest(q, k)
+					if err != nil {
+						t.Fatalf("%s: oracle knn: %v", name, err)
+					}
+					got, _, err := se.KNearest(q, k)
+					if err != nil {
+						t.Fatalf("%s: sharded knn: %v", name, err)
+					}
+					if !equalIDs(sorted(got), sorted(want)) {
+						t.Errorf("%s: KNearest(%v, %d): %d ids, oracle %d",
+							name, q, k, len(got), len(want))
+					}
+					// Increasing-distance contract.
+					for i := 1; i < len(got); i++ {
+						if q.Dist2(se.Point(got[i-1])) > q.Dist2(se.Point(got[i])) {
+							t.Errorf("%s: KNearest order violated at %d", name, i)
+							break
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestGlobalIDStability pins that results are identical — ids and order —
+// across every shard count, i.e. the global id remapping is stable.
+func TestGlobalIDStability(t *testing.T) {
+	const n = 2500
+	pts := workload.UniformPoints(rand.New(rand.NewSource(44)), n, unitBounds())
+	rng := rand.New(rand.NewSource(45))
+	area := workload.RandomPolygon(rng, workload.PolygonConfig{Vertices: 10, QuerySize: 0.05}, unitBounds())
+
+	var first []int64
+	for _, shards := range testShardCounts {
+		se := newSharded(t, pts, shards)
+		got, _, err := se.Query(core.VoronoiBFS, area)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if first == nil {
+			first = got
+			continue
+		}
+		if !equalIDs(got, first) {
+			t.Errorf("shards=%d: result differs from shards=%d", shards, testShardCounts[0])
+		}
+	}
+	// And ids address the same coordinates as the input slice.
+	for _, id := range first {
+		if !area.ContainsPoint(pts[id]) {
+			t.Errorf("id %d maps outside the area", id)
+		}
+	}
+}
+
+// TestShardPartitionInvariants pins the partition: every point lands in
+// exactly one shard, shard sizes are near-equal, and each shard's bounds
+// contain its points.
+func TestShardPartitionInvariants(t *testing.T) {
+	const n = 1000
+	for wname, pts := range testWorkloads(n) {
+		for _, shards := range []int{1, 5, 16, n, n * 2} {
+			se := newSharded(t, pts, shards)
+			wantShards := shards
+			if wantShards > n {
+				wantShards = n
+			}
+			if se.NumShards() != wantShards {
+				t.Fatalf("%s: NumShards = %d, want %d", wname, se.NumShards(), wantShards)
+			}
+			sizes := se.ShardSizes()
+			total, min, max := 0, n, 0
+			for _, s := range sizes {
+				total += s
+				if s < min {
+					min = s
+				}
+				if s > max {
+					max = s
+				}
+			}
+			if total != n {
+				t.Errorf("%s shards=%d: sizes sum to %d", wname, shards, total)
+			}
+			if max-min > 1 {
+				t.Errorf("%s shards=%d: size spread %d..%d", wname, shards, min, max)
+			}
+			for si := 0; si < se.NumShards(); si++ {
+				b := se.ShardBounds(si)
+				if !unitBounds().ContainsRect(b) {
+					t.Errorf("%s shard %d: bounds %v outside universe", wname, si, b)
+				}
+			}
+		}
+	}
+}
+
+// TestShardPruning pins the scatter-gather pruning: a query far from most
+// shards must not touch them (visible through per-shard stats staying
+// zero on a 1-shard-wide query against high shard counts).
+func TestShardPruning(t *testing.T) {
+	const n = 2000
+	pts := workload.UniformPoints(rand.New(rand.NewSource(46)), n, unitBounds())
+	se := newSharded(t, pts, 16)
+
+	// A tiny query near one corner: its MBR misses most shard MBRs.
+	area := geom.MustPolygon([]geom.Point{
+		geom.Pt(0.01, 0.01), geom.Pt(0.03, 0.012), geom.Pt(0.02, 0.03),
+	})
+	alive := se.survivors(nil, core.PolygonRegion(area))
+	if len(alive) == 0 || len(alive) >= se.NumShards() {
+		t.Fatalf("pruning vacuous: %d of %d shards survive", len(alive), se.NumShards())
+	}
+
+	// And an off-universe query prunes everything.
+	far := geom.MustPolygon([]geom.Point{
+		geom.Pt(5, 5), geom.Pt(6, 5), geom.Pt(5.5, 6),
+	})
+	ids, st, err := se.Query(core.VoronoiBFS, far)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 0 || st.Candidates != 0 || st.IndexNodesVisited != 0 {
+		t.Errorf("off-universe query did work: ids=%d stats=%+v", len(ids), st)
+	}
+}
+
+// TestShardedStatsAggregate pins that the sharded aggregate equals the sum
+// of per-shard sequential stats for the same scatter.
+func TestShardedStatsAggregate(t *testing.T) {
+	const n = 2000
+	pts := workload.UniformPoints(rand.New(rand.NewSource(47)), n, unitBounds())
+	se := newSharded(t, pts, 7)
+	rng := rand.New(rand.NewSource(48))
+	area := workload.RandomPolygon(rng, workload.PolygonConfig{Vertices: 10, QuerySize: 0.1}, unitBounds())
+	region := core.PolygonRegion(area)
+
+	// Shard-local scatter executes VoronoiBFS with the strict expansion
+	// rule (see shardMethod), so replay the scatter with it.
+	var want core.Stats
+	for _, si := range se.survivors(nil, region) {
+		_, st, err := se.ShardEngine(si).QueryRegion(core.VoronoiBFSStrict, region)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want.Add(st)
+	}
+	if want.Candidates == 0 {
+		t.Fatal("workload produced no candidates; test is vacuous")
+	}
+
+	_, agg, err := se.Query(core.VoronoiBFS, area)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agg.Candidates != want.Candidates ||
+		agg.ResultSize != want.ResultSize ||
+		agg.SegmentTests != want.SegmentTests ||
+		agg.IndexNodesVisited != want.IndexNodesVisited ||
+		agg.RecordsLoaded != want.RecordsLoaded {
+		t.Errorf("aggregate %+v, want %+v", agg, want)
+	}
+}
+
+// TestConcurrentShardedQueries hammers one sharded engine from several
+// goroutines mixing single queries, batches, counts and knn. Run with
+// -race.
+func TestConcurrentShardedQueries(t *testing.T) {
+	const n = 3000
+	pts := workload.UniformPoints(rand.New(rand.NewSource(49)), n, unitBounds())
+	se := newSharded(t, pts, 7)
+	oracle := newOracle(t, pts)
+
+	rng := rand.New(rand.NewSource(50))
+	areas := make([]geom.Polygon, 6)
+	oracleIDs := make([][]int64, len(areas))
+	for i := range areas {
+		areas[i] = workload.RandomPolygon(rng, workload.PolygonConfig{Vertices: 10, QuerySize: 0.03}, unitBounds())
+		ids, _, err := oracle.Query(core.BruteForce, areas[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		oracleIDs[i] = sorted(ids)
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			for rep := 0; rep < 15; rep++ {
+				i := (worker + rep) % len(areas)
+				switch rep % 3 {
+				case 0:
+					ids, _, err := se.Query(core.VoronoiBFS, areas[i])
+					if err != nil {
+						errs <- err
+						return
+					}
+					if !equalIDs(ids, oracleIDs[i]) {
+						errs <- fmt.Errorf("worker %d: query %d diverged", worker, i)
+						return
+					}
+				case 1:
+					cnt, _, err := se.Count(core.Traditional, areas[i])
+					if err != nil {
+						errs <- err
+						return
+					}
+					if cnt != len(oracleIDs[i]) {
+						errs <- fmt.Errorf("worker %d: count %d diverged", worker, i)
+						return
+					}
+				default:
+					q := geom.Pt(float64(worker)/8, float64(rep)/15)
+					if _, _, err := se.KNearest(q, 5); err != nil {
+						errs <- err
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// TestBuildErrors pins constructor validation.
+func TestBuildErrors(t *testing.T) {
+	pts := workload.UniformPoints(rand.New(rand.NewSource(51)), 100, unitBounds())
+	if _, err := New(pts, unitBounds(), Config{Shards: 4}); err == nil {
+		t.Error("nil Build accepted")
+	}
+	if _, err := New(nil, unitBounds(), Config{Shards: 4, Build: memBuild}); err == nil {
+		t.Error("empty dataset accepted")
+	}
+	wantErr := fmt.Errorf("boom")
+	_, err := New(pts, unitBounds(), Config{
+		Shards: 4,
+		Build: func(si int, _ []geom.Point, _ geom.Rect) (*core.Engine, error) {
+			if si == 2 {
+				return nil, wantErr
+			}
+			return memBuild(si, nil, unitBounds()) // never reached for si==2
+		},
+	})
+	if err == nil {
+		t.Fatal("builder error swallowed")
+	}
+}
+
+// TestSingleShardMatchesUnsharded sanity-checks the degenerate case: one
+// shard is just the single engine plus remapping and sorting.
+func TestSingleShardMatchesUnsharded(t *testing.T) {
+	const n = 1200
+	pts := workload.UniformPoints(rand.New(rand.NewSource(52)), n, unitBounds())
+	se := newSharded(t, pts, 1)
+	oracle := newOracle(t, pts)
+	rng := rand.New(rand.NewSource(53))
+	for rep := 0; rep < 10; rep++ {
+		area := workload.RandomPolygon(rng, workload.PolygonConfig{Vertices: 8, QuerySize: 0.02}, unitBounds())
+		want, _, err := oracle.Query(core.VoronoiBFS, area)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, _, err := se.Query(core.VoronoiBFS, area)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !equalIDs(got, sorted(want)) {
+			t.Fatalf("rep %d diverged", rep)
+		}
+	}
+}
+
+// TestExecRunPrimitive covers the exported pool primitive the scatter path
+// rides on: full coverage of indexes, per-worker slots in range, error
+// indexing, sequential fallback.
+func TestExecRunPrimitive(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		opts := exec.Options{NumWorkers: workers, Chunk: 2}
+		hits := make([]int32, 100)
+		err := exec.Run(len(hits), opts, func(worker, i int) error {
+			if worker < 0 || worker >= opts.Workers(len(hits)) {
+				return fmt.Errorf("worker %d out of range", worker)
+			}
+			hits[i]++ // distinct i per call; no two workers share an index
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("workers=%d: index %d executed %d times", workers, i, h)
+			}
+		}
+
+		err = exec.Run(10, opts, func(_, i int) error {
+			if i >= 3 {
+				return fmt.Errorf("fail at %d", i)
+			}
+			return nil
+		})
+		if err == nil {
+			t.Fatalf("workers=%d: error swallowed", workers)
+		}
+	}
+	if err := exec.Run(0, exec.Options{}, func(_, _ int) error { return fmt.Errorf("never") }); err != nil {
+		t.Fatalf("n=0: %v", err)
+	}
+}
+
+// TestShardedVoronoiUsesStrictExpansion pins the density-robustness
+// upgrade: shard-local scatter must run VoronoiBFS with the cell-
+// intersection expansion (visible as cell tests, not segment tests),
+// because the published segment heuristic can strand result islands on
+// sub-sampled shard diagrams; and the caller's method must still be
+// reported.
+func TestShardedVoronoiUsesStrictExpansion(t *testing.T) {
+	const n = 2000
+	pts := workload.UniformPoints(rand.New(rand.NewSource(54)), n, unitBounds())
+	se := newSharded(t, pts, 7)
+	rng := rand.New(rand.NewSource(55))
+	area := workload.RandomPolygon(rng, workload.PolygonConfig{Vertices: 10, QuerySize: 0.05}, unitBounds())
+
+	_, st, err := se.Query(core.VoronoiBFS, area)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Method != core.VoronoiBFS {
+		t.Errorf("Stats.Method = %v, want the caller's method", st.Method)
+	}
+	if st.CellTests == 0 || st.SegmentTests != 0 {
+		t.Errorf("expected cell-test expansion, got %d cell tests / %d segment tests",
+			st.CellTests, st.SegmentTests)
+	}
+
+	// The explicit strict and traditional methods pass through unchanged.
+	_, st, err = se.Query(core.VoronoiBFSStrict, area)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.CellTests == 0 || st.SegmentTests != 0 {
+		t.Errorf("strict: got %d cell tests / %d segment tests", st.CellTests, st.SegmentTests)
+	}
+	_, st, err = se.Query(core.Traditional, area)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.CellTests != 0 || st.SegmentTests != 0 {
+		t.Errorf("traditional: got %d cell tests / %d segment tests", st.CellTests, st.SegmentTests)
+	}
+}

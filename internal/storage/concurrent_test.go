@@ -1,0 +1,72 @@
+package storage
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestStoreConcurrentGet hammers one store from several goroutines with a
+// pool small enough to force constant eviction, pinning the buffer pool's
+// concurrency contract. Run with -race.
+func TestStoreConcurrentGet(t *testing.T) {
+	const records = 500
+	b := NewBuilder(Options{PageSize: 512, PoolPages: 4})
+	for id := int64(0); id < records; id++ {
+		if err := b.Append(sampleRecord(id)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const workers = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			for rep := 0; rep < 200; rep++ {
+				id := int64((worker*131 + rep*17) % records)
+				rec, err := st.Get(id)
+				if err != nil {
+					errs <- err
+					return
+				}
+				want := sampleRecord(id)
+				if rec.ID != id || rec.Pos != want.Pos {
+					t.Errorf("worker %d: Get(%d) = %+v", worker, id, rec)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	stats := st.Stats()
+	if stats.PageReads == 0 {
+		t.Errorf("expected page reads, got %+v", stats)
+	}
+	if got := stats.PageReads + stats.CacheHits; got != workers*200 {
+		t.Errorf("reads+hits = %d, want %d", got, workers*200)
+	}
+
+	// Whether the concurrent phase hits the tiny pool depends on
+	// scheduling; pin the hit path deterministically with a sequential
+	// re-read of a just-fetched page.
+	before := st.Stats().CacheHits
+	for i := 0; i < 2; i++ {
+		if _, err := st.Get(0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st.Stats().CacheHits <= before {
+		t.Errorf("sequential re-read did not hit the pool: %+v", st.Stats())
+	}
+}

@@ -1,5 +1,7 @@
 package storage
 
+import "sync"
+
 // BufferPoolStats counts the IO behavior of a store since creation or the
 // last ResetStats.
 type BufferPoolStats struct {
@@ -10,8 +12,12 @@ type BufferPoolStats struct {
 }
 
 // bufferPool is a fixed-capacity LRU page cache. A capacity of 0 disables
-// caching (every access is a miss), modeling a cold read path.
+// caching (every access is a miss), modeling a cold read path. A single
+// mutex guards the frame map, the LRU list and the counters, making the
+// pool safe for concurrent fetches; finer-grained schemes (sharded locks, a
+// lock-free clock cache) remain a ROADMAP item.
 type bufferPool struct {
+	mu       sync.Mutex
 	capacity int
 	frames   map[uint32]*frame
 	head     *frame // most recently used
@@ -33,7 +39,11 @@ func newBufferPool(capacity int) *bufferPool {
 }
 
 // fetch returns the page via the cache, reading it with load on a miss.
+// load runs under the pool lock; it must be cheap (an in-memory page copy
+// or slice lookup) and must not re-enter the pool.
 func (bp *bufferPool) fetch(pageID uint32, load func(uint32) []byte) []byte {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
 	if f, ok := bp.frames[pageID]; ok {
 		bp.stats.CacheHits++
 		bp.moveToFront(f)
@@ -101,10 +111,23 @@ func (bp *bufferPool) evict() {
 
 // reset clears the cache contents and statistics.
 func (bp *bufferPool) reset() {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
 	bp.frames = make(map[uint32]*frame)
 	bp.head, bp.tail = nil, nil
 	bp.stats = BufferPoolStats{}
 }
 
 // resetStats clears counters but keeps cached pages.
-func (bp *bufferPool) resetStats() { bp.stats = BufferPoolStats{} }
+func (bp *bufferPool) resetStats() {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	bp.stats = BufferPoolStats{}
+}
+
+// snapshot returns a consistent copy of the counters.
+func (bp *bufferPool) snapshot() BufferPoolStats {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	return bp.stats
+}

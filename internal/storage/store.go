@@ -9,7 +9,11 @@ import (
 
 // Store is a read-only paged object store built once by a Builder. Record
 // fetches go through an LRU buffer pool whose counters expose the simulated
-// IO cost. Not safe for concurrent use (the pool mutates on reads).
+// IO cost. Get, Stats, ResetStats and DropCache are safe for concurrent
+// use: the pages and record directory are immutable, and the buffer pool
+// serializes its own mutations behind a mutex. Concurrent fetches contend
+// on that one lock — an intentional model of a shared buffer pool; scaling
+// past it is what sharding the store (package shard) is for.
 type Store struct {
 	pageSize int
 	pages    [][]byte
@@ -118,7 +122,7 @@ func (s *Store) Get(id int64) (PointRecord, error) {
 }
 
 // Stats returns the accumulated buffer pool statistics.
-func (s *Store) Stats() BufferPoolStats { return s.pool.stats }
+func (s *Store) Stats() BufferPoolStats { return s.pool.snapshot() }
 
 // ResetStats zeroes the IO counters without dropping cached pages.
 func (s *Store) ResetStats() { s.pool.resetStats() }

@@ -31,18 +31,22 @@
 // all per-query scratch state is pooled internally. Query, QueryWith,
 // QueryCircle, QueryRegions, KNearest, Count and QueryBatch are therefore
 // safe for concurrent use from any number of goroutines sharing one
-// Engine. Two exceptions:
-//
-//   - Engines built WithStore serialize on the record store's buffer pool,
-//     which mutates on every load; they must not be queried concurrently,
-//     and their batches always run sequentially.
-//   - DynamicEngine remains single-writer and is not safe for concurrent
-//     use at all: Insert mutates the triangulation and R-tree that
-//     in-flight queries traverse.
+// Engine. Engines built WithStore are included: the record store's buffer
+// pool serializes its mutations behind a mutex, so concurrent loads
+// contend on that lock but never race. The one exception is
+// DynamicEngine, which remains single-writer and is not safe for
+// concurrent use at all: Insert mutates the triangulation and R-tree that
+// in-flight queries traverse.
 //
 // QueryBatch additionally runs the batch itself in parallel on a bounded
 // worker pool — WithParallelism(n) sets the pool size (default GOMAXPROCS;
 // 1 keeps batches on the calling goroutine).
+//
+// To scale a store-backed dataset past the single buffer-pool lock — or
+// any dataset past one engine's construction and query cost — partition it
+// with NewShardedEngine: n Hilbert-coherent shards, each an independent
+// engine with its own index, topology and store, queried by scatter-gather
+// with shard-MBR pruning.
 package vaq
 
 import (
@@ -53,6 +57,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/exec"
 	"repro/internal/geom"
+	"repro/internal/shard"
 	"repro/internal/svg"
 	"repro/internal/voronoi"
 	"repro/internal/workload"
@@ -208,6 +213,7 @@ type config struct {
 	quadBucket  int
 	gridCell    int
 	parallelism int
+	shards      int
 }
 
 // WithIndex selects the filtering index (default RTreeIndex, as in the
@@ -229,80 +235,97 @@ func WithStore(cfg StoreConfig) Option {
 }
 
 // WithParallelism sets the worker-pool size QueryBatch and QueryRegions
-// run on. The default (n <= 0) is runtime.GOMAXPROCS; 1 keeps batches
-// sequential on the calling goroutine. Store-backed engines (WithStore)
-// ignore this and always run sequentially — their buffer pool is not safe
-// for concurrent loads.
+// run on — and, for sharded engines, the pool shard construction and
+// scatter-gather fan-out use. The default (n <= 0) is runtime.GOMAXPROCS;
+// 1 keeps batches sequential on the calling goroutine. Store-backed
+// engines participate fully: their buffer pool is mutex-guarded, so
+// parallel batches are safe (if lock-contended on pool-miss-heavy
+// workloads; shard the engine to give each shard its own pool).
 func WithParallelism(n int) Option {
 	return func(c *config) { c.parallelism = n }
 }
 
+// WithShards sets the shard count NewShardedEngine partitions the dataset
+// into (default 1; clamped to the point count). NewEngine ignores it.
+func WithShards(n int) Option {
+	return func(c *config) { c.shards = n }
+}
+
 // Engine answers area queries over a fixed point set. Engines are read-
 // safe after construction: any number of goroutines may share one Engine
-// and query it concurrently, and QueryBatch spreads a batch over an
-// internal worker pool (see WithParallelism). The one exception is an
-// engine built WithStore, whose buffer pool mutates on every record load —
-// such engines must be confined to one goroutine at a time.
+// and query it concurrently (WithStore engines included — their buffer
+// pool is mutex-guarded), and QueryBatch spreads a batch over an internal
+// worker pool (see WithParallelism).
 type Engine struct {
 	eng         *core.Engine
 	points      []Point
 	bounds      Rect
 	data        core.DataAccess
 	store       *core.StoreData // nil without WithStore
-	parallelism int             // 0 = GOMAXPROCS; forced to 1 with store
+	parallelism int             // 0 = GOMAXPROCS
+}
+
+// defaultConfig returns the option defaults shared by NewEngine and
+// NewShardedEngine.
+func defaultConfig() config {
+	return config{index: RTreeIndex, rtreeFan: 16, quadBucket: 16, gridCell: 8, shards: 1}
+}
+
+// buildIndex constructs the configured filtering index over points.
+func (c config) buildIndex(points []Point, bounds Rect) (core.SpatialIndex, error) {
+	switch c.index {
+	case RTreeIndex:
+		return core.NewRTreeIndex(points, c.rtreeFan), nil
+	case RStarIndex:
+		return core.NewRStarIndex(points, c.rtreeFan), nil
+	case KDTreeIndex:
+		return core.NewKDTreeIndex(points), nil
+	case QuadtreeIndex:
+		return core.NewQuadtreeIndex(points, bounds, c.quadBucket), nil
+	case GridIndex:
+		return core.NewGridIndex(points, bounds, c.gridCell), nil
+	default:
+		return nil, fmt.Errorf("vaq: unknown index kind %v", c.index)
+	}
+}
+
+// buildData constructs the configured record layer over points, returning
+// the store when one was configured (nil otherwise).
+func (c config) buildData(points []Point, bounds Rect) (core.DataAccess, *core.StoreData, error) {
+	if c.store != nil {
+		sd, err := core.NewStoreData(points, bounds, *c.store)
+		return sd, sd, err
+	}
+	data, err := core.NewMemoryData(points, bounds)
+	return data, nil, err
 }
 
 // NewEngine builds the Voronoi topology, the spatial index and (optionally)
 // the record store over points. bounds must contain every point; the
 // points must have pairwise distinct coordinates.
 func NewEngine(points []Point, bounds Rect, opts ...Option) (*Engine, error) {
-	cfg := config{index: RTreeIndex, rtreeFan: 16, quadBucket: 16, gridCell: 8}
+	cfg := defaultConfig()
 	for _, o := range opts {
 		o(&cfg)
 	}
 
-	var (
-		data core.DataAccess
-		sd   *core.StoreData
-		err  error
-	)
-	if cfg.store != nil {
-		sd, err = core.NewStoreData(points, bounds, *cfg.store)
-		data = sd
-	} else {
-		data, err = core.NewMemoryData(points, bounds)
-	}
+	data, sd, err := cfg.buildData(points, bounds)
 	if err != nil {
 		return nil, fmt.Errorf("vaq: %w", err)
 	}
 
-	var idx core.SpatialIndex
-	switch cfg.index {
-	case RTreeIndex:
-		idx = core.NewRTreeIndex(points, cfg.rtreeFan)
-	case RStarIndex:
-		idx = core.NewRStarIndex(points, cfg.rtreeFan)
-	case KDTreeIndex:
-		idx = core.NewKDTreeIndex(points)
-	case QuadtreeIndex:
-		idx = core.NewQuadtreeIndex(points, bounds, cfg.quadBucket)
-	case GridIndex:
-		idx = core.NewGridIndex(points, bounds, cfg.gridCell)
-	default:
-		return nil, fmt.Errorf("vaq: unknown index kind %v", cfg.index)
+	idx, err := cfg.buildIndex(points, bounds)
+	if err != nil {
+		return nil, err
 	}
 
-	parallelism := cfg.parallelism
-	if sd != nil {
-		parallelism = 1 // the store's buffer pool mutates on every load
-	}
 	return &Engine{
 		eng:         core.NewEngine(idx, data),
 		points:      append([]Point(nil), points...),
 		bounds:      bounds,
 		data:        data,
 		store:       sd,
-		parallelism: parallelism,
+		parallelism: cfg.parallelism,
 	}, nil
 }
 
@@ -354,19 +377,16 @@ func (e *Engine) QueryRegions(m Method, regions []Region) ([][]int64, Stats, err
 // and Voronoi topology.
 //
 // Deprecated: engines are safe for concurrent queries since per-query
-// scratch state moved into an internal pool — share the Engine directly
-// instead. Clone is kept for callers structured around one engine per
-// goroutine. Cloning a store-backed engine is still refused: its buffer
-// pool mutates on reads and is not safe to share.
+// scratch state moved into an internal pool and the record store's buffer
+// pool became mutex-guarded — share the Engine directly instead. Clone is
+// kept for callers structured around one engine per goroutine.
 func (e *Engine) Clone() (*Engine, error) {
-	if e.store != nil {
-		return nil, fmt.Errorf("vaq: cannot clone a store-backed engine (buffer pool is not concurrency-safe)")
-	}
 	return &Engine{
 		eng:         e.eng,
 		points:      e.points,
 		bounds:      e.bounds,
 		data:        e.data,
+		store:       e.store,
 		parallelism: e.parallelism,
 	}, nil
 }
@@ -400,6 +420,164 @@ func (e *Engine) IOStats() (reads, hits int, ok bool) {
 func (e *Engine) ResetIOStats() {
 	if e.store != nil {
 		e.store.ResetIOStats()
+	}
+}
+
+// ShardedEngine answers area queries over a dataset partitioned into
+// spatially coherent shards along the Hilbert curve. Every shard is an
+// independent engine — its own spatial index, Voronoi topology and (with
+// WithStore) record store with a private buffer pool — and queries run by
+// scatter-gather: shards whose bounds miss the query's MBR are pruned,
+// the survivors fan out onto the worker pool (see WithParallelism), and
+// per-shard results merge under a stable global id mapping. Global ids
+// are indexes into the original points slice, exactly as in an unsharded
+// Engine, and every query method returns the identical id set an
+// unsharded Engine would — in ascending id order, for any shard count.
+//
+// One method nuance: shard-local execution of VoronoiBFS uses the strict
+// cell-intersection expansion rather than the published segment rule. A
+// shard's Voronoi diagram is a sub-sample of the dataset, and on its
+// sparser geometry the segment heuristic can strand result islands inside
+// thin concave queries; the strict rule stays exact at any density.
+// Stats.Method still reports the requested method (with CellTests counted
+// instead of SegmentTests).
+//
+// Shard where one engine's data volume or lock contention is the
+// bottleneck: construction parallelizes across shards, store-backed
+// shards stop sharing one buffer-pool mutex, and batch throughput scales
+// with both query and shard parallelism. A ShardedEngine is immutable
+// after construction and safe for concurrent use from any number of
+// goroutines.
+type ShardedEngine struct {
+	se     *shard.Engine
+	stores []*core.StoreData // per shard; all nil without WithStore
+}
+
+// NewShardedEngine partitions points into n shards (WithShards; default 1)
+// by Hilbert order and builds every shard's engine in parallel. All
+// NewEngine options apply, per shard: each shard gets its own index of the
+// configured kind and — with WithStore — its own paged record store.
+// bounds must contain every point; points must have pairwise distinct
+// coordinates.
+func NewShardedEngine(points []Point, bounds Rect, opts ...Option) (*ShardedEngine, error) {
+	cfg := defaultConfig()
+	for _, o := range opts {
+		o(&cfg)
+	}
+	numStores := cfg.shards
+	if numStores < 1 {
+		numStores = 1 // shard.New clamps the same way
+	}
+	stores := make([]*core.StoreData, numStores)
+	se, err := shard.New(points, bounds, shard.Config{
+		Shards:      cfg.shards,
+		Parallelism: cfg.parallelism,
+		Build: func(si int, pts []Point, bounds Rect) (*core.Engine, error) {
+			data, sd, err := cfg.buildData(pts, bounds)
+			if err != nil {
+				return nil, err
+			}
+			idx, err := cfg.buildIndex(pts, bounds)
+			if err != nil {
+				return nil, err
+			}
+			if si < len(stores) {
+				stores[si] = sd // distinct si per call; no lock needed
+			}
+			return core.NewEngine(idx, data), nil
+		},
+	})
+	if err != nil {
+		return nil, fmt.Errorf("vaq: %w", err)
+	}
+	return &ShardedEngine{se: se, stores: stores[:se.NumShards()]}, nil
+}
+
+// Query answers an area query with the paper's Voronoi method, returning
+// ids in ascending order.
+func (e *ShardedEngine) Query(area Polygon) ([]int64, Stats, error) {
+	return e.se.Query(VoronoiBFS, area)
+}
+
+// QueryWith answers an area query with an explicit method.
+func (e *ShardedEngine) QueryWith(m Method, area Polygon) ([]int64, Stats, error) {
+	return e.se.Query(m, area)
+}
+
+// QueryCircle answers a radius query with the chosen method.
+func (e *ShardedEngine) QueryCircle(m Method, c Circle) ([]int64, Stats, error) {
+	return e.se.QueryRegion(m, core.CircleRegion(c))
+}
+
+// QueryRegion answers an area query over a prepared Region.
+func (e *ShardedEngine) QueryRegion(m Method, region Region) ([]int64, Stats, error) {
+	return e.se.QueryRegion(m, region)
+}
+
+// KNearest returns the k stored points nearest to q in increasing
+// distance order, walking shards in MINDIST order and expanding only
+// while a shard's bounds can still beat the current k-th distance.
+func (e *ShardedEngine) KNearest(q Point, k int) ([]int64, Stats, error) {
+	return e.se.KNearest(q, k)
+}
+
+// Count answers an area query returning only the number of matching
+// points; pruned shards cost nothing and no merged result is built.
+func (e *ShardedEngine) Count(m Method, area Polygon) (int, Stats, error) {
+	return e.se.Count(m, area)
+}
+
+// QueryBatch answers a sequence of queries with one method. Every
+// (query, surviving shard) pair is one task on the worker pool, so
+// batches exploit intra- and inter-query parallelism at once.
+func (e *ShardedEngine) QueryBatch(m Method, areas []Polygon) ([][]int64, Stats, error) {
+	return e.se.QueryBatch(m, areas)
+}
+
+// QueryRegions is QueryBatch over prepared Regions, letting polygon and
+// circle queries share one batch.
+func (e *ShardedEngine) QueryRegions(m Method, regions []Region) ([][]int64, Stats, error) {
+	return e.se.QueryRegions(m, regions)
+}
+
+// NumShards returns the shard count (after clamping to the point count).
+func (e *ShardedEngine) NumShards() int { return e.se.NumShards() }
+
+// ShardSizes returns the per-shard point counts.
+func (e *ShardedEngine) ShardSizes() []int { return e.se.ShardSizes() }
+
+// ShardBounds returns the tight bounding rectangle of one shard's points.
+func (e *ShardedEngine) ShardBounds(si int) Rect { return e.se.ShardBounds(si) }
+
+// Len returns the total number of stored points.
+func (e *ShardedEngine) Len() int { return e.se.Len() }
+
+// Bounds returns the engine's universe rectangle.
+func (e *ShardedEngine) Bounds() Rect { return e.se.Bounds() }
+
+// Point returns the coordinates of a stored (global) id.
+func (e *ShardedEngine) Point(id int64) Point { return e.se.Point(id) }
+
+// IOStats sums the simulated IO counters over every shard's store when
+// the engine was built WithStore; ok is false otherwise.
+func (e *ShardedEngine) IOStats() (reads, hits int, ok bool) {
+	for _, sd := range e.stores {
+		if sd == nil {
+			return 0, 0, false
+		}
+		st := sd.IOStats()
+		reads += st.PageReads
+		hits += st.CacheHits
+	}
+	return reads, hits, len(e.stores) > 0
+}
+
+// ResetIOStats zeroes every shard's IO counters (no-op without WithStore).
+func (e *ShardedEngine) ResetIOStats() {
+	for _, sd := range e.stores {
+		if sd != nil {
+			sd.ResetIOStats()
+		}
 	}
 }
 

@@ -210,18 +210,20 @@ func (divergedError) Error() string { return "concurrent query diverged from ora
 
 var errDiverged = divergedError{}
 
-// TestStoreEngineBatchStaysSequential documents the WithStore exception:
-// the engine forces parallelism 1, and batches still work.
-func TestStoreEngineBatchStaysSequential(t *testing.T) {
+// TestStoreEngineBatchRunsParallel pins the store-backed concurrency
+// contract: the buffer pool is mutex-guarded, so WithStore engines run
+// batches on the worker pool like any other engine. A tiny pool forces
+// constant eviction during the parallel batch. Run with -race.
+func TestStoreEngineBatchRunsParallel(t *testing.T) {
 	rng := rand.New(rand.NewSource(33))
 	pts := UniformPoints(rng, 2000, UnitSquare())
 	eng, err := NewEngine(pts, UnitSquare(),
 		WithParallelism(8),
-		WithStore(StoreConfig{PageSize: 1024, PoolPages: 16, PayloadBytes: 32}))
+		WithStore(StoreConfig{PageSize: 1024, PoolPages: 4, PayloadBytes: 32}))
 	if err != nil {
 		t.Fatal(err)
 	}
-	areas := make([]Polygon, 8)
+	areas := make([]Polygon, 32)
 	for i := range areas {
 		areas[i] = RandomQueryPolygon(rng, 10, 0.02, UnitSquare())
 	}
@@ -234,6 +236,9 @@ func TestStoreEngineBatchStaysSequential(t *testing.T) {
 	}
 	if agg.RecordsLoaded == 0 {
 		t.Error("store batch loaded no records")
+	}
+	if reads, _, ok := eng.IOStats(); !ok || reads == 0 {
+		t.Errorf("expected page reads from the store batch (ok=%v reads=%d)", ok, reads)
 	}
 	for i, area := range areas {
 		want, _, err := eng.QueryWith(BruteForce, area)

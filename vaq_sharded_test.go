@@ -1,0 +1,320 @@
+package vaq
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+var shardedTestCounts = []int{1, 2, 7, 16}
+
+func shardedWorkloads(n int) map[string][]Point {
+	return map[string][]Point{
+		"uniform":   UniformPoints(rand.New(rand.NewSource(61)), n, UnitSquare()),
+		"clustered": ClusteredPoints(rand.New(rand.NewSource(62)), n, 6, 0.04, UnitSquare()),
+	}
+}
+
+// TestShardedEngineConformance runs the public acceptance grid: every
+// query method × shard counts 1/2/7/16 × uniform and clustered workloads
+// must return exactly the single-engine oracle's sorted id set, through
+// every public entry point.
+func TestShardedEngineConformance(t *testing.T) {
+	const n = 3000
+	for wname, pts := range shardedWorkloads(n) {
+		single, err := NewEngine(pts, UnitSquare())
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(63))
+		areas := make([]Polygon, 9)
+		for i := range areas {
+			areas[i] = RandomQueryPolygon(rng, 10, []float64{0.005, 0.02, 0.08}[i%3], UnitSquare())
+		}
+		circles := make([]Circle, 3)
+		for i := range circles {
+			circles[i] = NewCircle(Pt(0.2+0.6*rng.Float64(), 0.2+0.6*rng.Float64()), 0.02+0.08*rng.Float64())
+		}
+
+		for _, shards := range shardedTestCounts {
+			sharded, err := NewShardedEngine(pts, UnitSquare(), WithShards(shards))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if sharded.NumShards() != shards || sharded.Len() != n {
+				t.Fatalf("%s shards=%d: NumShards=%d Len=%d", wname, shards, sharded.NumShards(), sharded.Len())
+			}
+			name := fmt.Sprintf("%s/shards=%d", wname, shards)
+
+			for _, m := range []Method{Traditional, VoronoiBFS, VoronoiBFSStrict, BruteForce} {
+				for ai, area := range areas {
+					want, _, err := single.QueryWith(m, area)
+					if err != nil {
+						t.Fatalf("%s %v: single: %v", name, m, err)
+					}
+					got, _, err := sharded.QueryWith(m, area)
+					if err != nil {
+						t.Fatalf("%s %v: sharded: %v", name, m, err)
+					}
+					if !idsEqual(got, sortIDs(want)) {
+						t.Errorf("%s %v area %d: %d ids, single %d", name, m, ai, len(got), len(want))
+					}
+					cnt, _, err := sharded.Count(m, area)
+					if err != nil {
+						t.Fatalf("%s %v: count: %v", name, m, err)
+					}
+					if cnt != len(want) {
+						t.Errorf("%s %v area %d: Count=%d want %d", name, m, ai, cnt, len(want))
+					}
+				}
+				for ci, c := range circles {
+					want, _, err := single.QueryCircle(m, c)
+					if err != nil {
+						t.Fatalf("%s %v: single circle: %v", name, m, err)
+					}
+					got, _, err := sharded.QueryCircle(m, c)
+					if err != nil {
+						t.Fatalf("%s %v: sharded circle: %v", name, m, err)
+					}
+					if !idsEqual(got, sortIDs(want)) {
+						t.Errorf("%s %v circle %d diverged", name, m, ci)
+					}
+				}
+			}
+
+			// Default-method Query plus the batched entry points.
+			for ai, area := range areas {
+				want, _, err := single.Query(area)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, _, err := sharded.Query(area)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !idsEqual(got, sortIDs(want)) {
+					t.Errorf("%s: Query area %d diverged", name, ai)
+				}
+			}
+			wantBatch, _, err := single.QueryBatch(VoronoiBFS, areas)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gotBatch, _, err := sharded.QueryBatch(VoronoiBFS, areas)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range areas {
+				if !idsEqual(gotBatch[i], sortIDs(wantBatch[i])) {
+					t.Errorf("%s: QueryBatch %d diverged", name, i)
+				}
+			}
+			regions := mixedBatch(rng, 18)
+			wantReg, _, err := single.QueryRegions(VoronoiBFS, regions)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gotReg, _, err := sharded.QueryRegions(VoronoiBFS, regions)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range regions {
+				if !idsEqual(gotReg[i], sortIDs(wantReg[i])) {
+					t.Errorf("%s: QueryRegions %d diverged", name, i)
+				}
+			}
+
+			// KNearest, including k beyond one shard's population.
+			for _, k := range []int{1, 5, n/len(shardedTestCounts) + 3} {
+				for rep := 0; rep < 4; rep++ {
+					q := Pt(rng.Float64(), rng.Float64())
+					want, _, err := single.KNearest(q, k)
+					if err != nil {
+						t.Fatal(err)
+					}
+					got, _, err := sharded.KNearest(q, k)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !idsEqual(sortIDs(got), sortIDs(want)) {
+						t.Errorf("%s: KNearest k=%d diverged", name, k)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestShardedEngineStoreBacked pins the sharded + WithStore combination:
+// every shard owns a private store, results stay oracle-exact, and the
+// summed IO counters are live.
+func TestShardedEngineStoreBacked(t *testing.T) {
+	const n = 2000
+	pts := UniformPoints(rand.New(rand.NewSource(64)), n, UnitSquare())
+	single, err := NewEngine(pts, UnitSquare())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharded, err := NewShardedEngine(pts, UnitSquare(),
+		WithShards(7),
+		WithStore(StoreConfig{PageSize: 1024, PoolPages: 8, PayloadBytes: 32}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := sharded.IOStats(); !ok {
+		t.Fatal("store-backed sharded engine reports no IO stats")
+	}
+	sharded.ResetIOStats()
+
+	rng := rand.New(rand.NewSource(65))
+	for rep := 0; rep < 8; rep++ {
+		area := RandomQueryPolygon(rng, 10, 0.03, UnitSquare())
+		want, _, err := single.Query(area)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, st, err := sharded.Query(area)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !idsEqual(got, sortIDs(want)) {
+			t.Fatalf("rep %d diverged", rep)
+		}
+		if len(want) > 0 && st.RecordsLoaded == 0 {
+			t.Errorf("rep %d: no record loads recorded", rep)
+		}
+	}
+	reads, hits, ok := sharded.IOStats()
+	if !ok || reads+hits == 0 {
+		t.Errorf("IO counters dead: reads=%d hits=%d ok=%v", reads, hits, ok)
+	}
+}
+
+// TestShardedEngineIndexKinds runs one conformance pass per index kind, so
+// sharding composes with every filtering index.
+func TestShardedEngineIndexKinds(t *testing.T) {
+	const n = 1500
+	pts := ClusteredPoints(rand.New(rand.NewSource(66)), n, 5, 0.05, UnitSquare())
+	single, err := NewEngine(pts, UnitSquare())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(67))
+	area := RandomQueryPolygon(rng, 10, 0.04, UnitSquare())
+	want, _, err := single.Query(area)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, kind := range []IndexKind{RTreeIndex, RStarIndex, KDTreeIndex, QuadtreeIndex, GridIndex} {
+		sharded, err := NewShardedEngine(pts, UnitSquare(), WithShards(5), WithIndex(kind))
+		if err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+		got, _, err := sharded.Query(area)
+		if err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+		if !idsEqual(got, sortIDs(want)) {
+			t.Errorf("%v diverged", kind)
+		}
+	}
+}
+
+// TestShardedGlobalIDStability pins that the same query returns the
+// identical id slice (values AND order) at every shard count, and that
+// ids index the original points slice.
+func TestShardedGlobalIDStability(t *testing.T) {
+	const n = 2500
+	pts := UniformPoints(rand.New(rand.NewSource(68)), n, UnitSquare())
+	rng := rand.New(rand.NewSource(69))
+	area := RandomQueryPolygon(rng, 10, 0.06, UnitSquare())
+
+	var first []int64
+	for _, shards := range shardedTestCounts {
+		sharded, err := NewShardedEngine(pts, UnitSquare(), WithShards(shards))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, _, err := sharded.Query(area)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if first == nil {
+			first = got
+		} else if !idsEqual(got, first) {
+			t.Errorf("shards=%d: ids differ from shards=%d", shards, shardedTestCounts[0])
+		}
+		for _, id := range got {
+			if sharded.Point(id) != pts[id] {
+				t.Fatalf("shards=%d: Point(%d) does not match input slice", shards, id)
+			}
+		}
+	}
+}
+
+// TestConcurrentShardedEngine hammers one sharded, store-backed engine
+// from several goroutines. Run with -race.
+func TestConcurrentShardedEngine(t *testing.T) {
+	const n = 2000
+	pts := UniformPoints(rand.New(rand.NewSource(70)), n, UnitSquare())
+	sharded, err := NewShardedEngine(pts, UnitSquare(),
+		WithShards(7),
+		WithStore(StoreConfig{PageSize: 1024, PoolPages: 4, PayloadBytes: 16}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	single, err := NewEngine(pts, UnitSquare())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(71))
+	areas := make([]Polygon, 6)
+	oracle := make([][]int64, len(areas))
+	for i := range areas {
+		areas[i] = RandomQueryPolygon(rng, 10, 0.03, UnitSquare())
+		ids, _, err := single.QueryWith(BruteForce, areas[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		oracle[i] = sortIDs(ids)
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 6)
+	for w := 0; w < 6; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			for rep := 0; rep < 10; rep++ {
+				i := (worker + rep) % len(areas)
+				if rep%2 == 0 {
+					ids, _, err := sharded.Query(areas[i])
+					if err != nil {
+						errs <- err
+						return
+					}
+					if !idsEqual(ids, oracle[i]) {
+						errs <- fmt.Errorf("worker %d rep %d: query diverged", worker, rep)
+						return
+					}
+				} else {
+					out, _, err := sharded.QueryBatch(VoronoiBFS, areas[i:i+1])
+					if err != nil {
+						errs <- err
+						return
+					}
+					if !idsEqual(out[0], oracle[i]) {
+						errs <- fmt.Errorf("worker %d rep %d: batch diverged", worker, rep)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}

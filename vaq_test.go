@@ -282,13 +282,25 @@ func TestClonePublicAPI(t *testing.T) {
 	if !equal(sorted(a), sorted(b)) {
 		t.Error("clone diverges")
 	}
-	// Store-backed engines refuse to clone.
+	// Store-backed engines clone too now that the buffer pool is
+	// mutex-guarded; the clone shares the store and its IO counters.
 	se, err := NewEngine(pts, UnitSquare(), WithStore(StoreConfig{}))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := se.Clone(); err == nil {
-		t.Error("store-backed clone should fail")
+	sc, err := se.Clone()
+	if err != nil {
+		t.Fatalf("store-backed clone: %v", err)
+	}
+	c, _, err := sc.Query(area)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equal(sorted(a), sorted(c)) {
+		t.Error("store-backed clone diverges")
+	}
+	if _, _, ok := sc.IOStats(); !ok {
+		t.Error("store-backed clone lost its store")
 	}
 }
 
