@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"testing"
 )
 
@@ -323,6 +324,61 @@ func BenchmarkShardedQuery(b *testing.B) {
 			benchShardedBatch(b, eng.QueryBatch, eng.IOStats, areas)
 		})
 	}
+}
+
+// BenchmarkDynamicMixed measures the epoch-snapshot dynamic engine under a
+// mixed workload: one writer goroutine streams inserts for the whole
+// measurement while the parallel benchmark goroutines run area queries,
+// each query pinning the then-current epoch. ns/op is per-query latency
+// including the amortized snapshot publishes the interleaved inserts
+// force; inserts/s reports the writer throughput sustained alongside.
+func BenchmarkDynamicMixed(b *testing.B) {
+	rng := rand.New(rand.NewSource(13))
+	eng := NewDynamicEngine(UnitSquare())
+	for i := 0; i < 20_000; i++ {
+		if _, _, err := eng.Insert(Pt(rng.Float64(), rng.Float64())); err != nil {
+			b.Fatal(err)
+		}
+	}
+	areas := benchAreas(13, 0.01, 64)
+
+	stop := make(chan struct{})
+	var inserts atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		wrng := rand.New(rand.NewSource(14))
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if _, _, err := eng.Insert(Pt(wrng.Float64(), wrng.Float64())); err != nil {
+				b.Error(err)
+				return
+			}
+			inserts.Add(1)
+		}
+	}()
+
+	var qi atomic.Int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			i := int(qi.Add(1))
+			if _, _, err := eng.Query(areas[i%len(areas)]); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+	b.StopTimer()
+	close(stop)
+	wg.Wait()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "queries/s")
+	b.ReportMetric(float64(inserts.Load())/b.Elapsed().Seconds(), "inserts/s")
 }
 
 func benchShardedBatch(b *testing.B, batch func(Method, []Polygon) ([][]int64, Stats, error),

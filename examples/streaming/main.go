@@ -1,7 +1,10 @@
-// Streaming demonstrates the dynamic engine: sensor readings arrive over
-// time and area queries (a concave watch region) run between batches —
-// no index or Voronoi rebuild ever happens; each point is inserted
-// incrementally.
+// Streaming demonstrates the dynamic engine's epoch-snapshot concurrency:
+// sensor readings are ingested continuously by a writer goroutine while a
+// concurrent monitor queries a concave watch region — no index or Voronoi
+// rebuild ever happens (each point is inserted incrementally), and the
+// monitor never blocks ingestion. Every monitor pass pins one epoch with
+// Snapshot(), so its result count, Count() and k-nearest readout are
+// mutually consistent even though thousands of inserts land mid-pass.
 //
 //	go run ./examples/streaming
 package main
@@ -10,6 +13,8 @@ import (
 	"fmt"
 	"log"
 	"math/rand"
+	"sync"
+	"time"
 
 	"repro"
 )
@@ -23,28 +28,68 @@ func main() {
 		vaq.Pt(0.40, 0.40), vaq.Pt(0.58, 0.44), vaq.Pt(0.62, 0.60),
 		vaq.Pt(0.52, 0.52), vaq.Pt(0.46, 0.62), vaq.Pt(0.38, 0.56),
 	})
+	center := vaq.Pt(0.5, 0.5)
 
-	fmt.Println("batch | total points | in watch region | candidates | query time")
-	fmt.Println("------+--------------+-----------------+------------+-----------")
-	for batch := 1; batch <= 10; batch++ {
-		// A batch of 5000 new readings drifts across the map.
-		cx := 0.3 + 0.05*float64(batch)
-		for i := 0; i < 5000; i++ {
-			p := vaq.Pt(
-				clamp(cx+rng.NormFloat64()*0.25),
-				clamp(0.5+rng.NormFloat64()*0.25),
-			)
-			if _, _, err := eng.Insert(p); err != nil {
-				log.Fatal(err)
+	// Writer: 10 batches of 5000 readings drifting across the map,
+	// ingested with no coordination with the monitor below beyond the
+	// engine itself.
+	const batches, perBatch = 10, 5000
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer close(done)
+		for batch := 1; batch <= batches; batch++ {
+			cx := 0.3 + 0.05*float64(batch)
+			for i := 0; i < perBatch; i++ {
+				p := vaq.Pt(
+					clamp(cx+rng.NormFloat64()*0.25),
+					clamp(0.5+rng.NormFloat64()*0.25),
+				)
+				if _, _, err := eng.Insert(p); err != nil {
+					log.Fatal(err)
+				}
 			}
 		}
-		ids, st, err := eng.Query(watch)
+	}()
+
+	fmt.Println("epoch (points) | in watch region | candidates | nearest-to-center | query time")
+	fmt.Println("---------------+-----------------+------------+-------------------+-----------")
+	ingesting := true
+	for ingesting {
+		select {
+		case <-done:
+			ingesting = false // one final pass below on the completed stream
+		case <-time.After(20 * time.Millisecond):
+		}
+		// Pin one epoch: the area query, its stats and the k-nearest
+		// readout below all describe exactly this point set, while the
+		// writer keeps inserting underneath.
+		snap := eng.Snapshot()
+		if snap.Len() == 0 {
+			continue
+		}
+		ids, st, err := snap.Query(watch)
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("%5d | %12d | %15d | %10d | %v\n",
-			batch, eng.Len(), len(ids), st.Candidates, st.Duration)
+		nearest, _, err := snap.KNearest(center, 1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%14d | %15d | %10d | %17v | %v\n",
+			snap.Epoch(), len(ids), st.Candidates, snap.Point(nearest[0]), st.Duration)
 	}
+	wg.Wait()
+
+	// Final consistency readout on the completed stream.
+	final := eng.Snapshot()
+	n, _, err := final.Count(vaq.VoronoiBFS, watch)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("final: %d points ingested, %d inside the watch region\n", final.Len(), n)
 }
 
 func clamp(v float64) float64 {

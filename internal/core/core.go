@@ -29,6 +29,10 @@ import (
 var (
 	ErrNoData             = errors.New("core: dataset is empty")
 	ErrStrictNotSupported = errors.New("core: data source does not provide Voronoi cells (strict expansion unavailable)")
+	// ErrOutsideUniverse is returned by the dynamic engine when an inserted
+	// point or a query area falls outside the declared universe rectangle —
+	// a caller error, distinguishable from engine failure with errors.Is.
+	ErrOutsideUniverse = errors.New("core: outside the declared universe")
 )
 
 // SpatialIndex is the filtering index contract shared by both query
@@ -81,6 +85,17 @@ type CellSource interface {
 // cell whose box misses the region cannot intersect it.
 type CellBoxSource interface {
 	CellBox(id int64) geom.Rect
+}
+
+// ResultFilter is optionally implemented by DataAccess implementations
+// whose id space contains auxiliary sites that algorithms may traverse but
+// must never return — the dynamic triangulation's fence sites are the one
+// current example. KNearest consults it before emitting an id; the area
+// queries need no filter because auxiliary sites lie outside every legal
+// query region.
+type ResultFilter interface {
+	// Returnable reports whether id may appear in query results.
+	Returnable(id int64) bool
 }
 
 // NeighborSlicer is optionally implemented by DataAccess implementations

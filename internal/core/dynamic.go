@@ -1,7 +1,10 @@
 package core
 
 import (
+	"errors"
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/delaunay"
 	"repro/internal/geom"
@@ -41,6 +44,11 @@ func (d *DynamicData) Each(fn func(id int64, pos geom.Point) bool) {
 	}
 }
 
+// Returnable implements ResultFilter: fence sites may be traversed (they
+// route the BFS and the KNN expansion through sparse regions) but never
+// appear in results.
+func (d *DynamicData) Returnable(id int64) bool { return !d.dt.IsFence(int(id)) }
+
 // Cell implements CellSource: the site's Voronoi cell clipped to an
 // expanded universe (so fence-adjacent cells stay closed).
 func (d *DynamicData) Cell(id int64) geom.Ring {
@@ -57,65 +65,235 @@ func (d *DynamicData) Cell(id int64) geom.Ring {
 
 // DynamicEngine answers area queries over a growing dataset: points are
 // inserted one at a time into a dynamic Delaunay triangulation and a
-// dynamic R-tree (R* split), and queries run at any moment with either
-// method — the update capability the paper leaves as future work.
-// Unlike the static Engine, a DynamicEngine is single-writer and not safe
-// for concurrent use: Insert mutates the triangulation and the R-tree that
-// in-flight queries traverse.
+// dynamic R-tree (R* split) — the update capability the paper leaves as
+// future work.
+//
+// Concurrency follows an epoch-snapshot scheme. The live triangulation and
+// R-tree belong to the writer: Insert mutates them under an internal mutex
+// (multiple inserting goroutines are therefore serialized, not racy).
+// Queries never touch the live structures — every query pins the current
+// epoch's immutable snapshot, published through an atomic pointer, so any
+// number of goroutines can run Query/QueryRegion/KNearest/Count (or batch
+// over a Snapshot's Engine) concurrently with insertion and never observe
+// a half-applied update. Snapshots are rebuilt lazily: the first read after
+// a write pays an O(n) copy-on-write publish (append-only point storage
+// is shared; the in-place-mutated topology arrays and index nodes are
+// copied) and every subsequent read reuses the published epoch for free.
+//
+// Write visibility: a query that starts after an Insert call returns is
+// guaranteed to observe that insert; a query concurrent with an Insert
+// observes either the epoch before it or after it, never a mixture.
 type DynamicEngine struct {
+	mu   sync.Mutex // serializes writers and snapshot publication
 	dt   *delaunay.Dynamic
 	tree *rtree.Tree
-	data *DynamicData
-	eng  *Engine
+
+	// epoch counts accepted inserts; it is bumped (under mu) after the
+	// triangulation and R-tree both reflect the new point, so a reader
+	// that observes epoch e and rebuilds under mu sees at least e points.
+	epoch atomic.Uint64
+	// snap is the most recently published snapshot (nil until first read).
+	snap atomic.Pointer[DynamicSnapshot]
 }
 
 // NewDynamicEngine returns an empty dynamic engine over the universe
 // rectangle. All inserted points and query polygons must lie within it.
 func NewDynamicEngine(universe geom.Rect) *DynamicEngine {
 	dt := delaunay.NewDynamic(universe)
-	data := &DynamicData{dt: dt}
-	tree := rtree.NewRStar(16)
 	return &DynamicEngine{
 		dt:   dt,
-		tree: tree,
-		data: data,
-		eng:  NewEngine(dynamicIndex{tree: tree}, data),
+		tree: rtree.NewRStar(16),
 	}
 }
 
-// Len returns the number of inserted points.
-func (d *DynamicEngine) Len() int { return d.dt.NumUserSites() }
+// Len returns the number of inserted points (as of the current epoch).
+func (d *DynamicEngine) Len() int { return int(d.epoch.Load()) }
+
+// Epoch returns the current epoch: the number of accepted inserts.
+// Snapshots report the epoch they were pinned at.
+func (d *DynamicEngine) Epoch() uint64 { return d.epoch.Load() }
 
 // Universe returns the declared universe rectangle.
 func (d *DynamicEngine) Universe() geom.Rect { return d.dt.Universe() }
 
-// Point returns the coordinates of an inserted id.
-func (d *DynamicEngine) Point(id int64) geom.Point { return d.dt.Point(int(id)) }
+// Point returns the coordinates of an inserted id. Safe to call
+// concurrently with Insert. Ids covered by the published snapshot are
+// served lock-free (positions never change once assigned); only ids newer
+// than the snapshot fall back to the writer mutex.
+func (d *DynamicEngine) Point(id int64) geom.Point {
+	if s := d.snap.Load(); s != nil && id < int64(s.data.NumIDs()) {
+		return s.data.Position(id)
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.dt.Point(int(id))
+}
 
 // Insert adds a point and returns its id. Inserting an existing coordinate
-// returns the existing id with inserted == false.
+// returns the existing id with inserted == false. Inserts from multiple
+// goroutines are serialized by an internal mutex; in-flight queries keep
+// reading their pinned epoch and are never blocked.
 func (d *DynamicEngine) Insert(p geom.Point) (id int64, inserted bool, err error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	sid, ins, err := d.dt.InsertSite(p)
 	if err != nil {
+		if errors.Is(err, delaunay.ErrOutsideUniverse) {
+			// One exported sentinel for the condition across the whole stack.
+			err = fmt.Errorf("core: insert %v outside the dynamic engine universe %v: %w",
+				p, d.dt.Universe(), ErrOutsideUniverse)
+		}
 		return 0, false, err
 	}
 	if ins {
 		d.tree.Insert(int64(sid), geom.NewRect(p.X, p.Y, p.X, p.Y))
+		d.epoch.Add(1)
 	}
 	return int64(sid), ins, nil
 }
 
-// Query answers an area query. The area must lie within the universe.
+// Snapshot pins the current epoch and returns its immutable view. The
+// first Snapshot after a write builds the view (an O(n) copy, serialized
+// with writers); repeated Snapshots between writes return the same
+// published view with no copying or locking. The returned snapshot is
+// safe for concurrent use and stays valid — and unchanged — forever.
+func (d *DynamicEngine) Snapshot() *DynamicSnapshot {
+	// Fast path: the published snapshot is current. Loading the epoch
+	// first makes the check conservative — a concurrent insert can only
+	// force an unnecessary rebuild, never return a snapshot older than an
+	// insert that completed before this call.
+	e := d.epoch.Load()
+	if s := d.snap.Load(); s != nil && s.epoch == e {
+		return s
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	e = d.epoch.Load() // stable: writers bump it only under mu
+	if s := d.snap.Load(); s != nil && s.epoch == e {
+		return s
+	}
+	data := &DynamicData{dt: d.dt.Snapshot()}
+	s := &DynamicSnapshot{
+		epoch:    e,
+		n:        d.dt.NumUserSites(),
+		universe: d.dt.Universe(),
+		data:     data,
+		eng:      NewEngine(dynamicIndex{tree: d.tree.Snapshot()}, data),
+	}
+	d.snap.Store(s)
+	return s
+}
+
+// Query answers an area query at the current epoch. The area must lie
+// within the universe (ErrOutsideUniverse otherwise).
 func (d *DynamicEngine) Query(m Method, area geom.Polygon) ([]int64, Stats, error) {
-	if d.Len() == 0 {
+	return d.Snapshot().Query(m, area)
+}
+
+// QueryRegion answers an area query over a prepared Region at the current
+// epoch.
+func (d *DynamicEngine) QueryRegion(m Method, region Region) ([]int64, Stats, error) {
+	return d.Snapshot().QueryRegion(m, region)
+}
+
+// KNearest returns the k inserted points nearest to q at the current
+// epoch.
+func (d *DynamicEngine) KNearest(q geom.Point, k int) ([]int64, Stats, error) {
+	return d.Snapshot().KNearest(q, k)
+}
+
+// Count answers an area query at the current epoch, returning only the
+// number of matching points.
+func (d *DynamicEngine) Count(m Method, area geom.Polygon) (int, Stats, error) {
+	return d.Snapshot().Count(m, area)
+}
+
+// DynamicSnapshot is an immutable, epoch-pinned view of a DynamicEngine:
+// every query on it sees exactly the points inserted before it was taken,
+// no matter how many inserts have happened since. Snapshots are safe for
+// concurrent use from any number of goroutines.
+type DynamicSnapshot struct {
+	epoch    uint64
+	n        int // user sites at the pinned epoch
+	universe geom.Rect
+	data     *DynamicData
+	eng      *Engine
+}
+
+// Epoch returns the epoch the snapshot was pinned at (the number of
+// inserts it reflects).
+func (s *DynamicSnapshot) Epoch() uint64 { return s.epoch }
+
+// Len returns the number of points in the snapshot.
+func (s *DynamicSnapshot) Len() int { return s.n }
+
+// Universe returns the declared universe rectangle.
+func (s *DynamicSnapshot) Universe() geom.Rect { return s.universe }
+
+// Point returns the coordinates of an inserted id present in the snapshot.
+func (s *DynamicSnapshot) Point(id int64) geom.Point { return s.data.Position(id) }
+
+// Each iterates the snapshot's points in ascending id order.
+func (s *DynamicSnapshot) Each(fn func(id int64, pos geom.Point) bool) { s.data.Each(fn) }
+
+// Engine returns the snapshot's immutable engine, for batch executors and
+// instrumentation. All four query methods run against the pinned epoch.
+func (s *DynamicSnapshot) Engine() *Engine { return s.eng }
+
+// checkArea validates a query region's MBR against the universe.
+func (s *DynamicSnapshot) checkArea(bounds geom.Rect) error {
+	if !s.universe.ContainsRect(bounds) {
+		return fmt.Errorf("core: query area %v exceeds the dynamic engine universe %v: %w",
+			bounds, s.universe, ErrOutsideUniverse)
+	}
+	return nil
+}
+
+// CheckRegion validates a region the same way QueryRegion would —
+// ErrOutsideUniverse for an area escaping the universe, ErrNoData while
+// the snapshot is empty — without running the query. Batch executors call
+// it up front so parallel batches keep the sequential error contract.
+func (s *DynamicSnapshot) CheckRegion(region Region) error {
+	if err := s.checkArea(region.Bounds()); err != nil {
+		return err
+	}
+	if s.n == 0 {
+		return ErrNoData
+	}
+	return nil
+}
+
+// Query answers an area query against the pinned epoch.
+func (s *DynamicSnapshot) Query(m Method, area geom.Polygon) ([]int64, Stats, error) {
+	return s.QueryRegion(m, PolygonRegion(area))
+}
+
+// QueryRegion answers an area query over a prepared Region against the
+// pinned epoch.
+func (s *DynamicSnapshot) QueryRegion(m Method, region Region) ([]int64, Stats, error) {
+	if err := s.checkArea(region.Bounds()); err != nil {
+		return nil, Stats{Method: m}, err
+	}
+	if s.n == 0 {
 		return nil, Stats{Method: m}, ErrNoData
 	}
-	if !d.dt.Universe().ContainsRect(area.Bounds()) {
-		return nil, Stats{Method: m}, fmt.Errorf(
-			"core: query area %v exceeds the dynamic engine universe %v",
-			area.Bounds(), d.dt.Universe())
+	return s.eng.QueryRegion(m, region)
+}
+
+// KNearest returns the k points nearest to q at the pinned epoch
+// (ErrNoData when the snapshot is empty, matching Query).
+func (s *DynamicSnapshot) KNearest(q geom.Point, k int) ([]int64, Stats, error) {
+	if s.n == 0 {
+		return nil, Stats{}, ErrNoData
 	}
-	return d.eng.Query(m, area)
+	return s.eng.KNearest(q, k)
+}
+
+// Count answers an area query against the pinned epoch, returning only the
+// number of matching points.
+func (s *DynamicSnapshot) Count(m Method, area geom.Polygon) (int, Stats, error) {
+	ids, stats, err := s.Query(m, area)
+	return len(ids), stats, err
 }
 
 // dynamicIndex adapts the growing R-tree (user sites only) to

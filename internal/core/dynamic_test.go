@@ -1,7 +1,9 @@
 package core
 
 import (
+	"errors"
 	"math/rand"
+	"sort"
 	"testing"
 
 	"repro/internal/geom"
@@ -169,4 +171,202 @@ func BenchmarkDynamicEngineQuery(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+func TestDynamicKNearestEmptyMatchesQueryContract(t *testing.T) {
+	d := NewDynamicEngine(unitBounds())
+	if _, _, err := d.KNearest(geom.Pt(0.5, 0.5), 3); err != ErrNoData {
+		t.Errorf("KNearest on empty dynamic engine: err = %v, want ErrNoData", err)
+	}
+	if _, _, err := d.Snapshot().KNearest(geom.Pt(0.5, 0.5), 3); err != ErrNoData {
+		t.Errorf("KNearest on empty snapshot: err = %v, want ErrNoData", err)
+	}
+}
+
+func TestDynamicKNearestNeverReturnsFenceSites(t *testing.T) {
+	// Ask for more neighbors than there are user sites: the expansion routes
+	// through fence sites but must not emit them.
+	d := NewDynamicEngine(unitBounds())
+	coords := []geom.Point{geom.Pt(0.2, 0.2), geom.Pt(0.8, 0.3), geom.Pt(0.5, 0.9)}
+	for _, p := range coords {
+		if _, _, err := d.Insert(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ids, _, err := d.KNearest(geom.Pt(0.5, 0.5), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != len(coords) {
+		t.Fatalf("KNearest returned %d ids, want %d", len(ids), len(coords))
+	}
+	for _, id := range ids {
+		if !unitBounds().ContainsPoint(d.Point(id)) {
+			t.Errorf("KNearest leaked fence site %d at %v", id, d.Point(id))
+		}
+	}
+}
+
+func TestDynamicInsertOutsideUniverseSentinel(t *testing.T) {
+	d := NewDynamicEngine(unitBounds())
+	if _, _, err := d.Insert(geom.Pt(3, 3)); !errors.Is(err, ErrOutsideUniverse) {
+		t.Errorf("insert outside universe: err = %v, want ErrOutsideUniverse", err)
+	}
+	if _, _, err := d.Insert(geom.Pt(0.5, 0.5)); err != nil {
+		t.Fatal(err)
+	}
+	tooBig := geom.MustPolygon([]geom.Point{geom.Pt(-1, -1), geom.Pt(2, -1), geom.Pt(0.5, 2)})
+	if _, _, err := d.Query(VoronoiBFS, tooBig); !errors.Is(err, ErrOutsideUniverse) {
+		t.Errorf("query exceeding universe: err = %v, want ErrOutsideUniverse", err)
+	}
+}
+
+func TestDynamicSnapshotPinsEpoch(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	d := NewDynamicEngine(unitBounds())
+	for i := 0; i < 400; i++ {
+		if _, _, err := d.Insert(geom.Pt(rng.Float64(), rng.Float64())); err != nil {
+			t.Fatal(err)
+		}
+	}
+	area := workload.RandomPolygon(rng, workload.PolygonConfig{QuerySize: 0.2}, unitBounds())
+
+	snap := d.Snapshot()
+	if snap.Epoch() != 400 || snap.Len() != 400 {
+		t.Fatalf("snapshot epoch/len = %d/%d, want 400/400", snap.Epoch(), snap.Len())
+	}
+	if again := d.Snapshot(); again != snap {
+		t.Error("repeated Snapshot between writes should return the published view")
+	}
+	before, _, err := snap.Query(VoronoiBFS, area)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Insert many more points, several inside the area: the pinned snapshot
+	// must keep answering from epoch 400.
+	for i := 0; i < 400; i++ {
+		if _, _, err := d.Insert(geom.Pt(rng.Float64(), rng.Float64())); err != nil {
+			t.Fatal(err)
+		}
+	}
+	after, _, err := snap.Query(VoronoiBFS, area)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equalIDs(sortedIDs(before), sortedIDs(after)) {
+		t.Fatalf("pinned snapshot answers changed: %d -> %d results", len(before), len(after))
+	}
+	oracle, _, err := snap.Query(BruteForce, area)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equalIDs(sortedIDs(after), sortedIDs(oracle)) {
+		t.Fatalf("snapshot voronoi diverged from its own oracle")
+	}
+
+	// The live engine, on the other hand, reflects the new epoch.
+	if d.Epoch() != 800 {
+		t.Fatalf("live epoch = %d, want 800", d.Epoch())
+	}
+	live, _, err := d.Query(BruteForce, area)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(live) < len(oracle) {
+		t.Fatalf("live query sees %d results, pinned %d", len(live), len(oracle))
+	}
+}
+
+// TestDynamicConformanceAcrossMethods is the dynamic conformance suite:
+// after every batch of inserts, all four methods must agree on the same
+// snapshot, on uniform and clustered workloads.
+func TestDynamicConformanceAcrossMethods(t *testing.T) {
+	workloads := []struct {
+		name string
+		gen  func(rng *rand.Rand, n int) []geom.Point
+	}{
+		{"uniform", func(rng *rand.Rand, n int) []geom.Point {
+			return workload.UniformPoints(rng, n, unitBounds())
+		}},
+		{"clustered", func(rng *rand.Rand, n int) []geom.Point {
+			return workload.ClusteredPoints(rng, n, 5, 0.04, unitBounds())
+		}},
+	}
+	for _, wl := range workloads {
+		wl := wl
+		t.Run(wl.name, func(t *testing.T) {
+			t.Parallel()
+			rng := rand.New(rand.NewSource(31))
+			d := NewDynamicEngine(unitBounds())
+			for batch := 0; batch < 6; batch++ {
+				for _, p := range wl.gen(rng, 300) {
+					if _, _, err := d.Insert(p); err != nil {
+						t.Fatal(err)
+					}
+				}
+				snap := d.Snapshot()
+				for trial := 0; trial < 4; trial++ {
+					area := workload.RandomPolygon(rng, workload.PolygonConfig{
+						Vertices:  10,
+						QuerySize: 0.05,
+					}, unitBounds())
+					oracle, _, err := snap.Query(BruteForce, area)
+					if err != nil {
+						t.Fatal(err)
+					}
+					for _, m := range []Method{Traditional, VoronoiBFS, VoronoiBFSStrict} {
+						got, _, err := snap.Query(m, area)
+						if err != nil {
+							t.Fatalf("%s batch %d %v: %v", wl.name, batch, m, err)
+						}
+						if !equalIDs(sortedIDs(got), sortedIDs(oracle)) {
+							t.Fatalf("%s batch %d (%d pts) %v: %d results, oracle %d",
+								wl.name, batch, snap.Len(), m, len(got), len(oracle))
+						}
+					}
+					// Count and KNearest agree with the same snapshot too.
+					cnt, _, err := snap.Count(VoronoiBFS, area)
+					if err != nil || cnt != len(oracle) {
+						t.Fatalf("%s batch %d Count = %d (err %v), oracle %d",
+							wl.name, batch, cnt, err, len(oracle))
+					}
+					knn, _, err := snap.KNearest(area.Bounds().Center(), 8)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if want := bruteKNN(snap, area.Bounds().Center(), 8); !equalIDs(knn, want) {
+						t.Fatalf("%s batch %d KNearest = %v, oracle %v", wl.name, batch, knn, want)
+					}
+				}
+			}
+		})
+	}
+}
+
+// bruteKNN is the k-nearest oracle over a snapshot's pinned point set.
+func bruteKNN(s *DynamicSnapshot, q geom.Point, k int) []int64 {
+	type cand struct {
+		id int64
+		d2 float64
+	}
+	var all []cand
+	s.Each(func(id int64, pos geom.Point) bool {
+		all = append(all, cand{id: id, d2: q.Dist2(pos)})
+		return true
+	})
+	sort.Slice(all, func(a, b int) bool {
+		if all[a].d2 != all[b].d2 {
+			return all[a].d2 < all[b].d2
+		}
+		return all[a].id < all[b].id
+	})
+	if len(all) > k {
+		all = all[:k]
+	}
+	out := make([]int64, len(all))
+	for i, c := range all {
+		out[i] = c.id
+	}
+	return out
 }

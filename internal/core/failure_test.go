@@ -26,6 +26,10 @@ func (f *failingData) Load(id int64) (geom.Point, error) {
 	return f.DataAccess.Load(id)
 }
 
+// Cell forwards to the wrapped data so the strict expansion path is
+// exercised against injected load failures too.
+func (f *failingData) Cell(id int64) geom.Ring { return f.DataAccess.(CellSource).Cell(id) }
+
 func TestLoadFailureSurfacesWithContext(t *testing.T) {
 	rng := rand.New(rand.NewSource(1))
 	pts := workload.UniformPoints(rng, 2000, unitBounds())
@@ -48,13 +52,18 @@ func TestLoadFailureSurfacesWithContext(t *testing.T) {
 	poisoned := ids[len(ids)/2]
 
 	eng := NewEngine(idx, &failingData{DataAccess: data, poisoned: poisoned})
-	for _, m := range []Method{Traditional, VoronoiBFS} {
-		_, _, err := eng.Query(m, area)
+	for _, m := range []Method{Traditional, VoronoiBFS, VoronoiBFSStrict} {
+		ids, _, err := eng.Query(m, area)
 		if !errors.Is(err, errPoisoned) {
 			t.Errorf("%v: err = %v, want the injected failure", m, err)
 		}
 		if err != nil && !strings.Contains(err.Error(), "loading candidate") {
 			t.Errorf("%v: error lacks context: %v", m, err)
+		}
+		// All query paths share one error contract: a failed query returns
+		// no (partial) result slice.
+		if ids != nil {
+			t.Errorf("%v: returned %d partial results alongside the error", m, len(ids))
 		}
 	}
 }
@@ -78,7 +87,7 @@ func TestLoadFailureOutsideQueryAreaHarmless(t *testing.T) {
 		t.Fatal(err)
 	}
 	eng := NewEngine(NewRTreeIndex(pts, 16), &failingData{DataAccess: data, poisoned: far})
-	for _, m := range []Method{Traditional, VoronoiBFS} {
+	for _, m := range []Method{Traditional, VoronoiBFS, VoronoiBFSStrict} {
 		if _, _, err := eng.Query(m, area); err != nil {
 			t.Errorf("%v: query touching only the corner failed: %v", m, err)
 		}

@@ -15,7 +15,12 @@ import (
 // returns fewer than k items when the dataset is smaller.
 func (e *Engine) KNearest(q geom.Point, k int) ([]int64, Stats, error) {
 	var stats Stats
-	if k <= 0 || e.data.NumIDs() == 0 {
+	if e.data.NumIDs() == 0 {
+		// Same contract as Query on an empty engine (not nil, nil — callers
+		// can rely on one empty-data sentinel across every entry point).
+		return nil, stats, ErrNoData
+	}
+	if k <= 0 {
 		return nil, stats, nil
 	}
 	seed, nnNodes, ok := e.idx.Nearest(q)
@@ -23,6 +28,10 @@ func (e *Engine) KNearest(q geom.Point, k int) ([]int64, Stats, error) {
 	if !ok {
 		return nil, stats, ErrNoData
 	}
+
+	// Auxiliary sites (dynamic fence points) are traversed but never
+	// emitted.
+	filter, _ := e.data.(ResultFilter)
 
 	s := e.acquireScratch()
 	defer e.releaseScratch(s)
@@ -32,7 +41,9 @@ func (e *Engine) KNearest(q geom.Point, k int) ([]int64, Stats, error) {
 	out := make([]int64, 0, k)
 	for len(h) > 0 && len(out) < k {
 		top := heap.Pop(&h).(knnEntry)
-		out = append(out, top.id)
+		if filter == nil || filter.Returnable(top.id) {
+			out = append(out, top.id)
+		}
 		stats.Candidates++
 		e.data.NeighborsFunc(top.id, func(nb int64) bool {
 			if s.mark(nb) {

@@ -26,7 +26,12 @@ func (e *Engine) queryTraditional(region Region) ([]int64, Stats, error) {
 		}
 		return true
 	})
-	return result, stats, loadErr
+	if loadErr != nil {
+		// Same error contract as the Voronoi paths: no partial result slice
+		// alongside a non-nil error.
+		return nil, stats, loadErr
+	}
+	return result, stats, nil
 }
 
 // queryVoronoi implements Algorithm 1 of the paper.

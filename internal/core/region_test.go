@@ -200,3 +200,36 @@ func BenchmarkCircleQueryVoronoi(b *testing.B) {
 		}
 	}
 }
+
+// emptyData and emptyIndex model an engine whose dataset is empty, for
+// pinning the empty-data error contract without a constructible topology.
+type emptyData struct{}
+
+func (emptyData) NumIDs() int                              { return 0 }
+func (emptyData) Position(int64) geom.Point                { return geom.Point{} }
+func (emptyData) NeighborsFunc(int64, func(nb int64) bool) {}
+func (emptyData) Load(int64) (geom.Point, error)           { return geom.Point{}, nil }
+func (emptyData) Each(func(id int64, pos geom.Point) bool) {}
+
+type emptyIndex struct{}
+
+func (emptyIndex) Window(geom.Rect, func(id int64) bool) int { return 0 }
+func (emptyIndex) Nearest(geom.Point) (int64, int, bool)     { return 0, 0, false }
+
+func TestKNearestEmptyEngineMatchesQueryContract(t *testing.T) {
+	eng := NewEngine(emptyIndex{}, emptyData{})
+	area := geom.MustPolygon([]geom.Point{
+		geom.Pt(0.1, 0.1), geom.Pt(0.5, 0.1), geom.Pt(0.3, 0.5),
+	})
+	if _, _, err := eng.Query(VoronoiBFS, area); err != ErrNoData {
+		t.Errorf("Query on empty engine: err = %v, want ErrNoData", err)
+	}
+	if _, _, err := eng.KNearest(geom.Pt(0.5, 0.5), 3); err != ErrNoData {
+		t.Errorf("KNearest on empty engine: err = %v, want ErrNoData", err)
+	}
+	// The empty-data check precedes the degenerate-k fast path, so the
+	// contract holds for any k.
+	if _, _, err := eng.KNearest(geom.Pt(0.5, 0.5), 0); err != ErrNoData {
+		t.Errorf("KNearest(k=0) on empty engine: err = %v, want ErrNoData", err)
+	}
+}

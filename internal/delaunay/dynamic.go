@@ -27,6 +27,7 @@ type Dynamic struct {
 	universe geom.Rect
 	start    edgeID // walk entry point, updated to recent insertions
 	byCoord  map[geom.Point]int32
+	frozen   bool // read-only snapshot view; InsertSite panics
 }
 
 // FirstSiteID is the id of the first user site in a Dynamic triangulation.
@@ -75,6 +76,29 @@ func NewDynamic(universe geom.Rect) *Dynamic {
 	d.vertEdge = []edgeID{a, b, cEdge}
 	d.start = a
 	return d
+}
+
+// Snapshot returns an immutable view of the triangulation as of this call.
+// The view answers every read-side query (Point, Neighbors, NeighborIDs,
+// NearestSite, Validate, ...) with the topology frozen at snapshot time,
+// and is unaffected by later InsertSite calls on the live triangulation —
+// including from other goroutines, provided Snapshot itself is serialized
+// with the writer (the caller's epoch scheme does this).
+//
+// The snapshot is cheap in the copy-on-write sense: the point slice is
+// append-only, so it is shared with the live triangulation (pinned to its
+// current length); only the per-vertex and quad-edge topology arrays —
+// which InsertSite's swaps mutate in place — are copied, O(sites) with
+// memcpy constants. Calling InsertSite on a snapshot panics.
+func (d *Dynamic) Snapshot() *Dynamic {
+	return &Dynamic{
+		pool:     d.pool.snapshot(),
+		pts:      d.pts[:len(d.pts):len(d.pts)],
+		vertEdge: append([]edgeID(nil), d.vertEdge...),
+		universe: d.universe,
+		start:    d.start,
+		frozen:   true,
+	}
 }
 
 // NumSites returns the number of sites including the three fence sites.
@@ -181,6 +205,9 @@ func (d *Dynamic) swap(e edgeID) {
 // when the coordinate already exists, in which case the existing id is
 // returned).
 func (d *Dynamic) InsertSite(x geom.Point) (id int, inserted bool, err error) {
+	if d.frozen {
+		panic("delaunay: InsertSite on a read-only Snapshot view")
+	}
 	if !d.universe.ContainsPoint(x) {
 		return 0, false, fmt.Errorf("%w: %v not in %v", ErrOutsideUniverse, x, d.universe)
 	}

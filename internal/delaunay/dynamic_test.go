@@ -227,3 +227,78 @@ func BenchmarkDynamicInsert(b *testing.B) {
 		}
 	}
 }
+
+func TestDynamicSnapshotIsolation(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	d := NewDynamic(unitUniverse())
+	for i := 0; i < 300; i++ {
+		if _, _, err := d.InsertSite(geom.Pt(rng.Float64(), rng.Float64())); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	snap := d.Snapshot()
+	if snap.NumSites() != d.NumSites() || snap.NumUserSites() != d.NumUserSites() {
+		t.Fatalf("snapshot site counts diverge: %d/%d vs %d/%d",
+			snap.NumSites(), snap.NumUserSites(), d.NumSites(), d.NumUserSites())
+	}
+	// Record the snapshot's full adjacency before mutating the original.
+	before := make([][]int32, snap.NumSites())
+	for v := range before {
+		before[v] = snap.NeighborIDs(v)
+	}
+
+	// Keep inserting into the live triangulation; the snapshot must not move.
+	for i := 0; i < 700; i++ {
+		if _, _, err := d.InsertSite(geom.Pt(rng.Float64(), rng.Float64())); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	if snap.NumSites() != len(before) {
+		t.Fatalf("snapshot grew to %d sites", snap.NumSites())
+	}
+	if err := snap.Validate(); err != nil {
+		t.Errorf("snapshot no longer valid after live inserts: %v", err)
+	}
+	if err := d.Validate(); err != nil {
+		t.Errorf("live triangulation invalid: %v", err)
+	}
+	for v := range before {
+		after := snap.NeighborIDs(v)
+		if len(after) != len(before[v]) {
+			t.Fatalf("snapshot adjacency of %d changed: %v -> %v", v, before[v], after)
+		}
+		for i := range after {
+			if after[i] != before[v][i] {
+				t.Fatalf("snapshot adjacency of %d changed: %v -> %v", v, before[v], after)
+			}
+		}
+	}
+
+	// NearestSite on the snapshot answers from the pinned site set.
+	q := geom.Pt(0.31, 0.62)
+	best, bestD := -1, math.Inf(1)
+	for i := FirstSiteID; i < snap.NumSites(); i++ {
+		if dd := q.Dist2(snap.Point(i)); dd < bestD {
+			best, bestD = i, dd
+		}
+	}
+	if got := snap.NearestSite(q); got != best {
+		t.Errorf("snapshot NearestSite = %d, want %d", got, best)
+	}
+}
+
+func TestDynamicSnapshotInsertPanics(t *testing.T) {
+	d := NewDynamic(unitUniverse())
+	if _, _, err := d.InsertSite(geom.Pt(0.5, 0.5)); err != nil {
+		t.Fatal(err)
+	}
+	snap := d.Snapshot()
+	defer func() {
+		if recover() == nil {
+			t.Error("InsertSite on a snapshot should panic")
+		}
+	}()
+	snap.InsertSite(geom.Pt(0.25, 0.25)) //nolint:errcheck // must panic first
+}

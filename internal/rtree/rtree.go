@@ -76,6 +76,36 @@ func New(maxEntries int) *Tree {
 // Len returns the number of stored items.
 func (t *Tree) Len() int { return t.size }
 
+// Snapshot returns an independent copy of the tree: searches and
+// nearest-neighbor queries on the snapshot see exactly the items present
+// at snapshot time, unaffected by later Insert/Delete calls on the
+// original (and vice versa). Node slices are copied, so the cost is
+// O(items); leaf payloads are values and share nothing. Snapshot itself
+// must be serialized with writers — concurrent readers of the resulting
+// snapshot need no further synchronization since nothing mutates it.
+func (t *Tree) Snapshot() *Tree {
+	c := *t
+	c.root = t.root.clone()
+	return &c
+}
+
+// clone deep-copies a node and its subtree.
+func (n *node) clone() *node {
+	c := &node{
+		leaf:  n.leaf,
+		rects: append([]geom.Rect(nil), n.rects...),
+	}
+	if n.leaf {
+		c.ids = append([]int64(nil), n.ids...)
+		return c
+	}
+	c.children = make([]*node, len(n.children))
+	for i, ch := range n.children {
+		c.children[i] = ch.clone()
+	}
+	return c
+}
+
 // Height returns the height of the tree (1 for a root-only tree).
 func (t *Tree) Height() int {
 	h := 1

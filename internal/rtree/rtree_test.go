@@ -418,3 +418,74 @@ func BenchmarkNearestNeighbor(b *testing.B) {
 		tr.NearestNeighbor(geom.Pt(rng.Float64(), rng.Float64()))
 	}
 }
+
+func TestSnapshotIsolation(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	tr := New(8)
+	items := randomPointItems(rng, 400)
+	for _, it := range items[:250] {
+		tr.Insert(it.ID, it.Rect)
+	}
+
+	snap := tr.Snapshot()
+	if snap.Len() != 250 {
+		t.Fatalf("snapshot Len = %d, want 250", snap.Len())
+	}
+
+	// Mutate the original both ways: insert the rest, delete some originals.
+	for _, it := range items[250:] {
+		tr.Insert(it.ID, it.Rect)
+	}
+	for _, it := range items[:50] {
+		if !tr.Delete(it.ID, it.Rect) {
+			t.Fatalf("delete %d failed", it.ID)
+		}
+	}
+
+	if snap.Len() != 250 {
+		t.Fatalf("snapshot Len changed to %d after live mutation", snap.Len())
+	}
+	if err := snap.Validate(false); err != nil {
+		t.Errorf("snapshot invalid after live mutation: %v", err)
+	}
+	if err := tr.Validate(false); err != nil {
+		t.Errorf("live tree invalid: %v", err)
+	}
+
+	// Window results on the snapshot must be exactly the pinned item set.
+	q := geom.NewRect(0.2, 0.2, 0.7, 0.7)
+	want := bruteSearch(items[:250], q)
+	got := make(map[int64]bool)
+	snap.Search(q, func(id int64, _ geom.Rect) bool {
+		got[id] = true
+		return true
+	})
+	if len(got) != len(want) {
+		t.Fatalf("snapshot search returned %d items, want %d", len(got), len(want))
+	}
+	for id := range want {
+		if !got[id] {
+			t.Fatalf("snapshot search missing id %d", id)
+		}
+	}
+
+	// And the snapshot's nearest neighbor comes from the pinned set too.
+	qp := geom.Pt(0.5, 0.5)
+	bestID, bestD := int64(-1), math.Inf(1)
+	for _, it := range items[:250] {
+		if d := it.Rect.Dist2Point(qp); d < bestD {
+			bestID, bestD = it.ID, d
+		}
+	}
+	item, _, ok := snap.NearestNeighbor(qp)
+	if !ok || item.ID != bestID {
+		t.Errorf("snapshot NearestNeighbor = %v (ok=%v), want id %d", item, ok, bestID)
+	}
+
+	// Mutating the snapshot must not leak back into the original.
+	snapSize, origSize := snap.Len(), tr.Len()
+	snap.Insert(9999, geom.NewRect(0.99, 0.99, 0.99, 0.99))
+	if snap.Len() != snapSize+1 || tr.Len() != origSize {
+		t.Errorf("snapshot insert leaked: snap %d orig %d", snap.Len(), tr.Len())
+	}
+}

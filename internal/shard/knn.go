@@ -16,6 +16,11 @@ import (
 // engine runs the exact Voronoi expansion of the unsharded engine.
 func (e *Engine) KNearest(q geom.Point, k int) ([]int64, core.Stats, error) {
 	var stats core.Stats
+	if e.Len() == 0 {
+		// Unreachable through New (which rejects empty point sets) but kept
+		// for parity with core.Engine.KNearest's empty-data contract.
+		return nil, stats, core.ErrNoData
+	}
 	if k <= 0 {
 		return nil, stats, nil
 	}

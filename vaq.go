@@ -33,10 +33,18 @@
 // safe for concurrent use from any number of goroutines sharing one
 // Engine. Engines built WithStore are included: the record store's buffer
 // pool serializes its mutations behind a mutex, so concurrent loads
-// contend on that lock but never race. The one exception is
-// DynamicEngine, which remains single-writer and is not safe for
-// concurrent use at all: Insert mutates the triangulation and R-tree that
-// in-flight queries traverse.
+// contend on that lock but never race.
+//
+// A DynamicEngine is safe for concurrent use too, via epoch snapshots:
+// Insert mutates writer-private structures under an internal mutex
+// (concurrent inserters serialize) and each query runs against an
+// immutable snapshot of the epoch current when it started, so queries
+// never observe a half-applied insert and any query started after an
+// Insert returns is guaranteed to see it. Queries between writes share
+// the published snapshot lock-free; the first query after a write
+// republishes it — an O(n) copy serialized with the writer, so that one
+// query and any concurrent Insert briefly contend. Snapshot() pins one
+// epoch explicitly for multi-query consistency.
 //
 // QueryBatch additionally runs the batch itself in parallel on a bounded
 // worker pool — WithParallelism(n) sets the pool size (default GOMAXPROCS;
@@ -581,47 +589,203 @@ func (e *ShardedEngine) ResetIOStats() {
 	}
 }
 
+// Sentinel errors, matchable with errors.Is. They distinguish caller
+// errors from engine failure.
+var (
+	// ErrNoData is returned by every query entry point (Query, QueryWith,
+	// QueryCircle, KNearest, Count, batches) when the engine holds no
+	// points.
+	ErrNoData = core.ErrNoData
+	// ErrOutsideUniverse is returned by DynamicEngine (and its Snapshots)
+	// when an inserted point or a query area falls outside the universe
+	// rectangle declared at construction.
+	ErrOutsideUniverse = core.ErrOutsideUniverse
+)
+
 // DynamicEngine answers area queries over a dataset that grows point by
 // point — the update capability the paper leaves as future work. Points
 // are inserted into a dynamic Delaunay triangulation (incremental
 // Guibas–Stolfi insertion) and an R*-split R-tree; queries run at any
-// moment with any method. Unlike Engine, a DynamicEngine is single-writer
-// and not safe for any concurrent use: Insert mutates the structures
-// in-flight queries traverse.
+// moment with any method.
+//
+// A DynamicEngine is safe for concurrent use. It follows an epoch-snapshot
+// scheme: Insert mutates writer-private structures under an internal mutex
+// (so concurrent inserters serialize rather than race), and every query
+// pins the immutable snapshot of the epoch current when it started —
+// published through an atomic pointer — so any number of goroutines can
+// query while insertion proceeds and never observe a half-applied update.
+// Write visibility: a query started after Insert returns is guaranteed to
+// reflect that insert; a query concurrent with an Insert sees either the
+// epoch before it or after it, never a mixture. The first query after a
+// write pays a one-time O(n) snapshot publish (serialized with the
+// writer); all queries between writes share the published epoch for free.
+// Use Snapshot to pin one epoch across several queries — e.g. a result
+// query and its Count, or a query and the brute-force oracle validating
+// it.
 type DynamicEngine struct {
-	d *core.DynamicEngine
+	d           *core.DynamicEngine
+	parallelism int
 }
 
 // NewDynamicEngine returns an empty dynamic engine. All inserted points
-// and query areas must lie within universe.
-func NewDynamicEngine(universe Rect) *DynamicEngine {
-	return &DynamicEngine{d: core.NewDynamicEngine(universe)}
+// and query areas must lie within universe. Of the Engine options only
+// WithParallelism applies (it sizes the QueryBatch/QueryRegions worker
+// pool); the others describe static construction and are ignored.
+func NewDynamicEngine(universe Rect, opts ...Option) *DynamicEngine {
+	cfg := defaultConfig()
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return &DynamicEngine{d: core.NewDynamicEngine(universe), parallelism: cfg.parallelism}
 }
 
 // Insert adds a point, returning its id. Re-inserting an existing
-// coordinate returns the existing id with inserted == false.
+// coordinate returns the existing id with inserted == false; inserting a
+// point outside the universe fails with ErrOutsideUniverse. Concurrent
+// Inserts are serialized internally; in-flight queries are never blocked.
 func (e *DynamicEngine) Insert(p Point) (id int64, inserted bool, err error) {
 	return e.d.Insert(p)
 }
 
-// Query answers an area query with the paper's Voronoi method.
+// Snapshot pins the current epoch and returns its immutable view. All
+// queries on the snapshot see exactly the points inserted before this
+// call, regardless of concurrent or later inserts. Repeated Snapshot
+// calls between writes return the same published view at no cost.
+func (e *DynamicEngine) Snapshot() *Snapshot {
+	return &Snapshot{s: e.d.Snapshot(), parallelism: e.parallelism}
+}
+
+// Query answers an area query with the paper's Voronoi method at the
+// current epoch.
 func (e *DynamicEngine) Query(area Polygon) ([]int64, Stats, error) {
 	return e.d.Query(VoronoiBFS, area)
 }
 
-// QueryWith answers an area query with an explicit method.
+// QueryWith answers an area query with an explicit method at the current
+// epoch.
 func (e *DynamicEngine) QueryWith(m Method, area Polygon) ([]int64, Stats, error) {
 	return e.d.Query(m, area)
 }
 
-// Len returns the number of inserted points.
+// QueryCircle answers a radius query with the chosen method at the
+// current epoch.
+func (e *DynamicEngine) QueryCircle(m Method, c Circle) ([]int64, Stats, error) {
+	return e.d.QueryRegion(m, core.CircleRegion(c))
+}
+
+// KNearest returns the k inserted points nearest to q in increasing
+// distance order at the current epoch (ErrNoData while empty, matching
+// Query).
+func (e *DynamicEngine) KNearest(q Point, k int) ([]int64, Stats, error) {
+	return e.d.KNearest(q, k)
+}
+
+// Count answers an area query at the current epoch returning only the
+// number of matching points.
+func (e *DynamicEngine) Count(m Method, area Polygon) (int, Stats, error) {
+	return e.d.Count(m, area)
+}
+
+// QueryBatch answers a sequence of queries with one method on the worker
+// pool (see WithParallelism). The whole batch runs against one pinned
+// epoch: every query in it sees the same dataset even while inserts
+// continue.
+func (e *DynamicEngine) QueryBatch(m Method, areas []Polygon) ([][]int64, Stats, error) {
+	return e.QueryRegions(m, core.Polygons(areas))
+}
+
+// QueryRegions is QueryBatch over prepared Regions, letting polygon and
+// circle queries share one epoch-pinned parallel batch.
+func (e *DynamicEngine) QueryRegions(m Method, regions []Region) ([][]int64, Stats, error) {
+	return e.Snapshot().QueryRegions(m, regions)
+}
+
+// Len returns the number of inserted points at the current epoch.
 func (e *DynamicEngine) Len() int { return e.d.Len() }
+
+// Epoch returns the current epoch — the number of accepted inserts so
+// far. Snapshots report the epoch they pinned.
+func (e *DynamicEngine) Epoch() uint64 { return e.d.Epoch() }
 
 // Universe returns the engine's universe rectangle.
 func (e *DynamicEngine) Universe() Rect { return e.d.Universe() }
 
-// Point returns the coordinates of an inserted id.
+// Point returns the coordinates of an inserted id. Safe to call
+// concurrently with Insert.
 func (e *DynamicEngine) Point(id int64) Point { return e.d.Point(id) }
+
+// Snapshot is an immutable, epoch-pinned view of a DynamicEngine. Every
+// query on it runs against exactly the points inserted before it was
+// taken — no matter how many inserts have happened since — so a method
+// query, its Count, a KNearest and a brute-force oracle all agree when
+// run on one Snapshot. Snapshots are safe for concurrent use from any
+// number of goroutines and remain valid (and frozen) indefinitely.
+type Snapshot struct {
+	s           *core.DynamicSnapshot
+	parallelism int
+}
+
+// Epoch returns the epoch the snapshot pinned (the number of inserts it
+// reflects).
+func (s *Snapshot) Epoch() uint64 { return s.s.Epoch() }
+
+// Len returns the number of points in the snapshot.
+func (s *Snapshot) Len() int { return s.s.Len() }
+
+// Universe returns the universe rectangle.
+func (s *Snapshot) Universe() Rect { return s.s.Universe() }
+
+// Point returns the coordinates of an id present in the snapshot.
+func (s *Snapshot) Point(id int64) Point { return s.s.Point(id) }
+
+// Each iterates the snapshot's points in ascending id order; fn returning
+// false stops the iteration.
+func (s *Snapshot) Each(fn func(id int64, p Point) bool) { s.s.Each(fn) }
+
+// Query answers an area query with the paper's Voronoi method.
+func (s *Snapshot) Query(area Polygon) ([]int64, Stats, error) {
+	return s.s.Query(VoronoiBFS, area)
+}
+
+// QueryWith answers an area query with an explicit method.
+func (s *Snapshot) QueryWith(m Method, area Polygon) ([]int64, Stats, error) {
+	return s.s.Query(m, area)
+}
+
+// QueryCircle answers a radius query with the chosen method.
+func (s *Snapshot) QueryCircle(m Method, c Circle) ([]int64, Stats, error) {
+	return s.s.QueryRegion(m, core.CircleRegion(c))
+}
+
+// KNearest returns the k points nearest to q in increasing distance
+// order.
+func (s *Snapshot) KNearest(q Point, k int) ([]int64, Stats, error) {
+	return s.s.KNearest(q, k)
+}
+
+// Count answers an area query returning only the number of matching
+// points.
+func (s *Snapshot) Count(m Method, area Polygon) (int, Stats, error) {
+	return s.s.Count(m, area)
+}
+
+// QueryBatch answers a sequence of queries with one method on the worker
+// pool, all against this snapshot's pinned epoch.
+func (s *Snapshot) QueryBatch(m Method, areas []Polygon) ([][]int64, Stats, error) {
+	return s.QueryRegions(m, core.Polygons(areas))
+}
+
+// QueryRegions is QueryBatch over prepared Regions.
+func (s *Snapshot) QueryRegions(m Method, regions []Region) ([][]int64, Stats, error) {
+	// The sequential paths' error contract (ErrOutsideUniverse for bad
+	// areas, ErrNoData while empty), enforced before any worker spawns.
+	for i, r := range regions {
+		if err := s.s.CheckRegion(r); err != nil {
+			return nil, Stats{Method: m}, fmt.Errorf("vaq: batch query %d: %w", i, err)
+		}
+	}
+	return exec.QueryBatch(s.s.Engine(), m, regions, exec.Options{NumWorkers: s.parallelism})
+}
 
 // RenderOptions configures RenderQuerySVG.
 type RenderOptions struct {

@@ -1,0 +1,362 @@
+package vaq
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// dynKNNOracle is the k-nearest oracle over a snapshot's pinned points.
+func dynKNNOracle(s *Snapshot, q Point, k int) []int64 {
+	type cand struct {
+		id int64
+		d2 float64
+	}
+	var all []cand
+	s.Each(func(id int64, p Point) bool {
+		all = append(all, cand{id: id, d2: q.Dist2(p)})
+		return true
+	})
+	sort.Slice(all, func(a, b int) bool {
+		if all[a].d2 != all[b].d2 {
+			return all[a].d2 < all[b].d2
+		}
+		return all[a].id < all[b].id
+	})
+	if len(all) > k {
+		all = all[:k]
+	}
+	out := make([]int64, len(all))
+	for i, c := range all {
+		out[i] = c.id
+	}
+	return out
+}
+
+// TestDynamicEngineConcurrentInsertQuery is the epoch-snapshot soak: one
+// writer streams inserts into a DynamicEngine while reader goroutines
+// exercise every query method concurrently. Each reader pins a snapshot
+// and demands byte-identical agreement with a brute-force oracle evaluated
+// on that same pinned epoch. Run under -race in CI.
+func TestDynamicEngineConcurrentInsertQuery(t *testing.T) {
+	const (
+		totalInserts = 4000
+		readers      = 4
+	)
+	eng := NewDynamicEngine(UnitSquare(), WithParallelism(2))
+
+	// Seed a few points so the first snapshots are non-empty.
+	seedRng := rand.New(rand.NewSource(41))
+	for i := 0; i < 100; i++ {
+		if _, _, err := eng.Insert(Pt(seedRng.Float64(), seedRng.Float64())); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var (
+		wg         sync.WaitGroup
+		writerDone atomic.Bool
+		queriesRun atomic.Int64
+		epochsSeen sync.Map // epoch -> struct{}; proves readers spanned epochs
+
+		errMu   sync.Mutex
+		soakErr error
+	)
+	recordError := func(err error) {
+		errMu.Lock()
+		if soakErr == nil {
+			soakErr = err
+		}
+		errMu.Unlock()
+	}
+	failed := func() bool {
+		errMu.Lock()
+		defer errMu.Unlock()
+		return soakErr != nil
+	}
+
+	// Writer: stream the remaining inserts. Halfway through it pauses
+	// until enough reader rounds complete that at least one provably
+	// pinned the paused epoch (at most `readers` rounds were already
+	// in flight when the pause began) — so insert/query interleaving is
+	// guaranteed even on a single-CPU scheduler that would otherwise run
+	// the writer to completion before any reader starts.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer writerDone.Store(true)
+		for i := 0; i < totalInserts; i++ {
+			if i == totalInserts/2 {
+				base := queriesRun.Load()
+				for queriesRun.Load() < base+readers+1 && !failed() {
+					time.Sleep(time.Millisecond)
+				}
+			}
+			if _, _, err := eng.Insert(Pt(seedRng.Float64(), seedRng.Float64())); err != nil {
+				recordError(err)
+				return
+			}
+		}
+	}()
+
+	// Readers: pin snapshots and compare every method against the oracle
+	// captured at the same epoch. Each reader always completes at least
+	// one round (the writer-done check sits at the loop bottom).
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for {
+				snap := eng.Snapshot()
+				epochsSeen.Store(snap.Epoch(), struct{}{})
+				area := RandomQueryPolygon(rng, 8, 0.05, UnitSquare())
+				oracle, _, err := snap.QueryWith(BruteForce, area)
+				if err != nil {
+					recordError(err)
+					return
+				}
+				want := sorted(oracle)
+
+				for _, m := range []Method{Traditional, VoronoiBFS, VoronoiBFSStrict} {
+					got, _, err := snap.QueryWith(m, area)
+					if err != nil {
+						recordError(err)
+						return
+					}
+					if !equal(sorted(got), want) {
+						recordError(fmt.Errorf("epoch %d %v: %d results, oracle %d",
+							snap.Epoch(), m, len(got), len(oracle)))
+						return
+					}
+				}
+
+				// Count, on the same pinned epoch.
+				if cnt, _, err := snap.Count(VoronoiBFS, area); err != nil || cnt != len(oracle) {
+					recordError(fmt.Errorf("epoch %d Count = %d (err %v), oracle %d",
+						snap.Epoch(), cnt, err, len(oracle)))
+					return
+				}
+
+				// KNearest against the pinned point set.
+				q := Pt(rng.Float64(), rng.Float64())
+				knn, _, err := snap.KNearest(q, 8)
+				if err != nil {
+					recordError(err)
+					return
+				}
+				if wantKNN := dynKNNOracle(snap, q, 8); !equal(knn, wantKNN) {
+					recordError(fmt.Errorf("epoch %d KNearest diverged: %v vs %v",
+						snap.Epoch(), knn, wantKNN))
+					return
+				}
+
+				// A parallel batch shares one epoch: the same area twice must
+				// answer identically, and match the snapshot's oracle when
+				// the batch is taken from the same pinned view.
+				batch, _, err := snap.QueryBatch(VoronoiBFS, []Polygon{area, area})
+				if err != nil {
+					recordError(err)
+					return
+				}
+				if !equal(sorted(batch[0]), want) || !equal(sorted(batch[1]), want) {
+					recordError(fmt.Errorf("epoch %d batch diverged from pinned oracle", snap.Epoch()))
+					return
+				}
+
+				// The engine-level entry points run concurrently with Insert
+				// too; their epoch is pinned internally, so verify invariants
+				// that hold at any epoch: results lie inside the area and
+				// ids resolve to points.
+				live, _, err := eng.Query(area)
+				if err != nil {
+					recordError(err)
+					return
+				}
+				for _, id := range live {
+					if !area.ContainsPoint(eng.Point(id)) {
+						recordError(fmt.Errorf("live query result %d outside area", id))
+						return
+					}
+				}
+				if _, _, err := eng.KNearest(q, 4); err != nil {
+					recordError(err)
+					return
+				}
+				if _, _, err := eng.QueryBatch(VoronoiBFS, []Polygon{area}); err != nil {
+					recordError(err)
+					return
+				}
+				queriesRun.Add(1)
+				if writerDone.Load() || failed() {
+					return
+				}
+			}
+		}(int64(100 + r))
+	}
+
+	wg.Wait()
+	if soakErr != nil {
+		t.Fatal(soakErr)
+	}
+	if eng.Len() != 100+totalInserts {
+		t.Fatalf("Len = %d, want %d", eng.Len(), 100+totalInserts)
+	}
+	if queriesRun.Load() == 0 {
+		t.Fatal("no reader completed a full verification round")
+	}
+	// One more pinned round on the completed stream: with the mid-stream
+	// pause above this guarantees at least two distinct epochs were
+	// verified, whatever the scheduler did.
+	final := eng.Snapshot()
+	epochsSeen.Store(final.Epoch(), struct{}{})
+	area := MustPolygon([]Point{Pt(0.2, 0.2), Pt(0.8, 0.3), Pt(0.5, 0.8)})
+	oracle, _, err := final.QueryWith(BruteForce, area)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := final.Query(area)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equal(sorted(got), sorted(oracle)) {
+		t.Fatalf("final epoch %d: voronoi diverged from oracle", final.Epoch())
+	}
+	distinct := 0
+	epochsSeen.Range(func(_, _ interface{}) bool { distinct++; return true })
+	if distinct < 2 {
+		t.Fatalf("readers pinned only %d distinct epochs; insert/query interleaving not exercised", distinct)
+	}
+	t.Logf("soak: %d verification rounds across %d distinct epochs", queriesRun.Load(), distinct)
+}
+
+func TestDynamicOutsideUniverseSentinel(t *testing.T) {
+	eng := NewDynamicEngine(UnitSquare())
+	if _, _, err := eng.Insert(Pt(5, 5)); !errors.Is(err, ErrOutsideUniverse) {
+		t.Errorf("Insert outside universe: err = %v, want ErrOutsideUniverse", err)
+	}
+	if _, _, err := eng.Insert(Pt(0.5, 0.5)); err != nil {
+		t.Fatal(err)
+	}
+	tooBig := MustPolygon([]Point{Pt(-1, -1), Pt(2, -1), Pt(0.5, 2)})
+	if _, _, err := eng.Query(tooBig); !errors.Is(err, ErrOutsideUniverse) {
+		t.Errorf("Query exceeding universe: err = %v, want ErrOutsideUniverse", err)
+	}
+	if _, _, err := eng.QueryBatch(VoronoiBFS, []Polygon{tooBig}); !errors.Is(err, ErrOutsideUniverse) {
+		t.Errorf("QueryBatch exceeding universe: err = %v, want ErrOutsideUniverse", err)
+	}
+	if _, _, err := eng.QueryCircle(VoronoiBFS, NewCircle(Pt(0.5, 0.5), 2)); !errors.Is(err, ErrOutsideUniverse) {
+		t.Errorf("QueryCircle exceeding universe: err = %v, want ErrOutsideUniverse", err)
+	}
+}
+
+func TestDynamicEmptyEngineErrNoData(t *testing.T) {
+	eng := NewDynamicEngine(UnitSquare())
+	area := MustPolygon([]Point{Pt(0.1, 0.1), Pt(0.5, 0.1), Pt(0.3, 0.5)})
+	if _, _, err := eng.Query(area); !errors.Is(err, ErrNoData) {
+		t.Errorf("Query on empty: err = %v, want ErrNoData", err)
+	}
+	if _, _, err := eng.KNearest(Pt(0.5, 0.5), 3); !errors.Is(err, ErrNoData) {
+		t.Errorf("KNearest on empty: err = %v, want ErrNoData", err)
+	}
+	if _, _, err := eng.QueryBatch(VoronoiBFS, []Polygon{area}); !errors.Is(err, ErrNoData) {
+		t.Errorf("QueryBatch on empty: err = %v, want ErrNoData", err)
+	}
+}
+
+// TestDynamicEngineParityWithStatic builds the same point set statically
+// and dynamically and demands identical answers for every shared method.
+func TestDynamicEngineParityWithStatic(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	pts := UniformPoints(rng, 1500, UnitSquare())
+	static, err := NewEngine(pts, UnitSquare())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dyn := NewDynamicEngine(UnitSquare())
+	// Dynamic site ids start after the triangulation's fence sites, so
+	// compare by position rather than raw id.
+	toPos := func(eng interface{ Point(int64) Point }, ids []int64) []Point {
+		out := make([]Point, len(ids))
+		for i, id := range ids {
+			out[i] = eng.Point(id)
+		}
+		sort.Slice(out, func(a, b int) bool {
+			if out[a].X != out[b].X {
+				return out[a].X < out[b].X
+			}
+			return out[a].Y < out[b].Y
+		})
+		return out
+	}
+	for _, p := range pts {
+		if _, _, err := dyn.Insert(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for trial := 0; trial < 10; trial++ {
+		area := RandomQueryPolygon(rng, 10, 0.04, UnitSquare())
+		s, _, err := static.QueryWith(VoronoiBFS, area)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, _, err := dyn.QueryWith(VoronoiBFS, area)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sp, dp := toPos(static, s), toPos(dyn, d)
+		if len(sp) != len(dp) {
+			t.Fatalf("trial %d: static %d results, dynamic %d", trial, len(sp), len(dp))
+		}
+		for i := range sp {
+			if sp[i] != dp[i] {
+				t.Fatalf("trial %d: result sets differ at %d: %v vs %v", trial, i, sp[i], dp[i])
+			}
+		}
+		// Circle and count parity.
+		c := NewCircle(Pt(0.3+0.04*float64(trial), 0.5), 0.08)
+		sc, _, err := static.QueryCircle(VoronoiBFS, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dc, _, err := dyn.QueryCircle(VoronoiBFS, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(sc) != len(dc) {
+			t.Fatalf("trial %d circle: static %d, dynamic %d", trial, len(sc), len(dc))
+		}
+		scnt, _, err := static.Count(Traditional, area)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dcnt, _, err := dyn.Count(Traditional, area)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if scnt != dcnt {
+			t.Fatalf("trial %d count: static %d, dynamic %d", trial, scnt, dcnt)
+		}
+		// KNearest parity, by position.
+		q := Pt(rng.Float64(), rng.Float64())
+		sk, _, err := static.KNearest(q, 12)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dk, _, err := dyn.KNearest(q, 12)
+		if err != nil {
+			t.Fatal(err)
+		}
+		skp, dkp := toPos(static, sk), toPos(dyn, dk)
+		for i := range skp {
+			if skp[i] != dkp[i] {
+				t.Fatalf("trial %d knn: %v vs %v", trial, skp[i], dkp[i])
+			}
+		}
+	}
+}
