@@ -12,6 +12,7 @@
 package vaq
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -271,6 +272,40 @@ func BenchmarkQueryBatchParallel(b *testing.B) {
 	}
 }
 
+// BenchmarkQueryAll measures the new batch entry point — the one surface
+// QueryBatch/QueryRegions now wrap — on the paper's 100k uniform workload,
+// keeping the unified API's batch path in the perf trajectory next to
+// BenchmarkQueryBatchParallel above.
+func BenchmarkQueryAll(b *testing.B) {
+	const n = 100_000
+	rng := rand.New(rand.NewSource(11))
+	pts := UniformPoints(rng, n, UnitSquare())
+	areas := benchAreas(11, 0.01, 64)
+	regions := make([]Region, len(areas))
+	for i, a := range areas {
+		regions[i] = PolygonRegion(a)
+	}
+	ctx := context.Background()
+	for _, p := range []int{1, 4} {
+		eng, err := NewEngine(pts, UnitSquare(), WithParallelism(p))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("p=%d", p), func(b *testing.B) {
+			queries := 0
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := eng.QueryAll(ctx, regions); err != nil {
+					b.Fatal(err)
+				}
+				queries += len(regions)
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(queries)/b.Elapsed().Seconds(), "queries/s")
+		})
+	}
+}
+
 // BenchmarkAblationPolygonComplexity sweeps the query polygon vertex count
 // (the paper fixes 10), showing how boundary complexity affects both
 // methods.
@@ -368,7 +403,7 @@ func BenchmarkDynamicMixed(b *testing.B) {
 	b.RunParallel(func(pb *testing.PB) {
 		for pb.Next() {
 			i := int(qi.Add(1))
-			if _, _, err := eng.Query(areas[i%len(areas)]); err != nil {
+			if _, _, err := eng.QueryWith(VoronoiBFS, areas[i%len(areas)]); err != nil {
 				b.Error(err)
 				return
 			}

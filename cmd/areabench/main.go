@@ -93,7 +93,7 @@ func main() {
 		if err != nil {
 			fatalf("throughput sweep: %v", err)
 		}
-		fmt.Println("## Batch throughput — parallel QueryBatch, Voronoi method")
+		fmt.Println("## Batch throughput — parallel QueryAll, Voronoi method")
 		fmt.Print(bench.FormatThroughput(rows))
 		return
 	}

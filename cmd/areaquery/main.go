@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -29,6 +30,7 @@ func main() {
 		clustered = flag.Bool("clustered", false, "use clustered instead of uniform points")
 		strict    = flag.Bool("strict", false, "also run the strict expansion variant")
 		showIDs   = flag.Bool("ids", false, "print the matching point ids")
+		timeout   = flag.Duration("timeout", 0, "per-query deadline (0 = none), e.g. 50ms")
 	)
 	flag.Parse()
 
@@ -60,8 +62,16 @@ func main() {
 	if *strict {
 		methods = append(methods, vaq.VoronoiBFSStrict)
 	}
+	region := vaq.PolygonRegion(area)
 	for _, m := range methods {
-		ids, st, err := eng.QueryWith(m, area)
+		ctx := context.Background()
+		cancel := context.CancelFunc(func() {})
+		if *timeout > 0 {
+			ctx, cancel = context.WithTimeout(ctx, *timeout)
+		}
+		var st vaq.Stats
+		ids, err := eng.Query(ctx, region, vaq.UsingMethod(m), vaq.WithStatsInto(&st))
+		cancel()
 		if err != nil {
 			fatalf("%v: %v", m, err)
 		}

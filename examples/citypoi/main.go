@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -36,8 +37,11 @@ func main() {
 	})
 	fmt.Printf("district area/MBR ratio: %.2f\n", district.Area()/district.Bounds().Area())
 
+	ctx := context.Background()
+	region := vaq.PolygonRegion(district)
 	for _, m := range []vaq.Method{vaq.Traditional, vaq.VoronoiBFS, vaq.VoronoiBFSStrict} {
-		ids, st, err := eng.QueryWith(m, district)
+		var st vaq.Stats
+		ids, err := eng.Query(ctx, region, vaq.UsingMethod(m), vaq.WithStatsInto(&st))
 		if err != nil {
 			log.Fatal(err)
 		}

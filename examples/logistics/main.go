@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -31,10 +32,11 @@ func main() {
 	}
 
 	// Eight random concave delivery zones, each ~2% of the service area.
-	zones := make([]vaq.Polygon, 8)
+	zones := make([]vaq.Region, 8)
 	for i := range zones {
-		zones[i] = vaq.RandomQueryPolygon(rng, 10, 0.02, vaq.UnitSquare())
+		zones[i] = vaq.PolygonRegion(vaq.RandomQueryPolygon(rng, 10, 0.02, vaq.UnitSquare()))
 	}
+	ctx := context.Background()
 
 	fmt.Println("zone | method      | stops | candidates | page reads | time")
 	fmt.Println("-----+-------------+-------+------------+------------+----------")
@@ -42,7 +44,8 @@ func main() {
 	for zi, zone := range zones {
 		for _, m := range []vaq.Method{vaq.Traditional, vaq.VoronoiBFS} {
 			eng.ResetIOStats()
-			ids, st, err := eng.QueryWith(m, zone)
+			var st vaq.Stats
+			ids, err := eng.Query(ctx, zone, vaq.UsingMethod(m), vaq.WithStatsInto(&st))
 			if err != nil {
 				log.Fatal(err)
 			}

@@ -1,7 +1,7 @@
 // Parallel demonstrates concurrent area queries. An Engine is immutable
 // after construction — index, Voronoi topology and point data are only
 // read by queries, and per-query scratch state lives in an internal pool —
-// so goroutines share one Engine directly, and QueryBatch spreads a batch
+// so goroutines share one Engine directly, and QueryAll spreads a batch
 // over a worker pool sized by WithParallelism.
 //
 // The demo runs the same batch sequentially and in parallel, verifies the
@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -30,7 +31,7 @@ func main() {
 		workers = 2 // demonstrate the pool even on one CPU
 	}
 	// One engine serves both runs: single queries always execute on the
-	// calling goroutine (the sequential baseline), while QueryRegions
+	// calling goroutine (the sequential baseline), while QueryAll
 	// spreads the batch over the worker pool.
 	eng, err := vaq.NewEngine(points, vaq.UnitSquare(), vaq.WithParallelism(workers))
 	if err != nil {
@@ -51,21 +52,24 @@ func main() {
 
 	// Sequential baseline: one query at a time on this goroutine (a batch
 	// of one never engages the pool).
+	ctx := context.Background()
 	start := time.Now()
 	seqOut := make([][]int64, len(regions))
 	var seqStats vaq.Stats
 	for i := range regions {
-		out, st, err := eng.QueryRegions(vaq.VoronoiBFS, regions[i:i+1])
+		var st vaq.Stats
+		ids, err := eng.Query(ctx, regions[i], vaq.WithStatsInto(&st))
 		if err != nil {
 			log.Fatal(err)
 		}
-		seqOut[i] = out[0]
+		seqOut[i] = ids
 		seqStats.Add(st)
 	}
 	seqWall := time.Since(start)
 
 	start = time.Now()
-	parOut, parStats, err := eng.QueryRegions(vaq.VoronoiBFS, regions)
+	var parStats vaq.Stats
+	parOut, err := eng.QueryAll(ctx, regions, vaq.WithStatsInto(&parStats))
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -36,8 +37,13 @@ func main() {
 	fmt.Printf("query area: %.4f of the universe (MBR %.4f — the gap is the paper's point)\n",
 		area.Area(), area.Bounds().Area())
 
+	// One Querier surface for everything: per-query options select the
+	// method, WithStatsInto exposes the work performed.
+	ctx := context.Background()
+	region := vaq.PolygonRegion(area)
 	for _, m := range []vaq.Method{vaq.Traditional, vaq.VoronoiBFS} {
-		ids, st, err := eng.QueryWith(m, area)
+		var st vaq.Stats
+		ids, err := eng.Query(ctx, region, vaq.UsingMethod(m), vaq.WithStatsInto(&st))
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -46,7 +52,7 @@ func main() {
 	}
 
 	// The default Query uses the paper's Voronoi method.
-	ids, _, err := eng.Query(area)
+	ids, err := eng.Query(ctx, region)
 	if err != nil {
 		log.Fatal(err)
 	}

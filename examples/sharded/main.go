@@ -14,11 +14,11 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
 	"runtime"
-	"sort"
 	"time"
 
 	"repro"
@@ -42,13 +42,16 @@ func main() {
 	fmt.Printf("%d points in %d shards, sizes %v\n",
 		sharded.Len(), sharded.NumShards(), sharded.ShardSizes())
 
-	areas := make([]vaq.Polygon, 512)
-	for i := range areas {
-		areas[i] = vaq.RandomQueryPolygon(rng, 10, 0.01, vaq.UnitSquare())
+	regions := make([]vaq.Region, 512)
+	for i := range regions {
+		regions[i] = vaq.PolygonRegion(vaq.RandomQueryPolygon(rng, 10, 0.01, vaq.UnitSquare()))
 	}
 
+	// One Querier call shape on both engines; results come back in
+	// ascending id order on every backend, so they compare element-wise.
+	ctx := context.Background()
 	start := time.Now()
-	singleOut, _, err := single.QueryBatch(vaq.VoronoiBFS, areas)
+	singleOut, err := single.QueryAll(ctx, regions)
 	singleWall := time.Since(start)
 	if err != nil {
 		log.Fatal(err)
@@ -56,31 +59,28 @@ func main() {
 	singleReads, singleHits, _ := single.IOStats()
 
 	start = time.Now()
-	shardedOut, stats, err := sharded.QueryBatch(vaq.VoronoiBFS, areas)
+	var stats vaq.Stats
+	shardedOut, err := sharded.QueryAll(ctx, regions, vaq.WithStatsInto(&stats))
 	shardedWall := time.Since(start)
 	if err != nil {
 		log.Fatal(err)
 	}
 	shardedReads, shardedHits, _ := sharded.IOStats()
 
-	// Sharded results are sorted ascending; sort the single engine's BFS
-	// ordering and require identical id sequences.
-	for i := range areas {
-		ids := append([]int64(nil), singleOut[i]...)
-		sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
-		if len(ids) != len(shardedOut[i]) {
+	for i := range regions {
+		if len(singleOut[i]) != len(shardedOut[i]) {
 			log.Fatalf("query %d: single %d ids, sharded %d",
-				i, len(ids), len(shardedOut[i]))
+				i, len(singleOut[i]), len(shardedOut[i]))
 		}
-		for j := range ids {
-			if ids[j] != shardedOut[i][j] {
+		for j := range singleOut[i] {
+			if singleOut[i][j] != shardedOut[i][j] {
 				log.Fatalf("query %d: id %d differs (single %d, sharded %d)",
-					i, j, ids[j], shardedOut[i][j])
+					i, j, singleOut[i][j], shardedOut[i][j])
 			}
 		}
 	}
 
-	n := len(areas)
+	n := len(regions)
 	fmt.Printf("%d queries, %d result ids, identical result sets\n", n, stats.ResultSize)
 	fmt.Printf("single engine:    %8v  (%6.0f queries/s)  %d page reads, %d cache hits\n",
 		singleWall.Round(time.Millisecond), float64(n)/singleWall.Seconds(),

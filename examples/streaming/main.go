@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -24,11 +25,12 @@ func main() {
 	eng := vaq.NewDynamicEngine(vaq.UnitSquare())
 
 	// A fixed concave watch region (~5% of the universe by MBR).
-	watch := vaq.MustPolygon([]vaq.Point{
+	watch := vaq.PolygonRegion(vaq.MustPolygon([]vaq.Point{
 		vaq.Pt(0.40, 0.40), vaq.Pt(0.58, 0.44), vaq.Pt(0.62, 0.60),
 		vaq.Pt(0.52, 0.52), vaq.Pt(0.46, 0.62), vaq.Pt(0.38, 0.56),
-	})
+	}))
 	center := vaq.Pt(0.5, 0.5)
+	ctx := context.Background()
 
 	// Writer: 10 batches of 5000 readings drifting across the map,
 	// ingested with no coordination with the monitor below beyond the
@@ -70,7 +72,8 @@ func main() {
 		if snap.Len() == 0 {
 			continue
 		}
-		ids, st, err := snap.Query(watch)
+		var st vaq.Stats
+		ids, err := snap.Query(ctx, watch, vaq.WithStatsInto(&st))
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -85,7 +88,7 @@ func main() {
 
 	// Final consistency readout on the completed stream.
 	final := eng.Snapshot()
-	n, _, err := final.Count(vaq.VoronoiBFS, watch)
+	n, err := vaq.Count(ctx, final, watch)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"runtime"
@@ -98,7 +99,8 @@ func RunThroughput(cfg ThroughputConfig) ([]ThroughputRow, error) {
 			workers = runtime.GOMAXPROCS(0)
 		}
 		start := time.Now()
-		out, _, err := exec.QueryBatch(eng, cfg.Method, regions, exec.Options{NumWorkers: workers})
+		out, _, err := exec.QueryBatch(context.Background(), eng, regions,
+			core.QuerySpec{Method: cfg.Method}, exec.Options{NumWorkers: workers})
 		wall := time.Since(start)
 		if err != nil {
 			return nil, fmt.Errorf("bench: throughput batch (workers=%d): %w", workers, err)
@@ -233,7 +235,8 @@ func RunShardedThroughput(cfg ShardedThroughputConfig) ([]ShardedThroughputRow, 
 		return nil, fmt.Errorf("bench: single-engine warmup: %w", err)
 	}
 	start := time.Now()
-	baseline, _, err := exec.QueryBatch(single, cfg.Method, regions, exec.Options{NumWorkers: cfg.Workers})
+	baseline, _, err := exec.QueryBatch(context.Background(), single, regions,
+		core.QuerySpec{Method: cfg.Method}, exec.Options{NumWorkers: cfg.Workers})
 	baseWall := time.Since(start)
 	if err != nil {
 		return nil, fmt.Errorf("bench: single-engine batch: %w", err)

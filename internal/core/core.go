@@ -17,6 +17,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -193,34 +194,9 @@ func (e *Engine) Query(m Method, area geom.Polygon) ([]int64, Stats, error) {
 }
 
 // QueryRegion runs an area query against an arbitrary Region (polygon,
-// circle, or custom shape).
+// circle, or custom shape). It is QueryRegionSpec without a deadline.
 func (e *Engine) QueryRegion(m Method, region Region) ([]int64, Stats, error) {
-	if e.data.NumIDs() == 0 {
-		return nil, Stats{Method: m}, ErrNoData
-	}
-	start := time.Now()
-	var (
-		ids   []int64
-		stats Stats
-		err   error
-	)
-	switch m {
-	case Traditional:
-		ids, stats, err = e.queryTraditional(region)
-	case VoronoiBFS:
-		ids, stats, err = e.queryVoronoi(region, false)
-	case VoronoiBFSStrict:
-		ids, stats, err = e.queryVoronoi(region, true)
-	case BruteForce:
-		ids, stats, err = e.queryBruteForce(region)
-	default:
-		return nil, Stats{Method: m}, fmt.Errorf("core: unknown method %d", int(m))
-	}
-	stats.Method = m
-	stats.ResultSize = len(ids)
-	stats.RedundantValidations = stats.Candidates - len(ids)
-	stats.Duration = time.Since(start)
-	return ids, stats, err
+	return e.QueryRegionSpec(context.Background(), region, QuerySpec{Method: m})
 }
 
 // Add accumulates other's counters (and Duration) into s. It is the merge

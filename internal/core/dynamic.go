@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -119,7 +120,8 @@ func (d *DynamicEngine) Universe() geom.Rect { return d.dt.Universe() }
 // Point returns the coordinates of an inserted id. Safe to call
 // concurrently with Insert. Ids covered by the published snapshot are
 // served lock-free (positions never change once assigned); only ids newer
-// than the snapshot fall back to the writer mutex.
+// than the snapshot fall back to the writer mutex. It panics when id was
+// never returned by Insert; use PointOK for a bounds-checked lookup.
 func (d *DynamicEngine) Point(id int64) geom.Point {
 	if s := d.snap.Load(); s != nil && id < int64(s.data.NumIDs()) {
 		return s.data.Position(id)
@@ -127,6 +129,24 @@ func (d *DynamicEngine) Point(id int64) geom.Point {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	return d.dt.Point(int(id))
+}
+
+// PointOK returns the coordinates of id and whether id is a user site the
+// engine currently holds. Safe to call concurrently with Insert, with the
+// same lock-free fast path as Point.
+func (d *DynamicEngine) PointOK(id int64) (geom.Point, bool) {
+	if id < int64(delaunay.FirstSiteID) {
+		return geom.Point{}, false
+	}
+	if s := d.snap.Load(); s != nil && id < int64(s.data.NumIDs()) {
+		return s.data.Position(id), true
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if id >= int64(d.dt.NumSites()) {
+		return geom.Point{}, false
+	}
+	return d.dt.Point(int(id)), true
 }
 
 // Insert adds a point and returns its id. Inserting an existing coordinate
@@ -233,8 +253,18 @@ func (s *DynamicSnapshot) Universe() geom.Rect { return s.universe }
 // Point returns the coordinates of an inserted id present in the snapshot.
 func (s *DynamicSnapshot) Point(id int64) geom.Point { return s.data.Position(id) }
 
-// Each iterates the snapshot's points in ascending id order.
-func (s *DynamicSnapshot) Each(fn func(id int64, pos geom.Point) bool) { s.data.Each(fn) }
+// PointOK returns the coordinates of id and whether id is a user site
+// present in the snapshot (fence sites and out-of-range ids report false).
+func (s *DynamicSnapshot) PointOK(id int64) (geom.Point, bool) {
+	if id < int64(delaunay.FirstSiteID) || id >= int64(s.data.NumIDs()) {
+		return geom.Point{}, false
+	}
+	return s.data.Position(id), true
+}
+
+// EachPoint iterates the snapshot's points in ascending id order; fn
+// returning false stops the iteration.
+func (s *DynamicSnapshot) EachPoint(fn func(id int64, pos geom.Point) bool) { s.data.Each(fn) }
 
 // Engine returns the snapshot's immutable engine, for batch executors and
 // instrumentation. All four query methods run against the pinned epoch.
@@ -271,13 +301,33 @@ func (s *DynamicSnapshot) Query(m Method, area geom.Polygon) ([]int64, Stats, er
 // QueryRegion answers an area query over a prepared Region against the
 // pinned epoch.
 func (s *DynamicSnapshot) QueryRegion(m Method, region Region) ([]int64, Stats, error) {
+	return s.QueryRegionSpec(context.Background(), region, QuerySpec{Method: m})
+}
+
+// QueryRegionSpec is the context-aware spec-driven query entry point
+// against the pinned epoch, with the same universe/empty-data error
+// contract as QueryRegion.
+func (s *DynamicSnapshot) QueryRegionSpec(ctx context.Context, region Region, spec QuerySpec) ([]int64, Stats, error) {
 	if err := s.checkArea(region.Bounds()); err != nil {
-		return nil, Stats{Method: m}, err
+		return nil, Stats{Method: spec.Method}, err
 	}
 	if s.n == 0 {
-		return nil, Stats{Method: m}, ErrNoData
+		return nil, Stats{Method: spec.Method}, ErrNoData
 	}
-	return s.eng.QueryRegion(m, region)
+	return s.eng.QueryRegionSpec(ctx, region, spec)
+}
+
+// EachRegion streams an area query against the pinned epoch (see
+// Engine.EachRegion), with the same universe/empty-data error contract as
+// QueryRegion.
+func (s *DynamicSnapshot) EachRegion(ctx context.Context, region Region, spec QuerySpec, yield func(id int64, pos geom.Point) bool) (Stats, error) {
+	if err := s.checkArea(region.Bounds()); err != nil {
+		return Stats{Method: spec.Method}, err
+	}
+	if s.n == 0 {
+		return Stats{Method: spec.Method}, ErrNoData
+	}
+	return s.eng.EachRegion(ctx, region, spec, yield)
 }
 
 // KNearest returns the k points nearest to q at the pinned epoch

@@ -351,7 +351,7 @@ func bruteKNN(s *DynamicSnapshot, q geom.Point, k int) []int64 {
 		d2 float64
 	}
 	var all []cand
-	s.Each(func(id int64, pos geom.Point) bool {
+	s.EachPoint(func(id int64, pos geom.Point) bool {
 		all = append(all, cand{id: id, d2: q.Dist2(pos)})
 		return true
 	})

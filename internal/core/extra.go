@@ -1,35 +1,23 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/geom"
 )
 
-// Clone returns a new Engine sharing this engine's index and data.
-//
-// Deprecated: an Engine is safe for concurrent queries since per-query
-// scratch state moved into a pool — goroutines can share one Engine
-// directly (both MemoryData and StoreData are safe for concurrent use).
-// Clone is kept for callers structured around one engine per goroutine.
-func (e *Engine) Clone() *Engine {
-	return NewEngine(e.idx, e.data)
-}
-
 // Count answers an area query without materializing the result set. It is
-// equivalent to len(Query(m, area)) but avoids the result allocation; the
-// returned Stats are identical to Query's.
+// equivalent to len(Query(m, area)) but skips the result allocation
+// entirely (the CountOnly execution path); the returned Stats are identical
+// to Query's.
 func (e *Engine) Count(m Method, area geom.Polygon) (int, Stats, error) {
-	ids, stats, err := e.Query(m, area)
+	_, stats, err := e.QueryRegionSpec(context.Background(), PolygonRegion(area),
+		QuerySpec{Method: m, CountOnly: true})
 	if err != nil {
 		return 0, stats, err
 	}
-	// The engine's query paths already reuse scratch space; the result
-	// slice is the only per-query allocation that scales with output. For
-	// counting workloads this is acceptable: the slice is short-lived and
-	// the stats bookkeeping dominates. Kept simple deliberately — a
-	// dedicated no-materialization path measured within noise of this one.
-	return len(ids), stats, nil
+	return stats.ResultSize, stats, nil
 }
 
 // QueryBatch answers a sequence of area queries with the same method on

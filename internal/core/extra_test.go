@@ -9,27 +9,9 @@ import (
 	"repro/internal/workload"
 )
 
-func TestCloneSharesDataIndependentScratch(t *testing.T) {
-	rng := rand.New(rand.NewSource(1))
-	eng, _ := newUniformEngine(t, rng, 2000)
-	clone := eng.Clone()
-	area := workload.RandomPolygon(rng, workload.PolygonConfig{QuerySize: 0.05}, unitBounds())
-	a, _, err := eng.Query(VoronoiBFS, area)
-	if err != nil {
-		t.Fatal(err)
-	}
-	b, _, err := clone.Query(VoronoiBFS, area)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if !equalIDs(sortedIDs(a), sortedIDs(b)) {
-		t.Error("clone disagrees with original")
-	}
-}
-
-func TestConcurrentClonesRaceFree(t *testing.T) {
-	// Shared MemoryData + R-tree, one Engine clone per goroutine. Run with
-	// -race to validate the read-only sharing contract.
+func TestConcurrentSharedEngineRaceFree(t *testing.T) {
+	// Shared MemoryData + R-tree, one Engine shared by every goroutine. Run
+	// with -race to validate the read-only sharing contract.
 	rng := rand.New(rand.NewSource(2))
 	eng, _ := newUniformEngine(t, rng, 5000)
 	areas := make([]geom.Polygon, 16)
@@ -52,10 +34,9 @@ func TestConcurrentClonesRaceFree(t *testing.T) {
 		wg.Add(1)
 		go func(worker int) {
 			defer wg.Done()
-			local := eng.Clone()
 			for rep := 0; rep < 20; rep++ {
 				i := (worker + rep) % len(areas)
-				ids, _, err := local.Query(VoronoiBFS, areas[i])
+				ids, _, err := eng.Query(VoronoiBFS, areas[i])
 				if err != nil {
 					errs <- err
 					return

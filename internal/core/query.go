@@ -1,40 +1,159 @@
 package core
 
 import (
+	"context"
 	"fmt"
+	"time"
 
 	"repro/internal/geom"
 )
 
-// queryTraditional implements the classic filter-and-refine area query:
-// the index filters with the region's MBR; every candidate's record is
-// loaded and validated with a containment test.
-func (e *Engine) queryTraditional(region Region) ([]int64, Stats, error) {
-	var stats Stats
+// cancelStride is the number of candidates a query processes between
+// context-cancellation checks. Candidate processing is the unit of work
+// every method shares (a record load plus a containment test, microseconds
+// each), so checking once per stride bounds cancellation latency to tens of
+// microseconds while keeping the check off the per-candidate hot path.
+const cancelStride = 64
+
+// QuerySpec is the per-query request shape shared by every engine flavor:
+// the algorithm plus the execution options the public API exposes as
+// functional options.
+type QuerySpec struct {
+	// Method selects the area-query algorithm.
+	Method Method
+	// CountOnly skips materializing the result slice; the match count is
+	// reported in Stats.ResultSize.
+	CountOnly bool
+	// Limit stops the query after this many results when > 0. Which points
+	// are found first is method- and backend-dependent.
+	Limit int
+	// Dest, when non-nil, is the buffer results are appended into
+	// (overwriting from Dest[:0]), letting repeated queries reuse one
+	// allocation. Ignored with CountOnly.
+	Dest []int64
+}
+
+// emitFunc receives each result (id plus its authoritative loaded
+// position) as the algorithm discovers it; returning false stops the query
+// early with no error.
+type emitFunc func(id int64, pos geom.Point) bool
+
+// QueryRegionSpec runs an area query described by spec against region. It
+// is the context-aware entry point beneath the public Querier API: ctx
+// cancellation is checked on candidate-generation boundaries and surfaces
+// as ctx.Err() with the statistics of the work already performed. The
+// returned ids are nil when spec.CountOnly is set (the count is
+// Stats.ResultSize) and in method-dependent discovery order otherwise.
+func (e *Engine) QueryRegionSpec(ctx context.Context, region Region, spec QuerySpec) ([]int64, Stats, error) {
 	var result []int64
-	var loadErr error
+	if !spec.CountOnly && spec.Dest != nil {
+		result = spec.Dest[:0]
+	}
+	count := 0
+	stats, err := e.eachRegion(ctx, region, spec.Method, func(id int64, _ geom.Point) bool {
+		if !spec.CountOnly {
+			result = append(result, id)
+		}
+		count++
+		return spec.Limit <= 0 || count < spec.Limit
+	})
+	stats.ResultSize = count
+	stats.RedundantValidations = stats.Candidates - count
+	if err != nil {
+		// No partial result slice alongside a non-nil error; stats still
+		// report the partial work.
+		return nil, stats, err
+	}
+	if spec.CountOnly {
+		return nil, stats, nil
+	}
+	return result, stats, nil
+}
+
+// EachRegion streams an area query: yield is called with each result (id
+// and position) as the algorithm discovers it — the Voronoi methods yield
+// during the BFS itself, so consumers see results before the query
+// completes. yield returning false stops the query cleanly; spec.Limit
+// bounds the number of yields; spec.CountOnly and spec.Dest are ignored
+// (nothing is materialized). The returned Stats count the yields in
+// ResultSize.
+func (e *Engine) EachRegion(ctx context.Context, region Region, spec QuerySpec, yield func(id int64, pos geom.Point) bool) (Stats, error) {
+	count := 0
+	stats, err := e.eachRegion(ctx, region, spec.Method, func(id int64, pos geom.Point) bool {
+		count++
+		if !yield(id, pos) {
+			return false
+		}
+		return spec.Limit <= 0 || count < spec.Limit
+	})
+	stats.ResultSize = count
+	stats.RedundantValidations = stats.Candidates - count
+	return stats, err
+}
+
+// eachRegion dispatches to the method implementations, wrapping them with
+// the shared bookkeeping (empty-data check, Method stamp, Duration).
+func (e *Engine) eachRegion(ctx context.Context, region Region, m Method, emit emitFunc) (Stats, error) {
+	if e.data.NumIDs() == 0 {
+		return Stats{Method: m}, ErrNoData
+	}
+	start := time.Now()
+	var (
+		stats Stats
+		err   error
+	)
+	if err = ctx.Err(); err != nil {
+		// An already-cancelled context returns promptly on every method,
+		// before any index or record work.
+		stats.Method = m
+		return stats, err
+	}
+	switch m {
+	case Traditional:
+		stats, err = e.eachTraditional(ctx, region, emit)
+	case VoronoiBFS:
+		stats, err = e.eachVoronoi(ctx, region, false, emit)
+	case VoronoiBFSStrict:
+		stats, err = e.eachVoronoi(ctx, region, true, emit)
+	case BruteForce:
+		stats, err = e.eachBruteForce(ctx, region, emit)
+	default:
+		return Stats{Method: m}, fmt.Errorf("core: unknown method %d", int(m))
+	}
+	stats.Method = m
+	stats.Duration = time.Since(start)
+	return stats, err
+}
+
+// eachTraditional implements the classic filter-and-refine area query: the
+// index filters with the region's MBR; every candidate's record is loaded
+// and validated with a containment test.
+func (e *Engine) eachTraditional(ctx context.Context, region Region, emit emitFunc) (Stats, error) {
+	var stats Stats
+	var stopErr error
 	stats.IndexNodesVisited = e.idx.Window(region.Bounds(), func(id int64) bool {
+		if stats.Candidates%cancelStride == 0 {
+			if err := ctx.Err(); err != nil {
+				stopErr = err
+				return false
+			}
+		}
 		pos, err := e.data.Load(id)
 		if err != nil {
-			loadErr = fmt.Errorf("core: loading candidate %d: %w", id, err)
+			stopErr = fmt.Errorf("core: loading candidate %d: %w", id, err)
 			return false
 		}
 		stats.RecordsLoaded++
 		stats.Candidates++
 		if region.ContainsPoint(pos) {
-			result = append(result, id)
+			return emit(id, pos)
 		}
 		return true
 	})
-	if loadErr != nil {
-		// Same error contract as the Voronoi paths: no partial result slice
-		// alongside a non-nil error.
-		return nil, stats, loadErr
-	}
-	return result, stats, nil
+	return stats, stopErr
 }
 
-// queryVoronoi implements Algorithm 1 of the paper.
+// eachVoronoi implements Algorithm 1 of the paper.
 //
 // A seed — the nearest stored point to an interior position of the query
 // region — is found through the spatial index (the paper uses the same
@@ -44,7 +163,10 @@ func (e *Engine) queryTraditional(region Region) ([]int64, Stats, error) {
 // non-internal points contribute only neighbors reached by an expansion
 // test — the published rule tests the connecting segment against the
 // region, the strict rule tests the neighbor's Voronoi cell against it.
-func (e *Engine) queryVoronoi(region Region, strict bool) ([]int64, Stats, error) {
+//
+// Results are emitted the moment the BFS validates them, so a streaming
+// consumer observes them while the expansion is still running.
+func (e *Engine) eachVoronoi(ctx context.Context, region Region, strict bool, emit emitFunc) (Stats, error) {
 	var stats Stats
 
 	var cells CellSource
@@ -54,7 +176,7 @@ func (e *Engine) queryVoronoi(region Region, strict bool) ([]int64, Stats, error
 		var ok bool
 		cells, ok = e.data.(CellSource)
 		if !ok {
-			return nil, stats, ErrStrictNotSupported
+			return stats, ErrStrictNotSupported
 		}
 		cellBoxes, _ = e.data.(CellBoxSource)
 		rectRegion, _ = region.(RectIntersecter)
@@ -65,7 +187,7 @@ func (e *Engine) queryVoronoi(region Region, strict bool) ([]int64, Stats, error
 	seed, nnNodes, ok := e.idx.Nearest(seedPos)
 	stats.IndexNodesVisited += nnNodes
 	if !ok {
-		return nil, stats, ErrNoData
+		return stats, ErrNoData
 	}
 
 	s := e.acquireScratch()
@@ -120,21 +242,28 @@ func (e *Engine) queryVoronoi(region Region, strict bool) ([]int64, Stats, error
 		return true
 	}
 
-	var result []int64
 	for head := 0; head < len(s.queue); head++ {
+		if head%cancelStride == 0 {
+			if err := ctx.Err(); err != nil {
+				return stats, err
+			}
+		}
 		p := s.queue[head]
 		pos, err := e.data.Load(p)
 		if err != nil {
-			return nil, stats, fmt.Errorf("core: loading candidate %d: %w", p, err)
+			return stats, fmt.Errorf("core: loading candidate %d: %w", p, err)
 		}
 		stats.RecordsLoaded++
 		stats.Candidates++
 		curPos = pos
 
 		if region.ContainsPoint(pos) {
-			// Internal point: all unvisited Voronoi neighbors become
-			// candidates (Property 7 bounds them to internal/boundary).
-			result = append(result, p)
+			// Internal point: emit, then all unvisited Voronoi neighbors
+			// become candidates (Property 7 bounds them to
+			// internal/boundary).
+			if !emit(p, pos) {
+				return stats, nil
+			}
 			if hasSlices {
 				for _, nb := range slicer.NeighborSlice(p) {
 					expandAll(int64(nb))
@@ -154,20 +283,26 @@ func (e *Engine) queryVoronoi(region Region, strict bool) ([]int64, Stats, error
 			e.data.NeighborsFunc(p, expandBoundary)
 		}
 	}
-	return result, stats, nil
+	return stats, nil
 }
 
-// queryBruteForce scans every record; it is the correctness oracle.
-func (e *Engine) queryBruteForce(region Region) ([]int64, Stats, error) {
+// eachBruteForce scans every record; it is the correctness oracle.
+func (e *Engine) eachBruteForce(ctx context.Context, region Region, emit emitFunc) (Stats, error) {
 	var stats Stats
-	var result []int64
+	var stopErr error
 	bounds := region.Bounds()
 	e.data.Each(func(id int64, pos geom.Point) bool {
+		if stats.Candidates%cancelStride == 0 {
+			if err := ctx.Err(); err != nil {
+				stopErr = err
+				return false
+			}
+		}
 		stats.Candidates++
 		if bounds.ContainsPoint(pos) && region.ContainsPoint(pos) {
-			result = append(result, id)
+			return emit(id, pos)
 		}
 		return true
 	})
-	return result, stats, nil
+	return stats, stopErr
 }

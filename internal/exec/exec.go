@@ -10,9 +10,16 @@
 // expensive query strands at most one chunk), accumulate statistics into a
 // per-worker Stats, and the per-worker stats merge into one aggregate
 // after the pool drains.
+//
+// Every entry point takes a context.Context: cancellation is checked
+// between chunk claims (so un-dispatched work is abandoned immediately)
+// and inside each query (core checks on candidate boundaries), and
+// surfaces as ctx.Err() together with the statistics of the work already
+// performed.
 package exec
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -58,43 +65,65 @@ func (o Options) chunk() int {
 	return o.Chunk
 }
 
-// QueryBatch answers every region with method m against the shared engine,
+// QueryBatch answers every region per spec against the shared engine,
 // returning per-query results aligned with regions and aggregate
 // statistics. The aggregate is the sum over per-query stats — Duration is
 // summed per-query time, not batch wall clock, so it is comparable with a
 // sequential run of the same batch. On error the batch stops early and
 // returns the lowest-indexed error among those observed before the pool
 // drained (a parallel run may therefore report a different failing query
-// than a sequential run of the same batch, which always reports the first).
+// than a sequential run of the same batch, which always reports the
+// first), together with the aggregate statistics of the queries that did
+// complete. Cancelling ctx aborts un-claimed queries and surfaces as a
+// (wrapped) ctx.Err(); an already-cancelled context returns before any
+// query runs. spec.Dest is ignored: one reuse buffer cannot back a batch
+// of independent result slices.
 //
 // The engine's DataAccess must be safe for concurrent use when
 // NumWorkers > 1 (both core.MemoryData and core.StoreData are).
-func QueryBatch(eng *core.Engine, m core.Method, regions []core.Region, opts Options) ([][]int64, core.Stats, error) {
+func QueryBatch(ctx context.Context, eng *core.Engine, regions []core.Region, spec core.QuerySpec, opts Options) ([][]int64, core.Stats, error) {
 	n := len(regions)
-	agg := core.Stats{Method: m}
+	agg := core.Stats{Method: spec.Method}
 	if n == 0 {
 		return nil, agg, nil
 	}
-	workers := opts.workers(n)
-	if workers == 1 {
-		return eng.QueryBatchRegions(m, regions)
+	if err := ctx.Err(); err != nil {
+		return nil, agg, err
 	}
+	spec.Dest = nil
+	workers := opts.workers(n)
 	out := make([][]int64, n)
+	if workers == 1 {
+		for i, region := range regions {
+			ids, st, err := eng.QueryRegionSpec(ctx, region, spec)
+			agg.Add(st)
+			if err != nil {
+				return nil, agg, fmt.Errorf("exec: batch query %d: %w", i, err)
+			}
+			out[i] = ids
+		}
+		return out, agg, nil
+	}
 	workerStats := make([]core.Stats, workers)
-	idx, err := run(n, workers, opts.chunk(), func(worker, i int) error {
-		ids, st, err := eng.QueryRegion(m, regions[i])
+	idx, err := run(ctx, n, workers, opts.chunk(), func(worker, i int) error {
+		ids, st, err := eng.QueryRegionSpec(ctx, regions[i], spec)
+		workerStats[worker].Add(st)
 		if err != nil {
 			return err
 		}
 		out[i] = ids
-		workerStats[worker].Add(st)
 		return nil
 	})
+	for _, ws := range workerStats {
+		agg.Add(ws)
+	}
 	if err != nil {
 		return nil, agg, fmt.Errorf("exec: batch query %d: %w", idx, err)
 	}
-	for _, ws := range workerStats {
-		agg.Add(ws)
+	if err := ctx.Err(); err != nil {
+		// Cancelled after the last claimed task finished but with the batch
+		// incomplete (workers stop claiming on cancellation).
+		return nil, agg, err
 	}
 	return out, agg, nil
 }
@@ -107,25 +136,33 @@ func QueryBatch(eng *core.Engine, m core.Method, regions []core.Region, opts Opt
 // accumulate into per-worker state without locking; with one worker
 // everything runs on the calling goroutine. On error the pool stops
 // claiming new tasks and the lowest-indexed observed error wins, wrapped
-// with its task index.
-func Run(n int, opts Options, fn func(worker, i int) error) error {
+// with its task index. Cancelling ctx stops chunk claiming; when no task
+// error occurred first, Run returns ctx.Err() unwrapped. The pool always
+// drains before Run returns — no goroutine outlives the call.
+func Run(ctx context.Context, n int, opts Options, fn func(worker, i int) error) error {
 	if n <= 0 {
 		return nil
+	}
+	if err := ctx.Err(); err != nil {
+		return err
 	}
 	workers := opts.workers(n)
 	if workers == 1 {
 		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			if err := fn(0, i); err != nil {
 				return fmt.Errorf("exec: task %d: %w", i, err)
 			}
 		}
 		return nil
 	}
-	idx, err := run(n, workers, opts.chunk(), fn)
+	idx, err := run(ctx, n, workers, opts.chunk(), fn)
 	if err != nil {
 		return fmt.Errorf("exec: task %d: %w", idx, err)
 	}
-	return nil
+	return ctx.Err()
 }
 
 // Workers returns the worker count Run and QueryBatch will use for n
@@ -133,10 +170,12 @@ func Run(n int, opts Options, fn func(worker, i int) error) error {
 func (o Options) Workers(n int) int { return o.workers(n) }
 
 // run executes fn(worker, i) for every i in [0, n) across workers
-// goroutines. Each worker claims chunks of indexes from a shared cursor;
-// on the first error all workers stop claiming and the lowest-indexed
-// observed error wins; run returns it with its index, unwrapped.
-func run(n, workers, chunk int, fn func(worker, i int) error) (int, error) {
+// goroutines. Each worker claims chunks of indexes from a shared cursor,
+// re-checking ctx before every claim so cancellation abandons all
+// un-dispatched work; on the first error all workers stop claiming and the
+// lowest-indexed observed error wins; run returns it with its index,
+// unwrapped. run always waits for every spawned worker to exit.
+func run(ctx context.Context, n, workers, chunk int, fn func(worker, i int) error) (int, error) {
 	var (
 		cursor atomic.Int64
 		failed atomic.Bool
@@ -158,7 +197,7 @@ func run(n, workers, chunk int, fn func(worker, i int) error) (int, error) {
 		wg.Add(1)
 		go func(worker int) {
 			defer wg.Done()
-			for !failed.Load() {
+			for !failed.Load() && ctx.Err() == nil {
 				start := int(cursor.Add(int64(chunk))) - chunk
 				if start >= n {
 					return

@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"errors"
 	"math/rand"
 	"sort"
@@ -69,12 +70,12 @@ func TestParallelMatchesSequentialQueryForQuery(t *testing.T) {
 	regions := mixedRegions(rng, 64)
 
 	for _, m := range []core.Method{core.Traditional, core.VoronoiBFS} {
-		seq, _, err := QueryBatch(eng, m, regions, Options{NumWorkers: 1})
+		seq, _, err := QueryBatch(context.Background(), eng, regions, core.QuerySpec{Method: m}, Options{NumWorkers: 1})
 		if err != nil {
 			t.Fatalf("%v sequential: %v", m, err)
 		}
 		for _, workers := range []int{2, 4, 8} {
-			par, _, err := QueryBatch(eng, m, regions, Options{NumWorkers: workers})
+			par, _, err := QueryBatch(context.Background(), eng, regions, core.QuerySpec{Method: m}, Options{NumWorkers: workers})
 			if err != nil {
 				t.Fatalf("%v workers=%d: %v", m, workers, err)
 			}
@@ -105,7 +106,7 @@ func TestAggregateStatsEqualSumOfSequentialStats(t *testing.T) {
 		want.Add(st)
 	}
 
-	_, agg, err := QueryBatch(eng, core.VoronoiBFS, regions, Options{NumWorkers: 4, Chunk: 3})
+	_, agg, err := QueryBatch(context.Background(), eng, regions, core.QuerySpec{Method: core.VoronoiBFS}, Options{NumWorkers: 4, Chunk: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -173,7 +174,7 @@ func TestBatchErrorStopsAndSurfaces(t *testing.T) {
 		regions[i] = core.PolygonRegion(wide)
 	}
 	for _, workers := range []int{1, 4} {
-		_, _, err := QueryBatch(eng, core.Traditional, regions, Options{NumWorkers: workers})
+		_, _, err := QueryBatch(context.Background(), eng, regions, core.QuerySpec{Method: core.Traditional}, Options{NumWorkers: workers})
 		if !errors.Is(err, errPoisoned) {
 			t.Errorf("workers=%d: err = %v, want the injected failure", workers, err)
 		}
@@ -185,7 +186,7 @@ func TestBatchErrorStopsAndSurfaces(t *testing.T) {
 
 func TestEmptyAndOversubscribedBatches(t *testing.T) {
 	eng := newEngine(t, 500, 6)
-	out, agg, err := QueryBatch(eng, core.VoronoiBFS, nil, Options{NumWorkers: 4})
+	out, agg, err := QueryBatch(context.Background(), eng, nil, core.QuerySpec{Method: core.VoronoiBFS}, Options{NumWorkers: 4})
 	if err != nil || out != nil {
 		t.Fatalf("empty batch: out=%v err=%v", out, err)
 	}
@@ -196,7 +197,7 @@ func TestEmptyAndOversubscribedBatches(t *testing.T) {
 	// More workers than queries must clamp, not deadlock or skip.
 	rng := rand.New(rand.NewSource(7))
 	regions := mixedRegions(rng, 3)
-	out, _, err = QueryBatch(eng, core.VoronoiBFS, regions, Options{NumWorkers: 64, Chunk: 100})
+	out, _, err = QueryBatch(context.Background(), eng, regions, core.QuerySpec{Method: core.VoronoiBFS}, Options{NumWorkers: 64, Chunk: 100})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -21,6 +21,11 @@
 // Results are returned in ascending global id order, identical for every
 // shard count.
 //
+// Every query path takes a context.Context: cancellation aborts
+// un-dispatched shard tasks at the worker pool (exec checks between chunk
+// claims) and running per-shard queries at candidate boundaries (core),
+// surfacing as ctx.Err() with partial statistics.
+//
 // One algorithmic consequence of partitioning: a shard's diagram is a
 // sub-sample of the dataset, so its Voronoi cells are larger and its
 // Delaunay segments longer. The paper's published expansion rule (expand
@@ -36,6 +41,7 @@
 package shard
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -127,7 +133,8 @@ func New(points []geom.Point, bounds geom.Rect, cfg Config) (*Engine, error) {
 		e.shards[si] = oneShard{bounds: mbr, global: global, pts: pts}
 	}
 
-	err := exec.Run(len(e.shards), exec.Options{NumWorkers: cfg.Parallelism, Chunk: 1},
+	err := exec.Run(context.Background(), len(e.shards),
+		exec.Options{NumWorkers: cfg.Parallelism, Chunk: 1},
 		func(_, si int) error {
 			eng, err := cfg.Build(si, e.shards[si].pts, bounds)
 			if err != nil {
@@ -166,8 +173,18 @@ func (e *Engine) Len() int { return len(e.points) }
 // Bounds returns the universe rectangle.
 func (e *Engine) Bounds() geom.Rect { return e.bounds }
 
-// Point returns the position of a global id.
+// Point returns the position of a global id; it panics when id is out of
+// range. PointOK is the bounds-checked variant.
 func (e *Engine) Point(id int64) geom.Point { return e.points[id] }
+
+// PointOK returns the position of a global id and whether the id is in
+// range.
+func (e *Engine) PointOK(id int64) (geom.Point, bool) {
+	if id < 0 || id >= int64(len(e.points)) {
+		return geom.Point{}, false
+	}
+	return e.points[id], true
+}
 
 // survivors appends to dst the indexes of shards whose bounds intersect
 // the region's MBR — the only shards that can contribute results.
@@ -193,15 +210,24 @@ func shardMethod(m core.Method) core.Method {
 	return m
 }
 
-// shardQuery runs one region on one shard with the shard-local method.
+// shardSpec is the per-shard execution spec: the caller's spec with the
+// method mapped shard-local and the reuse buffer stripped (per-shard
+// results cannot share one buffer).
+func shardSpec(spec core.QuerySpec) core.QuerySpec {
+	spec.Method = shardMethod(spec.Method)
+	spec.Dest = nil
+	return spec
+}
+
+// shardQuery runs one region on one shard with the shard-local spec.
 // There is deliberately no fallback to the segment rule when the shard's
 // data cannot provide Voronoi cells (core.ErrStrictNotSupported): silently
 // degrading would break the package's exact-result guarantee, so the
 // error surfaces to the caller instead. Both provided DataAccess types
 // implement CellSource; a custom BuildFunc must too, or its callers must
 // request Traditional/VoronoiBFSStrict explicitly.
-func (s *oneShard) shardQuery(m core.Method, region core.Region) ([]int64, core.Stats, error) {
-	return s.eng.QueryRegion(shardMethod(m), region)
+func (s *oneShard) shardQuery(ctx context.Context, region core.Region, spec core.QuerySpec) ([]int64, core.Stats, error) {
+	return s.eng.QueryRegionSpec(ctx, region, shardSpec(spec))
 }
 
 // remap converts shard-local result ids to global ids in place-free
@@ -214,9 +240,10 @@ func (s *oneShard) remap(local []int64) []int64 {
 	return out
 }
 
-// mergeSorted concatenates per-shard global id slices and sorts them
-// ascending, the engine's canonical result order.
-func mergeSorted(parts [][]int64) []int64 {
+// mergeSorted concatenates per-shard global id slices into dst (reusing
+// its capacity; pass nil for a fresh slice) and sorts them ascending, the
+// engine's canonical result order.
+func mergeSorted(dst []int64, parts [][]int64) []int64 {
 	total := 0
 	for _, p := range parts {
 		total += len(p)
@@ -224,12 +251,24 @@ func mergeSorted(parts [][]int64) []int64 {
 	if total == 0 {
 		return nil
 	}
-	out := make([]int64, 0, total)
-	for _, p := range parts {
-		out = append(out, p...)
+	if dst == nil {
+		dst = make([]int64, 0, total)
+	} else {
+		dst = dst[:0]
 	}
-	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
-	return out
+	for _, p := range parts {
+		dst = append(dst, p...)
+	}
+	sort.Slice(dst, func(a, b int) bool { return dst[a] < dst[b] })
+	return dst
+}
+
+// finalize recomputes the result-dependent aggregate counters after the
+// gather step (merging, Limit truncation and CountOnly capping change the
+// effective result size).
+func finalize(agg *core.Stats, resultSize int) {
+	agg.ResultSize = resultSize
+	agg.RedundantValidations = agg.Candidates - resultSize
 }
 
 // Query answers an area query with the chosen method, returning global
@@ -241,65 +280,112 @@ func (e *Engine) Query(m core.Method, area geom.Polygon) ([]int64, core.Stats, e
 
 // QueryRegion is Query over a prepared Region (polygon, circle, custom).
 func (e *Engine) QueryRegion(m core.Method, region core.Region) ([]int64, core.Stats, error) {
-	agg := core.Stats{Method: m}
+	return e.QueryRegionSpec(context.Background(), region, core.QuerySpec{Method: m})
+}
+
+// QueryRegionSpec is the context-aware spec-driven scatter-gather query:
+// shards whose bounds miss the region are pruned, survivors fan out onto
+// the worker pool, and per-shard results merge into ascending global id
+// order. spec.CountOnly skips the merge entirely (the count is
+// Stats.ResultSize); spec.Limit bounds each shard's scan and truncates the
+// merged result; spec.Dest backs the merged slice.
+func (e *Engine) QueryRegionSpec(ctx context.Context, region core.Region, spec core.QuerySpec) ([]int64, core.Stats, error) {
+	agg := core.Stats{Method: spec.Method}
 	alive := e.survivors(nil, region)
 	if len(alive) == 0 {
-		return nil, agg, nil
+		return nil, agg, ctx.Err()
 	}
 	opts := exec.Options{NumWorkers: e.parallelism, Chunk: 1}
 	parts := make([][]int64, len(alive))
 	workerStats := make([]core.Stats, opts.Workers(len(alive)))
-	err := exec.Run(len(alive), opts, func(worker, i int) error {
+	err := exec.Run(ctx, len(alive), opts, func(worker, i int) error {
 		s := &e.shards[alive[i]]
-		local, st, err := s.shardQuery(m, region)
+		local, st, err := s.shardQuery(ctx, region, spec)
+		workerStats[worker].Add(st)
 		if err != nil {
 			return fmt.Errorf("shard %d: %w", alive[i], err)
 		}
-		parts[i] = s.remap(local)
-		workerStats[worker].Add(st)
+		if !spec.CountOnly {
+			parts[i] = s.remap(local)
+		}
 		return nil
 	})
-	if err != nil {
-		return nil, agg, fmt.Errorf("shard: %w", err)
-	}
 	for _, ws := range workerStats {
 		agg.Add(ws)
 	}
-	return mergeSorted(parts), agg, nil
+	if err != nil {
+		return nil, agg, wrapRunErr(err)
+	}
+	if spec.CountOnly {
+		// Per-shard counts summed by Add; cap like a merged+truncated
+		// result would be.
+		if spec.Limit > 0 && agg.ResultSize > spec.Limit {
+			finalize(&agg, spec.Limit)
+		}
+		return nil, agg, nil
+	}
+	out := mergeSorted(spec.Dest, parts)
+	if spec.Limit > 0 && len(out) > spec.Limit {
+		out = out[:spec.Limit]
+	}
+	finalize(&agg, len(out))
+	return out, agg, nil
+}
+
+// EachRegion streams an area query: yield receives each result (global id
+// and position) as the per-shard Voronoi BFS discovers it. Shards are
+// walked one after another, each streaming in discovery order — global
+// ids of different shards interleave (Hilbert partitioning scatters the
+// original indexes), so no overall id ordering is implied. yield
+// returning false stops the query. spec.Limit bounds the total number of
+// yields across shards; spec.CountOnly and spec.Dest are ignored.
+func (e *Engine) EachRegion(ctx context.Context, region core.Region, spec core.QuerySpec, yield func(id int64, pos geom.Point) bool) (core.Stats, error) {
+	agg := core.Stats{Method: spec.Method}
+	alive := e.survivors(nil, region)
+	remaining := spec.Limit
+	for _, si := range alive {
+		local := shardSpec(spec)
+		local.CountOnly = false
+		if spec.Limit > 0 {
+			local.Limit = remaining
+		}
+		s := &e.shards[si]
+		stopped := false
+		st, err := s.eng.EachRegion(ctx, region, local, func(id int64, pos geom.Point) bool {
+			if !yield(s.global[id], pos) {
+				stopped = true
+				return false
+			}
+			return true
+		})
+		agg.Add(st)
+		if err != nil {
+			finalize(&agg, agg.ResultSize)
+			return agg, fmt.Errorf("shard: shard %d: %w", si, err)
+		}
+		if stopped {
+			break
+		}
+		if spec.Limit > 0 {
+			remaining -= st.ResultSize
+			if remaining <= 0 {
+				break
+			}
+		}
+	}
+	finalize(&agg, agg.ResultSize)
+	return agg, ctx.Err()
 }
 
 // Count answers an area query returning only the number of matching
-// points; pruned shards and the merge/sort are skipped entirely.
+// points; pruned shards cost nothing and no merged result is built.
 func (e *Engine) Count(m core.Method, area geom.Polygon) (int, core.Stats, error) {
-	agg := core.Stats{Method: m}
-	region := core.PolygonRegion(area)
-	alive := e.survivors(nil, region)
-	if len(alive) == 0 {
-		return 0, agg, nil
-	}
-	opts := exec.Options{NumWorkers: e.parallelism, Chunk: 1}
-	counts := make([]int, len(alive))
-	workerStats := make([]core.Stats, opts.Workers(len(alive)))
-	err := exec.Run(len(alive), opts, func(worker, i int) error {
-		local, st, err := e.shards[alive[i]].shardQuery(m, region)
-		if err != nil {
-			return fmt.Errorf("shard %d: %w", alive[i], err)
-		}
-		counts[i] = len(local)
-		workerStats[worker].Add(st)
-		return nil
-	})
+	_, agg, err := e.QueryRegionSpec(context.Background(), core.PolygonRegion(area),
+		core.QuerySpec{Method: m, CountOnly: true})
 	if err != nil {
-		return 0, agg, fmt.Errorf("shard: %w", err)
+		return 0, agg, err
 	}
-	total := 0
-	for _, c := range counts {
-		total += c
-	}
-	for _, ws := range workerStats {
-		agg.Add(ws)
-	}
-	return total, agg, nil
+	return agg.ResultSize, agg, nil
 }
 
 // QueryRegions answers a batch of regions, scattering every (region,
@@ -308,10 +394,20 @@ func (e *Engine) Count(m core.Method, area geom.Polygon) (int, core.Stats, error
 // is in ascending global id order. The aggregate Stats sum per-shard,
 // per-query work.
 func (e *Engine) QueryRegions(m core.Method, regions []core.Region) ([][]int64, core.Stats, error) {
-	agg := core.Stats{Method: m}
+	return e.QueryRegionsSpec(context.Background(), regions, core.QuerySpec{Method: m})
+}
+
+// QueryRegionsSpec is the context-aware spec-driven batch: every (region,
+// surviving shard) pair is one pool task; cancellation abandons
+// un-dispatched pairs. With spec.CountOnly the per-query slices stay nil
+// and the aggregate match count is Stats.ResultSize. spec.Dest is ignored
+// (one buffer cannot back a batch of results).
+func (e *Engine) QueryRegionsSpec(ctx context.Context, regions []core.Region, spec core.QuerySpec) ([][]int64, core.Stats, error) {
+	agg := core.Stats{Method: spec.Method}
 	if len(regions) == 0 {
 		return nil, agg, nil
 	}
+	spec.Dest = nil
 
 	// Scatter: one task per (query, surviving shard) pair.
 	type task struct {
@@ -320,47 +416,83 @@ func (e *Engine) QueryRegions(m core.Method, regions []core.Region) ([][]int64, 
 	}
 	var tasks []task
 	parts := make([][][]int64, len(regions)) // query -> shard slot -> global ids
+	counts := make([][]int, len(regions))    // query -> shard slot -> match count
 	alive := make([]int, 0, len(e.shards))
 	for qi, region := range regions {
 		alive = e.survivors(alive[:0], region)
 		parts[qi] = make([][]int64, len(alive))
+		counts[qi] = make([]int, len(alive))
 		for slot, si := range alive {
 			tasks = append(tasks, task{query: qi, shard: si, slot: slot})
 		}
 	}
 
-	// Chunk 1, as in QueryRegion: each task is a full per-shard query —
+	// Chunk 1, as in QueryRegionSpec: each task is a full per-shard query —
 	// expensive enough that claiming several per steal would serialize
 	// small batches.
 	opts := exec.Options{NumWorkers: e.parallelism, Chunk: 1}
 	workerStats := make([]core.Stats, opts.Workers(len(tasks)))
-	err := exec.Run(len(tasks), opts, func(worker, i int) error {
+	err := exec.Run(ctx, len(tasks), opts, func(worker, i int) error {
 		tk := tasks[i]
 		s := &e.shards[tk.shard]
-		local, st, err := s.shardQuery(m, regions[tk.query])
+		local, st, err := s.shardQuery(ctx, regions[tk.query], spec)
+		workerStats[worker].Add(st)
 		if err != nil {
 			return fmt.Errorf("query %d shard %d: %w", tk.query, tk.shard, err)
 		}
-		parts[tk.query][tk.slot] = s.remap(local)
-		workerStats[worker].Add(st)
+		if spec.CountOnly {
+			counts[tk.query][tk.slot] = st.ResultSize
+		} else {
+			parts[tk.query][tk.slot] = s.remap(local)
+		}
 		return nil
 	})
-	if err != nil {
-		return nil, agg, fmt.Errorf("shard: %w", err)
-	}
-
-	// Gather: merge each query's shard results.
-	out := make([][]int64, len(regions))
-	for qi := range regions {
-		out[qi] = mergeSorted(parts[qi])
-	}
 	for _, ws := range workerStats {
 		agg.Add(ws)
 	}
+	if err != nil {
+		return nil, agg, wrapRunErr(err)
+	}
+
+	// Gather: merge each query's shard results.
+	total := 0
+	var out [][]int64
+	if spec.CountOnly {
+		for qi := range regions {
+			c := 0
+			for _, n := range counts[qi] {
+				c += n
+			}
+			if spec.Limit > 0 && c > spec.Limit {
+				c = spec.Limit
+			}
+			total += c
+		}
+	} else {
+		out = make([][]int64, len(regions))
+		for qi := range regions {
+			out[qi] = mergeSorted(nil, parts[qi])
+			if spec.Limit > 0 && len(out[qi]) > spec.Limit {
+				out[qi] = out[qi][:spec.Limit]
+			}
+			total += len(out[qi])
+		}
+	}
+	finalize(&agg, total)
 	return out, agg, nil
 }
 
 // QueryBatch is QueryRegions over plain polygons.
 func (e *Engine) QueryBatch(m core.Method, areas []geom.Polygon) ([][]int64, core.Stats, error) {
 	return e.QueryRegions(m, core.Polygons(areas))
+}
+
+// wrapRunErr prefixes pool errors with the package name, except bare
+// context errors (already self-describing, and callers match them with
+// errors.Is anyway).
+func wrapRunErr(err error) error {
+	if err == context.Canceled || err == context.DeadlineExceeded {
+		return err
+	}
+	return fmt.Errorf("shard: %w", err)
 }

@@ -1,6 +1,7 @@
 package shard
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -452,7 +453,7 @@ func TestExecRunPrimitive(t *testing.T) {
 	for _, workers := range []int{1, 4} {
 		opts := exec.Options{NumWorkers: workers, Chunk: 2}
 		hits := make([]int32, 100)
-		err := exec.Run(len(hits), opts, func(worker, i int) error {
+		err := exec.Run(context.Background(), len(hits), opts, func(worker, i int) error {
 			if worker < 0 || worker >= opts.Workers(len(hits)) {
 				return fmt.Errorf("worker %d out of range", worker)
 			}
@@ -468,7 +469,7 @@ func TestExecRunPrimitive(t *testing.T) {
 			}
 		}
 
-		err = exec.Run(10, opts, func(_, i int) error {
+		err = exec.Run(context.Background(), 10, opts, func(_, i int) error {
 			if i >= 3 {
 				return fmt.Errorf("fail at %d", i)
 			}
@@ -478,7 +479,7 @@ func TestExecRunPrimitive(t *testing.T) {
 			t.Fatalf("workers=%d: error swallowed", workers)
 		}
 	}
-	if err := exec.Run(0, exec.Options{}, func(_, _ int) error { return fmt.Errorf("never") }); err != nil {
+	if err := exec.Run(context.Background(), 0, exec.Options{}, func(_, _ int) error { return fmt.Errorf("never") }); err != nil {
 		t.Fatalf("n=0: %v", err)
 	}
 }

@@ -1,0 +1,297 @@
+package vaq
+
+import (
+	"context"
+	"fmt"
+	"slices"
+
+	"repro/internal/core"
+	"repro/internal/exec"
+)
+
+// Querier is the one query surface of this package: a single logical
+// operation — the area query of the paper — expressed once and implemented
+// by every engine flavor. *Engine (static), *ShardedEngine
+// (scatter-gather), *DynamicEngine (growing dataset) and *Snapshot
+// (epoch-pinned view) all satisfy it, so code written against Querier runs
+// unchanged on any backend.
+//
+// All three methods accept a context.Context and honor cancellation and
+// deadlines identically on every backend: cancellation is checked at
+// candidate-generation boundaries inside a query, between queries of a
+// batch, and between scatter tasks of a sharded fan-out; it surfaces as
+// ctx.Err() (matchable with errors.Is against context.Canceled /
+// context.DeadlineExceeded). Options the backend cannot honor per query
+// (Reuse on a batch) are documented on the option.
+//
+// Query and QueryAll return ids in ascending order on every backend, so
+// equal result sets compare byte-identical regardless of flavor or method.
+// Each streams in discovery order instead — that is its point.
+type Querier interface {
+	// Query answers one area query over region, returning the ids of all
+	// stored points inside it in ascending order.
+	Query(ctx context.Context, region Region, opts ...QueryOpt) ([]int64, error)
+	// QueryAll answers a batch of area queries, returning per-region
+	// results aligned with regions. The batch runs on the backend's worker
+	// pool (WithParallelism) and stops at the first error.
+	QueryAll(ctx context.Context, regions []Region, opts ...QueryOpt) ([][]int64, error)
+	// Each streams one area query: yield is called with each result id and
+	// its coordinates as the algorithm discovers it — for the Voronoi
+	// methods, while the BFS is still expanding — so consumers can act on
+	// early results without waiting for, or materializing, the full set.
+	// yield returning false stops the query cleanly.
+	Each(ctx context.Context, region Region, yield func(id int64, p Point) bool, opts ...QueryOpt) error
+}
+
+// Compile-time checks: every engine flavor implements Querier.
+var (
+	_ Querier = (*Engine)(nil)
+	_ Querier = (*ShardedEngine)(nil)
+	_ Querier = (*DynamicEngine)(nil)
+	_ Querier = (*Snapshot)(nil)
+)
+
+// QueryOpt customizes one query (or batch). Options compose: the zero
+// option set means "VoronoiBFS, full result set, no limit".
+type QueryOpt func(*queryPlan)
+
+// queryPlan is the resolved option set of one query.
+type queryPlan struct {
+	method    Method
+	countOnly bool
+	limit     int
+	stats     *Stats
+	buf       []int64
+}
+
+// resolve applies opts over the defaults.
+func resolve(opts []QueryOpt) queryPlan {
+	p := queryPlan{method: VoronoiBFS}
+	for _, o := range opts {
+		if o != nil {
+			o(&p)
+		}
+	}
+	return p
+}
+
+// spec translates the plan into the internal request shape.
+func (p *queryPlan) spec() core.QuerySpec {
+	return core.QuerySpec{
+		Method:    p.method,
+		CountOnly: p.countOnly,
+		Limit:     p.limit,
+		Dest:      p.buf,
+	}
+}
+
+// UsingMethod selects the area-query algorithm (default VoronoiBFS, the
+// paper's). All methods return the same result set; they differ in the
+// work performed (see Stats).
+func UsingMethod(m Method) QueryOpt {
+	return func(p *queryPlan) { p.method = m }
+}
+
+// CountOnly skips materializing the result slice: Query returns a nil
+// slice and the match count is reported in Stats.ResultSize (pair with
+// WithStatsInto, or use the package-level Count helper). On QueryAll the
+// per-region slices stay nil and the aggregate count lands in
+// Stats.ResultSize; Each ignores it.
+func CountOnly() QueryOpt {
+	return func(p *queryPlan) { p.countOnly = true }
+}
+
+// Limit stops a query after n results (n <= 0 means unlimited). The limit
+// is an early-exit bound, so which n points are returned is method- and
+// backend-dependent; the returned ids are still in ascending order among
+// themselves. On QueryAll the limit applies per region; on Each it bounds
+// the number of yields.
+func Limit(n int) QueryOpt {
+	return func(p *queryPlan) { p.limit = n }
+}
+
+// WithStatsInto writes the query's statistics into st — per-query work
+// counters for Query and Each, the per-query sum for QueryAll. The write
+// happens on every outcome, including errors (partial work) and
+// cancellation, so callers can observe how far a cancelled query got.
+func WithStatsInto(st *Stats) QueryOpt {
+	return func(p *queryPlan) { p.stats = st }
+}
+
+// Reuse appends results into buf (overwriting from buf[:0]) instead of
+// allocating a fresh slice, letting a query loop recycle one buffer.
+// Ignored by QueryAll (one buffer cannot back a batch of independent
+// results) and by Each (which materializes nothing).
+func Reuse(buf []int64) QueryOpt {
+	return func(p *queryPlan) { p.buf = buf }
+}
+
+// Count is a convenience over any Querier: the match count of an area
+// query, without materializing results, on any backend. A WithStatsInto
+// passed in opts still receives the query's statistics.
+func Count(ctx context.Context, q Querier, region Region, opts ...QueryOpt) (int, error) {
+	var st Stats
+	_, err := q.Query(ctx, region, append(append([]QueryOpt(nil), opts...), CountOnly(), WithStatsInto(&st))...)
+	if p := resolve(opts); p.stats != nil {
+		*p.stats = st
+	}
+	if err != nil {
+		return 0, err
+	}
+	return st.ResultSize, nil
+}
+
+// countVia implements the deprecated per-flavor Count methods over the
+// new API, preserving their (int, Stats, error) shape.
+func countVia(q Querier, m Method, region Region) (int, Stats, error) {
+	var st Stats
+	_, err := q.Query(context.Background(), region, UsingMethod(m), CountOnly(), WithStatsInto(&st))
+	if err != nil {
+		return 0, st, err
+	}
+	return st.ResultSize, st, nil
+}
+
+// finishQuery applies the plan's post-processing shared by the unsharded
+// backends: canonical ascending id order and the stats handoff.
+func finishQuery(p *queryPlan, ids []int64, st Stats, err error) ([]int64, error) {
+	if p.stats != nil {
+		*p.stats = st
+	}
+	if err != nil {
+		return nil, err
+	}
+	slices.Sort(ids)
+	return ids, nil
+}
+
+// finishBatch sorts each per-region result and hands off aggregate stats.
+func finishBatch(p *queryPlan, out [][]int64, st Stats, err error) ([][]int64, error) {
+	if p.stats != nil {
+		*p.stats = st
+	}
+	if err != nil {
+		return nil, err
+	}
+	for _, ids := range out {
+		slices.Sort(ids)
+	}
+	return out, nil
+}
+
+// Query implements Querier.
+func (e *Engine) Query(ctx context.Context, region Region, opts ...QueryOpt) ([]int64, error) {
+	p := resolve(opts)
+	ids, st, err := e.eng.QueryRegionSpec(ctx, region, p.spec())
+	return finishQuery(&p, ids, st, err)
+}
+
+// QueryAll implements Querier.
+func (e *Engine) QueryAll(ctx context.Context, regions []Region, opts ...QueryOpt) ([][]int64, error) {
+	p := resolve(opts)
+	out, st, err := exec.QueryBatch(ctx, e.eng, regions, p.spec(),
+		exec.Options{NumWorkers: e.parallelism})
+	return finishBatch(&p, out, st, err)
+}
+
+// Each implements Querier.
+func (e *Engine) Each(ctx context.Context, region Region, yield func(id int64, p Point) bool, opts ...QueryOpt) error {
+	p := resolve(opts)
+	st, err := e.eng.EachRegion(ctx, region, p.spec(), yield)
+	if p.stats != nil {
+		*p.stats = st
+	}
+	return err
+}
+
+// Query implements Querier. Results are already in ascending global id
+// order from the scatter-gather merge.
+func (e *ShardedEngine) Query(ctx context.Context, region Region, opts ...QueryOpt) ([]int64, error) {
+	p := resolve(opts)
+	ids, st, err := e.se.QueryRegionSpec(ctx, region, p.spec())
+	if p.stats != nil {
+		*p.stats = st
+	}
+	if err != nil {
+		return nil, err
+	}
+	return ids, nil
+}
+
+// QueryAll implements Querier: every (region, surviving shard) pair is one
+// worker-pool task, so batches exploit intra- and inter-query parallelism
+// at once.
+func (e *ShardedEngine) QueryAll(ctx context.Context, regions []Region, opts ...QueryOpt) ([][]int64, error) {
+	p := resolve(opts)
+	out, st, err := e.se.QueryRegionsSpec(ctx, regions, p.spec())
+	if p.stats != nil {
+		*p.stats = st
+	}
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Each implements Querier. Shards stream one after another, each in BFS
+// discovery order; global ids from different shards interleave, so no
+// overall id ordering is implied.
+func (e *ShardedEngine) Each(ctx context.Context, region Region, yield func(id int64, p Point) bool, opts ...QueryOpt) error {
+	p := resolve(opts)
+	st, err := e.se.EachRegion(ctx, region, p.spec(), yield)
+	if p.stats != nil {
+		*p.stats = st
+	}
+	return err
+}
+
+// Query implements Querier, against the current epoch.
+func (e *DynamicEngine) Query(ctx context.Context, region Region, opts ...QueryOpt) ([]int64, error) {
+	return e.Snapshot().Query(ctx, region, opts...)
+}
+
+// QueryAll implements Querier. The whole batch runs against one pinned
+// epoch: every query in it sees the same dataset even while inserts
+// continue.
+func (e *DynamicEngine) QueryAll(ctx context.Context, regions []Region, opts ...QueryOpt) ([][]int64, error) {
+	return e.Snapshot().QueryAll(ctx, regions, opts...)
+}
+
+// Each implements Querier, streaming against the epoch current when the
+// call started.
+func (e *DynamicEngine) Each(ctx context.Context, region Region, yield func(id int64, p Point) bool, opts ...QueryOpt) error {
+	return e.Snapshot().Each(ctx, region, yield, opts...)
+}
+
+// Query implements Querier, against the pinned epoch.
+func (s *Snapshot) Query(ctx context.Context, region Region, opts ...QueryOpt) ([]int64, error) {
+	p := resolve(opts)
+	ids, st, err := s.s.QueryRegionSpec(ctx, region, p.spec())
+	return finishQuery(&p, ids, st, err)
+}
+
+// QueryAll implements Querier, all against the pinned epoch.
+func (s *Snapshot) QueryAll(ctx context.Context, regions []Region, opts ...QueryOpt) ([][]int64, error) {
+	p := resolve(opts)
+	// The sequential paths' error contract (ErrOutsideUniverse for bad
+	// areas, ErrNoData while empty), enforced before any worker spawns.
+	for i, r := range regions {
+		if err := s.s.CheckRegion(r); err != nil {
+			err = fmt.Errorf("vaq: batch query %d: %w", i, err)
+			return finishBatch(&p, nil, Stats{Method: p.method}, err)
+		}
+	}
+	out, st, err := exec.QueryBatch(ctx, s.s.Engine(), regions, p.spec(),
+		exec.Options{NumWorkers: s.parallelism})
+	return finishBatch(&p, out, st, err)
+}
+
+// Each implements Querier, streaming against the pinned epoch.
+func (s *Snapshot) Each(ctx context.Context, region Region, yield func(id int64, p Point) bool, opts ...QueryOpt) error {
+	p := resolve(opts)
+	st, err := s.s.EachRegion(ctx, region, p.spec(), yield)
+	if p.stats != nil {
+		*p.stats = st
+	}
+	return err
+}

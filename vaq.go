@@ -13,40 +13,54 @@
 //
 // # Quick start
 //
+// Every engine flavor implements one interface, Querier: one query
+// operation, one request shape, context-aware, on every backend.
+//
 //	points := vaq.UniformPoints(rand.New(rand.NewSource(1)), 100_000, vaq.UnitSquare())
 //	eng, err := vaq.NewEngine(points, vaq.UnitSquare())
 //	if err != nil { ... }
-//	area := vaq.MustPolygon([]vaq.Point{{X: 0.1, Y: 0.1}, {X: 0.4, Y: 0.2}, {X: 0.2, Y: 0.5}})
-//	ids, stats, err := eng.Query(area)            // Voronoi method (the paper's)
-//	ids2, stats2, err := eng.QueryWith(vaq.Traditional, area) // baseline
+//	area := vaq.PolygonRegion(vaq.MustPolygon([]vaq.Point{
+//		{X: 0.1, Y: 0.1}, {X: 0.4, Y: 0.2}, {X: 0.2, Y: 0.5}}))
 //
-// Both methods always return the same result set; stats expose the work
-// performed (candidates, redundant validations, index node visits,
-// record loads and — with WithStore — page IO).
+//	ids, err := eng.Query(ctx, area)                           // Voronoi method (the paper's)
+//	var st vaq.Stats
+//	ids, err = eng.Query(ctx, area,                            // per-query options
+//		vaq.UsingMethod(vaq.Traditional), vaq.WithStatsInto(&st))
+//	n, err := vaq.Count(ctx, eng, area)                        // count without materializing
+//	results, err := eng.QueryAll(ctx, regions)                 // parallel batch
+//	err = eng.Each(ctx, area, func(id int64, p vaq.Point) bool {
+//		return true                                            // streamed as the BFS discovers
+//	})
+//
+// All methods always return the same result set, in ascending id order on
+// every backend; Stats expose the work performed (candidates, redundant
+// validations, index node visits, record loads and — with WithStore —
+// page IO). Cancelling ctx aborts the query (or the un-started remainder
+// of a batch) and returns ctx.Err().
 //
 // # Concurrency model
 //
-// An Engine is immutable after NewEngine returns: the spatial index, the
-// Voronoi topology and the point data are never modified by queries, and
-// all per-query scratch state is pooled internally. Query, QueryWith,
-// QueryCircle, QueryRegions, KNearest, Count and QueryBatch are therefore
-// safe for concurrent use from any number of goroutines sharing one
-// Engine. Engines built WithStore are included: the record store's buffer
-// pool serializes its mutations behind a mutex, so concurrent loads
-// contend on that lock but never race.
+// Every Querier backend is safe for concurrent use from any number of
+// goroutines. An Engine is immutable after NewEngine returns: the spatial
+// index, the Voronoi topology and the point data are never modified by
+// queries, and all per-query scratch state is pooled internally. Engines
+// built WithStore are included: the record store's buffer pool serializes
+// its mutations behind a mutex, so concurrent loads contend on that lock
+// but never race. A ShardedEngine is likewise immutable after
+// construction.
 //
-// A DynamicEngine is safe for concurrent use too, via epoch snapshots:
-// Insert mutates writer-private structures under an internal mutex
-// (concurrent inserters serialize) and each query runs against an
-// immutable snapshot of the epoch current when it started, so queries
-// never observe a half-applied insert and any query started after an
-// Insert returns is guaranteed to see it. Queries between writes share
-// the published snapshot lock-free; the first query after a write
-// republishes it — an O(n) copy serialized with the writer, so that one
-// query and any concurrent Insert briefly contend. Snapshot() pins one
-// epoch explicitly for multi-query consistency.
+// A DynamicEngine is safe for concurrent use via epoch snapshots: Insert
+// mutates writer-private structures under an internal mutex (concurrent
+// inserters serialize) and each query runs against an immutable snapshot
+// of the epoch current when it started, so queries never observe a
+// half-applied insert and any query started after an Insert returns is
+// guaranteed to see it. Queries between writes share the published
+// snapshot lock-free; the first query after a write republishes it — an
+// O(n) copy serialized with the writer, so that one query and any
+// concurrent Insert briefly contend. Snapshot() pins one epoch explicitly
+// for multi-query consistency.
 //
-// QueryBatch additionally runs the batch itself in parallel on a bounded
+// QueryAll additionally runs the batch itself in parallel on a bounded
 // worker pool — WithParallelism(n) sets the pool size (default GOMAXPROCS;
 // 1 keeps batches on the calling goroutine).
 //
@@ -55,15 +69,21 @@
 // with NewShardedEngine: n Hilbert-coherent shards, each an independent
 // engine with its own index, topology and store, queried by scatter-gather
 // with shard-MBR pruning.
+//
+// # Migrating from the method-positional API
+//
+// The pre-Querier per-flavor methods (QueryWith, QueryCircle, Count,
+// QueryBatch, QueryRegions) remain as thin deprecated wrappers over the
+// new surface for one release; see README.md for the old → new mapping.
 package vaq
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math/rand"
 
 	"repro/internal/core"
-	"repro/internal/exec"
 	"repro/internal/geom"
 	"repro/internal/shard"
 	"repro/internal/svg"
@@ -94,7 +114,7 @@ type (
 	// Stats reports the work one query performed.
 	Stats = core.Stats
 	// Region is a prepared query shape — build one with PolygonRegion or
-	// CircleRegion; polygons and circles can share one QueryRegions batch.
+	// CircleRegion; polygons and circles can share one QueryAll batch.
 	Region = core.Region
 )
 
@@ -103,6 +123,9 @@ func PolygonRegion(pg Polygon) Region { return core.PolygonRegion(pg) }
 
 // CircleRegion prepares a circle for (repeated or batched) querying.
 func CircleRegion(c Circle) Region { return core.CircleRegion(c) }
+
+// Polygons prepares a polygon slice as a Region batch for QueryAll.
+func Polygons(areas []Polygon) []Region { return core.Polygons(areas) }
 
 // The available query methods.
 const (
@@ -242,8 +265,8 @@ func WithStore(cfg StoreConfig) Option {
 	return func(c *config) { s := cfg; c.store = &s }
 }
 
-// WithParallelism sets the worker-pool size QueryBatch and QueryRegions
-// run on — and, for sharded engines, the pool shard construction and
+// WithParallelism sets the worker-pool size QueryAll batches run on —
+// and, for sharded engines, the pool shard construction and
 // scatter-gather fan-out use. The default (n <= 0) is runtime.GOMAXPROCS;
 // 1 keeps batches sequential on the calling goroutine. Store-backed
 // engines participate fully: their buffer pool is mutex-guarded, so
@@ -259,11 +282,12 @@ func WithShards(n int) Option {
 	return func(c *config) { c.shards = n }
 }
 
-// Engine answers area queries over a fixed point set. Engines are read-
-// safe after construction: any number of goroutines may share one Engine
-// and query it concurrently (WithStore engines included — their buffer
-// pool is mutex-guarded), and QueryBatch spreads a batch over an internal
-// worker pool (see WithParallelism).
+// Engine answers area queries over a fixed point set; it is the static
+// Querier backend. Engines are read-safe after construction: any number
+// of goroutines may share one Engine and query it concurrently
+// (WithStore engines included — their buffer pool is mutex-guarded), and
+// QueryAll spreads a batch over an internal worker pool (see
+// WithParallelism).
 type Engine struct {
 	eng         *core.Engine
 	points      []Point
@@ -337,21 +361,26 @@ func NewEngine(points []Point, bounds Rect, opts ...Option) (*Engine, error) {
 	}, nil
 }
 
-// Query answers an area query with the paper's Voronoi method.
-func (e *Engine) Query(area Polygon) ([]int64, Stats, error) {
-	return e.eng.Query(VoronoiBFS, area)
-}
-
 // QueryWith answers an area query with an explicit method.
+//
+// Deprecated: use Query with UsingMethod and WithStatsInto.
 func (e *Engine) QueryWith(m Method, area Polygon) ([]int64, Stats, error) {
-	return e.eng.Query(m, area)
+	var st Stats
+	ids, err := e.Query(context.Background(), PolygonRegion(area),
+		UsingMethod(m), WithStatsInto(&st))
+	return ids, st, err
 }
 
 // QueryCircle answers a radius query — all points within the closed disk —
 // with the chosen method. The Voronoi BFS applies unchanged: a disk is
 // just another connected query region.
+//
+// Deprecated: use Query with CircleRegion and UsingMethod.
 func (e *Engine) QueryCircle(m Method, c Circle) ([]int64, Stats, error) {
-	return e.eng.QueryRegion(m, core.CircleRegion(c))
+	var st Stats
+	ids, err := e.Query(context.Background(), CircleRegion(c),
+		UsingMethod(m), WithStatsInto(&st))
+	return ids, st, err
 }
 
 // KNearest returns the k stored points nearest to q in increasing distance
@@ -363,40 +392,30 @@ func (e *Engine) KNearest(q Point, k int) ([]int64, Stats, error) {
 
 // Count answers an area query returning only the number of matching
 // points.
+//
+// Deprecated: use the package-level Count, or Query with CountOnly.
 func (e *Engine) Count(m Method, area Polygon) (int, Stats, error) {
-	return e.eng.Count(m, area)
+	return countVia(e, m, PolygonRegion(area))
 }
 
 // QueryBatch answers a sequence of queries with one method, returning
 // per-query results and aggregated statistics. The batch runs on the
 // engine's worker pool (see WithParallelism); the aggregate Duration is
 // the sum of per-query times, comparable with a sequential run.
+//
+// Deprecated: use QueryAll with UsingMethod.
 func (e *Engine) QueryBatch(m Method, areas []Polygon) ([][]int64, Stats, error) {
 	return e.QueryRegions(m, core.Polygons(areas))
 }
 
 // QueryRegions is QueryBatch over prepared Regions, letting polygon and
 // circle queries share one (parallel) batch.
-func (e *Engine) QueryRegions(m Method, regions []Region) ([][]int64, Stats, error) {
-	return exec.QueryBatch(e.eng, m, regions, exec.Options{NumWorkers: e.parallelism})
-}
-
-// Clone returns an engine sharing this engine's (read-only) index, points
-// and Voronoi topology.
 //
-// Deprecated: engines are safe for concurrent queries since per-query
-// scratch state moved into an internal pool and the record store's buffer
-// pool became mutex-guarded — share the Engine directly instead. Clone is
-// kept for callers structured around one engine per goroutine.
-func (e *Engine) Clone() (*Engine, error) {
-	return &Engine{
-		eng:         e.eng,
-		points:      e.points,
-		bounds:      e.bounds,
-		data:        e.data,
-		store:       e.store,
-		parallelism: e.parallelism,
-	}, nil
+// Deprecated: use QueryAll with UsingMethod.
+func (e *Engine) QueryRegions(m Method, regions []Region) ([][]int64, Stats, error) {
+	var st Stats
+	out, err := e.QueryAll(context.Background(), regions, UsingMethod(m), WithStatsInto(&st))
+	return out, st, err
 }
 
 // Len returns the number of stored points.
@@ -405,8 +424,17 @@ func (e *Engine) Len() int { return len(e.points) }
 // Bounds returns the engine's universe rectangle.
 func (e *Engine) Bounds() Rect { return e.bounds }
 
-// Point returns the coordinates of a stored id.
+// Point returns the coordinates of a stored id. It panics when id is not
+// in [0, Len()); use PointOK for a bounds-checked lookup.
 func (e *Engine) Point(id int64) Point { return e.points[id] }
+
+// PointOK returns the coordinates of id and whether id is a stored point.
+func (e *Engine) PointOK(id int64) (Point, bool) {
+	if id < 0 || id >= int64(len(e.points)) {
+		return Point{}, false
+	}
+	return e.points[id], true
+}
 
 // Diagram returns the engine's Voronoi diagram (cells clipped to Bounds).
 func (e *Engine) Diagram() *voronoi.Diagram {
@@ -501,25 +529,33 @@ func NewShardedEngine(points []Point, bounds Rect, opts ...Option) (*ShardedEngi
 	return &ShardedEngine{se: se, stores: stores[:se.NumShards()]}, nil
 }
 
-// Query answers an area query with the paper's Voronoi method, returning
-// ids in ascending order.
-func (e *ShardedEngine) Query(area Polygon) ([]int64, Stats, error) {
-	return e.se.Query(VoronoiBFS, area)
-}
-
 // QueryWith answers an area query with an explicit method.
+//
+// Deprecated: use Query with UsingMethod and WithStatsInto.
 func (e *ShardedEngine) QueryWith(m Method, area Polygon) ([]int64, Stats, error) {
-	return e.se.Query(m, area)
+	var st Stats
+	ids, err := e.Query(context.Background(), PolygonRegion(area),
+		UsingMethod(m), WithStatsInto(&st))
+	return ids, st, err
 }
 
 // QueryCircle answers a radius query with the chosen method.
+//
+// Deprecated: use Query with CircleRegion and UsingMethod.
 func (e *ShardedEngine) QueryCircle(m Method, c Circle) ([]int64, Stats, error) {
-	return e.se.QueryRegion(m, core.CircleRegion(c))
+	var st Stats
+	ids, err := e.Query(context.Background(), CircleRegion(c),
+		UsingMethod(m), WithStatsInto(&st))
+	return ids, st, err
 }
 
 // QueryRegion answers an area query over a prepared Region.
+//
+// Deprecated: use Query with UsingMethod.
 func (e *ShardedEngine) QueryRegion(m Method, region Region) ([]int64, Stats, error) {
-	return e.se.QueryRegion(m, region)
+	var st Stats
+	ids, err := e.Query(context.Background(), region, UsingMethod(m), WithStatsInto(&st))
+	return ids, st, err
 }
 
 // KNearest returns the k stored points nearest to q in increasing
@@ -531,21 +567,29 @@ func (e *ShardedEngine) KNearest(q Point, k int) ([]int64, Stats, error) {
 
 // Count answers an area query returning only the number of matching
 // points; pruned shards cost nothing and no merged result is built.
+//
+// Deprecated: use the package-level Count, or Query with CountOnly.
 func (e *ShardedEngine) Count(m Method, area Polygon) (int, Stats, error) {
-	return e.se.Count(m, area)
+	return countVia(e, m, PolygonRegion(area))
 }
 
 // QueryBatch answers a sequence of queries with one method. Every
 // (query, surviving shard) pair is one task on the worker pool, so
 // batches exploit intra- and inter-query parallelism at once.
+//
+// Deprecated: use QueryAll with UsingMethod.
 func (e *ShardedEngine) QueryBatch(m Method, areas []Polygon) ([][]int64, Stats, error) {
-	return e.se.QueryBatch(m, areas)
+	return e.QueryRegions(m, core.Polygons(areas))
 }
 
 // QueryRegions is QueryBatch over prepared Regions, letting polygon and
 // circle queries share one batch.
+//
+// Deprecated: use QueryAll with UsingMethod.
 func (e *ShardedEngine) QueryRegions(m Method, regions []Region) ([][]int64, Stats, error) {
-	return e.se.QueryRegions(m, regions)
+	var st Stats
+	out, err := e.QueryAll(context.Background(), regions, UsingMethod(m), WithStatsInto(&st))
+	return out, st, err
 }
 
 // NumShards returns the shard count (after clamping to the point count).
@@ -563,8 +607,13 @@ func (e *ShardedEngine) Len() int { return e.se.Len() }
 // Bounds returns the engine's universe rectangle.
 func (e *ShardedEngine) Bounds() Rect { return e.se.Bounds() }
 
-// Point returns the coordinates of a stored (global) id.
+// Point returns the coordinates of a stored (global) id. It panics when
+// id is not in [0, Len()); use PointOK for a bounds-checked lookup.
 func (e *ShardedEngine) Point(id int64) Point { return e.se.Point(id) }
+
+// PointOK returns the coordinates of a global id and whether id is a
+// stored point.
+func (e *ShardedEngine) PointOK(id int64) (Point, bool) { return e.se.PointOK(id) }
 
 // IOStats sums the simulated IO counters over every shard's store when
 // the engine was built WithStore; ok is false otherwise.
@@ -655,22 +704,26 @@ func (e *DynamicEngine) Snapshot() *Snapshot {
 	return &Snapshot{s: e.d.Snapshot(), parallelism: e.parallelism}
 }
 
-// Query answers an area query with the paper's Voronoi method at the
-// current epoch.
-func (e *DynamicEngine) Query(area Polygon) ([]int64, Stats, error) {
-	return e.d.Query(VoronoiBFS, area)
-}
-
 // QueryWith answers an area query with an explicit method at the current
 // epoch.
+//
+// Deprecated: use Query with UsingMethod and WithStatsInto.
 func (e *DynamicEngine) QueryWith(m Method, area Polygon) ([]int64, Stats, error) {
-	return e.d.Query(m, area)
+	var st Stats
+	ids, err := e.Query(context.Background(), PolygonRegion(area),
+		UsingMethod(m), WithStatsInto(&st))
+	return ids, st, err
 }
 
 // QueryCircle answers a radius query with the chosen method at the
 // current epoch.
+//
+// Deprecated: use Query with CircleRegion and UsingMethod.
 func (e *DynamicEngine) QueryCircle(m Method, c Circle) ([]int64, Stats, error) {
-	return e.d.QueryRegion(m, core.CircleRegion(c))
+	var st Stats
+	ids, err := e.Query(context.Background(), CircleRegion(c),
+		UsingMethod(m), WithStatsInto(&st))
+	return ids, st, err
 }
 
 // KNearest returns the k inserted points nearest to q in increasing
@@ -682,22 +735,30 @@ func (e *DynamicEngine) KNearest(q Point, k int) ([]int64, Stats, error) {
 
 // Count answers an area query at the current epoch returning only the
 // number of matching points.
+//
+// Deprecated: use the package-level Count, or Query with CountOnly.
 func (e *DynamicEngine) Count(m Method, area Polygon) (int, Stats, error) {
-	return e.d.Count(m, area)
+	return countVia(e, m, PolygonRegion(area))
 }
 
 // QueryBatch answers a sequence of queries with one method on the worker
 // pool (see WithParallelism). The whole batch runs against one pinned
 // epoch: every query in it sees the same dataset even while inserts
 // continue.
+//
+// Deprecated: use QueryAll with UsingMethod.
 func (e *DynamicEngine) QueryBatch(m Method, areas []Polygon) ([][]int64, Stats, error) {
 	return e.QueryRegions(m, core.Polygons(areas))
 }
 
 // QueryRegions is QueryBatch over prepared Regions, letting polygon and
 // circle queries share one epoch-pinned parallel batch.
+//
+// Deprecated: use QueryAll with UsingMethod.
 func (e *DynamicEngine) QueryRegions(m Method, regions []Region) ([][]int64, Stats, error) {
-	return e.Snapshot().QueryRegions(m, regions)
+	var st Stats
+	out, err := e.QueryAll(context.Background(), regions, UsingMethod(m), WithStatsInto(&st))
+	return out, st, err
 }
 
 // Len returns the number of inserted points at the current epoch.
@@ -711,8 +772,14 @@ func (e *DynamicEngine) Epoch() uint64 { return e.d.Epoch() }
 func (e *DynamicEngine) Universe() Rect { return e.d.Universe() }
 
 // Point returns the coordinates of an inserted id. Safe to call
-// concurrently with Insert.
+// concurrently with Insert. It panics when id was never returned by
+// Insert; use PointOK for a bounds-checked lookup.
 func (e *DynamicEngine) Point(id int64) Point { return e.d.Point(id) }
+
+// PointOK returns the coordinates of id and whether id is an inserted
+// point the engine currently holds. Safe to call concurrently with
+// Insert.
+func (e *DynamicEngine) PointOK(id int64) (Point, bool) { return e.d.PointOK(id) }
 
 // Snapshot is an immutable, epoch-pinned view of a DynamicEngine. Every
 // query on it runs against exactly the points inserted before it was
@@ -735,26 +802,37 @@ func (s *Snapshot) Len() int { return s.s.Len() }
 // Universe returns the universe rectangle.
 func (s *Snapshot) Universe() Rect { return s.s.Universe() }
 
-// Point returns the coordinates of an id present in the snapshot.
+// Point returns the coordinates of an id present in the snapshot. It
+// panics when id is not present; use PointOK for a bounds-checked lookup.
 func (s *Snapshot) Point(id int64) Point { return s.s.Point(id) }
 
-// Each iterates the snapshot's points in ascending id order; fn returning
-// false stops the iteration.
-func (s *Snapshot) Each(fn func(id int64, p Point) bool) { s.s.Each(fn) }
+// PointOK returns the coordinates of id and whether id is a point present
+// in the snapshot.
+func (s *Snapshot) PointOK(id int64) (Point, bool) { return s.s.PointOK(id) }
 
-// Query answers an area query with the paper's Voronoi method.
-func (s *Snapshot) Query(area Polygon) ([]int64, Stats, error) {
-	return s.s.Query(VoronoiBFS, area)
-}
+// EachPoint iterates the snapshot's points in ascending id order; fn
+// returning false stops the iteration. (Each — the Querier method —
+// streams an area query instead.)
+func (s *Snapshot) EachPoint(fn func(id int64, p Point) bool) { s.s.EachPoint(fn) }
 
 // QueryWith answers an area query with an explicit method.
+//
+// Deprecated: use Query with UsingMethod and WithStatsInto.
 func (s *Snapshot) QueryWith(m Method, area Polygon) ([]int64, Stats, error) {
-	return s.s.Query(m, area)
+	var st Stats
+	ids, err := s.Query(context.Background(), PolygonRegion(area),
+		UsingMethod(m), WithStatsInto(&st))
+	return ids, st, err
 }
 
 // QueryCircle answers a radius query with the chosen method.
+//
+// Deprecated: use Query with CircleRegion and UsingMethod.
 func (s *Snapshot) QueryCircle(m Method, c Circle) ([]int64, Stats, error) {
-	return s.s.QueryRegion(m, core.CircleRegion(c))
+	var st Stats
+	ids, err := s.Query(context.Background(), CircleRegion(c),
+		UsingMethod(m), WithStatsInto(&st))
+	return ids, st, err
 }
 
 // KNearest returns the k points nearest to q in increasing distance
@@ -765,26 +843,27 @@ func (s *Snapshot) KNearest(q Point, k int) ([]int64, Stats, error) {
 
 // Count answers an area query returning only the number of matching
 // points.
+//
+// Deprecated: use the package-level Count, or Query with CountOnly.
 func (s *Snapshot) Count(m Method, area Polygon) (int, Stats, error) {
-	return s.s.Count(m, area)
+	return countVia(s, m, PolygonRegion(area))
 }
 
 // QueryBatch answers a sequence of queries with one method on the worker
 // pool, all against this snapshot's pinned epoch.
+//
+// Deprecated: use QueryAll with UsingMethod.
 func (s *Snapshot) QueryBatch(m Method, areas []Polygon) ([][]int64, Stats, error) {
 	return s.QueryRegions(m, core.Polygons(areas))
 }
 
 // QueryRegions is QueryBatch over prepared Regions.
+//
+// Deprecated: use QueryAll with UsingMethod.
 func (s *Snapshot) QueryRegions(m Method, regions []Region) ([][]int64, Stats, error) {
-	// The sequential paths' error contract (ErrOutsideUniverse for bad
-	// areas, ErrNoData while empty), enforced before any worker spawns.
-	for i, r := range regions {
-		if err := s.s.CheckRegion(r); err != nil {
-			return nil, Stats{Method: m}, fmt.Errorf("vaq: batch query %d: %w", i, err)
-		}
-	}
-	return exec.QueryBatch(s.s.Engine(), m, regions, exec.Options{NumWorkers: s.parallelism})
+	var st Stats
+	out, err := s.QueryAll(context.Background(), regions, UsingMethod(m), WithStatsInto(&st))
+	return out, st, err
 }
 
 // RenderOptions configures RenderQuerySVG.
@@ -807,14 +886,12 @@ func (e *Engine) RenderQuerySVG(w io.Writer, area Polygon, opts RenderOptions) e
 	if opts.WidthPx <= 0 {
 		opts.WidthPx = 800
 	}
-	// Run the Voronoi query to classify points.
-	results, _, err := e.QueryWith(VoronoiBFS, area)
+	// Run the Voronoi query once; the result set classifies the points and
+	// seeds the candidate-shell replay below.
+	results, err := e.Query(context.Background(), PolygonRegion(area))
 	if err != nil {
 		return err
 	}
-	// Candidates = results + redundant validations; recover the full
-	// candidate set by re-running with instrumentation via the strict set
-	// difference: simplest is to re-run traditional-free classification:
 	inResult := make(map[int64]bool, len(results))
 	for _, id := range results {
 		inResult[id] = true
@@ -839,11 +916,7 @@ func (e *Engine) RenderQuerySVG(w io.Writer, area Polygon, opts RenderOptions) e
 	}
 	canvas.Polygon(area, svg.Style{Stroke: "black", StrokeWidth: 1.5, Fill: "#fff4cc", Opacity: 0.7})
 
-	// Identify the redundant candidates by re-walking the BFS: cheaper to
-	// reuse the boundary shell = loaded-but-outside set. We re-run the
-	// query through the instrumented engine and collect per-point classes
-	// with a brute refinement pass over the shell region.
-	shell := e.candidateShell(area)
+	shell := e.candidateShell(results, inResult)
 	for i, p := range e.points {
 		id := int64(i)
 		switch {
@@ -859,18 +932,11 @@ func (e *Engine) RenderQuerySVG(w io.Writer, area Polygon, opts RenderOptions) e
 	return err
 }
 
-// candidateShell returns the ids the Voronoi method validates but rejects,
-// by replaying Algorithm 1's candidate generation.
-func (e *Engine) candidateShell(area Polygon) map[int64]bool {
+// candidateShell returns the ids the Voronoi method validates but
+// rejects, by replaying Algorithm 1's candidate generation over an
+// already-computed result set — no second query runs.
+func (e *Engine) candidateShell(results []int64, inResult map[int64]bool) map[int64]bool {
 	shell := make(map[int64]bool)
-	results, _, err := e.QueryWith(VoronoiBFS, area)
-	if err != nil {
-		return shell
-	}
-	inResult := make(map[int64]bool, len(results))
-	for _, id := range results {
-		inResult[id] = true
-	}
 	// The shell is exactly: Voronoi neighbors of results that are outside
 	// the area, plus the seed if it was outside. Replaying the adjacency of
 	// the result set reproduces it (boundary points that only chain from

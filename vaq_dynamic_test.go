@@ -18,7 +18,7 @@ func dynKNNOracle(s *Snapshot, q Point, k int) []int64 {
 		d2 float64
 	}
 	var all []cand
-	s.Each(func(id int64, p Point) bool {
+	s.EachPoint(func(id int64, p Point) bool {
 		all = append(all, cand{id: id, d2: q.Dist2(p)})
 		return true
 	})
@@ -173,7 +173,7 @@ func TestDynamicEngineConcurrentInsertQuery(t *testing.T) {
 				// too; their epoch is pinned internally, so verify invariants
 				// that hold at any epoch: results lie inside the area and
 				// ids resolve to points.
-				live, _, err := eng.Query(area)
+				live, _, err := eng.QueryWith(VoronoiBFS, area)
 				if err != nil {
 					recordError(err)
 					return
@@ -220,7 +220,7 @@ func TestDynamicEngineConcurrentInsertQuery(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, _, err := final.Query(area)
+	got, _, err := final.QueryWith(VoronoiBFS, area)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -244,7 +244,7 @@ func TestDynamicOutsideUniverseSentinel(t *testing.T) {
 		t.Fatal(err)
 	}
 	tooBig := MustPolygon([]Point{Pt(-1, -1), Pt(2, -1), Pt(0.5, 2)})
-	if _, _, err := eng.Query(tooBig); !errors.Is(err, ErrOutsideUniverse) {
+	if _, _, err := eng.QueryWith(VoronoiBFS, tooBig); !errors.Is(err, ErrOutsideUniverse) {
 		t.Errorf("Query exceeding universe: err = %v, want ErrOutsideUniverse", err)
 	}
 	if _, _, err := eng.QueryBatch(VoronoiBFS, []Polygon{tooBig}); !errors.Is(err, ErrOutsideUniverse) {
@@ -258,7 +258,7 @@ func TestDynamicOutsideUniverseSentinel(t *testing.T) {
 func TestDynamicEmptyEngineErrNoData(t *testing.T) {
 	eng := NewDynamicEngine(UnitSquare())
 	area := MustPolygon([]Point{Pt(0.1, 0.1), Pt(0.5, 0.1), Pt(0.3, 0.5)})
-	if _, _, err := eng.Query(area); !errors.Is(err, ErrNoData) {
+	if _, _, err := eng.QueryWith(VoronoiBFS, area); !errors.Is(err, ErrNoData) {
 		t.Errorf("Query on empty: err = %v, want ErrNoData", err)
 	}
 	if _, _, err := eng.KNearest(Pt(0.5, 0.5), 3); !errors.Is(err, ErrNoData) {

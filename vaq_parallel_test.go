@@ -185,7 +185,7 @@ func TestGoroutinesShareOneEngine(t *testing.T) {
 			defer wg.Done()
 			for rep := 0; rep < 30; rep++ {
 				i := (worker + rep) % len(areas)
-				ids, _, err := eng.Query(areas[i])
+				ids, _, err := eng.QueryWith(VoronoiBFS, areas[i])
 				if err != nil {
 					errs <- err
 					return

@@ -85,11 +85,11 @@ func TestShardedEngineConformance(t *testing.T) {
 
 			// Default-method Query plus the batched entry points.
 			for ai, area := range areas {
-				want, _, err := single.Query(area)
+				want, _, err := single.QueryWith(VoronoiBFS, area)
 				if err != nil {
 					t.Fatal(err)
 				}
-				got, _, err := sharded.Query(area)
+				got, _, err := sharded.QueryWith(VoronoiBFS, area)
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -170,11 +170,11 @@ func TestShardedEngineStoreBacked(t *testing.T) {
 	rng := rand.New(rand.NewSource(65))
 	for rep := 0; rep < 8; rep++ {
 		area := RandomQueryPolygon(rng, 10, 0.03, UnitSquare())
-		want, _, err := single.Query(area)
+		want, _, err := single.QueryWith(VoronoiBFS, area)
 		if err != nil {
 			t.Fatal(err)
 		}
-		got, st, err := sharded.Query(area)
+		got, st, err := sharded.QueryWith(VoronoiBFS, area)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -202,7 +202,7 @@ func TestShardedEngineIndexKinds(t *testing.T) {
 	}
 	rng := rand.New(rand.NewSource(67))
 	area := RandomQueryPolygon(rng, 10, 0.04, UnitSquare())
-	want, _, err := single.Query(area)
+	want, _, err := single.QueryWith(VoronoiBFS, area)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -211,7 +211,7 @@ func TestShardedEngineIndexKinds(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%v: %v", kind, err)
 		}
-		got, _, err := sharded.Query(area)
+		got, _, err := sharded.QueryWith(VoronoiBFS, area)
 		if err != nil {
 			t.Fatalf("%v: %v", kind, err)
 		}
@@ -236,7 +236,7 @@ func TestShardedGlobalIDStability(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		got, _, err := sharded.Query(area)
+		got, _, err := sharded.QueryWith(VoronoiBFS, area)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -289,7 +289,7 @@ func TestConcurrentShardedEngine(t *testing.T) {
 			for rep := 0; rep < 10; rep++ {
 				i := (worker + rep) % len(areas)
 				if rep%2 == 0 {
-					ids, _, err := sharded.Query(areas[i])
+					ids, _, err := sharded.QueryWith(VoronoiBFS, areas[i])
 					if err != nil {
 						errs <- err
 						return

@@ -2,6 +2,7 @@ package vaq
 
 import (
 	"bytes"
+	"context"
 	"math/rand"
 	"sort"
 	"strings"
@@ -40,7 +41,8 @@ func TestQuickstartFlow(t *testing.T) {
 		t.Errorf("Bounds = %v", eng.Bounds())
 	}
 	area := RandomQueryPolygon(rng, 10, 0.02, UnitSquare())
-	ids, stats, err := eng.Query(area)
+	var stats Stats
+	ids, err := eng.Query(context.Background(), PolygonRegion(area), WithStatsInto(&stats))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -95,7 +97,7 @@ func TestAllIndexKinds(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%v: %v", kind, err)
 		}
-		got, _, err := eng.Query(area)
+		got, err := eng.Query(context.Background(), PolygonRegion(area))
 		if err != nil {
 			t.Fatalf("%v: %v", kind, err)
 		}
@@ -139,7 +141,7 @@ func TestWithStoreIOVisible(t *testing.T) {
 		t.Fatal("IOStats should be available with WithStore")
 	}
 	area := RandomQueryPolygon(rng, 10, 0.05, UnitSquare())
-	if _, _, err := eng.Query(area); err != nil {
+	if _, err := eng.Query(context.Background(), PolygonRegion(area)); err != nil {
 		t.Fatal(err)
 	}
 	reads, _, _ := eng.IOStats()
@@ -239,7 +241,7 @@ func TestDynamicEnginePublicAPI(t *testing.T) {
 		t.Fatalf("Len = %d", eng.Len())
 	}
 	area := RandomQueryPolygon(rng, 10, 0.05, UnitSquare())
-	a, _, err := eng.Query(area)
+	a, err := eng.Query(context.Background(), PolygonRegion(area))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -259,48 +261,62 @@ func TestDynamicEnginePublicAPI(t *testing.T) {
 	_ = ids
 }
 
-func TestClonePublicAPI(t *testing.T) {
+func TestPointOKPublicAPI(t *testing.T) {
 	rng := rand.New(rand.NewSource(9))
 	pts := UniformPoints(rng, 500, UnitSquare())
 	eng, err := NewEngine(pts, UnitSquare())
 	if err != nil {
 		t.Fatal(err)
 	}
-	clone, err := eng.Clone()
+	sharded, err := NewShardedEngine(pts, UnitSquare(), WithShards(4))
 	if err != nil {
 		t.Fatal(err)
 	}
-	area := RandomQueryPolygon(rng, 10, 0.1, UnitSquare())
-	a, _, err := eng.Query(area)
+	for _, tc := range []struct {
+		name    string
+		pointOK func(id int64) (Point, bool)
+		point   func(id int64) Point
+	}{
+		{"engine", eng.PointOK, eng.Point},
+		{"sharded", sharded.PointOK, sharded.Point},
+	} {
+		if p, ok := tc.pointOK(0); !ok || p != pts[0] {
+			t.Errorf("%s: PointOK(0) = %v, %v", tc.name, p, ok)
+		}
+		if p, ok := tc.pointOK(499); !ok || p != pts[499] {
+			t.Errorf("%s: PointOK(499) = %v, %v", tc.name, p, ok)
+		}
+		for _, bad := range []int64{-1, 500, 1 << 40} {
+			if _, ok := tc.pointOK(bad); ok {
+				t.Errorf("%s: PointOK(%d) should report false", tc.name, bad)
+			}
+		}
+		if got := tc.point(42); got != pts[42] {
+			t.Errorf("%s: Point(42) = %v, want %v", tc.name, got, pts[42])
+		}
+	}
+
+	// The dynamic flavors: ids come from Insert, fence sites and unknown
+	// ids report false.
+	dyn := NewDynamicEngine(UnitSquare())
+	id, _, err := dyn.Insert(Pt(0.25, 0.75))
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, _, err := clone.Query(area)
-	if err != nil {
-		t.Fatal(err)
+	if p, ok := dyn.PointOK(id); !ok || p != Pt(0.25, 0.75) {
+		t.Errorf("dynamic: PointOK(%d) = %v, %v", id, p, ok)
 	}
-	if !equal(sorted(a), sorted(b)) {
-		t.Error("clone diverges")
+	snap := dyn.Snapshot()
+	if p, ok := snap.PointOK(id); !ok || p != Pt(0.25, 0.75) {
+		t.Errorf("snapshot: PointOK(%d) = %v, %v", id, p, ok)
 	}
-	// Store-backed engines clone too now that the buffer pool is
-	// mutex-guarded; the clone shares the store and its IO counters.
-	se, err := NewEngine(pts, UnitSquare(), WithStore(StoreConfig{}))
-	if err != nil {
-		t.Fatal(err)
-	}
-	sc, err := se.Clone()
-	if err != nil {
-		t.Fatalf("store-backed clone: %v", err)
-	}
-	c, _, err := sc.Query(area)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if !equal(sorted(a), sorted(c)) {
-		t.Error("store-backed clone diverges")
-	}
-	if _, _, ok := sc.IOStats(); !ok {
-		t.Error("store-backed clone lost its store")
+	for _, bad := range []int64{-1, 0, id + 1000} {
+		if _, ok := dyn.PointOK(bad); ok {
+			t.Errorf("dynamic: PointOK(%d) should report false", bad)
+		}
+		if _, ok := snap.PointOK(bad); ok {
+			t.Errorf("snapshot: PointOK(%d) should report false", bad)
+		}
 	}
 }
 
