@@ -68,7 +68,7 @@ func runAreaQueries(b *testing.B, eng *Engine, m Method, areas []Polygon) {
 	var candidates, redundant, results int
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		_, st, err := eng.QueryWith(m, areas[i%len(areas)])
+		_, st, err := queryWith(eng, m, areas[i%len(areas)])
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -261,7 +261,7 @@ func BenchmarkQueryBatchParallel(b *testing.B) {
 			queries := 0
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, _, err := eng.QueryBatch(VoronoiBFS, areas); err != nil {
+				if _, _, err := queryBatch(eng, VoronoiBFS, areas); err != nil {
 					b.Fatal(err)
 				}
 				queries += len(areas)
@@ -306,6 +306,53 @@ func BenchmarkQueryAll(b *testing.B) {
 	}
 }
 
+// BenchmarkQueryAllStore is BenchmarkQueryAll against a store-backed
+// engine with a pool holding ~3% of the pages — the IO-accounted regime
+// where batch workers used to serialize their page loads on one pool
+// mutex. Swept at 1 buffer-pool lock shard (that old layout) versus the
+// default count; the spread at p>1 on multi-core hardware is the
+// contention the sharded pool removes.
+func BenchmarkQueryAllStore(b *testing.B) {
+	const n = 100_000
+	rng := rand.New(rand.NewSource(15))
+	pts := UniformPoints(rng, n, UnitSquare())
+	areas := benchAreas(15, 0.01, 64)
+	regions := make([]Region, len(areas))
+	for i, a := range areas {
+		regions[i] = PolygonRegion(a)
+	}
+	ctx := context.Background()
+	store := StoreConfig{PageSize: 4096, PoolPages: 256, PayloadBytes: 256}
+	for _, poolShards := range []int{1, 0} {
+		label := "poolshards=default"
+		if poolShards == 1 {
+			label = "poolshards=1"
+		}
+		for _, p := range []int{1, 4} {
+			eng, err := NewEngine(pts, UnitSquare(), WithStore(store),
+				WithBufferPoolShards(poolShards), WithParallelism(p))
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.Run(fmt.Sprintf("%s/p=%d", label, p), func(b *testing.B) {
+				queries := 0
+				reads0, _, _ := eng.IOStats()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := eng.QueryAll(ctx, regions); err != nil {
+						b.Fatal(err)
+					}
+					queries += len(regions)
+				}
+				b.StopTimer()
+				reads1, _, _ := eng.IOStats()
+				b.ReportMetric(float64(queries)/b.Elapsed().Seconds(), "queries/s")
+				b.ReportMetric(float64(reads1-reads0)/float64(b.N), "pagereads/op")
+			})
+		}
+	}
+}
+
 // BenchmarkAblationPolygonComplexity sweeps the query polygon vertex count
 // (the paper fixes 10), showing how boundary complexity affects both
 // methods.
@@ -346,7 +393,7 @@ func BenchmarkShardedQuery(b *testing.B) {
 	}
 	b.Run("single", func(b *testing.B) {
 		benchShardedBatch(b, func(m Method, areas []Polygon) ([][]int64, Stats, error) {
-			return single.QueryBatch(m, areas)
+			return queryBatch(single, m, areas)
 		}, single.IOStats, areas)
 	})
 
@@ -356,7 +403,9 @@ func BenchmarkShardedQuery(b *testing.B) {
 			b.Fatal(err)
 		}
 		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
-			benchShardedBatch(b, eng.QueryBatch, eng.IOStats, areas)
+			benchShardedBatch(b, func(m Method, as []Polygon) ([][]int64, Stats, error) {
+				return queryBatch(eng, m, as)
+			}, eng.IOStats, areas)
 		})
 	}
 }
@@ -403,7 +452,7 @@ func BenchmarkDynamicMixed(b *testing.B) {
 	b.RunParallel(func(pb *testing.PB) {
 		for pb.Next() {
 			i := int(qi.Add(1))
-			if _, _, err := eng.QueryWith(VoronoiBFS, areas[i%len(areas)]); err != nil {
+			if _, _, err := queryWith(eng, VoronoiBFS, areas[i%len(areas)]); err != nil {
 				b.Error(err)
 				return
 			}

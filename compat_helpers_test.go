@@ -1,0 +1,44 @@
+package vaq
+
+import "context"
+
+// Test-local shims over the Querier API preserving the shapes of the
+// removed method-positional wrappers (QueryWith, QueryCircle, Count,
+// QueryBatch, QueryRegions), so the pre-existing suites keep their
+// assertions — and keep pinning that the options-based surface reproduces
+// the old behavior exactly — without the deprecated methods existing.
+
+func queryWith(q Querier, m Method, area Polygon) ([]int64, Stats, error) {
+	var st Stats
+	ids, err := q.Query(context.Background(), PolygonRegion(area),
+		UsingMethod(m), WithStatsInto(&st))
+	return ids, st, err
+}
+
+func queryCircle(q Querier, m Method, c Circle) ([]int64, Stats, error) {
+	var st Stats
+	ids, err := q.Query(context.Background(), CircleRegion(c),
+		UsingMethod(m), WithStatsInto(&st))
+	return ids, st, err
+}
+
+func countOf(q Querier, m Method, area Polygon) (int, Stats, error) {
+	var st Stats
+	_, err := q.Query(context.Background(), PolygonRegion(area),
+		UsingMethod(m), CountOnly(), WithStatsInto(&st))
+	if err != nil {
+		return 0, st, err
+	}
+	return st.ResultSize, st, nil
+}
+
+func queryBatch(q Querier, m Method, areas []Polygon) ([][]int64, Stats, error) {
+	return queryRegions(q, m, Polygons(areas))
+}
+
+func queryRegions(q Querier, m Method, regions []Region) ([][]int64, Stats, error) {
+	var st Stats
+	out, err := q.QueryAll(context.Background(), regions,
+		UsingMethod(m), WithStatsInto(&st))
+	return out, st, err
+}

@@ -77,7 +77,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		nearest, _, err := snap.KNearest(center, 1)
+		nearest, _, err := snap.KNearest(ctx, center, 1)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 	"sync"
 	"testing"
@@ -65,7 +66,7 @@ func TestSharedEngineConcurrentKNearest(t *testing.T) {
 	oracle := make([][]int64, len(queries))
 	for i := range queries {
 		queries[i] = geom.Pt(rng.Float64(), rng.Float64())
-		ids, _, err := eng.KNearest(queries[i], 10)
+		ids, _, err := eng.KNearest(context.Background(), queries[i], 10)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -81,7 +82,7 @@ func TestSharedEngineConcurrentKNearest(t *testing.T) {
 			defer wg.Done()
 			for rep := 0; rep < 30; rep++ {
 				i := (worker + rep) % len(queries)
-				ids, _, err := eng.KNearest(queries[i], 10)
+				ids, _, err := eng.KNearest(context.Background(), queries[i], 10)
 				if err != nil {
 					errs <- err
 					return

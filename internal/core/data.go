@@ -101,12 +101,14 @@ func (m *MemoryData) CellBox(id int64) geom.Rect {
 func (m *MemoryData) Diagram() *voronoi.Diagram { return m.diagram }
 
 // StoreData is a DataAccess whose Load goes through a paged object store
-// with an LRU buffer pool, so every refinement fetch is IO-accounted. The
-// Voronoi topology and raw coordinates stay in memory (index-resident), as
-// in a VoR-tree deployment. StoreData implements CellSource. It is safe
-// for concurrent use: the store's buffer pool serializes its mutations
-// behind a mutex, so concurrent Loads contend on that lock rather than
-// race (shard the data — package shard — to scale past the contention).
+// with a sharded LRU buffer pool, so every refinement fetch is
+// IO-accounted. The Voronoi topology and raw coordinates stay in memory
+// (index-resident), as in a VoR-tree deployment. StoreData implements
+// CellSource. It is safe for concurrent use: the buffer pool partitions
+// its state over per-page-id lock shards and performs page loads outside
+// those locks, so concurrent Loads only contend when they race for the
+// same lock shard at the same instant (StoreConfig.PoolShards tunes the
+// shard count).
 type StoreData struct {
 	mem   *MemoryData
 	store *storage.Store
@@ -119,6 +121,11 @@ type StoreConfig struct {
 	// PoolPages is the buffer pool capacity in pages (0 = no cache,
 	// negative = unbounded).
 	PoolPages int
+	// PoolShards is the buffer pool's lock-shard count: <= 0 picks a
+	// power of two at or above GOMAXPROCS, 1 is a single-lock pool, and
+	// the count never exceeds a positive PoolPages nor 128 (see
+	// storage.Options.PoolShards for the rounding rules).
+	PoolShards int
 	// PayloadBytes of opaque attribute data per record, giving records
 	// realistic width. Zero is allowed.
 	PayloadBytes int
@@ -133,8 +140,9 @@ func NewStoreData(pts []geom.Point, bounds geom.Rect, cfg StoreConfig) (*StoreDa
 		return nil, err
 	}
 	builder := storage.NewBuilder(storage.Options{
-		PageSize:  cfg.PageSize,
-		PoolPages: cfg.PoolPages,
+		PageSize:   cfg.PageSize,
+		PoolPages:  cfg.PoolPages,
+		PoolShards: cfg.PoolShards,
 	})
 	payload := make([]byte, cfg.PayloadBytes)
 	for i, p := range pts {

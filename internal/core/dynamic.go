@@ -217,9 +217,9 @@ func (d *DynamicEngine) QueryRegion(m Method, region Region) ([]int64, Stats, er
 }
 
 // KNearest returns the k inserted points nearest to q at the current
-// epoch.
-func (d *DynamicEngine) KNearest(q geom.Point, k int) ([]int64, Stats, error) {
-	return d.Snapshot().KNearest(q, k)
+// epoch. Cancellation follows Engine.KNearest's contract.
+func (d *DynamicEngine) KNearest(ctx context.Context, q geom.Point, k int) ([]int64, Stats, error) {
+	return d.Snapshot().KNearest(ctx, q, k)
 }
 
 // Count answers an area query at the current epoch, returning only the
@@ -331,12 +331,13 @@ func (s *DynamicSnapshot) EachRegion(ctx context.Context, region Region, spec Qu
 }
 
 // KNearest returns the k points nearest to q at the pinned epoch
-// (ErrNoData when the snapshot is empty, matching Query).
-func (s *DynamicSnapshot) KNearest(q geom.Point, k int) ([]int64, Stats, error) {
+// (ErrNoData when the snapshot is empty, matching Query). Cancellation
+// follows Engine.KNearest's contract.
+func (s *DynamicSnapshot) KNearest(ctx context.Context, q geom.Point, k int) ([]int64, Stats, error) {
 	if s.n == 0 {
 		return nil, Stats{}, ErrNoData
 	}
-	return s.eng.KNearest(q, k)
+	return s.eng.KNearest(ctx, q, k)
 }
 
 // Count answers an area query against the pinned epoch, returning only the

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"math/rand"
 	"sort"
@@ -175,10 +176,10 @@ func BenchmarkDynamicEngineQuery(b *testing.B) {
 
 func TestDynamicKNearestEmptyMatchesQueryContract(t *testing.T) {
 	d := NewDynamicEngine(unitBounds())
-	if _, _, err := d.KNearest(geom.Pt(0.5, 0.5), 3); err != ErrNoData {
+	if _, _, err := d.KNearest(context.Background(), geom.Pt(0.5, 0.5), 3); err != ErrNoData {
 		t.Errorf("KNearest on empty dynamic engine: err = %v, want ErrNoData", err)
 	}
-	if _, _, err := d.Snapshot().KNearest(geom.Pt(0.5, 0.5), 3); err != ErrNoData {
+	if _, _, err := d.Snapshot().KNearest(context.Background(), geom.Pt(0.5, 0.5), 3); err != ErrNoData {
 		t.Errorf("KNearest on empty snapshot: err = %v, want ErrNoData", err)
 	}
 }
@@ -193,7 +194,7 @@ func TestDynamicKNearestNeverReturnsFenceSites(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	ids, _, err := d.KNearest(geom.Pt(0.5, 0.5), 10)
+	ids, _, err := d.KNearest(context.Background(), geom.Pt(0.5, 0.5), 10)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -331,7 +332,7 @@ func TestDynamicConformanceAcrossMethods(t *testing.T) {
 						t.Fatalf("%s batch %d Count = %d (err %v), oracle %d",
 							wl.name, batch, cnt, err, len(oracle))
 					}
-					knn, _, err := snap.KNearest(area.Bounds().Center(), 8)
+					knn, _, err := snap.KNearest(context.Background(), area.Bounds().Center(), 8)
 					if err != nil {
 						t.Fatal(err)
 					}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"container/heap"
+	"context"
 
 	"repro/internal/geom"
 )
@@ -13,7 +14,12 @@ import (
 // always a Voronoi neighbor of one of the first j, so a best-first
 // expansion over the Delaunay adjacency enumerates neighbors exactly. It
 // returns fewer than k items when the dataset is smaller.
-func (e *Engine) KNearest(q geom.Point, k int) ([]int64, Stats, error) {
+//
+// Cancellation follows the area-query contract: ctx is checked before any
+// index work and on candidate boundaries (every cancelStride heap pops),
+// surfacing as ctx.Err() with the statistics of the work already done and
+// no partial result slice.
+func (e *Engine) KNearest(ctx context.Context, q geom.Point, k int) ([]int64, Stats, error) {
 	var stats Stats
 	if e.data.NumIDs() == 0 {
 		// Same contract as Query on an empty engine (not nil, nil — callers
@@ -22,6 +28,9 @@ func (e *Engine) KNearest(q geom.Point, k int) ([]int64, Stats, error) {
 	}
 	if k <= 0 {
 		return nil, stats, nil
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, stats, err
 	}
 	seed, nnNodes, ok := e.idx.Nearest(q)
 	stats.IndexNodesVisited += nnNodes
@@ -45,6 +54,12 @@ func (e *Engine) KNearest(q geom.Point, k int) ([]int64, Stats, error) {
 			out = append(out, top.id)
 		}
 		stats.Candidates++
+		if stats.Candidates%cancelStride == 0 {
+			if err := ctx.Err(); err != nil {
+				stats.ResultSize = len(out)
+				return nil, stats, err
+			}
+		}
 		e.data.NeighborsFunc(top.id, func(nb int64) bool {
 			if s.mark(nb) {
 				heap.Push(&h, knnEntry{id: nb, d2: q.Dist2(e.data.Position(nb))})

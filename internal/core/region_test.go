@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"sort"
@@ -94,7 +95,7 @@ func TestKNearestMatchesBruteForce(t *testing.T) {
 	for trial := 0; trial < 100; trial++ {
 		q := geom.Pt(rng.Float64(), rng.Float64())
 		for _, k := range []int{1, 5, 37, 200} {
-			got, _, err := eng.KNearest(q, k)
+			got, _, err := eng.KNearest(context.Background(), q, k)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -120,11 +121,11 @@ func TestKNearestMatchesBruteForce(t *testing.T) {
 func TestKNearestEdgeCases(t *testing.T) {
 	rng := rand.New(rand.NewSource(4))
 	eng, pts := newUniformEngine(t, rng, 50)
-	if got, _, err := eng.KNearest(geom.Pt(0.5, 0.5), 0); err != nil || got != nil {
+	if got, _, err := eng.KNearest(context.Background(), geom.Pt(0.5, 0.5), 0); err != nil || got != nil {
 		t.Errorf("k=0: %v, %v", got, err)
 	}
 	// k greater than the dataset returns everything, ordered.
-	got, _, err := eng.KNearest(geom.Pt(0.5, 0.5), 1000)
+	got, _, err := eng.KNearest(context.Background(), geom.Pt(0.5, 0.5), 1000)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -144,7 +145,7 @@ func TestKNearestFarQuery(t *testing.T) {
 	rng := rand.New(rand.NewSource(5))
 	eng, pts := newUniformEngine(t, rng, 500)
 	q := geom.Pt(5, -3)
-	got, _, err := eng.KNearest(q, 10)
+	got, _, err := eng.KNearest(context.Background(), q, 10)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -165,7 +166,7 @@ func TestKNearestCandidateEfficiency(t *testing.T) {
 	// guarantees no wasted pops).
 	rng := rand.New(rand.NewSource(6))
 	eng, _ := newUniformEngine(t, rng, 3000)
-	_, st, err := eng.KNearest(geom.Pt(0.5, 0.5), 25)
+	_, st, err := eng.KNearest(context.Background(), geom.Pt(0.5, 0.5), 25)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -179,7 +180,7 @@ func BenchmarkKNearestVoronoi(b *testing.B) {
 	eng, _ := newUniformEngine(b, rng, 100_000)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, _, err := eng.KNearest(geom.Pt(rng.Float64(), rng.Float64()), 10); err != nil {
+		if _, _, err := eng.KNearest(context.Background(), geom.Pt(rng.Float64(), rng.Float64()), 10); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -224,12 +225,12 @@ func TestKNearestEmptyEngineMatchesQueryContract(t *testing.T) {
 	if _, _, err := eng.Query(VoronoiBFS, area); err != ErrNoData {
 		t.Errorf("Query on empty engine: err = %v, want ErrNoData", err)
 	}
-	if _, _, err := eng.KNearest(geom.Pt(0.5, 0.5), 3); err != ErrNoData {
+	if _, _, err := eng.KNearest(context.Background(), geom.Pt(0.5, 0.5), 3); err != ErrNoData {
 		t.Errorf("KNearest on empty engine: err = %v, want ErrNoData", err)
 	}
 	// The empty-data check precedes the degenerate-k fast path, so the
 	// contract holds for any k.
-	if _, _, err := eng.KNearest(geom.Pt(0.5, 0.5), 0); err != ErrNoData {
+	if _, _, err := eng.KNearest(context.Background(), geom.Pt(0.5, 0.5), 0); err != ErrNoData {
 		t.Errorf("KNearest(k=0) on empty engine: err = %v, want ErrNoData", err)
 	}
 }

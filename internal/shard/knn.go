@@ -1,6 +1,7 @@
 package shard
 
 import (
+	"context"
 	"sort"
 
 	"repro/internal/core"
@@ -14,7 +15,12 @@ import (
 // bounds cannot beat the current k-th distance — every unvisited shard is
 // then provably unable to contribute. Within each shard the per-shard
 // engine runs the exact Voronoi expansion of the unsharded engine.
-func (e *Engine) KNearest(q geom.Point, k int) ([]int64, core.Stats, error) {
+//
+// ctx is checked before the walk starts and again before every shard
+// expansion (on top of the per-shard engine's own candidate-boundary
+// checks), so cancellation abandons the remaining frontier and surfaces
+// as ctx.Err() with the statistics of the shards already expanded.
+func (e *Engine) KNearest(ctx context.Context, q geom.Point, k int) ([]int64, core.Stats, error) {
 	var stats core.Stats
 	if e.Len() == 0 {
 		// Unreachable through New (which rejects empty point sets) but kept
@@ -23,6 +29,9 @@ func (e *Engine) KNearest(q geom.Point, k int) ([]int64, core.Stats, error) {
 	}
 	if k <= 0 {
 		return nil, stats, nil
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, stats, err
 	}
 
 	// Frontier order: shards by squared MINDIST to q.
@@ -47,8 +56,11 @@ func (e *Engine) KNearest(q geom.Point, k int) ([]int64, core.Stats, error) {
 		if len(best) == k && mindist[si] > best[k-1].d2 {
 			break
 		}
+		if err := ctx.Err(); err != nil {
+			return nil, stats, err
+		}
 		s := &e.shards[si]
-		local, st, err := s.eng.KNearest(q, k)
+		local, st, err := s.eng.KNearest(ctx, q, k)
 		stats.Add(st)
 		if err != nil {
 			return nil, stats, err

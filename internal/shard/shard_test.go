@@ -166,11 +166,11 @@ func TestConformanceToSingleEngine(t *testing.T) {
 			for _, k := range []int{1, 3, 17, n/len(testShardCounts) + 5, n + 10} {
 				for rep := 0; rep < 5; rep++ {
 					q := geom.Pt(rng.Float64(), rng.Float64())
-					want, _, err := oracle.KNearest(q, k)
+					want, _, err := oracle.KNearest(context.Background(), q, k)
 					if err != nil {
 						t.Fatalf("%s: oracle knn: %v", name, err)
 					}
-					got, _, err := se.KNearest(q, k)
+					got, _, err := se.KNearest(context.Background(), q, k)
 					if err != nil {
 						t.Fatalf("%s: sharded knn: %v", name, err)
 					}
@@ -383,7 +383,7 @@ func TestConcurrentShardedQueries(t *testing.T) {
 					}
 				default:
 					q := geom.Pt(float64(worker)/8, float64(rep)/15)
-					if _, _, err := se.KNearest(q, 5); err != nil {
+					if _, _, err := se.KNearest(context.Background(), q, 5); err != nil {
 						errs <- err
 						return
 					}

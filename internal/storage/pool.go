@@ -1,83 +1,257 @@
 package storage
 
-import "sync"
+import (
+	"runtime"
+	"sync"
+)
 
 // BufferPoolStats counts the IO behavior of a store since creation or the
 // last ResetStats.
 type BufferPoolStats struct {
 	PageReads int   // pool misses: pages fetched from the backing file
-	CacheHits int   // pool hits
+	CacheHits int   // pool hits (including loads joined in flight)
 	BytesRead int64 // bytes fetched from the backing file
 	Evictions int   // frames evicted to make room
 }
 
-// bufferPool is a fixed-capacity LRU page cache. A capacity of 0 disables
-// caching (every access is a miss), modeling a cold read path. A single
-// mutex guards the frame map, the LRU list and the counters, making the
-// pool safe for concurrent fetches; finer-grained schemes (sharded locks, a
-// lock-free clock cache) remain a ROADMAP item.
+// add accumulates other into s (the per-shard merge of snapshot).
+func (s *BufferPoolStats) add(other BufferPoolStats) {
+	s.PageReads += other.PageReads
+	s.CacheHits += other.CacheHits
+	s.BytesRead += other.BytesRead
+	s.Evictions += other.Evictions
+}
+
+// maxPoolShards caps the lock-shard count; past this the maps' fixed
+// overhead outweighs any contention win.
+const maxPoolShards = 128
+
+// bufferPool is a fixed-capacity page cache partitioned into power-of-two
+// lock shards keyed by page id. Each shard owns its own frame map, LRU
+// list and counters behind a private mutex, so fetches of pages in
+// different shards never contend; page loads run outside the shard lock
+// with singleflight-style duplicate suppression, so a slow load blocks
+// neither unrelated pages in the same shard nor concurrent fetches of the
+// same page (they join the in-flight load instead of duplicating it).
+//
+// Eviction is per-shard LRU rather than CLOCK: shard-local lists are
+// short and uncontended once the lock no longer covers loads (the list
+// splice is a handful of pointer writes), and LRU preserves the exact
+// recency semantics the pre-sharding pool had, keeping single-goroutine
+// hit/miss/eviction accounting identical.
+//
+// A total capacity of 0 disables caching (every access is a miss),
+// modeling a cold read path; a negative capacity is unbounded. A positive
+// capacity is split evenly across shards, rounded up — the effective
+// capacity is shards × ceil(capacity/shards), i.e. at most
+// capacity + shards − 1 frames — and the shard count is clamped down so
+// it never exceeds the capacity (a tiny pool keeps its eviction
+// pressure).
 type bufferPool struct {
+	shards []poolShard
+	mask   uint32
+}
+
+// poolShard is one lock shard: a private LRU cache over the pages whose
+// id hashes to it, plus the in-flight load table and counters. The
+// padding spaces the shards (which live contiguously in one slice) a full
+// cache-line pair apart, so one shard's lock and counter writes never
+// false-share with its neighbors'.
+type poolShard struct {
 	mu       sync.Mutex
-	capacity int
+	capacity int // frames this shard may hold; <0 unbounded, 0 disabled
 	frames   map[uint32]*frame
 	head     *frame // most recently used
 	tail     *frame // least recently used
+	loads    map[uint32]*loadCall
 	stats    BufferPoolStats
+	// gen counts resets; loads on the cache-disabled path record it
+	// before loading and skip stats if it moved (the cached path detects
+	// the same condition through loads-map identity instead).
+	gen uint64
+	_   [40]byte // pad to 128 bytes
 }
 
 type frame struct {
 	pageID     uint32
-	data       []byte
+	data       []byte // immutable once installed
 	prev, next *frame
 }
 
-func newBufferPool(capacity int) *bufferPool {
-	return &bufferPool{
-		capacity: capacity,
-		frames:   make(map[uint32]*frame),
+// loadCall is one in-flight page load. The goroutine that created it
+// performs the load and closes done; goroutines that find it in
+// poolShard.loads wait on done and share data instead of loading again.
+type loadCall struct {
+	done chan struct{}
+	data []byte
+}
+
+// defaultPoolShards returns the shard count used when the caller does not
+// choose one: the next power of two at or above GOMAXPROCS, so that under
+// full parallelism goroutines rarely share a lock shard.
+func defaultPoolShards() int {
+	return runtime.GOMAXPROCS(0)
+}
+
+// normalizePoolShards resolves a requested shard count against the pool
+// capacity: <= 0 means the GOMAXPROCS-based default, the result is
+// rounded up to a power of two (masking replaces modulo), capped at
+// maxPoolShards, and clamped down so a positive capacity is never
+// exceeded by the shard count alone.
+func normalizePoolShards(capacity, shards int) int {
+	if capacity == 0 {
+		return 1 // caching disabled; shards would only shard the counters
 	}
+	if shards <= 0 {
+		shards = defaultPoolShards()
+	}
+	if shards > maxPoolShards {
+		shards = maxPoolShards
+	}
+	n := 1
+	for n < shards {
+		n <<= 1
+	}
+	for capacity > 0 && n > capacity {
+		n >>= 1
+	}
+	return n
+}
+
+// newBufferPool returns a pool of the given total capacity split over
+// the given number of lock shards (see normalizePoolShards for how the
+// count is resolved; 1 reproduces the old single-lock pool).
+func newBufferPool(capacity, shards int) *bufferPool {
+	n := normalizePoolShards(capacity, shards)
+	per := capacity // 0 and negative apply per shard unchanged
+	if capacity > 0 {
+		per = (capacity + n - 1) / n
+	}
+	bp := &bufferPool{shards: make([]poolShard, n), mask: uint32(n - 1)}
+	for i := range bp.shards {
+		s := &bp.shards[i]
+		s.capacity = per
+		s.frames = make(map[uint32]*frame)
+		s.loads = make(map[uint32]*loadCall)
+	}
+	return bp
+}
+
+// numShards returns the resolved lock-shard count.
+func (bp *bufferPool) numShards() int { return len(bp.shards) }
+
+// shardFor maps a page id to its lock shard. Low-bit masking is
+// deliberate: the builder numbers pages sequentially, so consecutive
+// pages — the common access pattern after a Hilbert sort — round-robin
+// across shards perfectly.
+func (bp *bufferPool) shardFor(pageID uint32) *poolShard {
+	return &bp.shards[pageID&bp.mask]
 }
 
 // fetch returns the page via the cache, reading it with load on a miss.
-// load runs under the pool lock; it must be cheap (an in-memory page copy
-// or slice lookup) and must not re-enter the pool.
+// load runs OUTSIDE the shard lock, so it may be arbitrarily slow without
+// serializing unrelated fetches; concurrent fetches of the same page join
+// the one in-flight load (the joiners count as cache hits — they
+// performed no IO). load must not re-enter the pool.
+//
+// The returned slice aliases the cached frame (and, through load, the
+// backing heap file) and MUST be treated read-only: mutating it would
+// corrupt the page for every later reader. Store.Get is the enforcement
+// boundary — decodeRecord deep-copies every variable field, so nothing
+// the public API returns shares memory with the pool (pinned by
+// TestStoreGetRecordIsolation). Frame data is immutable once installed,
+// which is also why returning it after dropping the shard lock is safe.
 func (bp *bufferPool) fetch(pageID uint32, load func(uint32) []byte) []byte {
-	bp.mu.Lock()
-	defer bp.mu.Unlock()
-	if f, ok := bp.frames[pageID]; ok {
-		bp.stats.CacheHits++
-		bp.moveToFront(f)
-		return f.data
-	}
-	data := load(pageID)
-	bp.stats.PageReads++
-	bp.stats.BytesRead += int64(len(data))
-	if bp.capacity <= 0 {
+	s := bp.shardFor(pageID)
+	s.mu.Lock()
+	if f, ok := s.frames[pageID]; ok {
+		s.stats.CacheHits++
+		s.moveToFront(f)
+		data := f.data
+		s.mu.Unlock()
 		return data
 	}
-	f := &frame{pageID: pageID, data: data}
-	bp.frames[pageID] = f
-	bp.pushFront(f)
-	if len(bp.frames) > bp.capacity {
-		bp.evict()
+	if s.capacity == 0 {
+		// Caching disabled: every access is its own simulated read, with
+		// no duplicate suppression — the cold-read model counts each one.
+		// A reset straddled by the load detaches it from the counters
+		// (gen check), matching the cached path's identity check.
+		gen := s.gen
+		s.mu.Unlock()
+		data := load(pageID)
+		s.mu.Lock()
+		if s.gen == gen {
+			s.stats.PageReads++
+			s.stats.BytesRead += int64(len(data))
+		}
+		s.mu.Unlock()
+		return data
 	}
-	return data
+	if c, ok := s.loads[pageID]; ok {
+		// Same page already loading: join it rather than load twice.
+		s.stats.CacheHits++
+		s.mu.Unlock()
+		<-c.done
+		return c.data
+	}
+	c := &loadCall{done: make(chan struct{})}
+	s.loads[pageID] = c
+	s.mu.Unlock()
+
+	loaded := false
+	defer func() {
+		if loaded {
+			return
+		}
+		// load panicked: detach the call and wake the joiners (they see
+		// nil data, a decode error for their callers) so neither they nor
+		// any future fetch of this page hangs on a stranded loadCall; the
+		// panic itself propagates past this unwind.
+		s.mu.Lock()
+		if s.loads[pageID] == c {
+			delete(s.loads, pageID)
+		}
+		s.mu.Unlock()
+		close(c.done)
+	}()
+	c.data = load(pageID) // off-lock: the actual page IO
+	loaded = true
+
+	s.mu.Lock()
+	if s.loads[pageID] == c {
+		delete(s.loads, pageID)
+		s.stats.PageReads++
+		s.stats.BytesRead += int64(len(c.data))
+		f := &frame{pageID: pageID, data: c.data}
+		s.frames[pageID] = f
+		s.pushFront(f)
+		if s.capacity > 0 && len(s.frames) > s.capacity {
+			s.evict()
+		}
+	}
+	// else: reset detached this load mid-flight. The data is still valid
+	// for every goroutine waiting on it, but it must neither repopulate
+	// the emptied cache with a stale frame nor count against the zeroed
+	// counters; any fetch after the reset starts a fresh, counted load.
+	s.mu.Unlock()
+	close(c.done)
+	return c.data
 }
 
-func (bp *bufferPool) pushFront(f *frame) {
+func (s *poolShard) pushFront(f *frame) {
 	f.prev = nil
-	f.next = bp.head
-	if bp.head != nil {
-		bp.head.prev = f
+	f.next = s.head
+	if s.head != nil {
+		s.head.prev = f
 	}
-	bp.head = f
-	if bp.tail == nil {
-		bp.tail = f
+	s.head = f
+	if s.tail == nil {
+		s.tail = f
 	}
 }
 
-func (bp *bufferPool) moveToFront(f *frame) {
-	if bp.head == f {
+func (s *poolShard) moveToFront(f *frame) {
+	if s.head == f {
 		return
 	}
 	// Unlink.
@@ -87,47 +261,69 @@ func (bp *bufferPool) moveToFront(f *frame) {
 	if f.next != nil {
 		f.next.prev = f.prev
 	}
-	if bp.tail == f {
-		bp.tail = f.prev
+	if s.tail == f {
+		s.tail = f.prev
 	}
-	bp.pushFront(f)
+	s.pushFront(f)
 }
 
-func (bp *bufferPool) evict() {
-	lru := bp.tail
+func (s *poolShard) evict() {
+	lru := s.tail
 	if lru == nil {
 		return
 	}
 	if lru.prev != nil {
 		lru.prev.next = nil
 	}
-	bp.tail = lru.prev
-	if bp.head == lru {
-		bp.head = nil
+	s.tail = lru.prev
+	if s.head == lru {
+		s.head = nil
 	}
-	delete(bp.frames, lru.pageID)
-	bp.stats.Evictions++
+	delete(s.frames, lru.pageID)
+	s.stats.Evictions++
 }
 
-// reset clears the cache contents and statistics.
+// reset clears the cache contents and statistics. In-flight loads are
+// detached: their waiters still receive page data, but they no longer
+// install frames or count stats (see fetch), so a reset can never be
+// undone by a load that straddled it.
 func (bp *bufferPool) reset() {
-	bp.mu.Lock()
-	defer bp.mu.Unlock()
-	bp.frames = make(map[uint32]*frame)
-	bp.head, bp.tail = nil, nil
-	bp.stats = BufferPoolStats{}
+	for i := range bp.shards {
+		s := &bp.shards[i]
+		s.mu.Lock()
+		s.frames = make(map[uint32]*frame)
+		s.head, s.tail = nil, nil
+		s.loads = make(map[uint32]*loadCall)
+		s.stats = BufferPoolStats{}
+		s.gen++
+		s.mu.Unlock()
+	}
 }
 
-// resetStats clears counters but keeps cached pages.
+// resetStats clears counters but keeps cached pages. A load in flight
+// across the call stays attached and counts into the fresh counters on
+// completion — the same outcome as the load linearizing after the reset
+// under the old global lock — so no read is ever counted twice or lost.
 func (bp *bufferPool) resetStats() {
-	bp.mu.Lock()
-	defer bp.mu.Unlock()
-	bp.stats = BufferPoolStats{}
+	for i := range bp.shards {
+		s := &bp.shards[i]
+		s.mu.Lock()
+		s.stats = BufferPoolStats{}
+		s.mu.Unlock()
+	}
 }
 
-// snapshot returns a consistent copy of the counters.
+// snapshot returns a copy of the counters, merged over the shards. Each
+// shard's contribution is internally consistent (read under its lock);
+// with fetches in flight the merge is a near-point-in-time view, exact
+// whenever the pool is quiescent.
 func (bp *bufferPool) snapshot() BufferPoolStats {
-	bp.mu.Lock()
-	defer bp.mu.Unlock()
-	return bp.stats
+	var out BufferPoolStats
+	for i := range bp.shards {
+		s := &bp.shards[i]
+		s.mu.Lock()
+		out.add(s.stats)
+		s.mu.Unlock()
+	}
+	return out
 }

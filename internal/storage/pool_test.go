@@ -1,0 +1,463 @@
+package storage
+
+import (
+	"bytes"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// testPages returns a load function over n synthetic pages (each filled
+// with its page id) plus a counter of performed loads.
+func testPages(n, pageSize int) (load func(uint32) []byte, loads *atomic.Int64) {
+	pages := make([][]byte, n)
+	for i := range pages {
+		pages[i] = bytes.Repeat([]byte{byte(i + 1)}, pageSize)
+	}
+	loads = &atomic.Int64{}
+	return func(p uint32) []byte {
+		loads.Add(1)
+		return pages[p]
+	}, loads
+}
+
+// TestPoolShardNormalization pins how the shard count is resolved against
+// the capacity: powers of two, GOMAXPROCS default, capacity clamp, and
+// the single-shard degenerate cases.
+func TestPoolShardNormalization(t *testing.T) {
+	cases := []struct {
+		capacity, shards, want int
+	}{
+		{capacity: 0, shards: 16, want: 1},   // caching disabled
+		{capacity: 8, shards: 1, want: 1},    // explicit single lock
+		{capacity: 8, shards: 3, want: 4},    // round up to power of two
+		{capacity: 8, shards: 8, want: 8},    // exact
+		{capacity: 2, shards: 16, want: 2},   // clamped to capacity
+		{capacity: 3, shards: 16, want: 2},   // clamp keeps power of two
+		{capacity: -1, shards: 16, want: 16}, // unbounded: no clamp
+		{capacity: 1, shards: 64, want: 1},   // one page, one shard
+	}
+	for _, c := range cases {
+		if got := normalizePoolShards(c.capacity, c.shards); got != c.want {
+			t.Errorf("normalizePoolShards(cap=%d, shards=%d) = %d, want %d",
+				c.capacity, c.shards, got, c.want)
+		}
+	}
+	// Default: a power of two, at least 1, never above the cap.
+	n := normalizePoolShards(-1, 0)
+	if n < 1 || n > maxPoolShards || n&(n-1) != 0 {
+		t.Errorf("default shard count %d not a clamped power of two", n)
+	}
+	if want := runtime.GOMAXPROCS(0); n < want && n < maxPoolShards {
+		// Rounded up, so it can only be below GOMAXPROCS via the cap.
+		t.Errorf("default shard count %d below GOMAXPROCS %d", n, want)
+	}
+}
+
+// TestShardedPoolCountingExact replays a deterministic access pattern on
+// a multi-shard pool and pins the merged counters exactly — the sharded
+// pool must be semantically identical to the old single-lock pool for
+// sequential use.
+func TestShardedPoolCountingExact(t *testing.T) {
+	const pageSize = 64
+	load, loads := testPages(32, pageSize)
+	bp := newBufferPool(8, 4) // 4 shards × 2 frames
+	if got := bp.numShards(); got != 4 {
+		t.Fatalf("numShards = %d, want 4", got)
+	}
+
+	// Touch 8 distinct pages: all misses.
+	for p := uint32(0); p < 8; p++ {
+		bp.fetch(p, load)
+	}
+	// Touch them again: pages 0..7 spread 2 per shard (id&3), exactly the
+	// per-shard capacity, so every re-read hits.
+	for p := uint32(0); p < 8; p++ {
+		bp.fetch(p, load)
+	}
+	st := bp.snapshot()
+	want := BufferPoolStats{PageReads: 8, CacheHits: 8, BytesRead: 8 * pageSize}
+	if st != want {
+		t.Fatalf("after warm replay: %+v, want %+v", st, want)
+	}
+	if loads.Load() != 8 {
+		t.Fatalf("loads = %d, want 8", loads.Load())
+	}
+
+	// Page 8 lands in shard 0 (8&3 == 0) which is full: one eviction.
+	bp.fetch(8, load)
+	st = bp.snapshot()
+	if st.PageReads != 9 || st.Evictions != 1 {
+		t.Fatalf("after overflow: %+v", st)
+	}
+
+	// resetStats keeps frames: re-reading page 8 is a pure hit.
+	bp.resetStats()
+	bp.fetch(8, load)
+	if st = bp.snapshot(); st != (BufferPoolStats{CacheHits: 1}) {
+		t.Fatalf("after resetStats: %+v", st)
+	}
+
+	// reset drops frames: the same page misses again.
+	bp.reset()
+	bp.fetch(8, load)
+	if st = bp.snapshot(); st.PageReads != 1 || st.CacheHits != 0 {
+		t.Fatalf("after reset: %+v", st)
+	}
+}
+
+// TestFetchStableAcrossHitAndMiss pins fetch's read-only contract from
+// the consumer side: the bytes a fetch returns are identical across the
+// miss that loads a page and every later hit on its cached frame, on
+// both the cached and the cache-disabled paths. (Mutating the returned
+// slice is forbidden — isolation for callers is enforced one level up,
+// at the Store.Get decode boundary; see TestStoreGetRecordIsolation.)
+func TestFetchStableAcrossHitAndMiss(t *testing.T) {
+	for _, capacity := range []int{4, 0} {
+		t.Run(fmt.Sprintf("capacity=%d", capacity), func(t *testing.T) {
+			load, _ := testPages(4, 32)
+			want := append([]byte(nil), load(2)...)
+			bp := newBufferPool(capacity, 2)
+			for i := 0; i < 3; i++ {
+				if got := bp.fetch(2, load); !bytes.Equal(got, want) {
+					t.Fatalf("fetch %d returned wrong bytes", i)
+				}
+			}
+		})
+	}
+}
+
+// TestStoreGetRecordIsolation is the aliasing regression test at the
+// Store boundary (the enforcement point of the pool's read-only page
+// contract): mutating every mutable field of a record decoded out of a
+// fetched page must leave subsequent Gets of the same record — served
+// from the same cached frame — unaffected.
+func TestStoreGetRecordIsolation(t *testing.T) {
+	b := NewBuilder(Options{PageSize: 256, PoolPages: 4})
+	for i := int64(0); i < 30; i++ {
+		if err := b.Append(sampleRecord(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := st.Get(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range rec.Neighbors {
+		rec.Neighbors[i] = -999
+	}
+	for i := range rec.Payload {
+		rec.Payload[i] = 0xEE
+	}
+	again, err := st.Get(7) // same page: served from the cache
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := sampleRecord(7)
+	for i, nb := range again.Neighbors {
+		if nb != want.Neighbors[i] {
+			t.Fatalf("cached record corrupted: Neighbors = %v", again.Neighbors)
+		}
+	}
+	if !bytes.Equal(again.Payload, want.Payload) {
+		t.Fatalf("cached record corrupted: Payload = %v", again.Payload)
+	}
+}
+
+// gatedLoad wraps a load function with two gates: entered is closed when
+// a load is in flight, and the load blocks until release is closed —
+// a deterministic hook to race pool operations against an in-flight
+// off-lock load.
+type gatedLoad struct {
+	load    func(uint32) []byte
+	entered chan struct{}
+	release chan struct{}
+	once    sync.Once
+}
+
+func newGatedLoad(load func(uint32) []byte) *gatedLoad {
+	return &gatedLoad{
+		load:    load,
+		entered: make(chan struct{}),
+		release: make(chan struct{}),
+	}
+}
+
+func (g *gatedLoad) fn(p uint32) []byte {
+	g.once.Do(func() { close(g.entered) })
+	<-g.release
+	return g.load(p)
+}
+
+// TestSingleflightJoinsInflightLoad pins duplicate suppression: while one
+// goroutine's load of a page is in flight, further fetches of the same
+// page join it — one load total, the joiners counted as hits — and all
+// callers observe the correct page bytes.
+func TestSingleflightJoinsInflightLoad(t *testing.T) {
+	load, loads := testPages(4, 32)
+	want := append([]byte(nil), load(1)...)
+	loads.Store(0)
+	g := newGatedLoad(load)
+	bp := newBufferPool(8, 2)
+
+	const joiners = 4
+	var wg sync.WaitGroup
+	results := make([][]byte, joiners+1)
+	wg.Add(1)
+	go func() { defer wg.Done(); results[0] = bp.fetch(1, g.fn) }()
+	<-g.entered
+
+	// The load is provably in flight and holds no lock: fetches of OTHER
+	// pages in the same shard must complete (this deadlocked the old
+	// load-under-lock design — the actual bugfix under test).
+	bp.fetch(3, load) // 3&1 == 1&1: same shard as the gated page
+
+	for i := 1; i <= joiners; i++ {
+		wg.Add(1)
+		go func(i int) { defer wg.Done(); results[i] = bp.fetch(1, g.fn) }(i)
+	}
+	// Joiners register synchronously under the shard lock before waiting;
+	// give them a beat to do so, then release the load.
+	for {
+		if st := bp.snapshot(); st.CacheHits >= joiners {
+			break
+		}
+		runtime.Gosched()
+	}
+	close(g.release)
+	wg.Wait()
+
+	for i, r := range results {
+		if !bytes.Equal(r, want) {
+			t.Fatalf("caller %d got wrong bytes", i)
+		}
+	}
+	if loads.Load() != 2 { // one for the gated page, one for page 3
+		t.Fatalf("loads = %d, want 2 (duplicates not suppressed)", loads.Load())
+	}
+	st := bp.snapshot()
+	if st.PageReads != 2 || st.CacheHits != joiners {
+		t.Fatalf("stats = %+v, want 2 reads, %d hits", st, joiners)
+	}
+}
+
+// TestResetDetachesInflightLoad pins the reset contract of the off-lock
+// design: a DropCache while a load is in flight must not let that load
+// resurrect a stale frame or pollute the zeroed counters, while its
+// waiters still receive valid data. Both the cached path (detached via
+// loads-map identity) and the cache-disabled path (detached via the
+// shard generation) are covered.
+func TestResetDetachesInflightLoad(t *testing.T) {
+	for _, capacity := range []int{8, 0} {
+		t.Run(fmt.Sprintf("capacity=%d", capacity), func(t *testing.T) {
+			load, _ := testPages(4, 32)
+			want := append([]byte(nil), load(1)...)
+			g := newGatedLoad(load)
+			bp := newBufferPool(capacity, 2)
+
+			var got []byte
+			done := make(chan struct{})
+			go func() { defer close(done); got = bp.fetch(1, g.fn) }()
+			<-g.entered
+
+			bp.reset() // the load is provably in flight across this reset
+			close(g.release)
+			<-done
+
+			if !bytes.Equal(got, want) {
+				t.Fatalf("fetch across reset returned wrong bytes")
+			}
+			if st := bp.snapshot(); st != (BufferPoolStats{}) {
+				t.Fatalf("detached load leaked into zeroed counters: %+v", st)
+			}
+			// No stale frame may have been installed: the next fetch of the
+			// page must be a miss (a resurrected frame would make it a hit).
+			bp.fetch(1, load)
+			if st := bp.snapshot(); st.PageReads != 1 || st.CacheHits != 0 {
+				t.Fatalf("stale frame resurrected after reset: %+v", st)
+			}
+		})
+	}
+}
+
+// TestResetStatsKeepsInflightLoadAttached pins the complementary
+// contract: resetStats (counters only) does NOT detach an in-flight load
+// — the load completes into the fresh counters exactly once, and its
+// frame stays cached.
+func TestResetStatsKeepsInflightLoadAttached(t *testing.T) {
+	load, _ := testPages(4, 32)
+	g := newGatedLoad(load)
+	bp := newBufferPool(8, 2)
+
+	done := make(chan struct{})
+	go func() { defer close(done); bp.fetch(1, g.fn) }()
+	<-g.entered
+	bp.resetStats()
+	close(g.release)
+	<-done
+
+	st := bp.snapshot()
+	if st.PageReads != 1 || st.BytesRead != 32 {
+		t.Fatalf("in-flight load across resetStats counted %+v, want exactly one read", st)
+	}
+	bp.fetch(1, load)
+	if st = bp.snapshot(); st.CacheHits != 1 {
+		t.Fatalf("frame from straddling load not cached: %+v", st)
+	}
+}
+
+// TestConcurrentResetSoak races fetches against reset/resetStats/snapshot
+// from many goroutines (run under -race) and checks the counters still
+// satisfy the pool's invariants afterwards. The old global-lock design
+// made this trivially safe; the off-lock design must prove it.
+func TestConcurrentResetSoak(t *testing.T) {
+	const (
+		pages    = 64
+		pageSize = 128
+		workers  = 8
+		reps     = 400
+	)
+	load, _ := testPages(pages, pageSize)
+	bp := newBufferPool(16, 0)
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < reps; i++ {
+				switch {
+				case w == 0 && i%64 == 63:
+					bp.reset()
+				case w == 1 && i%64 == 63:
+					bp.resetStats()
+				case i%17 == 0:
+					_ = bp.snapshot()
+				default:
+					p := uint32((w*31 + i*7) % pages)
+					data := bp.fetch(p, load)
+					if len(data) != pageSize || data[0] != byte(p+1) {
+						t.Errorf("worker %d: bad page %d data", w, p)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	st := bp.snapshot()
+	if st.PageReads < 0 || st.CacheHits < 0 || st.Evictions < 0 {
+		t.Fatalf("negative counters: %+v", st)
+	}
+	if st.BytesRead != int64(st.PageReads)*pageSize {
+		t.Fatalf("BytesRead %d != PageReads %d × %d (double- or mis-counted load)",
+			st.BytesRead, st.PageReads, pageSize)
+	}
+
+	// Quiescent epilogue: exact counting must hold again after the storm.
+	bp.reset()
+	bp.fetch(0, load)
+	bp.fetch(0, load)
+	if st = bp.snapshot(); st.PageReads != 1 || st.CacheHits != 1 {
+		t.Fatalf("exact accounting lost after soak: %+v", st)
+	}
+}
+
+// BenchmarkStoreParallelFetch measures store-backed fetch throughput
+// under goroutine parallelism (run with -cpu 1,4,8) at 1 lock shard —
+// the old single-mutex layout — versus the default shard count. The
+// workload is miss-heavy (the pool holds ~15% of the pages), so every
+// fetch mutates its shard's LRU bookkeeping: with one shard all
+// goroutines serialize on that mutex, with the default count they spread
+// across the lock shards. The spread between the sub-benchmarks at
+// -cpu > 1 is the serialization this PR removes.
+func BenchmarkStoreParallelFetch(b *testing.B) {
+	const records = 20_000
+	for _, shards := range []int{1, 0} {
+		name := "shards=default"
+		if shards == 1 {
+			name = "shards=1"
+		}
+		bl := NewBuilder(Options{PageSize: 512, PoolPages: 64, PoolShards: shards})
+		for i := int64(0); i < records; i++ {
+			if err := bl.Append(sampleRecord(i)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		st, err := bl.Build()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(name, func(b *testing.B) {
+			b.ReportMetric(float64(st.PoolShards()), "shards")
+			var worker atomic.Int64
+			b.RunParallel(func(pb *testing.PB) {
+				// Per-goroutine id sequence: no shared state on the hot
+				// loop, distinct goroutines walk interleaved strides.
+				id := worker.Add(1) * 7919
+				for pb.Next() {
+					id += 131
+					if _, err := st.Get(id % records); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			})
+		})
+	}
+}
+
+// TestPanickingLoadDoesNotStrandPage pins the off-lock design's panic
+// safety: a load that panics must propagate the panic to its caller but
+// leave the pool usable — waiters joined to the call unblock, and later
+// fetches of the same page load fresh instead of hanging on a stranded
+// in-flight entry.
+func TestPanickingLoadDoesNotStrandPage(t *testing.T) {
+	load, _ := testPages(4, 32)
+	bp := newBufferPool(8, 2)
+
+	g := newGatedLoad(load)
+	panicking := func(p uint32) []byte {
+		g.fn(p) // signal entered, wait for release
+		panic("simulated IO failure")
+	}
+
+	// A joiner attached to the doomed load must unblock (with nil data).
+	joined := make(chan []byte, 1)
+	loaderDone := make(chan interface{}, 1)
+	go func() {
+		defer func() { loaderDone <- recover() }()
+		bp.fetch(1, panicking)
+	}()
+	<-g.entered
+	go func() { joined <- bp.fetch(1, load) }()
+	for {
+		if st := bp.snapshot(); st.CacheHits == 1 { // the joiner registered
+			break
+		}
+		runtime.Gosched()
+	}
+	close(g.release)
+
+	if r := <-loaderDone; r == nil {
+		t.Fatal("load panic did not propagate to the fetching goroutine")
+	}
+	if data := <-joined; data != nil {
+		t.Errorf("joiner of a panicked load got %d bytes, want nil", len(data))
+	}
+	// The page is not stranded: a fresh fetch loads and counts normally.
+	want := append([]byte(nil), load(1)...)
+	if got := bp.fetch(1, load); !bytes.Equal(got, want) {
+		t.Fatal("post-panic fetch returned wrong bytes")
+	}
+	if st := bp.snapshot(); st.PageReads != 1 {
+		t.Errorf("post-panic stats: %+v, want exactly one counted read", st)
+	}
+}

@@ -8,12 +8,15 @@ import (
 )
 
 // Store is a read-only paged object store built once by a Builder. Record
-// fetches go through an LRU buffer pool whose counters expose the simulated
-// IO cost. Get, Stats, ResetStats and DropCache are safe for concurrent
-// use: the pages and record directory are immutable, and the buffer pool
-// serializes its own mutations behind a mutex. Concurrent fetches contend
-// on that one lock — an intentional model of a shared buffer pool; scaling
-// past it is what sharding the store (package shard) is for.
+// fetches go through a sharded LRU buffer pool whose counters expose the
+// simulated IO cost. Get, Stats, ResetStats and DropCache are safe for
+// concurrent use: the pages and record directory are immutable, and the
+// buffer pool partitions its mutable state over power-of-two lock shards
+// keyed by page id, with page loads running outside the shard locks
+// (duplicate loads of one page are suppressed singleflight-style). Fetches
+// only contend when they land on the same shard at the same instant, so
+// parallel query batches scale with cores instead of serializing on one
+// pool mutex; Options.PoolShards tunes the shard count.
 type Store struct {
 	pageSize int
 	pages    [][]byte
@@ -28,6 +31,13 @@ type Options struct {
 	// PoolPages is the buffer pool capacity in pages. 0 disables caching;
 	// negative means "unbounded" (everything stays cached).
 	PoolPages int
+	// PoolShards is the number of buffer-pool lock shards. <= 0 picks a
+	// power of two at or above GOMAXPROCS; 1 reproduces a single-lock
+	// pool; other values round up to a power of two, capped at 128. The
+	// count also never exceeds a positive PoolPages (per-shard capacity
+	// is ceil(PoolPages/shards), so the effective pool size rounds up to
+	// at most PoolPages+shards-1 pages).
+	PoolShards int
 }
 
 // Builder accumulates records and produces an immutable Store.
@@ -86,15 +96,11 @@ func (b *Builder) Build() (*Store, error) {
 		b.pages = append(b.pages, b.current.seal())
 		b.current = newPageBuilder(b.opts.PageSize)
 	}
-	poolCap := b.opts.PoolPages
-	if poolCap < 0 {
-		poolCap = len(b.pages) + 1
-	}
 	return &Store{
 		pageSize: b.opts.PageSize,
 		pages:    b.pages,
 		dir:      b.dir,
-		pool:     newBufferPool(poolCap),
+		pool:     newBufferPool(b.opts.PoolPages, b.opts.PoolShards),
 	}, nil
 }
 
@@ -107,7 +113,14 @@ func (s *Store) NumPages() int { return len(s.pages) }
 // PageSize returns the page size in bytes.
 func (s *Store) PageSize() int { return s.pageSize }
 
-// Get fetches the record with the given id through the buffer pool.
+// PoolShards returns the resolved buffer-pool lock-shard count.
+func (s *Store) PoolShards() int { return s.pool.numShards() }
+
+// Get fetches the record with the given id through the buffer pool. The
+// returned record shares no memory with the cache or the heap file:
+// fetched pages are read-only inside the store, and decodeRecord
+// deep-copies every variable field at this boundary, so callers may
+// mutate the record freely.
 func (s *Store) Get(id int64) (PointRecord, error) {
 	rid, ok := s.dir[id]
 	if !ok {
@@ -245,14 +258,10 @@ func Read(r io.Reader, opts Options) (*Store, error) {
 			Slot: binary.LittleEndian.Uint16(ent[12:]),
 		}
 	}
-	poolCap := opts.PoolPages
-	if poolCap < 0 {
-		poolCap = pageCount + 1
-	}
 	return &Store{
 		pageSize: pageSize,
 		pages:    pages,
 		dir:      dir,
-		pool:     newBufferPool(poolCap),
+		pool:     newBufferPool(opts.PoolPages, opts.PoolShards),
 	}, nil
 }

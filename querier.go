@@ -141,17 +141,6 @@ func Count(ctx context.Context, q Querier, region Region, opts ...QueryOpt) (int
 	return st.ResultSize, nil
 }
 
-// countVia implements the deprecated per-flavor Count methods over the
-// new API, preserving their (int, Stats, error) shape.
-func countVia(q Querier, m Method, region Region) (int, Stats, error) {
-	var st Stats
-	_, err := q.Query(context.Background(), region, UsingMethod(m), CountOnly(), WithStatsInto(&st))
-	if err != nil {
-		return 0, st, err
-	}
-	return st.ResultSize, st, nil
-}
-
 // finishQuery applies the plan's post-processing shared by the unsharded
 // backends: canonical ascending id order and the stats handoff.
 func finishQuery(p *queryPlan, ids []int64, st Stats, err error) ([]int64, error) {

@@ -44,9 +44,11 @@
 // goroutines. An Engine is immutable after NewEngine returns: the spatial
 // index, the Voronoi topology and the point data are never modified by
 // queries, and all per-query scratch state is pooled internally. Engines
-// built WithStore are included: the record store's buffer pool serializes
-// its mutations behind a mutex, so concurrent loads contend on that lock
-// but never race. A ShardedEngine is likewise immutable after
+// built WithStore are included: the record store's buffer pool partitions
+// its state over per-page lock shards (WithBufferPoolShards tunes the
+// count) and performs page loads outside those locks, so concurrent loads
+// of different pages proceed in parallel and duplicate loads of one page
+// are coalesced. A ShardedEngine is likewise immutable after
 // construction.
 //
 // A DynamicEngine is safe for concurrent use via epoch snapshots: Insert
@@ -64,17 +66,18 @@
 // worker pool — WithParallelism(n) sets the pool size (default GOMAXPROCS;
 // 1 keeps batches on the calling goroutine).
 //
-// To scale a store-backed dataset past the single buffer-pool lock — or
-// any dataset past one engine's construction and query cost — partition it
-// with NewShardedEngine: n Hilbert-coherent shards, each an independent
-// engine with its own index, topology and store, queried by scatter-gather
-// with shard-MBR pruning.
+// To scale any dataset past one engine's construction and query cost,
+// partition it with NewShardedEngine: n Hilbert-coherent shards, each an
+// independent engine with its own index, topology and store, queried by
+// scatter-gather with shard-MBR pruning.
 //
-// # Migrating from the method-positional API
+// # Removed method-positional API
 //
 // The pre-Querier per-flavor methods (QueryWith, QueryCircle, Count,
-// QueryBatch, QueryRegions) remain as thin deprecated wrappers over the
-// new surface for one release; see README.md for the old → new mapping.
+// QueryBatch, QueryRegions) were deprecated wrappers for one release and
+// are now removed; see README.md for the old → new mapping. KNearest
+// remains per-flavor (it is not an area query) and now takes a
+// context.Context like every other query path.
 package vaq
 
 import (
@@ -245,6 +248,11 @@ type config struct {
 	gridCell    int
 	parallelism int
 	shards      int
+	poolShards  int
+	// poolShardsSet records that WithBufferPoolShards was given, so an
+	// explicit 0 ("use the GOMAXPROCS default") still overrides a
+	// StoreConfig.PoolShards value.
+	poolShardsSet bool
 }
 
 // WithIndex selects the filtering index (default RTreeIndex, as in the
@@ -258,20 +266,34 @@ func WithRTreeFanout(n int) Option {
 	return func(c *config) { c.rtreeFan = n }
 }
 
-// WithStore backs records with a paged object store and LRU buffer pool so
-// refinement IO is simulated and counted. Without this option records are
-// plain in-memory slices.
+// WithStore backs records with a paged object store and sharded LRU
+// buffer pool so refinement IO is simulated and counted. Without this
+// option records are plain in-memory slices.
 func WithStore(cfg StoreConfig) Option {
 	return func(c *config) { s := cfg; c.store = &s }
+}
+
+// WithBufferPoolShards sets the store buffer pool's lock-shard count
+// (StoreConfig.PoolShards; this option wins when both are given). The
+// default (n <= 0) is a power of two at or above runtime.GOMAXPROCS; 1
+// reproduces a single-lock pool; other values round up to a power of two,
+// capped at 128, and the count never exceeds a positive PoolPages
+// capacity — the per-shard capacity is ceil(PoolPages/shards), so the
+// effective pool size rounds up to at most PoolPages+shards-1 pages. With
+// NewShardedEngine the setting applies to every shard's private store.
+// Without WithStore it has no effect.
+func WithBufferPoolShards(n int) Option {
+	return func(c *config) { c.poolShards, c.poolShardsSet = n, true }
 }
 
 // WithParallelism sets the worker-pool size QueryAll batches run on —
 // and, for sharded engines, the pool shard construction and
 // scatter-gather fan-out use. The default (n <= 0) is runtime.GOMAXPROCS;
 // 1 keeps batches sequential on the calling goroutine. Store-backed
-// engines participate fully: their buffer pool is mutex-guarded, so
-// parallel batches are safe (if lock-contended on pool-miss-heavy
-// workloads; shard the engine to give each shard its own pool).
+// engines participate fully: the buffer pool's lock shards and off-lock
+// page loads keep parallel batches scaling even on pool-miss-heavy
+// workloads (and sharding the engine still multiplies total pool
+// capacity).
 func WithParallelism(n int) Option {
 	return func(c *config) { c.parallelism = n }
 }
@@ -285,9 +307,9 @@ func WithShards(n int) Option {
 // Engine answers area queries over a fixed point set; it is the static
 // Querier backend. Engines are read-safe after construction: any number
 // of goroutines may share one Engine and query it concurrently
-// (WithStore engines included — their buffer pool is mutex-guarded), and
-// QueryAll spreads a batch over an internal worker pool (see
-// WithParallelism).
+// (WithStore engines included — their buffer pool shards its locks and
+// loads pages outside them), and QueryAll spreads a batch over an
+// internal worker pool (see WithParallelism).
 type Engine struct {
 	eng         *core.Engine
 	points      []Point
@@ -325,7 +347,11 @@ func (c config) buildIndex(points []Point, bounds Rect) (core.SpatialIndex, erro
 // the store when one was configured (nil otherwise).
 func (c config) buildData(points []Point, bounds Rect) (core.DataAccess, *core.StoreData, error) {
 	if c.store != nil {
-		sd, err := core.NewStoreData(points, bounds, *c.store)
+		scfg := *c.store
+		if c.poolShardsSet {
+			scfg.PoolShards = c.poolShards
+		}
+		sd, err := core.NewStoreData(points, bounds, scfg)
 		return sd, sd, err
 	}
 	data, err := core.NewMemoryData(points, bounds)
@@ -361,61 +387,12 @@ func NewEngine(points []Point, bounds Rect, opts ...Option) (*Engine, error) {
 	}, nil
 }
 
-// QueryWith answers an area query with an explicit method.
-//
-// Deprecated: use Query with UsingMethod and WithStatsInto.
-func (e *Engine) QueryWith(m Method, area Polygon) ([]int64, Stats, error) {
-	var st Stats
-	ids, err := e.Query(context.Background(), PolygonRegion(area),
-		UsingMethod(m), WithStatsInto(&st))
-	return ids, st, err
-}
-
-// QueryCircle answers a radius query — all points within the closed disk —
-// with the chosen method. The Voronoi BFS applies unchanged: a disk is
-// just another connected query region.
-//
-// Deprecated: use Query with CircleRegion and UsingMethod.
-func (e *Engine) QueryCircle(m Method, c Circle) ([]int64, Stats, error) {
-	var st Stats
-	ids, err := e.Query(context.Background(), CircleRegion(c),
-		UsingMethod(m), WithStatsInto(&st))
-	return ids, st, err
-}
-
 // KNearest returns the k stored points nearest to q in increasing distance
 // order, computed by Voronoi expansion (exact; the VoR-tree property the
-// paper builds on).
-func (e *Engine) KNearest(q Point, k int) ([]int64, Stats, error) {
-	return e.eng.KNearest(q, k)
-}
-
-// Count answers an area query returning only the number of matching
-// points.
-//
-// Deprecated: use the package-level Count, or Query with CountOnly.
-func (e *Engine) Count(m Method, area Polygon) (int, Stats, error) {
-	return countVia(e, m, PolygonRegion(area))
-}
-
-// QueryBatch answers a sequence of queries with one method, returning
-// per-query results and aggregated statistics. The batch runs on the
-// engine's worker pool (see WithParallelism); the aggregate Duration is
-// the sum of per-query times, comparable with a sequential run.
-//
-// Deprecated: use QueryAll with UsingMethod.
-func (e *Engine) QueryBatch(m Method, areas []Polygon) ([][]int64, Stats, error) {
-	return e.QueryRegions(m, core.Polygons(areas))
-}
-
-// QueryRegions is QueryBatch over prepared Regions, letting polygon and
-// circle queries share one (parallel) batch.
-//
-// Deprecated: use QueryAll with UsingMethod.
-func (e *Engine) QueryRegions(m Method, regions []Region) ([][]int64, Stats, error) {
-	var st Stats
-	out, err := e.QueryAll(context.Background(), regions, UsingMethod(m), WithStatsInto(&st))
-	return out, st, err
+// paper builds on). Cancelling ctx aborts the expansion at candidate
+// boundaries and returns ctx.Err() with the partial work in Stats.
+func (e *Engine) KNearest(ctx context.Context, q Point, k int) ([]int64, Stats, error) {
+	return e.eng.KNearest(ctx, q, k)
 }
 
 // Len returns the number of stored points.
@@ -478,11 +455,12 @@ func (e *Engine) ResetIOStats() {
 // Stats.Method still reports the requested method (with CellTests counted
 // instead of SegmentTests).
 //
-// Shard where one engine's data volume or lock contention is the
-// bottleneck: construction parallelizes across shards, store-backed
-// shards stop sharing one buffer-pool mutex, and batch throughput scales
-// with both query and shard parallelism. A ShardedEngine is immutable
-// after construction and safe for concurrent use from any number of
+// Shard where one engine's data volume is the bottleneck: construction
+// parallelizes across shards, store-backed shards multiply total
+// buffer-pool capacity (each shard's pool has its own lock shards on top
+// — see WithBufferPoolShards), and batch throughput scales with both
+// query and shard parallelism. A ShardedEngine is immutable after
+// construction and safe for concurrent use from any number of
 // goroutines.
 type ShardedEngine struct {
 	se     *shard.Engine
@@ -529,67 +507,14 @@ func NewShardedEngine(points []Point, bounds Rect, opts ...Option) (*ShardedEngi
 	return &ShardedEngine{se: se, stores: stores[:se.NumShards()]}, nil
 }
 
-// QueryWith answers an area query with an explicit method.
-//
-// Deprecated: use Query with UsingMethod and WithStatsInto.
-func (e *ShardedEngine) QueryWith(m Method, area Polygon) ([]int64, Stats, error) {
-	var st Stats
-	ids, err := e.Query(context.Background(), PolygonRegion(area),
-		UsingMethod(m), WithStatsInto(&st))
-	return ids, st, err
-}
-
-// QueryCircle answers a radius query with the chosen method.
-//
-// Deprecated: use Query with CircleRegion and UsingMethod.
-func (e *ShardedEngine) QueryCircle(m Method, c Circle) ([]int64, Stats, error) {
-	var st Stats
-	ids, err := e.Query(context.Background(), CircleRegion(c),
-		UsingMethod(m), WithStatsInto(&st))
-	return ids, st, err
-}
-
-// QueryRegion answers an area query over a prepared Region.
-//
-// Deprecated: use Query with UsingMethod.
-func (e *ShardedEngine) QueryRegion(m Method, region Region) ([]int64, Stats, error) {
-	var st Stats
-	ids, err := e.Query(context.Background(), region, UsingMethod(m), WithStatsInto(&st))
-	return ids, st, err
-}
-
 // KNearest returns the k stored points nearest to q in increasing
 // distance order, walking shards in MINDIST order and expanding only
 // while a shard's bounds can still beat the current k-th distance.
-func (e *ShardedEngine) KNearest(q Point, k int) ([]int64, Stats, error) {
-	return e.se.KNearest(q, k)
-}
-
-// Count answers an area query returning only the number of matching
-// points; pruned shards cost nothing and no merged result is built.
-//
-// Deprecated: use the package-level Count, or Query with CountOnly.
-func (e *ShardedEngine) Count(m Method, area Polygon) (int, Stats, error) {
-	return countVia(e, m, PolygonRegion(area))
-}
-
-// QueryBatch answers a sequence of queries with one method. Every
-// (query, surviving shard) pair is one task on the worker pool, so
-// batches exploit intra- and inter-query parallelism at once.
-//
-// Deprecated: use QueryAll with UsingMethod.
-func (e *ShardedEngine) QueryBatch(m Method, areas []Polygon) ([][]int64, Stats, error) {
-	return e.QueryRegions(m, core.Polygons(areas))
-}
-
-// QueryRegions is QueryBatch over prepared Regions, letting polygon and
-// circle queries share one batch.
-//
-// Deprecated: use QueryAll with UsingMethod.
-func (e *ShardedEngine) QueryRegions(m Method, regions []Region) ([][]int64, Stats, error) {
-	var st Stats
-	out, err := e.QueryAll(context.Background(), regions, UsingMethod(m), WithStatsInto(&st))
-	return out, st, err
+// Cancelling ctx abandons the remaining frontier (checked before every
+// shard expansion and at candidate boundaries within one) and returns
+// ctx.Err() with the partial work in Stats.
+func (e *ShardedEngine) KNearest(ctx context.Context, q Point, k int) ([]int64, Stats, error) {
+	return e.se.KNearest(ctx, q, k)
 }
 
 // NumShards returns the shard count (after clamping to the point count).
@@ -641,9 +566,8 @@ func (e *ShardedEngine) ResetIOStats() {
 // Sentinel errors, matchable with errors.Is. They distinguish caller
 // errors from engine failure.
 var (
-	// ErrNoData is returned by every query entry point (Query, QueryWith,
-	// QueryCircle, KNearest, Count, batches) when the engine holds no
-	// points.
+	// ErrNoData is returned by every query entry point (Query, QueryAll,
+	// Each, KNearest, Count) when the engine holds no points.
 	ErrNoData = core.ErrNoData
 	// ErrOutsideUniverse is returned by DynamicEngine (and its Snapshots)
 	// when an inserted point or a query area falls outside the universe
@@ -678,8 +602,8 @@ type DynamicEngine struct {
 
 // NewDynamicEngine returns an empty dynamic engine. All inserted points
 // and query areas must lie within universe. Of the Engine options only
-// WithParallelism applies (it sizes the QueryBatch/QueryRegions worker
-// pool); the others describe static construction and are ignored.
+// WithParallelism applies (it sizes the QueryAll worker pool); the
+// others describe static construction and are ignored.
 func NewDynamicEngine(universe Rect, opts ...Option) *DynamicEngine {
 	cfg := defaultConfig()
 	for _, o := range opts {
@@ -704,61 +628,12 @@ func (e *DynamicEngine) Snapshot() *Snapshot {
 	return &Snapshot{s: e.d.Snapshot(), parallelism: e.parallelism}
 }
 
-// QueryWith answers an area query with an explicit method at the current
-// epoch.
-//
-// Deprecated: use Query with UsingMethod and WithStatsInto.
-func (e *DynamicEngine) QueryWith(m Method, area Polygon) ([]int64, Stats, error) {
-	var st Stats
-	ids, err := e.Query(context.Background(), PolygonRegion(area),
-		UsingMethod(m), WithStatsInto(&st))
-	return ids, st, err
-}
-
-// QueryCircle answers a radius query with the chosen method at the
-// current epoch.
-//
-// Deprecated: use Query with CircleRegion and UsingMethod.
-func (e *DynamicEngine) QueryCircle(m Method, c Circle) ([]int64, Stats, error) {
-	var st Stats
-	ids, err := e.Query(context.Background(), CircleRegion(c),
-		UsingMethod(m), WithStatsInto(&st))
-	return ids, st, err
-}
-
 // KNearest returns the k inserted points nearest to q in increasing
 // distance order at the current epoch (ErrNoData while empty, matching
-// Query).
-func (e *DynamicEngine) KNearest(q Point, k int) ([]int64, Stats, error) {
-	return e.d.KNearest(q, k)
-}
-
-// Count answers an area query at the current epoch returning only the
-// number of matching points.
-//
-// Deprecated: use the package-level Count, or Query with CountOnly.
-func (e *DynamicEngine) Count(m Method, area Polygon) (int, Stats, error) {
-	return countVia(e, m, PolygonRegion(area))
-}
-
-// QueryBatch answers a sequence of queries with one method on the worker
-// pool (see WithParallelism). The whole batch runs against one pinned
-// epoch: every query in it sees the same dataset even while inserts
-// continue.
-//
-// Deprecated: use QueryAll with UsingMethod.
-func (e *DynamicEngine) QueryBatch(m Method, areas []Polygon) ([][]int64, Stats, error) {
-	return e.QueryRegions(m, core.Polygons(areas))
-}
-
-// QueryRegions is QueryBatch over prepared Regions, letting polygon and
-// circle queries share one epoch-pinned parallel batch.
-//
-// Deprecated: use QueryAll with UsingMethod.
-func (e *DynamicEngine) QueryRegions(m Method, regions []Region) ([][]int64, Stats, error) {
-	var st Stats
-	out, err := e.QueryAll(context.Background(), regions, UsingMethod(m), WithStatsInto(&st))
-	return out, st, err
+// Query). Cancelling ctx aborts the expansion at candidate boundaries
+// and returns ctx.Err().
+func (e *DynamicEngine) KNearest(ctx context.Context, q Point, k int) ([]int64, Stats, error) {
+	return e.d.KNearest(ctx, q, k)
 }
 
 // Len returns the number of inserted points at the current epoch.
@@ -815,55 +690,11 @@ func (s *Snapshot) PointOK(id int64) (Point, bool) { return s.s.PointOK(id) }
 // streams an area query instead.)
 func (s *Snapshot) EachPoint(fn func(id int64, p Point) bool) { s.s.EachPoint(fn) }
 
-// QueryWith answers an area query with an explicit method.
-//
-// Deprecated: use Query with UsingMethod and WithStatsInto.
-func (s *Snapshot) QueryWith(m Method, area Polygon) ([]int64, Stats, error) {
-	var st Stats
-	ids, err := s.Query(context.Background(), PolygonRegion(area),
-		UsingMethod(m), WithStatsInto(&st))
-	return ids, st, err
-}
-
-// QueryCircle answers a radius query with the chosen method.
-//
-// Deprecated: use Query with CircleRegion and UsingMethod.
-func (s *Snapshot) QueryCircle(m Method, c Circle) ([]int64, Stats, error) {
-	var st Stats
-	ids, err := s.Query(context.Background(), CircleRegion(c),
-		UsingMethod(m), WithStatsInto(&st))
-	return ids, st, err
-}
-
 // KNearest returns the k points nearest to q in increasing distance
-// order.
-func (s *Snapshot) KNearest(q Point, k int) ([]int64, Stats, error) {
-	return s.s.KNearest(q, k)
-}
-
-// Count answers an area query returning only the number of matching
-// points.
-//
-// Deprecated: use the package-level Count, or Query with CountOnly.
-func (s *Snapshot) Count(m Method, area Polygon) (int, Stats, error) {
-	return countVia(s, m, PolygonRegion(area))
-}
-
-// QueryBatch answers a sequence of queries with one method on the worker
-// pool, all against this snapshot's pinned epoch.
-//
-// Deprecated: use QueryAll with UsingMethod.
-func (s *Snapshot) QueryBatch(m Method, areas []Polygon) ([][]int64, Stats, error) {
-	return s.QueryRegions(m, core.Polygons(areas))
-}
-
-// QueryRegions is QueryBatch over prepared Regions.
-//
-// Deprecated: use QueryAll with UsingMethod.
-func (s *Snapshot) QueryRegions(m Method, regions []Region) ([][]int64, Stats, error) {
-	var st Stats
-	out, err := s.QueryAll(context.Background(), regions, UsingMethod(m), WithStatsInto(&st))
-	return out, st, err
+// order. Cancelling ctx aborts the expansion at candidate boundaries and
+// returns ctx.Err().
+func (s *Snapshot) KNearest(ctx context.Context, q Point, k int) ([]int64, Stats, error) {
+	return s.s.KNearest(ctx, q, k)
 }
 
 // RenderOptions configures RenderQuerySVG.

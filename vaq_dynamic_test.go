@@ -1,6 +1,7 @@
 package vaq
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -116,7 +117,7 @@ func TestDynamicEngineConcurrentInsertQuery(t *testing.T) {
 				snap := eng.Snapshot()
 				epochsSeen.Store(snap.Epoch(), struct{}{})
 				area := RandomQueryPolygon(rng, 8, 0.05, UnitSquare())
-				oracle, _, err := snap.QueryWith(BruteForce, area)
+				oracle, _, err := queryWith(snap, BruteForce, area)
 				if err != nil {
 					recordError(err)
 					return
@@ -124,7 +125,7 @@ func TestDynamicEngineConcurrentInsertQuery(t *testing.T) {
 				want := sorted(oracle)
 
 				for _, m := range []Method{Traditional, VoronoiBFS, VoronoiBFSStrict} {
-					got, _, err := snap.QueryWith(m, area)
+					got, _, err := queryWith(snap, m, area)
 					if err != nil {
 						recordError(err)
 						return
@@ -137,7 +138,7 @@ func TestDynamicEngineConcurrentInsertQuery(t *testing.T) {
 				}
 
 				// Count, on the same pinned epoch.
-				if cnt, _, err := snap.Count(VoronoiBFS, area); err != nil || cnt != len(oracle) {
+				if cnt, _, err := countOf(snap, VoronoiBFS, area); err != nil || cnt != len(oracle) {
 					recordError(fmt.Errorf("epoch %d Count = %d (err %v), oracle %d",
 						snap.Epoch(), cnt, err, len(oracle)))
 					return
@@ -145,7 +146,7 @@ func TestDynamicEngineConcurrentInsertQuery(t *testing.T) {
 
 				// KNearest against the pinned point set.
 				q := Pt(rng.Float64(), rng.Float64())
-				knn, _, err := snap.KNearest(q, 8)
+				knn, _, err := snap.KNearest(context.Background(), q, 8)
 				if err != nil {
 					recordError(err)
 					return
@@ -159,7 +160,7 @@ func TestDynamicEngineConcurrentInsertQuery(t *testing.T) {
 				// A parallel batch shares one epoch: the same area twice must
 				// answer identically, and match the snapshot's oracle when
 				// the batch is taken from the same pinned view.
-				batch, _, err := snap.QueryBatch(VoronoiBFS, []Polygon{area, area})
+				batch, _, err := queryBatch(snap, VoronoiBFS, []Polygon{area, area})
 				if err != nil {
 					recordError(err)
 					return
@@ -173,7 +174,7 @@ func TestDynamicEngineConcurrentInsertQuery(t *testing.T) {
 				// too; their epoch is pinned internally, so verify invariants
 				// that hold at any epoch: results lie inside the area and
 				// ids resolve to points.
-				live, _, err := eng.QueryWith(VoronoiBFS, area)
+				live, _, err := queryWith(eng, VoronoiBFS, area)
 				if err != nil {
 					recordError(err)
 					return
@@ -184,11 +185,11 @@ func TestDynamicEngineConcurrentInsertQuery(t *testing.T) {
 						return
 					}
 				}
-				if _, _, err := eng.KNearest(q, 4); err != nil {
+				if _, _, err := eng.KNearest(context.Background(), q, 4); err != nil {
 					recordError(err)
 					return
 				}
-				if _, _, err := eng.QueryBatch(VoronoiBFS, []Polygon{area}); err != nil {
+				if _, _, err := queryBatch(eng, VoronoiBFS, []Polygon{area}); err != nil {
 					recordError(err)
 					return
 				}
@@ -216,11 +217,11 @@ func TestDynamicEngineConcurrentInsertQuery(t *testing.T) {
 	final := eng.Snapshot()
 	epochsSeen.Store(final.Epoch(), struct{}{})
 	area := MustPolygon([]Point{Pt(0.2, 0.2), Pt(0.8, 0.3), Pt(0.5, 0.8)})
-	oracle, _, err := final.QueryWith(BruteForce, area)
+	oracle, _, err := queryWith(final, BruteForce, area)
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, _, err := final.QueryWith(VoronoiBFS, area)
+	got, _, err := queryWith(final, VoronoiBFS, area)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -244,13 +245,13 @@ func TestDynamicOutsideUniverseSentinel(t *testing.T) {
 		t.Fatal(err)
 	}
 	tooBig := MustPolygon([]Point{Pt(-1, -1), Pt(2, -1), Pt(0.5, 2)})
-	if _, _, err := eng.QueryWith(VoronoiBFS, tooBig); !errors.Is(err, ErrOutsideUniverse) {
+	if _, _, err := queryWith(eng, VoronoiBFS, tooBig); !errors.Is(err, ErrOutsideUniverse) {
 		t.Errorf("Query exceeding universe: err = %v, want ErrOutsideUniverse", err)
 	}
-	if _, _, err := eng.QueryBatch(VoronoiBFS, []Polygon{tooBig}); !errors.Is(err, ErrOutsideUniverse) {
+	if _, _, err := queryBatch(eng, VoronoiBFS, []Polygon{tooBig}); !errors.Is(err, ErrOutsideUniverse) {
 		t.Errorf("QueryBatch exceeding universe: err = %v, want ErrOutsideUniverse", err)
 	}
-	if _, _, err := eng.QueryCircle(VoronoiBFS, NewCircle(Pt(0.5, 0.5), 2)); !errors.Is(err, ErrOutsideUniverse) {
+	if _, _, err := queryCircle(eng, VoronoiBFS, NewCircle(Pt(0.5, 0.5), 2)); !errors.Is(err, ErrOutsideUniverse) {
 		t.Errorf("QueryCircle exceeding universe: err = %v, want ErrOutsideUniverse", err)
 	}
 }
@@ -258,13 +259,13 @@ func TestDynamicOutsideUniverseSentinel(t *testing.T) {
 func TestDynamicEmptyEngineErrNoData(t *testing.T) {
 	eng := NewDynamicEngine(UnitSquare())
 	area := MustPolygon([]Point{Pt(0.1, 0.1), Pt(0.5, 0.1), Pt(0.3, 0.5)})
-	if _, _, err := eng.QueryWith(VoronoiBFS, area); !errors.Is(err, ErrNoData) {
+	if _, _, err := queryWith(eng, VoronoiBFS, area); !errors.Is(err, ErrNoData) {
 		t.Errorf("Query on empty: err = %v, want ErrNoData", err)
 	}
-	if _, _, err := eng.KNearest(Pt(0.5, 0.5), 3); !errors.Is(err, ErrNoData) {
+	if _, _, err := eng.KNearest(context.Background(), Pt(0.5, 0.5), 3); !errors.Is(err, ErrNoData) {
 		t.Errorf("KNearest on empty: err = %v, want ErrNoData", err)
 	}
-	if _, _, err := eng.QueryBatch(VoronoiBFS, []Polygon{area}); !errors.Is(err, ErrNoData) {
+	if _, _, err := queryBatch(eng, VoronoiBFS, []Polygon{area}); !errors.Is(err, ErrNoData) {
 		t.Errorf("QueryBatch on empty: err = %v, want ErrNoData", err)
 	}
 }
@@ -301,11 +302,11 @@ func TestDynamicEngineParityWithStatic(t *testing.T) {
 	}
 	for trial := 0; trial < 10; trial++ {
 		area := RandomQueryPolygon(rng, 10, 0.04, UnitSquare())
-		s, _, err := static.QueryWith(VoronoiBFS, area)
+		s, _, err := queryWith(static, VoronoiBFS, area)
 		if err != nil {
 			t.Fatal(err)
 		}
-		d, _, err := dyn.QueryWith(VoronoiBFS, area)
+		d, _, err := queryWith(dyn, VoronoiBFS, area)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -320,22 +321,22 @@ func TestDynamicEngineParityWithStatic(t *testing.T) {
 		}
 		// Circle and count parity.
 		c := NewCircle(Pt(0.3+0.04*float64(trial), 0.5), 0.08)
-		sc, _, err := static.QueryCircle(VoronoiBFS, c)
+		sc, _, err := queryCircle(static, VoronoiBFS, c)
 		if err != nil {
 			t.Fatal(err)
 		}
-		dc, _, err := dyn.QueryCircle(VoronoiBFS, c)
+		dc, _, err := queryCircle(dyn, VoronoiBFS, c)
 		if err != nil {
 			t.Fatal(err)
 		}
 		if len(sc) != len(dc) {
 			t.Fatalf("trial %d circle: static %d, dynamic %d", trial, len(sc), len(dc))
 		}
-		scnt, _, err := static.Count(Traditional, area)
+		scnt, _, err := countOf(static, Traditional, area)
 		if err != nil {
 			t.Fatal(err)
 		}
-		dcnt, _, err := dyn.Count(Traditional, area)
+		dcnt, _, err := countOf(dyn, Traditional, area)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -344,11 +345,11 @@ func TestDynamicEngineParityWithStatic(t *testing.T) {
 		}
 		// KNearest parity, by position.
 		q := Pt(rng.Float64(), rng.Float64())
-		sk, _, err := static.KNearest(q, 12)
+		sk, _, err := static.KNearest(context.Background(), q, 12)
 		if err != nil {
 			t.Fatal(err)
 		}
-		dk, _, err := dyn.KNearest(q, 12)
+		dk, _, err := dyn.KNearest(context.Background(), q, 12)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -64,11 +64,11 @@ func TestQueryBatchParallelMatchesSequential(t *testing.T) {
 	regions := mixedBatch(rng, 48)
 
 	for _, m := range []Method{VoronoiBFS, Traditional} {
-		seq, _, err := seqEng.QueryRegions(m, regions)
+		seq, _, err := queryRegions(seqEng, m, regions)
 		if err != nil {
 			t.Fatalf("%v sequential: %v", m, err)
 		}
-		par, _, err := parEng.QueryRegions(m, regions)
+		par, _, err := queryRegions(parEng, m, regions)
 		if err != nil {
 			t.Fatalf("%v parallel: %v", m, err)
 		}
@@ -85,11 +85,11 @@ func TestQueryBatchParallelMatchesSequential(t *testing.T) {
 	for i := range areas {
 		areas[i] = RandomQueryPolygon(rng, 10, 0.01, UnitSquare())
 	}
-	seq, _, err := seqEng.QueryBatch(VoronoiBFS, areas)
+	seq, _, err := queryBatch(seqEng, VoronoiBFS, areas)
 	if err != nil {
 		t.Fatal(err)
 	}
-	par, _, err := parEng.QueryBatch(VoronoiBFS, areas)
+	par, _, err := queryBatch(parEng, VoronoiBFS, areas)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -117,7 +117,7 @@ func TestParallelBatchStatsEqualSequentialSum(t *testing.T) {
 		// aggregate.
 		var want Stats
 		for i := range regions {
-			_, st, err := seqEng.QueryRegions(m, regions[i:i+1])
+			_, st, err := queryRegions(seqEng, m, regions[i:i+1])
 			if err != nil {
 				t.Fatalf("%v sequential query %d: %v", m, i, err)
 			}
@@ -130,7 +130,7 @@ func TestParallelBatchStatsEqualSequentialSum(t *testing.T) {
 			t.Fatal("workload produced no cell tests; test is vacuous")
 		}
 
-		_, agg, err := eng.QueryRegions(m, regions)
+		_, agg, err := queryRegions(eng, m, regions)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -170,7 +170,7 @@ func TestGoroutinesShareOneEngine(t *testing.T) {
 	oracle := make([][]int64, len(areas))
 	for i := range areas {
 		areas[i] = RandomQueryPolygon(rng, 10, 0.02, UnitSquare())
-		ids, _, err := eng.QueryWith(BruteForce, areas[i])
+		ids, _, err := queryWith(eng, BruteForce, areas[i])
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -185,7 +185,7 @@ func TestGoroutinesShareOneEngine(t *testing.T) {
 			defer wg.Done()
 			for rep := 0; rep < 30; rep++ {
 				i := (worker + rep) % len(areas)
-				ids, _, err := eng.QueryWith(VoronoiBFS, areas[i])
+				ids, _, err := queryWith(eng, VoronoiBFS, areas[i])
 				if err != nil {
 					errs <- err
 					return
@@ -211,9 +211,10 @@ func (divergedError) Error() string { return "concurrent query diverged from ora
 var errDiverged = divergedError{}
 
 // TestStoreEngineBatchRunsParallel pins the store-backed concurrency
-// contract: the buffer pool is mutex-guarded, so WithStore engines run
-// batches on the worker pool like any other engine. A tiny pool forces
-// constant eviction during the parallel batch. Run with -race.
+// contract: the buffer pool's sharded locks and off-lock page loads let
+// WithStore engines run batches on the worker pool like any other
+// engine. A tiny pool forces constant eviction during the parallel
+// batch. Run with -race.
 func TestStoreEngineBatchRunsParallel(t *testing.T) {
 	rng := rand.New(rand.NewSource(33))
 	pts := UniformPoints(rng, 2000, UnitSquare())
@@ -227,7 +228,7 @@ func TestStoreEngineBatchRunsParallel(t *testing.T) {
 	for i := range areas {
 		areas[i] = RandomQueryPolygon(rng, 10, 0.02, UnitSquare())
 	}
-	out, agg, err := eng.QueryBatch(VoronoiBFS, areas)
+	out, agg, err := queryBatch(eng, VoronoiBFS, areas)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -241,7 +242,7 @@ func TestStoreEngineBatchRunsParallel(t *testing.T) {
 		t.Errorf("expected page reads from the store batch (ok=%v reads=%d)", ok, reads)
 	}
 	for i, area := range areas {
-		want, _, err := eng.QueryWith(BruteForce, area)
+		want, _, err := queryWith(eng, BruteForce, area)
 		if err != nil {
 			t.Fatal(err)
 		}

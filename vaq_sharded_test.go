@@ -1,6 +1,7 @@
 package vaq
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -49,18 +50,18 @@ func TestShardedEngineConformance(t *testing.T) {
 
 			for _, m := range []Method{Traditional, VoronoiBFS, VoronoiBFSStrict, BruteForce} {
 				for ai, area := range areas {
-					want, _, err := single.QueryWith(m, area)
+					want, _, err := queryWith(single, m, area)
 					if err != nil {
 						t.Fatalf("%s %v: single: %v", name, m, err)
 					}
-					got, _, err := sharded.QueryWith(m, area)
+					got, _, err := queryWith(sharded, m, area)
 					if err != nil {
 						t.Fatalf("%s %v: sharded: %v", name, m, err)
 					}
 					if !idsEqual(got, sortIDs(want)) {
 						t.Errorf("%s %v area %d: %d ids, single %d", name, m, ai, len(got), len(want))
 					}
-					cnt, _, err := sharded.Count(m, area)
+					cnt, _, err := countOf(sharded, m, area)
 					if err != nil {
 						t.Fatalf("%s %v: count: %v", name, m, err)
 					}
@@ -69,11 +70,11 @@ func TestShardedEngineConformance(t *testing.T) {
 					}
 				}
 				for ci, c := range circles {
-					want, _, err := single.QueryCircle(m, c)
+					want, _, err := queryCircle(single, m, c)
 					if err != nil {
 						t.Fatalf("%s %v: single circle: %v", name, m, err)
 					}
-					got, _, err := sharded.QueryCircle(m, c)
+					got, _, err := queryCircle(sharded, m, c)
 					if err != nil {
 						t.Fatalf("%s %v: sharded circle: %v", name, m, err)
 					}
@@ -85,11 +86,11 @@ func TestShardedEngineConformance(t *testing.T) {
 
 			// Default-method Query plus the batched entry points.
 			for ai, area := range areas {
-				want, _, err := single.QueryWith(VoronoiBFS, area)
+				want, _, err := queryWith(single, VoronoiBFS, area)
 				if err != nil {
 					t.Fatal(err)
 				}
-				got, _, err := sharded.QueryWith(VoronoiBFS, area)
+				got, _, err := queryWith(sharded, VoronoiBFS, area)
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -97,11 +98,11 @@ func TestShardedEngineConformance(t *testing.T) {
 					t.Errorf("%s: Query area %d diverged", name, ai)
 				}
 			}
-			wantBatch, _, err := single.QueryBatch(VoronoiBFS, areas)
+			wantBatch, _, err := queryBatch(single, VoronoiBFS, areas)
 			if err != nil {
 				t.Fatal(err)
 			}
-			gotBatch, _, err := sharded.QueryBatch(VoronoiBFS, areas)
+			gotBatch, _, err := queryBatch(sharded, VoronoiBFS, areas)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -111,11 +112,11 @@ func TestShardedEngineConformance(t *testing.T) {
 				}
 			}
 			regions := mixedBatch(rng, 18)
-			wantReg, _, err := single.QueryRegions(VoronoiBFS, regions)
+			wantReg, _, err := queryRegions(single, VoronoiBFS, regions)
 			if err != nil {
 				t.Fatal(err)
 			}
-			gotReg, _, err := sharded.QueryRegions(VoronoiBFS, regions)
+			gotReg, _, err := queryRegions(sharded, VoronoiBFS, regions)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -129,11 +130,11 @@ func TestShardedEngineConformance(t *testing.T) {
 			for _, k := range []int{1, 5, n/len(shardedTestCounts) + 3} {
 				for rep := 0; rep < 4; rep++ {
 					q := Pt(rng.Float64(), rng.Float64())
-					want, _, err := single.KNearest(q, k)
+					want, _, err := single.KNearest(context.Background(), q, k)
 					if err != nil {
 						t.Fatal(err)
 					}
-					got, _, err := sharded.KNearest(q, k)
+					got, _, err := sharded.KNearest(context.Background(), q, k)
 					if err != nil {
 						t.Fatal(err)
 					}
@@ -158,7 +159,8 @@ func TestShardedEngineStoreBacked(t *testing.T) {
 	}
 	sharded, err := NewShardedEngine(pts, UnitSquare(),
 		WithShards(7),
-		WithStore(StoreConfig{PageSize: 1024, PoolPages: 8, PayloadBytes: 32}))
+		WithStore(StoreConfig{PageSize: 1024, PoolPages: 8, PayloadBytes: 32}),
+		WithBufferPoolShards(4)) // every shard's private pool gets 4 lock shards
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -170,11 +172,11 @@ func TestShardedEngineStoreBacked(t *testing.T) {
 	rng := rand.New(rand.NewSource(65))
 	for rep := 0; rep < 8; rep++ {
 		area := RandomQueryPolygon(rng, 10, 0.03, UnitSquare())
-		want, _, err := single.QueryWith(VoronoiBFS, area)
+		want, _, err := queryWith(single, VoronoiBFS, area)
 		if err != nil {
 			t.Fatal(err)
 		}
-		got, st, err := sharded.QueryWith(VoronoiBFS, area)
+		got, st, err := queryWith(sharded, VoronoiBFS, area)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -202,7 +204,7 @@ func TestShardedEngineIndexKinds(t *testing.T) {
 	}
 	rng := rand.New(rand.NewSource(67))
 	area := RandomQueryPolygon(rng, 10, 0.04, UnitSquare())
-	want, _, err := single.QueryWith(VoronoiBFS, area)
+	want, _, err := queryWith(single, VoronoiBFS, area)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -211,7 +213,7 @@ func TestShardedEngineIndexKinds(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%v: %v", kind, err)
 		}
-		got, _, err := sharded.QueryWith(VoronoiBFS, area)
+		got, _, err := queryWith(sharded, VoronoiBFS, area)
 		if err != nil {
 			t.Fatalf("%v: %v", kind, err)
 		}
@@ -236,7 +238,7 @@ func TestShardedGlobalIDStability(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		got, _, err := sharded.QueryWith(VoronoiBFS, area)
+		got, _, err := queryWith(sharded, VoronoiBFS, area)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -273,7 +275,7 @@ func TestConcurrentShardedEngine(t *testing.T) {
 	oracle := make([][]int64, len(areas))
 	for i := range areas {
 		areas[i] = RandomQueryPolygon(rng, 10, 0.03, UnitSquare())
-		ids, _, err := single.QueryWith(BruteForce, areas[i])
+		ids, _, err := queryWith(single, BruteForce, areas[i])
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -289,7 +291,7 @@ func TestConcurrentShardedEngine(t *testing.T) {
 			for rep := 0; rep < 10; rep++ {
 				i := (worker + rep) % len(areas)
 				if rep%2 == 0 {
-					ids, _, err := sharded.QueryWith(VoronoiBFS, areas[i])
+					ids, _, err := queryWith(sharded, VoronoiBFS, areas[i])
 					if err != nil {
 						errs <- err
 						return
@@ -299,7 +301,7 @@ func TestConcurrentShardedEngine(t *testing.T) {
 						return
 					}
 				} else {
-					out, _, err := sharded.QueryBatch(VoronoiBFS, areas[i:i+1])
+					out, _, err := queryBatch(sharded, VoronoiBFS, areas[i:i+1])
 					if err != nil {
 						errs <- err
 						return

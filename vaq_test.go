@@ -74,7 +74,7 @@ func TestMethodsAgreeViaPublicAPI(t *testing.T) {
 	area := RandomQueryPolygon(rng, 10, 0.05, UnitSquare())
 	var want []int64
 	for i, m := range []Method{Traditional, VoronoiBFS, VoronoiBFSStrict, BruteForce} {
-		got, _, err := eng.QueryWith(m, area)
+		got, _, err := queryWith(eng, m, area)
 		if err != nil {
 			t.Fatalf("%v: %v", m, err)
 		}
@@ -178,11 +178,11 @@ func TestClusteredWorkloadEndToEnd(t *testing.T) {
 		t.Fatal(err)
 	}
 	area := RandomQueryPolygon(rng, 10, 0.04, UnitSquare())
-	a, _, err := eng.QueryWith(Traditional, area)
+	a, _, err := queryWith(eng, Traditional, area)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, _, err := eng.QueryWith(VoronoiBFS, area)
+	b, _, err := queryWith(eng, VoronoiBFS, area)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -245,7 +245,7 @@ func TestDynamicEnginePublicAPI(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, _, err := eng.QueryWith(BruteForce, area)
+	b, _, err := queryWith(eng, BruteForce, area)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -331,18 +331,18 @@ func TestCountAndBatchPublicAPI(t *testing.T) {
 		RandomQueryPolygon(rng, 10, 0.02, UnitSquare()),
 		RandomQueryPolygon(rng, 10, 0.08, UnitSquare()),
 	}
-	n, _, err := eng.Count(VoronoiBFS, areas[0])
+	n, _, err := countOf(eng, VoronoiBFS, areas[0])
 	if err != nil {
 		t.Fatal(err)
 	}
-	ids, _, err := eng.QueryWith(VoronoiBFS, areas[0])
+	ids, _, err := queryWith(eng, VoronoiBFS, areas[0])
 	if err != nil {
 		t.Fatal(err)
 	}
 	if n != len(ids) {
 		t.Errorf("Count = %d, Query len = %d", n, len(ids))
 	}
-	results, agg, err := eng.QueryBatch(Traditional, areas)
+	results, agg, err := queryBatch(eng, Traditional, areas)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -366,7 +366,7 @@ func TestQueryCirclePublicAPI(t *testing.T) {
 		}
 	}
 	for _, m := range []Method{Traditional, VoronoiBFS, BruteForce} {
-		got, _, err := eng.QueryCircle(m, c)
+		got, _, err := queryCircle(eng, m, c)
 		if err != nil {
 			t.Fatalf("%v: %v", m, err)
 		}
@@ -384,7 +384,7 @@ func TestKNearestPublicAPI(t *testing.T) {
 		t.Fatal(err)
 	}
 	q := Pt(0.3, 0.7)
-	got, st, err := eng.KNearest(q, 7)
+	got, st, err := eng.KNearest(context.Background(), q, 7)
 	if err != nil {
 		t.Fatal(err)
 	}
