@@ -482,3 +482,54 @@ func benchShardedBatch(b *testing.B, batch func(Method, []Polygon) ([][]int64, S
 	b.ReportMetric(float64(queries)/b.Elapsed().Seconds(), "queries/s")
 	b.ReportMetric(float64(reads1-reads0)/float64(b.N), "pagereads/op")
 }
+
+// BenchmarkHotRegionCache measures the result cache under zipfian
+// hot-region traffic (s=1.1 over a 64-region pool): the cached engine
+// replays a skewed stream that repeatedly revisits hot regions, so most
+// queries are served from the cache. Compare queries/s against the
+// uncached sub-benchmark; hits% reports the cache hit rate.
+func BenchmarkHotRegionCache(b *testing.B) {
+	rng := rand.New(rand.NewSource(15))
+	pts := UniformPoints(rng, 50_000, UnitSquare())
+	areas := benchAreas(16, 0.01, 64)
+	regions := make([]Region, len(areas))
+	for i, pg := range areas {
+		regions[i] = PolygonRegion(pg)
+	}
+	zipf := rand.NewZipf(rand.New(rand.NewSource(17)), 1.1, 1, uint64(len(regions)-1))
+	stream := make([]int, 4096)
+	for i := range stream {
+		stream[i] = int(zipf.Uint64())
+	}
+	ctx := context.Background()
+	buf := make([]int64, 0, 4096)
+
+	run := func(b *testing.B, eng *Engine) {
+		b.Helper()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := eng.Query(ctx, regions[stream[i%len(stream)]], Reuse(buf)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "queries/s")
+	}
+
+	b.Run("uncached", func(b *testing.B) {
+		eng, err := NewEngine(pts, UnitSquare())
+		if err != nil {
+			b.Fatal(err)
+		}
+		run(b, eng)
+	})
+	b.Run("cached", func(b *testing.B) {
+		rc := NewResultCache(256)
+		eng, err := NewEngine(pts, UnitSquare(), WithResultCache(rc))
+		if err != nil {
+			b.Fatal(err)
+		}
+		run(b, eng)
+		b.ReportMetric(rc.Stats().HitRate()*100, "hits%")
+	})
+}

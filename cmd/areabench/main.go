@@ -10,14 +10,18 @@
 //	areabench -exp table2 -store -payload 64 -poolpages 256
 //	areabench -exp throughput -parallel 1,2,4,8 -queries 1024
 //	areabench -exp sharded -shards 1,2,4,8 -store -queries 512
+//	areabench -exp hotregion -skews 0.8,1.1,1.4 -cachesizes 8,64,256
+//	areabench -exp all -json BENCH_6.json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/bench"
 	"repro/internal/core"
@@ -25,7 +29,7 @@ import (
 
 func main() {
 	var (
-		exp        = flag.String("exp", "all", "experiment: table1|table2|fig4|fig5|fig6|fig7|throughput|sharded|all")
+		exp        = flag.String("exp", "all", "experiment: table1|table2|fig4|fig5|fig6|fig7|throughput|sharded|hotregion|all")
 		parallel   = flag.String("parallel", "1,2,4,8", "comma-separated worker-pool sizes (with -exp throughput)")
 		shards     = flag.String("shards", "1,2,4,8", "comma-separated shard counts (with -exp sharded)")
 		queries    = flag.Int("queries", 512, "batch length (with -exp throughput|sharded)")
@@ -40,6 +44,11 @@ func main() {
 		poolShards = flag.Int("poolshards", 0, "buffer pool lock shards (with -store; 0 = GOMAXPROCS-based, 1 = single lock)")
 		pageSize   = flag.Int("pagesize", 4096, "page size in bytes (with -store)")
 		quiet      = flag.Bool("q", false, "suppress progress output")
+		jsonPath   = flag.String("json", "", "write a machine-readable benchmark snapshot to this file (with -exp all; skips the table sweeps)")
+		minTime    = flag.Duration("mintime", 200*time.Millisecond, "minimum measured time per family (with -json)")
+		skews      = flag.String("skews", "", "comma-separated zipfian s-parameters (with -exp hotregion; default 0.8,1.1,1.4)")
+		cacheSizes = flag.String("cachesizes", "", "comma-separated result-cache capacities (with -exp hotregion; default 8,64,256)")
+		regions    = flag.Int("regions", 0, "hot-region pool size (with -exp hotregion; default 64)")
 	)
 	flag.Parse()
 
@@ -73,6 +82,77 @@ func main() {
 		for _, p := range pcts {
 			cfg.QuerySizes = append(cfg.QuerySizes, p/100)
 		}
+	}
+
+	if *jsonPath != "" {
+		if *exp != "all" {
+			fatalf("-json requires -exp all")
+		}
+		dataSize := 0 // RunSnapshot defaults to 1E5
+		if len(cfg.DataSizes) > 0 && *dataSizes != "" {
+			dataSize = cfg.DataSizes[0]
+		}
+		snap, err := bench.RunSnapshot(bench.SnapshotConfig{
+			DataSize:  dataSize,
+			Queries:   *queries,
+			QuerySize: cfg.FixedQuerySize,
+			Vertices:  cfg.Vertices,
+			MinTime:   *minTime,
+			Store:     cfg.Store,
+			Seed:      cfg.Seed,
+		})
+		if err != nil {
+			fatalf("snapshot: %v", err)
+		}
+		out, err := json.MarshalIndent(snap, "", "  ")
+		if err != nil {
+			fatalf("snapshot: %v", err)
+		}
+		if err := os.WriteFile(*jsonPath, append(out, '\n'), 0o644); err != nil {
+			fatalf("snapshot: %v", err)
+		}
+		if !*quiet {
+			fmt.Printf("# wrote %s (%d families)\n", *jsonPath, len(snap.Families))
+			for _, f := range snap.Families {
+				fmt.Printf("%-20s %12.0f q/s %12.0f ns/op %8.1f allocs/op\n",
+					f.Name, f.QueriesPerSec, f.NsPerOp, f.AllocsPerOp)
+			}
+		}
+		return
+	}
+
+	if *exp == "hotregion" {
+		hcfg := bench.HotRegionConfig{
+			Queries:   *queries,
+			Regions:   *regions,
+			Vertices:  cfg.Vertices,
+			QuerySize: cfg.FixedQuerySize,
+			Seed:      cfg.Seed,
+		}
+		if len(cfg.DataSizes) > 0 && *dataSizes != "" {
+			hcfg.DataSize = cfg.DataSizes[0]
+		}
+		if *skews != "" {
+			ss, err := parseFloats(*skews)
+			if err != nil {
+				fatalf("bad -skews: %v", err)
+			}
+			hcfg.Skews = ss
+		}
+		if *cacheSizes != "" {
+			cs, err := parseInts(*cacheSizes)
+			if err != nil {
+				fatalf("bad -cachesizes: %v", err)
+			}
+			hcfg.CacheSizes = cs
+		}
+		rows, err := bench.RunHotRegion(hcfg)
+		if err != nil {
+			fatalf("hotregion sweep: %v", err)
+		}
+		fmt.Println("## Hot-region traffic — zipfian stream, result cache on vs off")
+		fmt.Print(bench.FormatHotRegion(rows))
+		return
 	}
 
 	if *exp == "throughput" {

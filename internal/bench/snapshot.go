@@ -1,0 +1,272 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"time"
+
+	vaq "repro"
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+// SnapshotConfig parameterizes RunSnapshot, the machine-readable
+// perf-trajectory emitter behind `areabench -exp all -json`.
+type SnapshotConfig struct {
+	// DataSize is the point count every family runs over (default 1E5).
+	DataSize int
+	// Queries is the number of distinct query regions (default 64).
+	Queries int
+	// QuerySize is the query MBR area fraction (default 0.01).
+	QuerySize float64
+	// Vertices per query polygon (default 10).
+	Vertices int
+	// Shards is the sharded family's shard count (default 8).
+	Shards int
+	// MinTime is the minimum measured time per family (default 200ms);
+	// iterations double until a run lasts at least this long.
+	MinTime time.Duration
+	// Store backs the store family's records (default: 4KiB pages, 256
+	// pool pages, 64-byte payloads).
+	Store *core.StoreConfig
+	// Seed makes runs reproducible.
+	Seed int64
+}
+
+func (c SnapshotConfig) withDefaults() SnapshotConfig {
+	if c.DataSize <= 0 {
+		c.DataSize = 1e5
+	}
+	if c.Queries <= 0 {
+		c.Queries = 64
+	}
+	if c.QuerySize <= 0 || c.QuerySize > 1 {
+		c.QuerySize = 0.01
+	}
+	if c.Vertices < 3 {
+		c.Vertices = 10
+	}
+	if c.Shards <= 0 {
+		c.Shards = 8
+	}
+	if c.MinTime <= 0 {
+		c.MinTime = 200 * time.Millisecond
+	}
+	if c.Store == nil {
+		c.Store = &core.StoreConfig{PageSize: 4096, PoolPages: 256, PayloadBytes: 64}
+	}
+	if c.Seed == 0 {
+		c.Seed = 20200420
+	}
+	return c
+}
+
+// Family is one benchmark family's measurement in a snapshot. Ops is the
+// number of queries one iteration executes (1 for single-query families,
+// the batch length for batch families); QueriesPerSec already accounts
+// for it.
+type Family struct {
+	Name           string             `json:"name"`
+	Iters          int                `json:"iters"`
+	Ops            int                `json:"ops_per_iter"`
+	NsPerOp        float64            `json:"ns_per_op"`
+	QueriesPerSec  float64            `json:"queries_per_sec"`
+	AllocsPerOp    float64            `json:"allocs_per_op"`
+	PageReadsPerOp float64            `json:"page_reads_per_op,omitempty"`
+	Extra          map[string]float64 `json:"extra,omitempty"`
+}
+
+// Snapshot is one machine-readable point of the repository's performance
+// trajectory — the payload of a committed BENCH_<n>.json file. Fields are
+// stable under the schema tag; consumers should reject unknown schemas.
+type Snapshot struct {
+	Schema     string         `json:"schema"` // "areabench/v1"
+	GoVersion  string         `json:"go_version"`
+	GoMaxProcs int            `json:"gomaxprocs"`
+	CreatedAt  string         `json:"created_at"` // RFC 3339
+	Config     SnapshotConfig `json:"config"`
+	Families   []Family       `json:"families"`
+}
+
+// measure runs op repeatedly, doubling the iteration count until one run
+// lasts at least minTime, and reports the final run's per-op duration and
+// heap-allocation count (Mallocs delta, the allocs/op of `go test
+// -bench`).
+func measure(minTime time.Duration, op func() error) (iters int, nsPerOp, allocsPerOp float64, err error) {
+	var ms runtime.MemStats
+	for n := 1; ; n *= 2 {
+		runtime.GC()
+		runtime.ReadMemStats(&ms)
+		mallocs := ms.Mallocs
+		start := time.Now()
+		for i := 0; i < n; i++ {
+			if err := op(); err != nil {
+				return 0, 0, 0, err
+			}
+		}
+		elapsed := time.Since(start)
+		runtime.ReadMemStats(&ms)
+		if elapsed >= minTime || n >= 1<<30 {
+			return n, float64(elapsed.Nanoseconds()) / float64(n),
+				float64(ms.Mallocs-mallocs) / float64(n), nil
+		}
+	}
+}
+
+// RunSnapshot builds the standard engines once and measures every
+// benchmark family, returning the trajectory point. Families:
+//
+//	query/voronoi, query/traditional — single area query on the static
+//	    engine with the paper's two methods
+//	queryall/parallel — a parallel batch of all regions
+//	sharded/query — single query on a Shards-way sharded engine
+//	store/query — single query on a store-backed engine (page reads/op)
+//	dynamic/query — single query on a dynamically built engine
+//	hotregion/uncached, hotregion/cached — the zipfian hot-region stream
+//	    (s=1.1) without and with the result cache (hit rate in extra)
+func RunSnapshot(cfg SnapshotConfig) (*Snapshot, error) {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	bounds := vaq.UnitSquare()
+	pts := workload.UniformPoints(rng, cfg.DataSize, bounds)
+	ctx := context.Background()
+
+	regions := make([]vaq.Region, cfg.Queries)
+	for i := range regions {
+		regions[i] = vaq.PolygonRegion(workload.RandomPolygon(rng, workload.PolygonConfig{
+			Vertices:  cfg.Vertices,
+			QuerySize: cfg.QuerySize,
+		}, bounds))
+	}
+
+	snap := &Snapshot{
+		Schema:     "areabench/v1",
+		GoVersion:  runtime.Version(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		CreatedAt:  time.Now().UTC().Format(time.RFC3339),
+		Config:     cfg,
+	}
+	add := func(name string, ops int, extra map[string]float64, op func() error) error {
+		iters, nsPerOp, allocsPerOp, err := measure(cfg.MinTime, op)
+		if err != nil {
+			return fmt.Errorf("bench: family %s: %w", name, err)
+		}
+		snap.Families = append(snap.Families, Family{
+			Name:          name,
+			Iters:         iters,
+			Ops:           ops,
+			NsPerOp:       nsPerOp,
+			QueriesPerSec: float64(ops) * 1e9 / nsPerOp,
+			AllocsPerOp:   allocsPerOp,
+			Extra:         extra,
+		})
+		return nil
+	}
+	// Cycling region pointer shared by the single-query families.
+	qi := 0
+	nextRegion := func() vaq.Region {
+		r := regions[qi%len(regions)]
+		qi++
+		return r
+	}
+	buf := make([]int64, 0, 4096)
+	singleQuery := func(eng vaq.Querier, m vaq.Method) func() error {
+		return func() error {
+			_, err := eng.Query(ctx, nextRegion(), vaq.UsingMethod(m), vaq.Reuse(buf))
+			return err
+		}
+	}
+
+	// Static engine: per-method single queries and the parallel batch.
+	eng, err := vaq.NewEngine(pts, bounds)
+	if err != nil {
+		return nil, fmt.Errorf("bench: building engine (n=%d): %w", cfg.DataSize, err)
+	}
+	if err := add("query/voronoi", 1, nil, singleQuery(eng, vaq.VoronoiBFS)); err != nil {
+		return nil, err
+	}
+	if err := add("query/traditional", 1, nil, singleQuery(eng, vaq.Traditional)); err != nil {
+		return nil, err
+	}
+	if err := add("queryall/parallel", len(regions), nil, func() error {
+		_, err := eng.QueryAll(ctx, regions)
+		return err
+	}); err != nil {
+		return nil, err
+	}
+
+	// Sharded scatter-gather.
+	sharded, err := vaq.NewShardedEngine(pts, bounds, vaq.WithShards(cfg.Shards))
+	if err != nil {
+		return nil, fmt.Errorf("bench: building sharded engine: %w", err)
+	}
+	if err := add("sharded/query", 1, nil, singleQuery(sharded, vaq.VoronoiBFS)); err != nil {
+		return nil, err
+	}
+
+	// Store-backed engine: page reads per op from the IO counters.
+	stored, err := vaq.NewEngine(pts, bounds, vaq.WithStore(*cfg.Store))
+	if err != nil {
+		return nil, fmt.Errorf("bench: building store engine: %w", err)
+	}
+	stored.ResetIOStats()
+	if err := add("store/query", 1, nil, singleQuery(stored, vaq.VoronoiBFS)); err != nil {
+		return nil, err
+	}
+	if reads, _, ok := stored.IOStats(); ok {
+		// The IO counters span every doubling round of measure (1+2+...+
+		// Iters = 2*Iters-1 queries), not just the final timed one.
+		f := &snap.Families[len(snap.Families)-1]
+		f.PageReadsPerOp = float64(reads) / float64(2*f.Iters-1)
+	}
+
+	// Dynamically built engine (insertion cost is construction, not
+	// measured here; the dataset is capped to keep snapshot runs short).
+	dynSize := cfg.DataSize
+	if dynSize > 20000 {
+		dynSize = 20000
+	}
+	dyn := vaq.NewDynamicEngine(bounds)
+	for _, p := range pts[:dynSize] {
+		if _, _, err := dyn.Insert(p); err != nil {
+			return nil, fmt.Errorf("bench: dynamic insert: %w", err)
+		}
+	}
+	if err := add("dynamic/query", 1, nil, singleQuery(dyn, vaq.VoronoiBFS)); err != nil {
+		return nil, err
+	}
+
+	// Hot-region traffic at the acceptance skew, uncached vs cached.
+	hot, err := RunHotRegion(HotRegionConfig{
+		DataSize:   cfg.DataSize,
+		Queries:    512,
+		Vertices:   cfg.Vertices,
+		QuerySize:  cfg.QuerySize,
+		Skews:      []float64{1.1},
+		CacheSizes: []int{256},
+		Seed:       cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	r := hot[0]
+	snap.Families = append(snap.Families,
+		Family{
+			Name: "hotregion/uncached", Iters: 1, Ops: 512,
+			NsPerOp:       1e9 / r.UncachedQPS,
+			QueriesPerSec: r.UncachedQPS,
+		},
+		Family{
+			Name: "hotregion/cached", Iters: 1, Ops: 512,
+			NsPerOp:       1e9 / r.CachedQPS,
+			QueriesPerSec: r.CachedQPS,
+			Extra: map[string]float64{
+				"hit_rate": r.HitRate,
+				"speedup":  r.Speedup,
+			},
+		},
+	)
+	return snap, nil
+}

@@ -1,6 +1,11 @@
 package core
 
-import "repro/internal/geom"
+import (
+	"encoding/binary"
+	"math"
+
+	"repro/internal/geom"
+)
 
 // Region is the query-shape contract the area-query algorithms need: an
 // MBR for the traditional filter, containment for refinement, segment
@@ -31,6 +36,17 @@ type RectIntersecter interface {
 	IntersectsRect(geom.Rect) bool
 }
 
+// CacheKeyer is optionally implemented by Regions whose exact geometry has
+// a canonical byte encoding, making their query results memoizable by the
+// result cache (vaq.WithResultCache). AppendCacheKey appends the encoding
+// to dst and returns the extended slice, or returns nil to decline —
+// regions that decline (or don't implement the interface) always execute.
+// Two regions must encode equal only if every query over them returns
+// identical results; prepared polygons and circles qualify.
+type CacheKeyer interface {
+	AppendCacheKey(dst []byte) []byte
+}
+
 // PolygonRegion wraps a polygon as a Region with prepared-predicate speed.
 func PolygonRegion(pg geom.Polygon) Region { return geom.Prepare(pg) }
 
@@ -54,6 +70,15 @@ func (r circleRegion) IntersectsSegment(s geom.Segment) bool { return r.c.Inters
 func (r circleRegion) IntersectsRect(rect geom.Rect) bool    { return r.c.IntersectsRect(rect) }
 func (r circleRegion) InteriorPoint() geom.Point             { return r.c.InteriorPoint() }
 
+// AppendCacheKey implements CacheKeyer: tag byte plus the exact center and
+// radius bit patterns.
+func (r circleRegion) AppendCacheKey(dst []byte) []byte {
+	dst = append(dst, 'C')
+	dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(r.c.Center.X))
+	dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(r.c.Center.Y))
+	return binary.LittleEndian.AppendUint64(dst, math.Float64bits(r.c.R))
+}
+
 // AnchoredRegion wraps a Region, overriding the seed anchor the Voronoi
 // BFS starts from. It enables the seed-anchor ablation for Algorithm 1's
 // "arbitrary position in A": pair it with a uniform interior sampler
@@ -66,6 +91,21 @@ type AnchoredRegion struct {
 
 // InteriorPoint returns the override anchor.
 func (a AnchoredRegion) InteriorPoint() geom.Point { return a.Anchor }
+
+// AppendCacheKey implements CacheKeyer, shadowing any promoted encoding of
+// the wrapped Region: the anchor changes the work a query performs (and
+// thus its Stats), so an anchored region must not share a cache key with
+// its un-anchored form. Declines unless the wrapped Region is keyable.
+func (a AnchoredRegion) AppendCacheKey(dst []byte) []byte {
+	ck, ok := a.Region.(CacheKeyer)
+	if !ok {
+		return nil
+	}
+	dst = append(dst, 'A')
+	dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(a.Anchor.X))
+	dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(a.Anchor.Y))
+	return ck.AppendCacheKey(dst)
+}
 
 // regionIntersectsRing reports whether region and the closed area bounded
 // by ring share a point, using RingIntersecter when available and a

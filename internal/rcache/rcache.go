@@ -1,0 +1,255 @@
+// Package rcache is a sharded, LRU-evicting result cache for area queries —
+// the memoization layer behind vaq.WithResultCache.
+//
+// The cache maps an opaque key (an exact canonical encoding of the query:
+// region geometry × resolved options × engine epoch, built by the caller)
+// to the query's materialized result. Keying by epoch makes invalidation
+// free on dynamic engines: an insert bumps the epoch, so every later query
+// builds a different key and stale entries simply age out of the LRU.
+//
+// Concurrency follows the buffer-pool pattern (internal/storage): the key
+// space is partitioned over power-of-two lock shards, each a small
+// independent LRU, so concurrent lookups of different regions proceed in
+// parallel. Hit/miss/eviction/bypass counters are atomic and cache-global.
+//
+// Entries are stored and returned by reference: the caller must hand Put a
+// slice it will never mutate and must not mutate the IDs returned by Get
+// (vaq copies on both sides of the boundary).
+package rcache
+
+import (
+	"container/list"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+)
+
+// Entry is one memoized query result: the materialized ids (nil for
+// count-only queries) and the statistics of the execution that produced
+// them.
+type Entry struct {
+	IDs   []int64
+	Stats core.Stats
+}
+
+// Counters are the cache-global hit/miss/evict/bypass counts. Bypasses are
+// queries the caller chose not to memoize (unkeyable region, limited
+// query); they never touch the shard locks.
+type Counters struct {
+	Hits, Misses, Evictions, Bypasses uint64
+}
+
+// Lookups returns Hits + Misses.
+func (c Counters) Lookups() uint64 { return c.Hits + c.Misses }
+
+// HitRate returns Hits / (Hits + Misses), or 0 before any lookup.
+func (c Counters) HitRate() float64 {
+	if n := c.Lookups(); n > 0 {
+		return float64(c.Hits) / float64(n)
+	}
+	return 0
+}
+
+// cacheShard is one lock shard: an independent LRU over its slice of the
+// key space. Shards live contiguously in one slice; the padding keeps two
+// shards' mutexes off one cache line.
+type cacheShard struct {
+	mu    sync.Mutex
+	items map[string]*list.Element
+	lru   *list.List // front = most recently used
+	_     [64]byte
+}
+
+type cacheItem struct {
+	key string
+	ent Entry
+}
+
+// Cache is a sharded LRU result cache, safe for concurrent use.
+type Cache struct {
+	shards []cacheShard
+	mask   uint64
+
+	// capacity is the total entry budget, partitioned evenly over shards
+	// (per-shard cap = ceil(capacity/shards)). <= 0 stores nothing.
+	capacity atomic.Int64
+
+	hits, misses, evictions, bypasses atomic.Uint64
+}
+
+// New returns a cache holding up to capacity entries, partitioned over a
+// power-of-two shard count derived from GOMAXPROCS (clamped so shards
+// never outnumber a positive capacity). capacity <= 0 disables storage:
+// every lookup misses and Put drops — useful as an always-cold baseline.
+func New(capacity int) *Cache {
+	return NewWithShards(capacity, 0)
+}
+
+// NewWithShards is New with an explicit shard count (rounded up to a power
+// of two; <= 0 selects the GOMAXPROCS-based default).
+func NewWithShards(capacity, shards int) *Cache {
+	n := normalizeShards(shards, capacity)
+	c := &Cache{shards: make([]cacheShard, n), mask: uint64(n - 1)}
+	for i := range c.shards {
+		c.shards[i].items = make(map[string]*list.Element)
+		c.shards[i].lru = list.New()
+	}
+	c.capacity.Store(int64(capacity))
+	return c
+}
+
+// normalizeShards resolves the shard count: a power of two at or above
+// GOMAXPROCS by default, capped at 128, and never above a positive
+// capacity (a shard with a zero per-shard budget could hold nothing).
+func normalizeShards(n, capacity int) int {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	pow := 1
+	for pow < n && pow < 128 {
+		pow <<= 1
+	}
+	for capacity > 0 && pow > 1 && pow > capacity {
+		pow >>= 1
+	}
+	return pow
+}
+
+// fnv1a hashes the key for shard selection.
+func fnv1a(key string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+func (c *Cache) shardFor(key string) *cacheShard {
+	return &c.shards[fnv1a(key)&c.mask]
+}
+
+// perShardCap returns the current per-shard entry budget.
+func (c *Cache) perShardCap() int {
+	cap := int(c.capacity.Load())
+	if cap <= 0 {
+		return 0
+	}
+	n := len(c.shards)
+	return (cap + n - 1) / n
+}
+
+// Get returns the entry memoized under key, marking it most recently used.
+// The returned Entry's IDs must not be mutated.
+func (c *Cache) Get(key string) (Entry, bool) {
+	s := c.shardFor(key)
+	s.mu.Lock()
+	el, ok := s.items[key]
+	if !ok {
+		s.mu.Unlock()
+		c.misses.Add(1)
+		return Entry{}, false
+	}
+	s.lru.MoveToFront(el)
+	ent := el.Value.(*cacheItem).ent
+	s.mu.Unlock()
+	c.hits.Add(1)
+	return ent, true
+}
+
+// Put memoizes ent under key, evicting least-recently-used entries of the
+// same shard when over budget. The caller must not mutate ent.IDs after
+// the call. Re-putting an existing key replaces its entry.
+func (c *Cache) Put(key string, ent Entry) {
+	limit := c.perShardCap()
+	if limit <= 0 {
+		return
+	}
+	s := c.shardFor(key)
+	s.mu.Lock()
+	if el, ok := s.items[key]; ok {
+		el.Value.(*cacheItem).ent = ent
+		s.lru.MoveToFront(el)
+		s.mu.Unlock()
+		return
+	}
+	s.items[key] = s.lru.PushFront(&cacheItem{key: key, ent: ent})
+	evicted := uint64(0)
+	for s.lru.Len() > limit {
+		back := s.lru.Back()
+		s.lru.Remove(back)
+		delete(s.items, back.Value.(*cacheItem).key)
+		evicted++
+	}
+	s.mu.Unlock()
+	if evicted > 0 {
+		c.evictions.Add(evicted)
+	}
+}
+
+// AddBypass counts a query the caller chose not to memoize.
+func (c *Cache) AddBypass() { c.bypasses.Add(1) }
+
+// Counters returns a snapshot of the cache-global counters.
+func (c *Cache) Counters() Counters {
+	return Counters{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Evictions: c.evictions.Load(),
+		Bypasses:  c.bypasses.Load(),
+	}
+}
+
+// Len returns the current number of memoized entries.
+func (c *Cache) Len() int {
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		n += s.lru.Len()
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// Capacity returns the total entry budget.
+func (c *Cache) Capacity() int { return int(c.capacity.Load()) }
+
+// Resize sets the total entry budget and immediately evicts down to it.
+// Shrinking to <= 0 empties the cache and stops it storing new entries.
+func (c *Cache) Resize(capacity int) {
+	c.capacity.Store(int64(capacity))
+	limit := c.perShardCap()
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		evicted := uint64(0)
+		for s.lru.Len() > limit {
+			back := s.lru.Back()
+			s.lru.Remove(back)
+			delete(s.items, back.Value.(*cacheItem).key)
+			evicted++
+		}
+		s.mu.Unlock()
+		if evicted > 0 {
+			c.evictions.Add(evicted)
+		}
+	}
+}
+
+// Reset drops every entry and zeroes the counters; the capacity is kept.
+func (c *Cache) Reset() {
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		s.items = make(map[string]*list.Element)
+		s.lru.Init()
+		s.mu.Unlock()
+	}
+	c.hits.Store(0)
+	c.misses.Store(0)
+	c.evictions.Store(0)
+	c.bypasses.Store(0)
+}

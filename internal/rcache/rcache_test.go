@@ -1,0 +1,171 @@
+package rcache
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestGetPutRoundTrip(t *testing.T) {
+	c := NewWithShards(8, 1)
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("hit on empty cache")
+	}
+	c.Put("a", Entry{IDs: []int64{1, 2, 3}, Stats: core.Stats{ResultSize: 3}})
+	ent, ok := c.Get("a")
+	if !ok {
+		t.Fatal("miss after Put")
+	}
+	if len(ent.IDs) != 3 || ent.IDs[0] != 1 || ent.Stats.ResultSize != 3 {
+		t.Fatalf("wrong entry back: %+v", ent)
+	}
+	got := c.Counters()
+	want := Counters{Hits: 1, Misses: 1}
+	if got != want {
+		t.Fatalf("counters %+v, want %+v", got, want)
+	}
+}
+
+func TestLRUEvictionOrder(t *testing.T) {
+	// Single shard, capacity 3: inserting a 4th entry evicts the least
+	// recently used, and Get refreshes recency.
+	c := NewWithShards(3, 1)
+	c.Put("a", Entry{})
+	c.Put("b", Entry{})
+	c.Put("c", Entry{})
+	c.Get("a") // refresh a; b is now LRU
+	c.Put("d", Entry{})
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("b should have been evicted")
+	}
+	for _, k := range []string{"a", "c", "d"} {
+		if _, ok := c.Get(k); !ok {
+			t.Fatalf("%s should have survived", k)
+		}
+	}
+	if ev := c.Counters().Evictions; ev != 1 {
+		t.Fatalf("evictions = %d, want 1", ev)
+	}
+}
+
+func TestPutReplacesExisting(t *testing.T) {
+	c := NewWithShards(4, 1)
+	c.Put("k", Entry{IDs: []int64{1}})
+	c.Put("k", Entry{IDs: []int64{9, 9}})
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", c.Len())
+	}
+	if ent, _ := c.Get("k"); len(ent.IDs) != 2 || ent.IDs[0] != 9 {
+		t.Fatalf("replacement not visible: %+v", ent)
+	}
+}
+
+func TestZeroCapacityStoresNothing(t *testing.T) {
+	c := New(0)
+	c.Put("a", Entry{IDs: []int64{1}})
+	if c.Len() != 0 {
+		t.Fatalf("Len = %d, want 0", c.Len())
+	}
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("zero-capacity cache must always miss")
+	}
+}
+
+func TestResizeEvictsDown(t *testing.T) {
+	c := NewWithShards(16, 1)
+	for i := 0; i < 16; i++ {
+		c.Put(fmt.Sprintf("k%d", i), Entry{})
+	}
+	if c.Len() != 16 {
+		t.Fatalf("Len = %d, want 16", c.Len())
+	}
+	c.Resize(4)
+	if c.Len() != 4 {
+		t.Fatalf("after Resize(4), Len = %d", c.Len())
+	}
+	if c.Capacity() != 4 {
+		t.Fatalf("Capacity = %d, want 4", c.Capacity())
+	}
+	// The four most recently used keys survive.
+	for i := 12; i < 16; i++ {
+		if _, ok := c.Get(fmt.Sprintf("k%d", i)); !ok {
+			t.Fatalf("k%d should have survived the resize", i)
+		}
+	}
+	c.Resize(0)
+	if c.Len() != 0 {
+		t.Fatalf("after Resize(0), Len = %d", c.Len())
+	}
+}
+
+func TestResetDropsEntriesAndCounters(t *testing.T) {
+	c := New(8)
+	c.Put("a", Entry{})
+	c.Get("a")
+	c.Get("zzz")
+	c.AddBypass()
+	c.Reset()
+	if c.Len() != 0 {
+		t.Fatalf("Len = %d after Reset", c.Len())
+	}
+	if got := c.Counters(); got != (Counters{}) {
+		t.Fatalf("counters %+v after Reset", got)
+	}
+	if c.Capacity() != 8 {
+		t.Fatalf("Reset changed capacity to %d", c.Capacity())
+	}
+}
+
+func TestShardNormalization(t *testing.T) {
+	if n := len(NewWithShards(100, 5).shards); n != 8 {
+		t.Fatalf("5 shards normalized to %d, want 8", n)
+	}
+	// Shards never outnumber a positive capacity.
+	if n := len(NewWithShards(2, 64).shards); n > 2 {
+		t.Fatalf("capacity 2 got %d shards", n)
+	}
+	if c := New(1000); len(c.shards)&(len(c.shards)-1) != 0 {
+		t.Fatalf("default shard count %d not a power of two", len(c.shards))
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	c := New(64)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				key := fmt.Sprintf("k%d", (g*31+i)%96)
+				if ent, ok := c.Get(key); ok {
+					if len(ent.IDs) != 1 {
+						t.Errorf("corrupt entry under %s: %+v", key, ent)
+						return
+					}
+				} else {
+					c.Put(key, Entry{IDs: []int64{int64(i)}})
+				}
+				if i%100 == 0 {
+					c.Counters()
+					c.Len()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if c.Len() > 64 {
+		t.Fatalf("Len %d exceeds capacity 64", c.Len())
+	}
+}
+
+func TestHitRate(t *testing.T) {
+	if hr := (Counters{}).HitRate(); hr != 0 {
+		t.Fatalf("empty HitRate = %v", hr)
+	}
+	if hr := (Counters{Hits: 3, Misses: 1}).HitRate(); hr != 0.75 {
+		t.Fatalf("HitRate = %v, want 0.75", hr)
+	}
+}

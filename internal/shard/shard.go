@@ -44,6 +44,7 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/exec"
@@ -230,6 +231,27 @@ func (s *oneShard) shardQuery(ctx context.Context, region core.Region, spec core
 	return s.eng.QueryRegionSpec(ctx, region, shardSpec(spec))
 }
 
+// budgetedQuery is shardQuery for limited result queries: every scatter
+// task of one query draws from a shared budget of spec.Limit result slots
+// and stops the moment the budget is spent. Without it each shard would
+// honor the limit locally and scan (and materialize) up to Limit results
+// per shard — up to shards×Limit work for a query that returns Limit ids.
+// A slot is claimed per discovered result, so across all shards at most
+// spec.Limit ids are materialized; which ones depends on shard timing,
+// within the Limit option's documented latitude.
+func (s *oneShard) budgetedQuery(ctx context.Context, region core.Region, spec core.QuerySpec, budget *atomic.Int64) ([]int64, core.Stats, error) {
+	local := shardSpec(spec)
+	var ids []int64
+	st, err := s.eng.EachRegion(ctx, region, local, func(id int64, _ geom.Point) bool {
+		if budget.Add(-1) < 0 {
+			return false
+		}
+		ids = append(ids, id)
+		return true
+	})
+	return ids, st, err
+}
+
 // remap converts shard-local result ids to global ids in place-free
 // fashion (a fresh slice is returned; local is not retained).
 func (s *oneShard) remap(local []int64) []int64 {
@@ -242,14 +264,18 @@ func (s *oneShard) remap(local []int64) []int64 {
 
 // mergeSorted concatenates per-shard global id slices into dst (reusing
 // its capacity; pass nil for a fresh slice) and sorts them ascending, the
-// engine's canonical result order.
+// engine's canonical result order. An empty result with a reuse buffer
+// returns dst[:0], not nil — the unsharded engines' Dest contract.
 func mergeSorted(dst []int64, parts [][]int64) []int64 {
 	total := 0
 	for _, p := range parts {
 		total += len(p)
 	}
 	if total == 0 {
-		return nil
+		if dst == nil {
+			return nil
+		}
+		return dst[:0]
 	}
 	if dst == nil {
 		dst = make([]int64, 0, total)
@@ -287,20 +313,41 @@ func (e *Engine) QueryRegion(m core.Method, region core.Region) ([]int64, core.S
 // shards whose bounds miss the region are pruned, survivors fan out onto
 // the worker pool, and per-shard results merge into ascending global id
 // order. spec.CountOnly skips the merge entirely (the count is
-// Stats.ResultSize); spec.Limit bounds each shard's scan and truncates the
-// merged result; spec.Dest backs the merged slice.
+// Stats.ResultSize); spec.Limit is a global bound enforced by a budget
+// shared across the scatter (at most Limit ids are materialized in total,
+// not per shard); spec.Dest backs the merged slice.
 func (e *Engine) QueryRegionSpec(ctx context.Context, region core.Region, spec core.QuerySpec) ([]int64, core.Stats, error) {
 	agg := core.Stats{Method: spec.Method}
 	alive := e.survivors(nil, region)
 	if len(alive) == 0 {
-		return nil, agg, ctx.Err()
+		if err := ctx.Err(); err != nil || spec.CountOnly || spec.Dest == nil {
+			return nil, agg, err
+		}
+		return spec.Dest[:0], agg, nil
+	}
+	// Limited result queries share one budget of Limit slots across the
+	// scatter, so the whole fan-out materializes at most Limit ids instead
+	// of Limit per shard.
+	var budget *atomic.Int64
+	if spec.Limit > 0 && !spec.CountOnly {
+		budget = new(atomic.Int64)
+		budget.Store(int64(spec.Limit))
 	}
 	opts := exec.Options{NumWorkers: e.parallelism, Chunk: 1}
 	parts := make([][]int64, len(alive))
 	workerStats := make([]core.Stats, opts.Workers(len(alive)))
 	err := exec.Run(ctx, len(alive), opts, func(worker, i int) error {
 		s := &e.shards[alive[i]]
-		local, st, err := s.shardQuery(ctx, region, spec)
+		var (
+			local []int64
+			st    core.Stats
+			err   error
+		)
+		if budget != nil {
+			local, st, err = s.budgetedQuery(ctx, region, spec, budget)
+		} else {
+			local, st, err = s.shardQuery(ctx, region, spec)
+		}
 		workerStats[worker].Add(st)
 		if err != nil {
 			return fmt.Errorf("shard %d: %w", alive[i], err)
@@ -426,6 +473,15 @@ func (e *Engine) QueryRegionsSpec(ctx context.Context, regions []core.Region, sp
 			tasks = append(tasks, task{query: qi, shard: si, slot: slot})
 		}
 	}
+	// The limit applies per region: each query's scatter tasks share one
+	// budget of Limit result slots (see budgetedQuery).
+	var budgets []atomic.Int64
+	if spec.Limit > 0 && !spec.CountOnly {
+		budgets = make([]atomic.Int64, len(regions))
+		for qi := range budgets {
+			budgets[qi].Store(int64(spec.Limit))
+		}
+	}
 
 	// Chunk 1, as in QueryRegionSpec: each task is a full per-shard query —
 	// expensive enough that claiming several per steal would serialize
@@ -435,7 +491,16 @@ func (e *Engine) QueryRegionsSpec(ctx context.Context, regions []core.Region, sp
 	err := exec.Run(ctx, len(tasks), opts, func(worker, i int) error {
 		tk := tasks[i]
 		s := &e.shards[tk.shard]
-		local, st, err := s.shardQuery(ctx, regions[tk.query], spec)
+		var (
+			local []int64
+			st    core.Stats
+			err   error
+		)
+		if budgets != nil {
+			local, st, err = s.budgetedQuery(ctx, regions[tk.query], spec, &budgets[tk.query])
+		} else {
+			local, st, err = s.shardQuery(ctx, regions[tk.query], spec)
+		}
 		workerStats[worker].Add(st)
 		if err != nil {
 			return fmt.Errorf("query %d shard %d: %w", tk.query, tk.shard, err)

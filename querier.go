@@ -52,7 +52,11 @@ var (
 )
 
 // QueryOpt customizes one query (or batch). Options compose: the zero
-// option set means "VoronoiBFS, full result set, no limit".
+// option set means "VoronoiBFS, full result set, no limit". When one
+// option appears more than once the last occurrence wins, so wrappers
+// (like the package-level Count) may append to a caller's options.
+// Interactions between options are documented on each option and are
+// identical on every backend.
 type QueryOpt func(*queryPlan)
 
 // queryPlan is the resolved option set of one query.
@@ -97,15 +101,24 @@ func UsingMethod(m Method) QueryOpt {
 // WithStatsInto, or use the package-level Count helper). On QueryAll the
 // per-region slices stay nil and the aggregate count lands in
 // Stats.ResultSize; Each ignores it.
+//
+// Interactions, identical on every backend: with Reuse, the buffer is a
+// no-op — nothing is materialized and Query returns nil, not buf[:0];
+// with Limit(n), the reported count is min(n, matches).
 func CountOnly() QueryOpt {
 	return func(p *queryPlan) { p.countOnly = true }
 }
 
 // Limit stops a query after n results (n <= 0 means unlimited). The limit
-// is an early-exit bound, so which n points are returned is method- and
-// backend-dependent; the returned ids are still in ascending order among
-// themselves. On QueryAll the limit applies per region; on Each it bounds
-// the number of yields.
+// is a global early-exit bound on every backend — a ShardedEngine returns
+// at most n ids across all shards, not per shard — but which n points are
+// returned is method- and backend-dependent; the returned ids are still in
+// ascending order among themselves. On QueryAll the limit applies per
+// region; on Each it bounds the number of yields.
+//
+// Interactions: with CountOnly the count is capped at n; limited queries
+// bypass an attached result cache (see WithResultCache) because the
+// particular n ids are not canonical.
 func Limit(n int) QueryOpt {
 	return func(p *queryPlan) { p.limit = n }
 }
@@ -114,6 +127,9 @@ func Limit(n int) QueryOpt {
 // counters for Query and Each, the per-query sum for QueryAll. The write
 // happens on every outcome, including errors (partial work) and
 // cancellation, so callers can observe how far a cancelled query got.
+// When a Query is served from an attached result cache, st receives the
+// memoized statistics of the execution that populated the entry. Given
+// more than once, only the last st is written.
 func WithStatsInto(st *Stats) QueryOpt {
 	return func(p *queryPlan) { p.stats = st }
 }
@@ -121,20 +137,27 @@ func WithStatsInto(st *Stats) QueryOpt {
 // Reuse appends results into buf (overwriting from buf[:0]) instead of
 // allocating a fresh slice, letting a query loop recycle one buffer.
 // Ignored by QueryAll (one buffer cannot back a batch of independent
-// results) and by Each (which materializes nothing).
+// results) and by Each (which materializes nothing); a no-op under
+// CountOnly, which materializes nothing either. Result-cache hits honor
+// it — the memoized ids are copied into buf.
 func Reuse(buf []int64) QueryOpt {
 	return func(p *queryPlan) { p.buf = buf }
 }
 
 // Count is a convenience over any Querier: the match count of an area
-// query, without materializing results, on any backend. A WithStatsInto
-// passed in opts still receives the query's statistics.
+// query, without materializing results, on any backend. It is exactly
+// Query with CountOnly appended — caller options resolve once and keep
+// their documented semantics: a WithStatsInto receives the query's
+// statistics (the count is Stats.ResultSize), Limit caps the count, a
+// Reuse buffer is a no-op as on any CountOnly query, and a caller's own
+// CountOnly is redundant rather than conflicting.
 func Count(ctx context.Context, q Querier, region Region, opts ...QueryOpt) (int, error) {
-	var st Stats
-	_, err := q.Query(ctx, region, append(append([]QueryOpt(nil), opts...), CountOnly(), WithStatsInto(&st))...)
-	if p := resolve(opts); p.stats != nil {
-		*p.stats = st
+	p := resolve(opts)
+	st := p.stats
+	if st == nil {
+		st = new(Stats)
 	}
+	_, err := q.Query(ctx, region, append(append([]QueryOpt(nil), opts...), CountOnly(), WithStatsInto(st))...)
 	if err != nil {
 		return 0, err
 	}
@@ -168,11 +191,13 @@ func finishBatch(p *queryPlan, out [][]int64, st Stats, err error) ([][]int64, e
 	return out, nil
 }
 
-// Query implements Querier.
+// Query implements Querier, consulting the result cache when one was
+// attached (WithResultCache).
 func (e *Engine) Query(ctx context.Context, region Region, opts ...QueryOpt) ([]int64, error) {
 	p := resolve(opts)
-	ids, st, err := e.eng.QueryRegionSpec(ctx, region, p.spec())
-	return finishQuery(&p, ids, st, err)
+	return cachedQuery(e.rc, e.cacheSalt, 0, region, &p, func() ([]int64, Stats, error) {
+		return e.eng.QueryRegionSpec(ctx, region, p.spec())
+	})
 }
 
 // QueryAll implements Querier.
@@ -193,18 +218,14 @@ func (e *Engine) Each(ctx context.Context, region Region, yield func(id int64, p
 	return err
 }
 
-// Query implements Querier. Results are already in ascending global id
-// order from the scatter-gather merge.
+// Query implements Querier, consulting the result cache when one was
+// attached. Results are already in ascending global id order from the
+// scatter-gather merge.
 func (e *ShardedEngine) Query(ctx context.Context, region Region, opts ...QueryOpt) ([]int64, error) {
 	p := resolve(opts)
-	ids, st, err := e.se.QueryRegionSpec(ctx, region, p.spec())
-	if p.stats != nil {
-		*p.stats = st
-	}
-	if err != nil {
-		return nil, err
-	}
-	return ids, nil
+	return cachedQuery(e.rc, e.cacheSalt, 0, region, &p, func() ([]int64, Stats, error) {
+		return e.se.QueryRegionSpec(ctx, region, p.spec())
+	})
 }
 
 // QueryAll implements Querier: every (region, surviving shard) pair is one
@@ -252,11 +273,15 @@ func (e *DynamicEngine) Each(ctx context.Context, region Region, yield func(id i
 	return e.Snapshot().Each(ctx, region, yield, opts...)
 }
 
-// Query implements Querier, against the pinned epoch.
+// Query implements Querier, against the pinned epoch. With a result cache
+// attached (inherited from the DynamicEngine), entries are keyed by that
+// epoch: queries on one snapshot hit each other's entries, and an Insert
+// on the parent engine invalidates by moving later queries to new keys.
 func (s *Snapshot) Query(ctx context.Context, region Region, opts ...QueryOpt) ([]int64, error) {
 	p := resolve(opts)
-	ids, st, err := s.s.QueryRegionSpec(ctx, region, p.spec())
-	return finishQuery(&p, ids, st, err)
+	return cachedQuery(s.rc, s.cacheSalt, s.s.Epoch(), region, &p, func() ([]int64, Stats, error) {
+		return s.s.QueryRegionSpec(ctx, region, p.spec())
+	})
 }
 
 // QueryAll implements Querier, all against the pinned epoch.

@@ -32,6 +32,25 @@
 //		return true                                            // streamed as the BFS discovers
 //	})
 //
+// Streaming also comes in range-over-func form:
+//
+//	seq, errf := vaq.Results(ctx, eng, area)
+//	for id, p := range seq {
+//		_ = p // discovery order, while the BFS expands
+//		_ = id
+//	}
+//	if err := errf(); err != nil { ... }
+//
+// On skewed traffic where hot regions repeat, attach a result cache —
+// repeated identical queries are served from memory, and on a
+// DynamicEngine every Insert invalidates by construction (entries are
+// keyed by insert epoch):
+//
+//	rc := vaq.NewResultCache(1024)
+//	eng, err := vaq.NewEngine(points, vaq.UnitSquare(), vaq.WithResultCache(rc))
+//	...
+//	fmt.Println(rc.Stats().HitRate())
+//
 // All methods always return the same result set, in ascending id order on
 // every backend; Stats expose the work performed (candidates, redundant
 // validations, index node visits, record loads and — with WithStore —
@@ -248,6 +267,7 @@ type config struct {
 	gridCell    int
 	parallelism int
 	shards      int
+	rcache      *ResultCache
 	poolShards  int
 	// poolShardsSet records that WithBufferPoolShards was given, so an
 	// explicit 0 ("use the GOMAXPROCS default") still overrides a
@@ -317,6 +337,8 @@ type Engine struct {
 	data        core.DataAccess
 	store       *core.StoreData // nil without WithStore
 	parallelism int             // 0 = GOMAXPROCS
+	rc          *ResultCache    // nil without WithResultCache
+	cacheSalt   uint64
 }
 
 // defaultConfig returns the option defaults shared by NewEngine and
@@ -384,6 +406,8 @@ func NewEngine(points []Point, bounds Rect, opts ...Option) (*Engine, error) {
 		data:        data,
 		store:       sd,
 		parallelism: cfg.parallelism,
+		rc:          cfg.rcache,
+		cacheSalt:   nextCacheSalt(),
 	}, nil
 }
 
@@ -463,8 +487,10 @@ func (e *Engine) ResetIOStats() {
 // construction and safe for concurrent use from any number of
 // goroutines.
 type ShardedEngine struct {
-	se     *shard.Engine
-	stores []*core.StoreData // per shard; all nil without WithStore
+	se        *shard.Engine
+	stores    []*core.StoreData // per shard; all nil without WithStore
+	rc        *ResultCache      // nil without WithResultCache
+	cacheSalt uint64
 }
 
 // NewShardedEngine partitions points into n shards (WithShards; default 1)
@@ -504,7 +530,12 @@ func NewShardedEngine(points []Point, bounds Rect, opts ...Option) (*ShardedEngi
 	if err != nil {
 		return nil, fmt.Errorf("vaq: %w", err)
 	}
-	return &ShardedEngine{se: se, stores: stores[:se.NumShards()]}, nil
+	return &ShardedEngine{
+		se:        se,
+		stores:    stores[:se.NumShards()],
+		rc:        cfg.rcache,
+		cacheSalt: nextCacheSalt(),
+	}, nil
 }
 
 // KNearest returns the k stored points nearest to q in increasing
@@ -598,18 +629,26 @@ var (
 type DynamicEngine struct {
 	d           *core.DynamicEngine
 	parallelism int
+	rc          *ResultCache // nil without WithResultCache
+	cacheSalt   uint64
 }
 
 // NewDynamicEngine returns an empty dynamic engine. All inserted points
 // and query areas must lie within universe. Of the Engine options only
-// WithParallelism applies (it sizes the QueryAll worker pool); the
+// WithParallelism (it sizes the QueryAll worker pool) and WithResultCache
+// (entries are keyed by insert epoch, so Insert invalidates) apply; the
 // others describe static construction and are ignored.
 func NewDynamicEngine(universe Rect, opts ...Option) *DynamicEngine {
 	cfg := defaultConfig()
 	for _, o := range opts {
 		o(&cfg)
 	}
-	return &DynamicEngine{d: core.NewDynamicEngine(universe), parallelism: cfg.parallelism}
+	return &DynamicEngine{
+		d:           core.NewDynamicEngine(universe),
+		parallelism: cfg.parallelism,
+		rc:          cfg.rcache,
+		cacheSalt:   nextCacheSalt(),
+	}
 }
 
 // Insert adds a point, returning its id. Re-inserting an existing
@@ -625,7 +664,12 @@ func (e *DynamicEngine) Insert(p Point) (id int64, inserted bool, err error) {
 // call, regardless of concurrent or later inserts. Repeated Snapshot
 // calls between writes return the same published view at no cost.
 func (e *DynamicEngine) Snapshot() *Snapshot {
-	return &Snapshot{s: e.d.Snapshot(), parallelism: e.parallelism}
+	return &Snapshot{
+		s:           e.d.Snapshot(),
+		parallelism: e.parallelism,
+		rc:          e.rc,
+		cacheSalt:   e.cacheSalt,
+	}
 }
 
 // KNearest returns the k inserted points nearest to q in increasing
@@ -665,6 +709,8 @@ func (e *DynamicEngine) PointOK(id int64) (Point, bool) { return e.d.PointOK(id)
 type Snapshot struct {
 	s           *core.DynamicSnapshot
 	parallelism int
+	rc          *ResultCache // inherited from the parent DynamicEngine
+	cacheSalt   uint64
 }
 
 // Epoch returns the epoch the snapshot pinned (the number of inserts it

@@ -1,0 +1,337 @@
+package vaq
+
+import (
+	"context"
+	"math/rand"
+	"slices"
+	"sync"
+	"testing"
+)
+
+// buildCachedFlavors is buildFlavors with a ResultCache attached to every
+// backend (the snapshot flavor inherits the dynamic engine's).
+func buildCachedFlavors(t *testing.T, pts []Point, rc *ResultCache) []querierFlavor {
+	t.Helper()
+	eng, err := NewEngine(pts, UnitSquare(), WithResultCache(rc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharded, err := NewShardedEngine(pts, UnitSquare(), WithShards(7), WithResultCache(rc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dyn := NewDynamicEngine(UnitSquare(), WithResultCache(rc))
+	toGlobal := make(map[int64]int64, len(pts))
+	for i, p := range pts {
+		id, inserted, err := dyn.Insert(p)
+		if err != nil || !inserted {
+			t.Fatalf("insert %d: inserted=%v err=%v", i, inserted, err)
+		}
+		toGlobal[id] = int64(i)
+	}
+	return []querierFlavor{
+		{name: "engine", q: eng},
+		{name: "sharded", q: sharded},
+		{name: "dynamic", q: dyn, toGlobal: toGlobal},
+		{name: "snapshot", q: dyn.Snapshot(), toGlobal: toGlobal},
+	}
+}
+
+// TestResultCacheByteIdentical pins the acceptance criterion: with a cache
+// attached, results are byte-identical to an uncached backend on every
+// flavor × method × option set — on the populating miss and again on the
+// memoized hit.
+func TestResultCacheByteIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(81))
+	pts := UniformPoints(rng, 2000, UnitSquare())
+	plain := buildFlavors(t, pts)
+	rc := NewResultCache(256)
+	cached := buildCachedFlavors(t, pts, rc)
+	ctx := context.Background()
+
+	regions := map[string]Region{
+		"polygon": PolygonRegion(RandomQueryPolygon(rng, 10, 0.04, UnitSquare())),
+		"circle":  CircleRegion(NewCircle(Pt(0.55, 0.45), 0.15)),
+	}
+
+	for rname, region := range regions {
+		for fi := range cached {
+			pf, cf := &plain[fi], &cached[fi]
+			for _, m := range []Method{Traditional, VoronoiBFS, VoronoiBFSStrict, BruteForce} {
+				name := cf.name + "/" + rname + "/" + m.String()
+
+				want, err := pf.q.Query(ctx, region, UsingMethod(m))
+				if err != nil {
+					t.Fatalf("%s: uncached: %v", name, err)
+				}
+				// Twice: first populates (miss), second serves from cache.
+				for pass, label := range []string{"miss", "hit"} {
+					var st Stats
+					got, err := cf.q.Query(ctx, region, UsingMethod(m), WithStatsInto(&st))
+					if err != nil {
+						t.Fatalf("%s/%s: %v", name, label, err)
+					}
+					if !slices.Equal(got, want) {
+						t.Fatalf("%s/%s: %d ids, uncached %d — not byte-identical", name, label, len(got), len(want))
+					}
+					if st.ResultSize != len(want) {
+						t.Errorf("%s/%s: stats.ResultSize = %d, want %d", name, label, st.ResultSize, len(want))
+					}
+					_ = pass
+				}
+
+				// CountOnly memoizes separately from the materialized result.
+				wantN, err := Count(ctx, pf.q, region, UsingMethod(m))
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, label := range []string{"miss", "hit"} {
+					n, err := Count(ctx, cf.q, region, UsingMethod(m))
+					if err != nil || n != wantN {
+						t.Fatalf("%s/count/%s: %d (err %v), want %d", name, label, n, err, wantN)
+					}
+				}
+
+				// Reuse on a hit: memoized ids are copied into the buffer.
+				buf := make([]int64, 0, len(want)+8)
+				got, err := cf.q.Query(ctx, region, UsingMethod(m), Reuse(buf))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !slices.Equal(got, want) {
+					t.Fatalf("%s: Reuse hit diverged", name)
+				}
+				if len(got) > 0 && &got[0] != &buf[:1][0] {
+					t.Errorf("%s: Reuse hit did not use the caller's buffer", name)
+				}
+			}
+		}
+	}
+
+	cst := rc.Stats()
+	if cst.Hits == 0 || cst.Misses == 0 {
+		t.Fatalf("cache was not exercised: %+v", cst)
+	}
+}
+
+// TestResultCacheStatsMemoized pins that a hit reproduces the statistics
+// of the execution that populated the entry.
+func TestResultCacheStatsMemoized(t *testing.T) {
+	rng := rand.New(rand.NewSource(82))
+	pts := UniformPoints(rng, 1500, UnitSquare())
+	rc := NewResultCache(64)
+	eng, err := NewEngine(pts, UnitSquare(), WithResultCache(rc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	region := PolygonRegion(RandomQueryPolygon(rng, 10, 0.05, UnitSquare()))
+	ctx := context.Background()
+
+	var miss, hit Stats
+	if _, err := eng.Query(ctx, region, WithStatsInto(&miss)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Query(ctx, region, WithStatsInto(&hit)); err != nil {
+		t.Fatal(err)
+	}
+	if hit != miss {
+		t.Fatalf("hit stats %+v differ from populating stats %+v", hit, miss)
+	}
+	if got := rc.Stats(); got.Hits != 1 || got.Misses != 1 {
+		t.Fatalf("counters %+v, want 1 hit / 1 miss", got)
+	}
+}
+
+// opaqueRegion hides any CacheKeyer implementation of the wrapped Region:
+// embedding the interface promotes only the interface's methods, so the
+// cache must treat it as unkeyable and bypass.
+type opaqueRegion struct{ Region }
+
+// TestResultCacheBypasses pins the two bypass classes — limited queries
+// and unkeyable regions — and that bypassed queries still return correct,
+// uncached results.
+func TestResultCacheBypasses(t *testing.T) {
+	rng := rand.New(rand.NewSource(83))
+	pts := UniformPoints(rng, 1500, UnitSquare())
+	rc := NewResultCache(64)
+	eng, err := NewEngine(pts, UnitSquare(), WithResultCache(rc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	region := PolygonRegion(RandomQueryPolygon(rng, 10, 0.05, UnitSquare()))
+	want, err := eng.Query(ctx, region)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := rc.Stats()
+
+	// Limit bypasses: two identical limited queries both execute.
+	for i := 0; i < 2; i++ {
+		got, err := eng.Query(ctx, region, Limit(3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != 3 {
+			t.Fatalf("Limit(3) returned %d ids", len(got))
+		}
+	}
+	// Unkeyable region bypasses, result still exact.
+	got, err := eng.Query(ctx, opaqueRegion{region})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !slices.Equal(got, want) {
+		t.Fatal("opaque-region result diverged")
+	}
+
+	st := rc.Stats()
+	if st.Bypasses != base.Bypasses+3 {
+		t.Fatalf("bypasses = %d, want %d", st.Bypasses, base.Bypasses+3)
+	}
+	if st.Hits != base.Hits || st.Misses != base.Misses {
+		t.Fatalf("bypassed queries touched the cache: %+v vs %+v", st, base)
+	}
+}
+
+// TestResultCacheSharedAcrossEngines pins the per-engine salt: two engines
+// over different datasets share one cache and the same region, yet each
+// keeps serving its own result.
+func TestResultCacheSharedAcrossEngines(t *testing.T) {
+	rng := rand.New(rand.NewSource(84))
+	ptsA := UniformPoints(rng, 1000, UnitSquare())
+	ptsB := UniformPoints(rng, 1300, UnitSquare())
+	rc := NewResultCache(64)
+	engA, err := NewEngine(ptsA, UnitSquare(), WithResultCache(rc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	engB, err := NewEngine(ptsB, UnitSquare(), WithResultCache(rc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	region := CircleRegion(NewCircle(Pt(0.5, 0.5), 0.25))
+
+	wantA, _ := engA.Query(ctx, region)
+	wantB, _ := engB.Query(ctx, region)
+	if slices.Equal(wantA, wantB) {
+		t.Fatal("datasets accidentally agree; test is vacuous")
+	}
+	// Both entries now populated; re-query each engine twice from cache.
+	for i := 0; i < 2; i++ {
+		gotA, _ := engA.Query(ctx, region)
+		gotB, _ := engB.Query(ctx, region)
+		if !slices.Equal(gotA, wantA) || !slices.Equal(gotB, wantB) {
+			t.Fatal("shared cache crossed engine boundaries")
+		}
+	}
+}
+
+// TestResultCacheInvalidationOnInsert pins the epoch keying
+// deterministically: a memoized dynamic-engine result must not be served
+// after an Insert that changes it.
+func TestResultCacheInvalidationOnInsert(t *testing.T) {
+	rc := NewResultCache(64)
+	dyn := NewDynamicEngine(UnitSquare(), WithResultCache(rc))
+	rng := rand.New(rand.NewSource(85))
+	for _, p := range UniformPoints(rng, 500, UnitSquare()) {
+		if _, _, err := dyn.Insert(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ctx := context.Background()
+	region := CircleRegion(NewCircle(Pt(0.5, 0.5), 0.2))
+
+	before, err := dyn.Query(ctx, region)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm the cache, then insert a point dead center — inside the region.
+	if _, err := dyn.Query(ctx, region); err != nil {
+		t.Fatal(err)
+	}
+	id, inserted, err := dyn.Insert(Pt(0.5, 0.5))
+	if err != nil || !inserted {
+		t.Fatalf("insert: %v (inserted=%v)", err, inserted)
+	}
+	after, err := dyn.Query(ctx, region)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(after) != len(before)+1 || !slices.Contains(after, id) {
+		t.Fatalf("stale result served after Insert: before %d ids, after %d (new id %d present: %v)",
+			len(before), len(after), id, slices.Contains(after, id))
+	}
+}
+
+// TestResultCacheDynamicRaceSoak runs concurrent inserts against cached
+// snapshot queries and checks every cached result against an exact oracle
+// over the same pinned snapshot — under -race (CI runs the suite with it),
+// this proves no stale epoch is ever served while the epoch advances.
+func TestResultCacheDynamicRaceSoak(t *testing.T) {
+	rc := NewResultCache(256)
+	dyn := NewDynamicEngine(UnitSquare(), WithResultCache(rc))
+	rng := rand.New(rand.NewSource(86))
+	seedPts := UniformPoints(rng, 300, UnitSquare())
+	for _, p := range seedPts[:100] {
+		if _, _, err := dyn.Insert(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	region := CircleRegion(NewCircle(Pt(0.5, 0.5), 0.3))
+	ctx := context.Background()
+
+	var wg sync.WaitGroup
+	done := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer close(done)
+		for _, p := range seedPts[100:] {
+			if _, _, err := dyn.Insert(p); err != nil {
+				t.Errorf("insert: %v", err)
+				return
+			}
+		}
+	}()
+
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				// Pin one epoch; the cached query and the oracle must agree
+				// on it no matter how far the writer has advanced.
+				snap := dyn.Snapshot()
+				got, err := snap.Query(ctx, region)
+				if err != nil {
+					t.Errorf("snapshot query: %v", err)
+					return
+				}
+				var want []int64
+				snap.EachPoint(func(id int64, p Point) bool {
+					if region.ContainsPoint(p) {
+						want = append(want, id)
+					}
+					return true
+				})
+				if !slices.Equal(got, want) {
+					t.Errorf("epoch %d: cached result has %d ids, oracle %d — stale entry served",
+						snap.Epoch(), len(got), len(want))
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	if st := rc.Stats(); st.Lookups() == 0 {
+		t.Fatal("soak never touched the cache")
+	}
+}
