@@ -533,3 +533,65 @@ func BenchmarkHotRegionCache(b *testing.B) {
 		b.ReportMetric(rc.Stats().HitRate()*100, "hits%")
 	})
 }
+
+// BenchmarkMetricsOverhead measures the cost of the observability layer on
+// the query hot path: the same query stream over one bare engine (nil
+// registry — the disabled path must be a pointer comparison) and one built
+// WithMetrics. The acceptance bar is <= 2% queries/s regression for the
+// bare engine versus a build without the layer, and single-digit percent
+// for the instrumented one.
+func BenchmarkMetricsOverhead(b *testing.B) {
+	rng := rand.New(rand.NewSource(211))
+	pts := UniformPoints(rng, 50_000, UnitSquare())
+	areas := benchAreas(212, 0.01, 64)
+	regions := make([]Region, len(areas))
+	for i, pg := range areas {
+		regions[i] = PolygonRegion(pg)
+	}
+	ctx := context.Background()
+	buf := make([]int64, 0, 4096)
+
+	run := func(b *testing.B, eng *Engine) {
+		b.Helper()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := eng.Query(ctx, regions[i%len(regions)], Reuse(buf)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "queries/s")
+	}
+
+	b.Run("nil-registry", func(b *testing.B) {
+		eng, err := NewEngine(pts, UnitSquare())
+		if err != nil {
+			b.Fatal(err)
+		}
+		run(b, eng)
+	})
+	b.Run("instrumented", func(b *testing.B) {
+		reg := NewMetricsRegistry()
+		eng, err := NewEngine(pts, UnitSquare(), WithMetrics(reg))
+		if err != nil {
+			b.Fatal(err)
+		}
+		run(b, eng)
+	})
+	b.Run("instrumented-traced", func(b *testing.B) {
+		reg := NewMetricsRegistry()
+		eng, err := NewEngine(pts, UnitSquare(), WithMetrics(reg))
+		if err != nil {
+			b.Fatal(err)
+		}
+		var tr QueryTrace
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := eng.Query(ctx, regions[i%len(regions)], Reuse(buf), WithTraceInto(&tr)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "queries/s")
+	})
+}

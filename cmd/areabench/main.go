@@ -11,46 +11,72 @@
 //	areabench -exp throughput -parallel 1,2,4,8 -queries 1024
 //	areabench -exp sharded -shards 1,2,4,8 -store -queries 512
 //	areabench -exp hotregion -skews 0.8,1.1,1.4 -cachesizes 8,64,256
-//	areabench -exp all -json BENCH_6.json
+//	areabench -exp hotregion -metricsaddr localhost:9090
+//	areabench -exp all -json BENCH_7.json
+//
+// With -metricsaddr, a metrics endpoint serves the live registry while the
+// run progresses (curl it for JSON, add ?format=prom for Prometheus text).
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"strconv"
 	"strings"
 	"time"
 
+	vaq "repro"
 	"repro/internal/bench"
 	"repro/internal/core"
 )
 
 func main() {
 	var (
-		exp        = flag.String("exp", "all", "experiment: table1|table2|fig4|fig5|fig6|fig7|throughput|sharded|hotregion|all")
-		parallel   = flag.String("parallel", "1,2,4,8", "comma-separated worker-pool sizes (with -exp throughput)")
-		shards     = flag.String("shards", "1,2,4,8", "comma-separated shard counts (with -exp sharded)")
-		queries    = flag.Int("queries", 512, "batch length (with -exp throughput|sharded)")
-		repeats    = flag.Int("repeats", 100, "repeats per configuration (paper: 1000)")
-		seed       = flag.Int64("seed", 20200420, "random seed")
-		vertices   = flag.Int("vertices", 10, "query polygon vertex count (paper: 10)")
-		dataSizes  = flag.String("datasizes", "", "comma-separated data sizes for table1/fig4/fig5 (default: paper's 1E5..1E6)")
-		querySizes = flag.String("querysizes", "", "comma-separated query sizes in percent for table2/fig6/fig7 (default: 1,2,4,8,16,32)")
-		useStore   = flag.Bool("store", false, "back records with the paged store (adds IO accounting)")
-		payload    = flag.Int("payload", 64, "payload bytes per record (with -store)")
-		poolPages  = flag.Int("poolpages", 256, "buffer pool pages (with -store)")
-		poolShards = flag.Int("poolshards", 0, "buffer pool lock shards (with -store; 0 = GOMAXPROCS-based, 1 = single lock)")
-		pageSize   = flag.Int("pagesize", 4096, "page size in bytes (with -store)")
-		quiet      = flag.Bool("q", false, "suppress progress output")
-		jsonPath   = flag.String("json", "", "write a machine-readable benchmark snapshot to this file (with -exp all; skips the table sweeps)")
-		minTime    = flag.Duration("mintime", 200*time.Millisecond, "minimum measured time per family (with -json)")
-		skews      = flag.String("skews", "", "comma-separated zipfian s-parameters (with -exp hotregion; default 0.8,1.1,1.4)")
-		cacheSizes = flag.String("cachesizes", "", "comma-separated result-cache capacities (with -exp hotregion; default 8,64,256)")
-		regions    = flag.Int("regions", 0, "hot-region pool size (with -exp hotregion; default 64)")
+		exp         = flag.String("exp", "all", "experiment: table1|table2|fig4|fig5|fig6|fig7|throughput|sharded|hotregion|all")
+		parallel    = flag.String("parallel", "1,2,4,8", "comma-separated worker-pool sizes (with -exp throughput)")
+		shards      = flag.String("shards", "1,2,4,8", "comma-separated shard counts (with -exp sharded)")
+		queries     = flag.Int("queries", 512, "batch length (with -exp throughput|sharded)")
+		repeats     = flag.Int("repeats", 100, "repeats per configuration (paper: 1000)")
+		seed        = flag.Int64("seed", 20200420, "random seed")
+		vertices    = flag.Int("vertices", 10, "query polygon vertex count (paper: 10)")
+		dataSizes   = flag.String("datasizes", "", "comma-separated data sizes for table1/fig4/fig5 (default: paper's 1E5..1E6)")
+		querySizes  = flag.String("querysizes", "", "comma-separated query sizes in percent for table2/fig6/fig7 (default: 1,2,4,8,16,32)")
+		useStore    = flag.Bool("store", false, "back records with the paged store (adds IO accounting)")
+		payload     = flag.Int("payload", 64, "payload bytes per record (with -store)")
+		poolPages   = flag.Int("poolpages", 256, "buffer pool pages (with -store)")
+		poolShards  = flag.Int("poolshards", 0, "buffer pool lock shards (with -store; 0 = GOMAXPROCS-based, 1 = single lock)")
+		pageSize    = flag.Int("pagesize", 4096, "page size in bytes (with -store)")
+		quiet       = flag.Bool("q", false, "suppress progress output")
+		jsonPath    = flag.String("json", "", "write a machine-readable benchmark snapshot to this file (with -exp all; skips the table sweeps)")
+		minTime     = flag.Duration("mintime", 200*time.Millisecond, "minimum measured time per family (with -json)")
+		skews       = flag.String("skews", "", "comma-separated zipfian s-parameters (with -exp hotregion; default 0.8,1.1,1.4)")
+		cacheSizes  = flag.String("cachesizes", "", "comma-separated result-cache capacities (with -exp hotregion; default 8,64,256)")
+		regions     = flag.Int("regions", 0, "hot-region pool size (with -exp hotregion; default 64)")
+		metricsAddr = flag.String("metricsaddr", "", "serve live engine metrics on this address while the run progresses (with -json or -exp hotregion; adds instrumentation overhead)")
 	)
 	flag.Parse()
+
+	// In metrics mode every engine the run builds shares one registry,
+	// scraped live over HTTP (JSON by default, ?format=prom for
+	// Prometheus text).
+	var metrics *vaq.MetricsRegistry
+	if *metricsAddr != "" {
+		metrics = vaq.NewMetricsRegistry()
+		ln, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			fatalf("-metricsaddr: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "# serving metrics on http://%s/\n", ln.Addr())
+		go func() {
+			if err := http.Serve(ln, vaq.MetricsHandler(metrics)); err != nil {
+				fmt.Fprintf(os.Stderr, "areabench: metrics server: %v\n", err)
+			}
+		}()
+	}
 
 	cfg := bench.PaperConfig(*repeats)
 	cfg.Seed = *seed
@@ -100,6 +126,7 @@ func main() {
 			MinTime:   *minTime,
 			Store:     cfg.Store,
 			Seed:      cfg.Seed,
+			Metrics:   metrics,
 		})
 		if err != nil {
 			fatalf("snapshot: %v", err)
@@ -128,6 +155,18 @@ func main() {
 			Vertices:  cfg.Vertices,
 			QuerySize: cfg.FixedQuerySize,
 			Seed:      cfg.Seed,
+			Store:     cfg.Store,
+			Metrics:   metrics,
+		}
+		if metrics != nil && hcfg.Store == nil {
+			// Observed runs back the engines with a paged store so the
+			// scraped registry shows live buffer-pool counters too.
+			hcfg.Store = &core.StoreConfig{
+				PageSize:     *pageSize,
+				PoolPages:    *poolPages,
+				PoolShards:   *poolShards,
+				PayloadBytes: *payload,
+			}
 		}
 		if len(cfg.DataSizes) > 0 && *dataSizes != "" {
 			hcfg.DataSize = cfg.DataSizes[0]

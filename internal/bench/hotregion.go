@@ -8,6 +8,8 @@ import (
 	"time"
 
 	vaq "repro"
+	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/workload"
 )
 
@@ -38,6 +40,16 @@ type HotRegionConfig struct {
 	CacheSizes []int
 	// Seed makes runs reproducible.
 	Seed int64
+	// Store, when non-nil, backs both engines' records with a paged store
+	// so the replay exercises the buffer pool (page reads, hits,
+	// evictions) instead of staying in-memory. areabench sets it in
+	// -metricsaddr mode so the scraped registry shows live buffer-pool
+	// counters.
+	Store *core.StoreConfig
+	// Metrics, when non-nil, instruments both engines (WithMetrics) for
+	// live scraping. Measured numbers then include the instrumentation
+	// overhead; leave it nil for committed trajectory snapshots.
+	Metrics *vaq.MetricsRegistry `json:"-"`
 }
 
 func (c HotRegionConfig) withDefaults() HotRegionConfig {
@@ -80,6 +92,11 @@ type HotRegionRow struct {
 	CachedQPS   float64
 	Speedup     float64 // CachedQPS / UncachedQPS
 	HitRate     float64
+	// Per-query latency percentiles of each replay, in nanoseconds.
+	UncachedP50Ns float64
+	UncachedP99Ns float64
+	CachedP50Ns   float64
+	CachedP99Ns   float64
 }
 
 // RunHotRegion measures result-cache effectiveness under zipfian
@@ -93,12 +110,19 @@ func RunHotRegion(cfg HotRegionConfig) ([]HotRegionRow, error) {
 	bounds := vaq.UnitSquare()
 	pts := workload.UniformPoints(rng, cfg.DataSize, bounds)
 
-	uncached, err := vaq.NewEngine(pts, bounds)
+	var baseOpts []vaq.Option
+	if cfg.Store != nil {
+		baseOpts = append(baseOpts, vaq.WithStore(*cfg.Store))
+	}
+	if cfg.Metrics != nil {
+		baseOpts = append(baseOpts, vaq.WithMetrics(cfg.Metrics))
+	}
+	uncached, err := vaq.NewEngine(pts, bounds, baseOpts...)
 	if err != nil {
 		return nil, fmt.Errorf("bench: building uncached engine (n=%d): %w", cfg.DataSize, err)
 	}
 	rc := vaq.NewResultCache(0) // sized per row below
-	cached, err := vaq.NewEngine(pts, bounds, vaq.WithResultCache(rc))
+	cached, err := vaq.NewEngine(pts, bounds, append(baseOpts, vaq.WithResultCache(rc))...)
 	if err != nil {
 		return nil, fmt.Errorf("bench: building cached engine: %w", err)
 	}
@@ -131,18 +155,22 @@ func RunHotRegion(cfg HotRegionConfig) ([]HotRegionRow, error) {
 
 	var rows []HotRegionRow
 	buf := make([]int64, 0, 4096)
-	replay := func(eng *vaq.Engine, stream []int) (time.Duration, error) {
+	lat := obs.NewHistogram()
+	replay := func(eng *vaq.Engine, stream []int) (time.Duration, obs.HistogramSnapshot, error) {
+		lat.Reset()
 		start := time.Now()
 		for _, ri := range stream {
+			t0 := time.Now()
 			ids, err := eng.Query(ctx, regions[ri], vaq.Reuse(buf))
 			if err != nil {
-				return 0, err
+				return 0, obs.HistogramSnapshot{}, err
 			}
+			lat.Observe(time.Since(t0))
 			if len(ids) != counts[ri] {
-				return 0, fmt.Errorf("region %d returned %d ids, want %d", ri, len(ids), counts[ri])
+				return 0, obs.HistogramSnapshot{}, fmt.Errorf("region %d returned %d ids, want %d", ri, len(ids), counts[ri])
 			}
 		}
-		return time.Since(start), nil
+		return time.Since(start), lat.Snapshot(), nil
 	}
 
 	for _, skew := range cfg.Skews {
@@ -153,7 +181,7 @@ func RunHotRegion(cfg HotRegionConfig) ([]HotRegionRow, error) {
 			stream[i] = pick()
 		}
 
-		baseWall, err := replay(uncached, stream)
+		baseWall, baseLat, err := replay(uncached, stream)
 		if err != nil {
 			return nil, fmt.Errorf("bench: uncached replay (s=%.2f): %w", skew, err)
 		}
@@ -162,18 +190,22 @@ func RunHotRegion(cfg HotRegionConfig) ([]HotRegionRow, error) {
 		for _, size := range cfg.CacheSizes {
 			rc.Resize(size)
 			rc.Reset()
-			wall, err := replay(cached, stream)
+			wall, cachedLat, err := replay(cached, stream)
 			if err != nil {
 				return nil, fmt.Errorf("bench: cached replay (s=%.2f, cache=%d): %w", skew, size, err)
 			}
 			qps := float64(cfg.Queries) / wall.Seconds()
 			rows = append(rows, HotRegionRow{
-				Skew:        skew,
-				CacheSize:   size,
-				UncachedQPS: baseQPS,
-				CachedQPS:   qps,
-				Speedup:     qps / baseQPS,
-				HitRate:     rc.Stats().HitRate(),
+				Skew:          skew,
+				CacheSize:     size,
+				UncachedQPS:   baseQPS,
+				CachedQPS:     qps,
+				Speedup:       qps / baseQPS,
+				HitRate:       rc.Stats().HitRate(),
+				UncachedP50Ns: baseLat.Quantile(0.50),
+				UncachedP99Ns: baseLat.Quantile(0.99),
+				CachedP50Ns:   cachedLat.Quantile(0.50),
+				CachedP99Ns:   cachedLat.Quantile(0.99),
 			})
 		}
 	}

@@ -9,6 +9,7 @@ import (
 
 	vaq "repro"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/workload"
 )
 
@@ -33,6 +34,12 @@ type SnapshotConfig struct {
 	Store *core.StoreConfig
 	// Seed makes runs reproducible.
 	Seed int64
+	// Metrics, when non-nil, instruments every engine the snapshot builds
+	// (WithMetrics) so a concurrent scraper — areabench's -metricsaddr —
+	// can watch the run live. Measured numbers then include the ~2-3%
+	// instrumentation overhead; committed trajectory snapshots should
+	// leave it nil.
+	Metrics *vaq.MetricsRegistry `json:"-"`
 }
 
 func (c SnapshotConfig) withDefaults() SnapshotConfig {
@@ -91,26 +98,31 @@ type Snapshot struct {
 }
 
 // measure runs op repeatedly, doubling the iteration count until one run
-// lasts at least minTime, and reports the final run's per-op duration and
+// lasts at least minTime, and reports the final run's per-op duration,
 // heap-allocation count (Mallocs delta, the allocs/op of `go test
-// -bench`).
-func measure(minTime time.Duration, op func() error) (iters int, nsPerOp, allocsPerOp float64, err error) {
+// -bench`), and per-op latency distribution (reset per round, so the
+// returned snapshot covers exactly the final timed run).
+func measure(minTime time.Duration, op func() error) (iters int, nsPerOp, allocsPerOp float64, lat obs.HistogramSnapshot, err error) {
 	var ms runtime.MemStats
+	h := obs.NewHistogram()
 	for n := 1; ; n *= 2 {
+		h.Reset()
 		runtime.GC()
 		runtime.ReadMemStats(&ms)
 		mallocs := ms.Mallocs
 		start := time.Now()
 		for i := 0; i < n; i++ {
+			t0 := time.Now()
 			if err := op(); err != nil {
-				return 0, 0, 0, err
+				return 0, 0, 0, obs.HistogramSnapshot{}, err
 			}
+			h.Observe(time.Since(t0))
 		}
 		elapsed := time.Since(start)
 		runtime.ReadMemStats(&ms)
 		if elapsed >= minTime || n >= 1<<30 {
 			return n, float64(elapsed.Nanoseconds()) / float64(n),
-				float64(ms.Mallocs-mallocs) / float64(n), nil
+				float64(ms.Mallocs-mallocs) / float64(n), h.Snapshot(), nil
 		}
 	}
 }
@@ -149,9 +161,18 @@ func RunSnapshot(cfg SnapshotConfig) (*Snapshot, error) {
 		Config:     cfg,
 	}
 	add := func(name string, ops int, extra map[string]float64, op func() error) error {
-		iters, nsPerOp, allocsPerOp, err := measure(cfg.MinTime, op)
+		iters, nsPerOp, allocsPerOp, lat, err := measure(cfg.MinTime, op)
 		if err != nil {
 			return fmt.Errorf("bench: family %s: %w", name, err)
+		}
+		// Per-iteration latency percentiles ride along with every family
+		// (for batch families the iteration is the whole batch).
+		merged := map[string]float64{
+			"p50_ns": lat.Quantile(0.50),
+			"p99_ns": lat.Quantile(0.99),
+		}
+		for k, v := range extra {
+			merged[k] = v
 		}
 		snap.Families = append(snap.Families, Family{
 			Name:          name,
@@ -160,7 +181,7 @@ func RunSnapshot(cfg SnapshotConfig) (*Snapshot, error) {
 			NsPerOp:       nsPerOp,
 			QueriesPerSec: float64(ops) * 1e9 / nsPerOp,
 			AllocsPerOp:   allocsPerOp,
-			Extra:         extra,
+			Extra:         merged,
 		})
 		return nil
 	}
@@ -179,8 +200,16 @@ func RunSnapshot(cfg SnapshotConfig) (*Snapshot, error) {
 		}
 	}
 
+	// withMetrics appends the shared registry when the run is observed.
+	withMetrics := func(opts ...vaq.Option) []vaq.Option {
+		if cfg.Metrics != nil {
+			opts = append(opts, vaq.WithMetrics(cfg.Metrics))
+		}
+		return opts
+	}
+
 	// Static engine: per-method single queries and the parallel batch.
-	eng, err := vaq.NewEngine(pts, bounds)
+	eng, err := vaq.NewEngine(pts, bounds, withMetrics()...)
 	if err != nil {
 		return nil, fmt.Errorf("bench: building engine (n=%d): %w", cfg.DataSize, err)
 	}
@@ -198,7 +227,7 @@ func RunSnapshot(cfg SnapshotConfig) (*Snapshot, error) {
 	}
 
 	// Sharded scatter-gather.
-	sharded, err := vaq.NewShardedEngine(pts, bounds, vaq.WithShards(cfg.Shards))
+	sharded, err := vaq.NewShardedEngine(pts, bounds, withMetrics(vaq.WithShards(cfg.Shards))...)
 	if err != nil {
 		return nil, fmt.Errorf("bench: building sharded engine: %w", err)
 	}
@@ -207,7 +236,7 @@ func RunSnapshot(cfg SnapshotConfig) (*Snapshot, error) {
 	}
 
 	// Store-backed engine: page reads per op from the IO counters.
-	stored, err := vaq.NewEngine(pts, bounds, vaq.WithStore(*cfg.Store))
+	stored, err := vaq.NewEngine(pts, bounds, withMetrics(vaq.WithStore(*cfg.Store))...)
 	if err != nil {
 		return nil, fmt.Errorf("bench: building store engine: %w", err)
 	}
@@ -228,7 +257,7 @@ func RunSnapshot(cfg SnapshotConfig) (*Snapshot, error) {
 	if dynSize > 20000 {
 		dynSize = 20000
 	}
-	dyn := vaq.NewDynamicEngine(bounds)
+	dyn := vaq.NewDynamicEngine(bounds, withMetrics()...)
 	for _, p := range pts[:dynSize] {
 		if _, _, err := dyn.Insert(p); err != nil {
 			return nil, fmt.Errorf("bench: dynamic insert: %w", err)
@@ -247,6 +276,7 @@ func RunSnapshot(cfg SnapshotConfig) (*Snapshot, error) {
 		Skews:      []float64{1.1},
 		CacheSizes: []int{256},
 		Seed:       cfg.Seed,
+		Metrics:    cfg.Metrics,
 	})
 	if err != nil {
 		return nil, err
@@ -257,6 +287,10 @@ func RunSnapshot(cfg SnapshotConfig) (*Snapshot, error) {
 			Name: "hotregion/uncached", Iters: 1, Ops: 512,
 			NsPerOp:       1e9 / r.UncachedQPS,
 			QueriesPerSec: r.UncachedQPS,
+			Extra: map[string]float64{
+				"p50_ns": r.UncachedP50Ns,
+				"p99_ns": r.UncachedP99Ns,
+			},
 		},
 		Family{
 			Name: "hotregion/cached", Iters: 1, Ops: 512,
@@ -265,6 +299,8 @@ func RunSnapshot(cfg SnapshotConfig) (*Snapshot, error) {
 			Extra: map[string]float64{
 				"hit_rate": r.HitRate,
 				"speedup":  r.Speedup,
+				"p50_ns":   r.CachedP50Ns,
+				"p99_ns":   r.CachedP99Ns,
 			},
 		},
 	)

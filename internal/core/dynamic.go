@@ -6,9 +6,11 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/delaunay"
 	"repro/internal/geom"
+	"repro/internal/obs"
 	"repro/internal/rtree"
 	"repro/internal/voronoi"
 )
@@ -95,6 +97,31 @@ type DynamicEngine struct {
 	epoch atomic.Uint64
 	// snap is the most recently published snapshot (nil until first read).
 	snap atomic.Pointer[DynamicSnapshot]
+
+	// publishHist, when non-nil, observes the latency of each snapshot
+	// rebuild+publish (set once via SetPublishMetrics before concurrent
+	// use). lastPublish is the UnixNano wall time of the latest publish,
+	// 0 before the first; together they answer "how stale is the view
+	// queries are seeing, and what does refreshing it cost".
+	publishHist *obs.Histogram
+	lastPublish atomic.Int64
+}
+
+// SetPublishMetrics attaches a histogram that observes snapshot
+// publish latency (the O(n) copy-on-write rebuild). It must be called
+// before the engine is shared between goroutines — typically right
+// after NewDynamicEngine — and is a no-op with a nil histogram.
+func (d *DynamicEngine) SetPublishMetrics(h *obs.Histogram) { d.publishHist = h }
+
+// LastPublish returns the wall-clock time the current snapshot was
+// published, and false before any snapshot has been built. The age of
+// that instant is how stale a lock-free reader's view can be.
+func (d *DynamicEngine) LastPublish() (time.Time, bool) {
+	ns := d.lastPublish.Load()
+	if ns == 0 {
+		return time.Time{}, false
+	}
+	return time.Unix(0, ns), true
 }
 
 // NewDynamicEngine returns an empty dynamic engine over the universe
@@ -192,6 +219,10 @@ func (d *DynamicEngine) Snapshot() *DynamicSnapshot {
 	if s := d.snap.Load(); s != nil && s.epoch == e {
 		return s
 	}
+	var buildStart time.Time
+	if d.publishHist != nil {
+		buildStart = time.Now()
+	}
 	data := &DynamicData{dt: d.dt.Snapshot()}
 	s := &DynamicSnapshot{
 		epoch:    e,
@@ -201,6 +232,10 @@ func (d *DynamicEngine) Snapshot() *DynamicSnapshot {
 		eng:      NewEngine(dynamicIndex{tree: d.tree.Snapshot()}, data),
 	}
 	d.snap.Store(s)
+	d.lastPublish.Store(time.Now().UnixNano())
+	if d.publishHist != nil {
+		d.publishHist.Observe(time.Since(buildStart))
+	}
 	return s
 }
 

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/geom"
+	"repro/internal/obs"
 )
 
 // cancelStride is the number of candidates a query processes between
@@ -31,6 +32,10 @@ type QuerySpec struct {
 	// (overwriting from Dest[:0]), letting repeated queries reuse one
 	// allocation. Ignored with CountOnly.
 	Dest []int64
+	// Trace, when non-nil, receives per-phase timings (seed lookup, BFS
+	// expansion, page fetches) as the query runs. The nil path costs one
+	// pointer comparison.
+	Trace *obs.QueryTrace
 }
 
 // emitFunc receives each result (id plus its authoritative loaded
@@ -50,7 +55,7 @@ func (e *Engine) QueryRegionSpec(ctx context.Context, region Region, spec QueryS
 		result = spec.Dest[:0]
 	}
 	count := 0
-	stats, err := e.eachRegion(ctx, region, spec.Method, func(id int64, _ geom.Point) bool {
+	stats, err := e.eachRegion(ctx, region, spec.Method, spec.Trace, func(id int64, _ geom.Point) bool {
 		if !spec.CountOnly {
 			result = append(result, id)
 		}
@@ -79,7 +84,7 @@ func (e *Engine) QueryRegionSpec(ctx context.Context, region Region, spec QueryS
 // ResultSize.
 func (e *Engine) EachRegion(ctx context.Context, region Region, spec QuerySpec, yield func(id int64, pos geom.Point) bool) (Stats, error) {
 	count := 0
-	stats, err := e.eachRegion(ctx, region, spec.Method, func(id int64, pos geom.Point) bool {
+	stats, err := e.eachRegion(ctx, region, spec.Method, spec.Trace, func(id int64, pos geom.Point) bool {
 		count++
 		if !yield(id, pos) {
 			return false
@@ -93,7 +98,7 @@ func (e *Engine) EachRegion(ctx context.Context, region Region, spec QuerySpec, 
 
 // eachRegion dispatches to the method implementations, wrapping them with
 // the shared bookkeeping (empty-data check, Method stamp, Duration).
-func (e *Engine) eachRegion(ctx context.Context, region Region, m Method, emit emitFunc) (Stats, error) {
+func (e *Engine) eachRegion(ctx context.Context, region Region, m Method, tr *obs.QueryTrace, emit emitFunc) (Stats, error) {
 	if e.data.NumIDs() == 0 {
 		return Stats{Method: m}, ErrNoData
 	}
@@ -110,13 +115,13 @@ func (e *Engine) eachRegion(ctx context.Context, region Region, m Method, emit e
 	}
 	switch m {
 	case Traditional:
-		stats, err = e.eachTraditional(ctx, region, emit)
+		stats, err = e.eachTraditional(ctx, region, tr, emit)
 	case VoronoiBFS:
-		stats, err = e.eachVoronoi(ctx, region, false, emit)
+		stats, err = e.eachVoronoi(ctx, region, false, tr, emit)
 	case VoronoiBFSStrict:
-		stats, err = e.eachVoronoi(ctx, region, true, emit)
+		stats, err = e.eachVoronoi(ctx, region, true, tr, emit)
 	case BruteForce:
-		stats, err = e.eachBruteForce(ctx, region, emit)
+		stats, err = e.eachBruteForce(ctx, region, tr, emit)
 	default:
 		return Stats{Method: m}, fmt.Errorf("core: unknown method %d", int(m))
 	}
@@ -128,9 +133,22 @@ func (e *Engine) eachRegion(ctx context.Context, region Region, m Method, emit e
 // eachTraditional implements the classic filter-and-refine area query: the
 // index filters with the region's MBR; every candidate's record is loaded
 // and validated with a containment test.
-func (e *Engine) eachTraditional(ctx context.Context, region Region, emit emitFunc) (Stats, error) {
+func (e *Engine) eachTraditional(ctx context.Context, region Region, tr *obs.QueryTrace, emit emitFunc) (Stats, error) {
 	var stats Stats
 	var stopErr error
+	// Tracing splits the scan into record loads (PhasePageFetch) and
+	// everything else (PhaseExpand: the index window walk plus the
+	// containment refinement). The traced path pays two clock reads per
+	// candidate; the untraced path pays one branch.
+	traced := tr != nil
+	var fetch time.Duration
+	if traced {
+		scanStart := time.Now()
+		defer func() {
+			tr.Add(obs.PhasePageFetch, fetch)
+			tr.Add(obs.PhaseExpand, time.Since(scanStart)-fetch)
+		}()
+	}
 	stats.IndexNodesVisited = e.idx.Window(region.Bounds(), func(id int64) bool {
 		if stats.Candidates%cancelStride == 0 {
 			if err := ctx.Err(); err != nil {
@@ -138,7 +156,15 @@ func (e *Engine) eachTraditional(ctx context.Context, region Region, emit emitFu
 				return false
 			}
 		}
-		pos, err := e.data.Load(id)
+		var pos geom.Point
+		var err error
+		if traced {
+			t0 := time.Now()
+			pos, err = e.data.Load(id)
+			fetch += time.Since(t0)
+		} else {
+			pos, err = e.data.Load(id)
+		}
 		if err != nil {
 			stopErr = fmt.Errorf("core: loading candidate %d: %w", id, err)
 			return false
@@ -166,8 +192,10 @@ func (e *Engine) eachTraditional(ctx context.Context, region Region, emit emitFu
 //
 // Results are emitted the moment the BFS validates them, so a streaming
 // consumer observes them while the expansion is still running.
-func (e *Engine) eachVoronoi(ctx context.Context, region Region, strict bool, emit emitFunc) (Stats, error) {
+func (e *Engine) eachVoronoi(ctx context.Context, region Region, strict bool, tr *obs.QueryTrace, emit emitFunc) (Stats, error) {
 	var stats Stats
+	traced := tr != nil
+	var fetchAcc time.Duration
 
 	var cells CellSource
 	var cellBoxes CellBoxSource // optional fast reject for the strict rule
@@ -183,8 +211,23 @@ func (e *Engine) eachVoronoi(ctx context.Context, region Region, strict bool, em
 	}
 
 	// Line 3-4: p_seed := NN(P, arbitrary position in A).
+	var seedStart time.Time
+	if traced {
+		seedStart = time.Now()
+	}
 	seedPos := region.InteriorPoint()
 	seed, nnNodes, ok := e.idx.Nearest(seedPos)
+	if traced {
+		tr.Add(obs.PhaseSeed, time.Since(seedStart))
+		// The BFS below splits into record loads (PhasePageFetch) and the
+		// expansion proper (PhaseExpand); fetch accrues inside the loop
+		// and the deferred split runs on every exit path.
+		bfsStart := time.Now()
+		defer func() {
+			tr.Add(obs.PhasePageFetch, fetchAcc)
+			tr.Add(obs.PhaseExpand, time.Since(bfsStart)-fetchAcc)
+		}()
+	}
 	stats.IndexNodesVisited += nnNodes
 	if !ok {
 		return stats, ErrNoData
@@ -249,7 +292,15 @@ func (e *Engine) eachVoronoi(ctx context.Context, region Region, strict bool, em
 			}
 		}
 		p := s.queue[head]
-		pos, err := e.data.Load(p)
+		var pos geom.Point
+		var err error
+		if traced {
+			t0 := time.Now()
+			pos, err = e.data.Load(p)
+			fetchAcc += time.Since(t0)
+		} else {
+			pos, err = e.data.Load(p)
+		}
 		if err != nil {
 			return stats, fmt.Errorf("core: loading candidate %d: %w", p, err)
 		}
@@ -287,9 +338,15 @@ func (e *Engine) eachVoronoi(ctx context.Context, region Region, strict bool, em
 }
 
 // eachBruteForce scans every record; it is the correctness oracle.
-func (e *Engine) eachBruteForce(ctx context.Context, region Region, emit emitFunc) (Stats, error) {
+func (e *Engine) eachBruteForce(ctx context.Context, region Region, tr *obs.QueryTrace, emit emitFunc) (Stats, error) {
 	var stats Stats
 	var stopErr error
+	// The whole scan is one expansion phase: brute force touches no index
+	// and loads no records through the store.
+	if tr != nil {
+		scanStart := time.Now()
+		defer func() { tr.Add(obs.PhaseExpand, time.Since(scanStart)) }()
+	}
 	bounds := region.Bounds()
 	e.data.Each(func(id int64, pos geom.Point) bool {
 		if stats.Candidates%cancelStride == 0 {

@@ -24,8 +24,10 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 )
 
 // DefaultChunk is the number of consecutive queries a worker claims per
@@ -43,6 +45,29 @@ type Options struct {
 	// Chunk is the number of queries claimed per steal; <= 0 means
 	// DefaultChunk.
 	Chunk int
+	// Metrics, when non-nil, instruments the pool (see Metrics). Nil
+	// costs one pointer comparison per chunk claim.
+	Metrics *Metrics
+}
+
+// Metrics instruments the worker pool. Any field may be nil (obs
+// metrics are nil-safe); a nil *Metrics disables instrumentation
+// entirely. The parallel path records chunk-claim waits and per-batch
+// worker busy time; the single-worker path counts tasks only.
+type Metrics struct {
+	// Tasks counts tasks executed (queries for QueryBatch).
+	Tasks *obs.Counter
+	// Chunks counts chunk claims from the shared cursor.
+	Chunks *obs.Counter
+	// ChunkWait is the time from a worker finishing one chunk to
+	// claiming the next, in ns — cursor contention shows up here.
+	ChunkWait *obs.Histogram
+	// WorkerBusy is the total time each worker spent inside tasks over
+	// one batch, in ns; the spread across observations is the utilization
+	// skew (stragglers observe much larger values than idle workers).
+	WorkerBusy *obs.Histogram
+	// ActiveWorkers is the number of pool goroutines currently alive.
+	ActiveWorkers *obs.Gauge
 }
 
 // workers resolves the effective worker count for n queries.
@@ -97,6 +122,9 @@ func QueryBatch(ctx context.Context, eng *core.Engine, regions []core.Region, sp
 		for i, region := range regions {
 			ids, st, err := eng.QueryRegionSpec(ctx, region, spec)
 			agg.Add(st)
+			if m := opts.Metrics; m != nil {
+				m.Tasks.Inc()
+			}
 			if err != nil {
 				return nil, agg, fmt.Errorf("exec: batch query %d: %w", i, err)
 			}
@@ -105,7 +133,7 @@ func QueryBatch(ctx context.Context, eng *core.Engine, regions []core.Region, sp
 		return out, agg, nil
 	}
 	workerStats := make([]core.Stats, workers)
-	idx, err := run(ctx, n, workers, opts.chunk(), func(worker, i int) error {
+	idx, err := run(ctx, n, workers, opts.chunk(), opts.Metrics, func(worker, i int) error {
 		ids, st, err := eng.QueryRegionSpec(ctx, regions[i], spec)
 		workerStats[worker].Add(st)
 		if err != nil {
@@ -152,13 +180,17 @@ func Run(ctx context.Context, n int, opts Options, fn func(worker, i int) error)
 			if err := ctx.Err(); err != nil {
 				return err
 			}
-			if err := fn(0, i); err != nil {
+			err := fn(0, i)
+			if m := opts.Metrics; m != nil {
+				m.Tasks.Inc()
+			}
+			if err != nil {
 				return fmt.Errorf("exec: task %d: %w", i, err)
 			}
 		}
 		return nil
 	}
-	idx, err := run(ctx, n, workers, opts.chunk(), fn)
+	idx, err := run(ctx, n, workers, opts.chunk(), opts.Metrics, fn)
 	if err != nil {
 		return fmt.Errorf("exec: task %d: %w", idx, err)
 	}
@@ -175,7 +207,7 @@ func (o Options) Workers(n int) int { return o.workers(n) }
 // un-dispatched work; on the first error all workers stop claiming and the
 // lowest-indexed observed error wins; run returns it with its index,
 // unwrapped. run always waits for every spawned worker to exit.
-func run(ctx context.Context, n, workers, chunk int, fn func(worker, i int) error) (int, error) {
+func run(ctx context.Context, n, workers, chunk int, m *Metrics, fn func(worker, i int) error) (int, error) {
 	var (
 		cursor atomic.Int64
 		failed atomic.Bool
@@ -197,6 +229,44 @@ func run(ctx context.Context, n, workers, chunk int, fn func(worker, i int) erro
 		wg.Add(1)
 		go func(worker int) {
 			defer wg.Done()
+			// The instrumented worker body duplicates the claim loop's
+			// timing around it rather than branching inside it, keeping the
+			// uninstrumented path free of clock reads and atomics.
+			if m != nil {
+				m.ActiveWorkers.Add(1)
+				var busy time.Duration
+				defer func() {
+					m.ActiveWorkers.Add(-1)
+					m.WorkerBusy.Observe(busy)
+				}()
+				for !failed.Load() && ctx.Err() == nil {
+					claimStart := time.Now()
+					start := int(cursor.Add(int64(chunk))) - chunk
+					if start >= n {
+						return
+					}
+					m.Chunks.Inc()
+					m.ChunkWait.Observe(time.Since(claimStart))
+					end := start + chunk
+					if end > n {
+						end = n
+					}
+					for i := start; i < end; i++ {
+						if failed.Load() {
+							return
+						}
+						t0 := time.Now()
+						err := fn(worker, i)
+						busy += time.Since(t0)
+						m.Tasks.Inc()
+						if err != nil {
+							fail(i, err)
+							return
+						}
+					}
+				}
+				return
+			}
 			for !failed.Load() && ctx.Err() == nil {
 				start := int(cursor.Add(int64(chunk))) - chunk
 				if start >= n {

@@ -1,0 +1,120 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+)
+
+// Handler returns an http.Handler serving a snapshot of reg. The
+// default response is an expvar-style JSON object — one key per metric,
+// histograms as {count, sum, mean, p50, p90, p99, max} objects. With
+// `?format=prom` (or an Accept header preferring text/plain) it emits
+// the Prometheus text exposition format instead, with histograms as
+// summaries carrying quantile labels. A nil registry serves empty
+// snapshots.
+func Handler(reg *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		snap := reg.Snapshot()
+		format := req.URL.Query().Get("format")
+		if format == "prom" || format == "prometheus" ||
+			(format == "" && strings.Contains(req.Header.Get("Accept"), "text/plain")) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			w.Write([]byte(PrometheusText(snap)))
+			return
+		}
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		flat := make(map[string]any, len(snap.Counters)+len(snap.Gauges)+len(snap.Histograms))
+		for n, v := range snap.Counters {
+			flat[n] = v
+		}
+		for n, v := range snap.Gauges {
+			flat[n] = v
+		}
+		for n, v := range snap.Histograms {
+			flat[n] = v
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(flat)
+	})
+}
+
+// splitName separates a metric name into its base and inline label
+// block: `x_total{flavor="static"}` → (`x_total`, `flavor="static"`).
+func splitName(name string) (base, labels string) {
+	if i := strings.IndexByte(name, '{'); i >= 0 && strings.HasSuffix(name, "}") {
+		return name[:i], name[i+1 : len(name)-1]
+	}
+	return name, ""
+}
+
+// withLabel renders base plus the existing labels and one extra
+// label pair.
+func withLabel(base, labels, extra string) string {
+	switch {
+	case labels == "" && extra == "":
+		return base
+	case labels == "":
+		return base + "{" + extra + "}"
+	case extra == "":
+		return base + "{" + labels + "}"
+	default:
+		return base + "{" + labels + "," + extra + "}"
+	}
+}
+
+// PrometheusText renders a snapshot in the Prometheus text exposition
+// format. Counters become `counter` series, gauges `gauge`, histograms
+// `summary` series with quantile labels plus _sum and _count.
+func PrometheusText(s Snapshot) string {
+	var b strings.Builder
+	typed := map[string]bool{}
+	writeType := func(base, typ string) {
+		if !typed[base] {
+			typed[base] = true
+			fmt.Fprintf(&b, "# TYPE %s %s\n", base, typ)
+		}
+	}
+
+	names := make([]string, 0, len(s.Counters))
+	for n := range s.Counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		base, labels := splitName(n)
+		writeType(base, "counter")
+		fmt.Fprintf(&b, "%s %d\n", withLabel(base, labels, ""), s.Counters[n])
+	}
+
+	names = names[:0]
+	for n := range s.Gauges {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		base, labels := splitName(n)
+		writeType(base, "gauge")
+		fmt.Fprintf(&b, "%s %g\n", withLabel(base, labels, ""), s.Gauges[n])
+	}
+
+	names = names[:0]
+	for n := range s.Histograms {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		base, labels := splitName(n)
+		writeType(base, "summary")
+		h := s.Histograms[n]
+		fmt.Fprintf(&b, "%s %g\n", withLabel(base, labels, `quantile="0.5"`), h.P50)
+		fmt.Fprintf(&b, "%s %g\n", withLabel(base, labels, `quantile="0.9"`), h.P90)
+		fmt.Fprintf(&b, "%s %g\n", withLabel(base, labels, `quantile="0.99"`), h.P99)
+		fmt.Fprintf(&b, "%s %g\n", withLabel(base+"_sum", labels, ""), h.Sum)
+		fmt.Fprintf(&b, "%s %d\n", withLabel(base+"_count", labels, ""), h.Count)
+	}
+	return b.String()
+}

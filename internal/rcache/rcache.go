@@ -19,6 +19,7 @@ package rcache
 
 import (
 	"container/list"
+	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -50,6 +51,12 @@ func (c Counters) HitRate() float64 {
 		return float64(c.Hits) / float64(n)
 	}
 	return 0
+}
+
+// String renders the counters as a log-friendly one-liner.
+func (c Counters) String() string {
+	return fmt.Sprintf("rcache hits=%d misses=%d (%.1f%%) evictions=%d bypasses=%d",
+		c.Hits, c.Misses, c.HitRate()*100, c.Evictions, c.Bypasses)
 }
 
 // cacheShard is one lock shard: an independent LRU over its slice of the

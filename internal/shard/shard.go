@@ -45,11 +45,13 @@ import (
 	"fmt"
 	"sort"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/exec"
 	"repro/internal/geom"
 	"repro/internal/hilbert"
+	"repro/internal/obs"
 )
 
 // BuildFunc constructs the engine of one shard over its local points
@@ -69,6 +71,27 @@ type Config struct {
 	Parallelism int
 	// Build constructs one shard's engine; required.
 	Build BuildFunc
+	// Metrics, when non-nil, instruments the scatter-gather query path
+	// (see Metrics). Nil disables instrumentation at one pointer
+	// comparison per query.
+	Metrics *Metrics
+}
+
+// Metrics instruments the scatter-gather path. Any field may be nil
+// (obs metrics are nil-safe); a nil *Metrics disables instrumentation.
+type Metrics struct {
+	// FanOut is the distribution of surviving (scattered-to) shards per
+	// query after MBR pruning; its unit is a shard count, not ns.
+	FanOut *obs.Histogram
+	// ShardsPruned counts shards skipped by MBR pruning.
+	ShardsPruned *obs.Counter
+	// ShardQueries counts per-shard scatter tasks executed.
+	ShardQueries *obs.Counter
+	// ShardLatency is the per-shard task latency in ns; the p99/p50 gap
+	// is the straggler skew a scatter waits on.
+	ShardLatency *obs.Histogram
+	// Exec instruments the worker pool the scatter runs on.
+	Exec *exec.Metrics
 }
 
 // oneShard is a fully built shard: its engine, the tight bounding
@@ -89,6 +112,29 @@ type Engine struct {
 	points      []geom.Point // global id -> position
 	bounds      geom.Rect    // universe
 	parallelism int
+	met         *Metrics
+}
+
+// observeFanOut records one query's scatter width into the metrics and
+// the trace; no-op when neither is attached.
+func (e *Engine) observeFanOut(tr *obs.QueryTrace, alive int) {
+	if e.met == nil && tr == nil {
+		return
+	}
+	if e.met != nil {
+		e.met.FanOut.ObserveN(uint64(alive))
+		e.met.ShardsPruned.Add(uint64(len(e.shards) - alive))
+	}
+	tr.SetFanOut(alive)
+}
+
+// scatterOpts are the pool options every query scatter uses.
+func (e *Engine) scatterOpts() exec.Options {
+	opts := exec.Options{NumWorkers: e.parallelism, Chunk: 1}
+	if e.met != nil {
+		opts.Metrics = e.met.Exec
+	}
+	return opts
 }
 
 // New partitions points into cfg.Shards Hilbert-contiguous shards and
@@ -115,6 +161,7 @@ func New(points []geom.Point, bounds geom.Rect, cfg Config) (*Engine, error) {
 		points:      append([]geom.Point(nil), points...),
 		bounds:      bounds,
 		parallelism: cfg.Parallelism,
+		met:         cfg.Metrics,
 	}
 	for si, run := range runs {
 		// Ascending global order inside the shard keeps the remapping
@@ -319,6 +366,7 @@ func (e *Engine) QueryRegion(m core.Method, region core.Region) ([]int64, core.S
 func (e *Engine) QueryRegionSpec(ctx context.Context, region core.Region, spec core.QuerySpec) ([]int64, core.Stats, error) {
 	agg := core.Stats{Method: spec.Method}
 	alive := e.survivors(nil, region)
+	e.observeFanOut(spec.Trace, len(alive))
 	if len(alive) == 0 {
 		if err := ctx.Err(); err != nil || spec.CountOnly || spec.Dest == nil {
 			return nil, agg, err
@@ -333,7 +381,7 @@ func (e *Engine) QueryRegionSpec(ctx context.Context, region core.Region, spec c
 		budget = new(atomic.Int64)
 		budget.Store(int64(spec.Limit))
 	}
-	opts := exec.Options{NumWorkers: e.parallelism, Chunk: 1}
+	opts := e.scatterOpts()
 	parts := make([][]int64, len(alive))
 	workerStats := make([]core.Stats, opts.Workers(len(alive)))
 	err := exec.Run(ctx, len(alive), opts, func(worker, i int) error {
@@ -342,11 +390,19 @@ func (e *Engine) QueryRegionSpec(ctx context.Context, region core.Region, spec c
 			local []int64
 			st    core.Stats
 			err   error
+			t0    time.Time
 		)
+		if e.met != nil {
+			t0 = time.Now()
+		}
 		if budget != nil {
 			local, st, err = s.budgetedQuery(ctx, region, spec, budget)
 		} else {
 			local, st, err = s.shardQuery(ctx, region, spec)
+		}
+		if e.met != nil {
+			e.met.ShardQueries.Inc()
+			e.met.ShardLatency.Observe(time.Since(t0))
 		}
 		workerStats[worker].Add(st)
 		if err != nil {
@@ -371,9 +427,16 @@ func (e *Engine) QueryRegionSpec(ctx context.Context, region core.Region, spec c
 		}
 		return nil, agg, nil
 	}
+	var mergeStart time.Time
+	if spec.Trace != nil {
+		mergeStart = time.Now()
+	}
 	out := mergeSorted(spec.Dest, parts)
 	if spec.Limit > 0 && len(out) > spec.Limit {
 		out = out[:spec.Limit]
+	}
+	if spec.Trace != nil {
+		spec.Trace.Add(obs.PhaseMerge, time.Since(mergeStart))
 	}
 	finalize(&agg, len(out))
 	return out, agg, nil
@@ -389,6 +452,7 @@ func (e *Engine) QueryRegionSpec(ctx context.Context, region core.Region, spec c
 func (e *Engine) EachRegion(ctx context.Context, region core.Region, spec core.QuerySpec, yield func(id int64, pos geom.Point) bool) (core.Stats, error) {
 	agg := core.Stats{Method: spec.Method}
 	alive := e.survivors(nil, region)
+	e.observeFanOut(spec.Trace, len(alive))
 	remaining := spec.Limit
 	for _, si := range alive {
 		local := shardSpec(spec)
@@ -398,6 +462,10 @@ func (e *Engine) EachRegion(ctx context.Context, region core.Region, spec core.Q
 		}
 		s := &e.shards[si]
 		stopped := false
+		var t0 time.Time
+		if e.met != nil {
+			t0 = time.Now()
+		}
 		st, err := s.eng.EachRegion(ctx, region, local, func(id int64, pos geom.Point) bool {
 			if !yield(s.global[id], pos) {
 				stopped = true
@@ -405,6 +473,10 @@ func (e *Engine) EachRegion(ctx context.Context, region core.Region, spec core.Q
 			}
 			return true
 		})
+		if e.met != nil {
+			e.met.ShardQueries.Inc()
+			e.met.ShardLatency.Observe(time.Since(t0))
+		}
 		agg.Add(st)
 		if err != nil {
 			finalize(&agg, agg.ResultSize)
@@ -467,6 +539,7 @@ func (e *Engine) QueryRegionsSpec(ctx context.Context, regions []core.Region, sp
 	alive := make([]int, 0, len(e.shards))
 	for qi, region := range regions {
 		alive = e.survivors(alive[:0], region)
+		e.observeFanOut(spec.Trace, len(alive))
 		parts[qi] = make([][]int64, len(alive))
 		counts[qi] = make([]int, len(alive))
 		for slot, si := range alive {
@@ -486,7 +559,7 @@ func (e *Engine) QueryRegionsSpec(ctx context.Context, regions []core.Region, sp
 	// Chunk 1, as in QueryRegionSpec: each task is a full per-shard query —
 	// expensive enough that claiming several per steal would serialize
 	// small batches.
-	opts := exec.Options{NumWorkers: e.parallelism, Chunk: 1}
+	opts := e.scatterOpts()
 	workerStats := make([]core.Stats, opts.Workers(len(tasks)))
 	err := exec.Run(ctx, len(tasks), opts, func(worker, i int) error {
 		tk := tasks[i]
@@ -495,11 +568,19 @@ func (e *Engine) QueryRegionsSpec(ctx context.Context, regions []core.Region, sp
 			local []int64
 			st    core.Stats
 			err   error
+			t0    time.Time
 		)
+		if e.met != nil {
+			t0 = time.Now()
+		}
 		if budgets != nil {
 			local, st, err = s.budgetedQuery(ctx, regions[tk.query], spec, &budgets[tk.query])
 		} else {
 			local, st, err = s.shardQuery(ctx, regions[tk.query], spec)
+		}
+		if e.met != nil {
+			e.met.ShardQueries.Inc()
+			e.met.ShardLatency.Observe(time.Since(t0))
 		}
 		workerStats[worker].Add(st)
 		if err != nil {
@@ -520,6 +601,11 @@ func (e *Engine) QueryRegionsSpec(ctx context.Context, regions []core.Region, sp
 	}
 
 	// Gather: merge each query's shard results.
+	var mergeStart time.Time
+	if spec.Trace != nil {
+		mergeStart = time.Now()
+		defer func() { spec.Trace.Add(obs.PhaseMerge, time.Since(mergeStart)) }()
+	}
 	total := 0
 	var out [][]int64
 	if spec.CountOnly {

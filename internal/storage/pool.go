@@ -1,6 +1,7 @@
 package storage
 
 import (
+	"fmt"
 	"runtime"
 	"sync"
 )
@@ -12,6 +13,27 @@ type BufferPoolStats struct {
 	CacheHits int   // pool hits (including loads joined in flight)
 	BytesRead int64 // bytes fetched from the backing file
 	Evictions int   // frames evicted to make room
+	// SingleflightJoins is the subset of CacheHits that joined a load
+	// already in flight instead of finding an installed frame — fetches
+	// that would have been duplicate IO under a naive pool.
+	SingleflightJoins int
+}
+
+// HitRate returns CacheHits / (CacheHits + PageReads), or 0 before any
+// fetch.
+func (s BufferPoolStats) HitRate() float64 {
+	if n := s.CacheHits + s.PageReads; n > 0 {
+		return float64(s.CacheHits) / float64(n)
+	}
+	return 0
+}
+
+// String renders the counters as a log-friendly one-liner.
+func (s BufferPoolStats) String() string {
+	return fmt.Sprintf(
+		"bufpool reads=%d hits=%d (%.1f%%) joins=%d evictions=%d bytes=%d",
+		s.PageReads, s.CacheHits, s.HitRate()*100, s.SingleflightJoins,
+		s.Evictions, s.BytesRead)
 }
 
 // add accumulates other into s (the per-shard merge of snapshot).
@@ -20,6 +42,7 @@ func (s *BufferPoolStats) add(other BufferPoolStats) {
 	s.CacheHits += other.CacheHits
 	s.BytesRead += other.BytesRead
 	s.Evictions += other.Evictions
+	s.SingleflightJoins += other.SingleflightJoins
 }
 
 // maxPoolShards caps the lock-shard count; past this the maps' fixed
@@ -190,6 +213,7 @@ func (bp *bufferPool) fetch(pageID uint32, load func(uint32) []byte) []byte {
 	if c, ok := s.loads[pageID]; ok {
 		// Same page already loading: join it rather than load twice.
 		s.stats.CacheHits++
+		s.stats.SingleflightJoins++
 		s.mu.Unlock()
 		<-c.done
 		return c.data

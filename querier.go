@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/exec"
+	"repro/internal/obs"
 )
 
 // Querier is the one query surface of this package: a single logical
@@ -66,6 +67,7 @@ type queryPlan struct {
 	limit     int
 	stats     *Stats
 	buf       []int64
+	trace     *obs.QueryTrace
 }
 
 // resolve applies opts over the defaults.
@@ -86,6 +88,7 @@ func (p *queryPlan) spec() core.QuerySpec {
 		CountOnly: p.countOnly,
 		Limit:     p.limit,
 		Dest:      p.buf,
+		Trace:     p.trace,
 	}
 }
 
@@ -132,6 +135,19 @@ func Limit(n int) QueryOpt {
 // more than once, only the last st is written.
 func WithStatsInto(st *Stats) QueryOpt {
 	return func(p *queryPlan) { p.stats = st }
+}
+
+// WithTraceInto records the query's phase timeline into tr: cache lookup,
+// candidate-generation seed, BFS (or scan) expansion, page fetches, and —
+// on sharded engines — the gather merge, plus fan-out and cache-hit
+// markers. The write happens on every outcome, including errors and
+// cancellation. Each traced query resets tr first, so one trace value can
+// be reused across a query loop; read it only after the call returns. On
+// QueryAll the trace spans the whole batch (phase times sum across the
+// batch's queries, which may run concurrently). Tracing is per query and
+// needs no registry; combine with WithMetrics freely.
+func WithTraceInto(tr *QueryTrace) QueryOpt {
+	return func(p *queryPlan) { p.trace = tr }
 }
 
 // Reuse appends results into buf (overwriting from buf[:0]) instead of
@@ -195,7 +211,7 @@ func finishBatch(p *queryPlan, out [][]int64, st Stats, err error) ([][]int64, e
 // attached (WithResultCache).
 func (e *Engine) Query(ctx context.Context, region Region, opts ...QueryOpt) ([]int64, error) {
 	p := resolve(opts)
-	return cachedQuery(e.rc, e.cacheSalt, 0, region, &p, func() ([]int64, Stats, error) {
+	return cachedQuery(flavorStatic, e.qm, e.rc, e.cacheSalt, 0, region, &p, func() ([]int64, Stats, error) {
 		return e.eng.QueryRegionSpec(ctx, region, p.spec())
 	})
 }
@@ -203,18 +219,22 @@ func (e *Engine) Query(ctx context.Context, region Region, opts ...QueryOpt) ([]
 // QueryAll implements Querier.
 func (e *Engine) QueryAll(ctx context.Context, regions []Region, opts ...QueryOpt) ([][]int64, error) {
 	p := resolve(opts)
+	start := beginQuery(e.qm, &p, flavorStatic)
 	out, st, err := exec.QueryBatch(ctx, e.eng, regions, p.spec(),
-		exec.Options{NumWorkers: e.parallelism})
+		exec.Options{NumWorkers: e.parallelism, Metrics: e.qm.exec()})
+	endBatch(e.qm, &p, start, len(regions), &st, err)
 	return finishBatch(&p, out, st, err)
 }
 
 // Each implements Querier.
 func (e *Engine) Each(ctx context.Context, region Region, yield func(id int64, p Point) bool, opts ...QueryOpt) error {
 	p := resolve(opts)
+	start := beginQuery(e.qm, &p, flavorStatic)
 	st, err := e.eng.EachRegion(ctx, region, p.spec(), yield)
 	if p.stats != nil {
 		*p.stats = st
 	}
+	endQuery(e.qm, &p, start, &st, err)
 	return err
 }
 
@@ -223,7 +243,7 @@ func (e *Engine) Each(ctx context.Context, region Region, yield func(id int64, p
 // scatter-gather merge.
 func (e *ShardedEngine) Query(ctx context.Context, region Region, opts ...QueryOpt) ([]int64, error) {
 	p := resolve(opts)
-	return cachedQuery(e.rc, e.cacheSalt, 0, region, &p, func() ([]int64, Stats, error) {
+	return cachedQuery(flavorSharded, e.qm, e.rc, e.cacheSalt, 0, region, &p, func() ([]int64, Stats, error) {
 		return e.se.QueryRegionSpec(ctx, region, p.spec())
 	})
 }
@@ -233,10 +253,12 @@ func (e *ShardedEngine) Query(ctx context.Context, region Region, opts ...QueryO
 // at once.
 func (e *ShardedEngine) QueryAll(ctx context.Context, regions []Region, opts ...QueryOpt) ([][]int64, error) {
 	p := resolve(opts)
+	start := beginQuery(e.qm, &p, flavorSharded)
 	out, st, err := e.se.QueryRegionsSpec(ctx, regions, p.spec())
 	if p.stats != nil {
 		*p.stats = st
 	}
+	endBatch(e.qm, &p, start, len(regions), &st, err)
 	if err != nil {
 		return nil, err
 	}
@@ -248,10 +270,12 @@ func (e *ShardedEngine) QueryAll(ctx context.Context, regions []Region, opts ...
 // overall id ordering is implied.
 func (e *ShardedEngine) Each(ctx context.Context, region Region, yield func(id int64, p Point) bool, opts ...QueryOpt) error {
 	p := resolve(opts)
+	start := beginQuery(e.qm, &p, flavorSharded)
 	st, err := e.se.EachRegion(ctx, region, p.spec(), yield)
 	if p.stats != nil {
 		*p.stats = st
 	}
+	endQuery(e.qm, &p, start, &st, err)
 	return err
 }
 
@@ -279,7 +303,7 @@ func (e *DynamicEngine) Each(ctx context.Context, region Region, yield func(id i
 // on the parent engine invalidates by moving later queries to new keys.
 func (s *Snapshot) Query(ctx context.Context, region Region, opts ...QueryOpt) ([]int64, error) {
 	p := resolve(opts)
-	return cachedQuery(s.rc, s.cacheSalt, s.s.Epoch(), region, &p, func() ([]int64, Stats, error) {
+	return cachedQuery(flavorDynamic, s.qm, s.rc, s.cacheSalt, s.s.Epoch(), region, &p, func() ([]int64, Stats, error) {
 		return s.s.QueryRegionSpec(ctx, region, p.spec())
 	})
 }
@@ -295,17 +319,21 @@ func (s *Snapshot) QueryAll(ctx context.Context, regions []Region, opts ...Query
 			return finishBatch(&p, nil, Stats{Method: p.method}, err)
 		}
 	}
+	start := beginQuery(s.qm, &p, flavorDynamic)
 	out, st, err := exec.QueryBatch(ctx, s.s.Engine(), regions, p.spec(),
-		exec.Options{NumWorkers: s.parallelism})
+		exec.Options{NumWorkers: s.parallelism, Metrics: s.qm.exec()})
+	endBatch(s.qm, &p, start, len(regions), &st, err)
 	return finishBatch(&p, out, st, err)
 }
 
 // Each implements Querier, streaming against the pinned epoch.
 func (s *Snapshot) Each(ctx context.Context, region Region, yield func(id int64, p Point) bool, opts ...QueryOpt) error {
 	p := resolve(opts)
+	start := beginQuery(s.qm, &p, flavorDynamic)
 	st, err := s.s.EachRegion(ctx, region, p.spec(), yield)
 	if p.stats != nil {
 		*p.stats = st
 	}
+	endQuery(s.qm, &p, start, &st, err)
 	return err
 }

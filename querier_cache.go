@@ -3,8 +3,10 @@ package vaq
 import (
 	"encoding/binary"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/rcache"
 )
 
@@ -100,47 +102,80 @@ func appendQueryKey(dst []byte, salt, epoch uint64, p *queryPlan, region Region)
 	return ck.AppendCacheKey(dst)
 }
 
-// cachedQuery wraps one Query execution with the memoization protocol:
-// consult rc under the query's key, run and populate on a miss, and fall
-// through to plain execution (counting a bypass) when the query is not
-// cacheable. run must return the backend's raw result; ascending-order
-// canonicalization and the stats handoff happen here, so hits are
-// byte-identical to what the backend would have returned.
-func cachedQuery(rc *ResultCache, salt, epoch uint64, region Region, p *queryPlan, run func() ([]int64, Stats, error)) ([]int64, error) {
+// cachedQuery wraps one Query execution with the memoization protocol and
+// the per-query instrumentation shared by every flavor: trace Begin/Finish
+// and the registry observation surround runCachedQuery, which consults rc
+// under the query's key, runs and populates on a miss, and falls through
+// to plain execution (counting a bypass) when the query is not cacheable.
+// The uninstrumented path (no registry, no trace) adds two nil comparisons
+// and no clock reads over runCachedQuery itself.
+func cachedQuery(flavor string, qm *queryMetrics, rc *ResultCache, salt, epoch uint64, region Region, p *queryPlan, run func() ([]int64, Stats, error)) ([]int64, error) {
+	if qm == nil && p.trace == nil {
+		out, _, err := runCachedQuery(rc, salt, epoch, region, p, run)
+		return out, err
+	}
+	p.trace.Begin(flavor, p.method.String())
+	start := time.Now()
+	out, st, err := runCachedQuery(rc, salt, epoch, region, p, run)
+	d := time.Since(start)
+	p.trace.Finish(d, st.Candidates, st.ResultSize)
+	qm.observe(p.method, d, &st, err)
+	return out, err
+}
+
+// runCachedQuery is the memoization core beneath cachedQuery. run must
+// return the backend's raw result; ascending-order canonicalization and
+// the stats handoff happen here, so hits are byte-identical to what the
+// backend would have returned. The returned Stats describe the execution
+// the caller observed — the memoized statistics on a hit — so the
+// instrumentation layer can count work without re-running anything.
+func runCachedQuery(rc *ResultCache, salt, epoch uint64, region Region, p *queryPlan, run func() ([]int64, Stats, error)) ([]int64, Stats, error) {
 	if rc == nil {
 		ids, st, err := run()
-		return finishQuery(p, ids, st, err)
+		out, err := finishQuery(p, ids, st, err)
+		return out, st, err
 	}
 	var key []byte
 	if p.limit <= 0 {
+		tr := p.trace
+		var lookupStart time.Time
+		if tr != nil {
+			lookupStart = time.Now()
+		}
 		key = appendQueryKey(make([]byte, 0, 128), salt, epoch, p, region)
-	}
-	if key == nil {
-		// Limited or unkeyable — execute without memoizing.
-		rc.c.AddBypass()
-		ids, st, err := run()
-		return finishQuery(p, ids, st, err)
-	}
-	skey := string(key)
-	if ent, ok := rc.c.Get(skey); ok {
-		if p.stats != nil {
-			*p.stats = ent.Stats
+		if key != nil {
+			skey := string(key)
+			ent, ok := rc.c.Get(skey)
+			if tr != nil {
+				tr.Add(obs.PhaseCacheLookup, time.Since(lookupStart))
+			}
+			if ok {
+				tr.MarkCacheHit()
+				if p.stats != nil {
+					*p.stats = ent.Stats
+				}
+				if p.countOnly {
+					return nil, ent.Stats, nil
+				}
+				return append(p.buf[:0], ent.IDs...), ent.Stats, nil
+			}
+			ids, st, err := run()
+			out, err := finishQuery(p, ids, st, err)
+			if err != nil {
+				return nil, st, err
+			}
+			ent = rcache.Entry{Stats: st}
+			if !p.countOnly {
+				// Own the memoized ids: out may alias a caller's Reuse buffer.
+				ent.IDs = append([]int64(nil), out...)
+			}
+			rc.c.Put(skey, ent)
+			return out, st, nil
 		}
-		if p.countOnly {
-			return nil, nil
-		}
-		return append(p.buf[:0], ent.IDs...), nil
 	}
+	// Limited or unkeyable — execute without memoizing.
+	rc.c.AddBypass()
 	ids, st, err := run()
 	out, err := finishQuery(p, ids, st, err)
-	if err != nil {
-		return nil, err
-	}
-	ent := rcache.Entry{Stats: st}
-	if !p.countOnly {
-		// Own the memoized ids: out may alias a caller's Reuse buffer.
-		ent.IDs = append([]int64(nil), out...)
-	}
-	rc.c.Put(skey, ent)
-	return out, nil
+	return out, st, err
 }

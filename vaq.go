@@ -85,6 +85,20 @@
 // worker pool — WithParallelism(n) sets the pool size (default GOMAXPROCS;
 // 1 keeps batches on the calling goroutine).
 //
+// # Observability
+//
+// Attach a MetricsRegistry with WithMetrics to any flavor and every layer
+// reports in: query counts, latency percentiles, errors and cancellations
+// by method; batch and worker-pool behavior (chunk waits, worker busy
+// skew); shard fan-out and per-shard straggler latency; buffer-pool and
+// result-cache counters; and, on dynamic engines, epoch-publish latency
+// and snapshot age. Read it with Snapshot or serve it over HTTP with
+// MetricsHandler (JSON or Prometheus text). For a single query's
+// anatomy, WithTraceInto records its phase timeline (cache lookup, seed,
+// expansion, page fetches, merge). Both are strictly opt-in: without
+// them the query path performs no clock reads and no atomic traffic
+// beyond what the engine already did.
+//
 // To scale any dataset past one engine's construction and query cost,
 // partition it with NewShardedEngine: n Hilbert-coherent shards, each an
 // independent engine with its own index, topology and store, queried by
@@ -107,6 +121,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/geom"
+	"repro/internal/obs"
 	"repro/internal/shard"
 	"repro/internal/svg"
 	"repro/internal/voronoi"
@@ -268,6 +283,7 @@ type config struct {
 	parallelism int
 	shards      int
 	rcache      *ResultCache
+	metrics     *obs.Registry
 	poolShards  int
 	// poolShardsSet records that WithBufferPoolShards was given, so an
 	// explicit 0 ("use the GOMAXPROCS default") still overrides a
@@ -339,6 +355,7 @@ type Engine struct {
 	parallelism int             // 0 = GOMAXPROCS
 	rc          *ResultCache    // nil without WithResultCache
 	cacheSalt   uint64
+	qm          *queryMetrics // nil without WithMetrics
 }
 
 // defaultConfig returns the option defaults shared by NewEngine and
@@ -399,7 +416,7 @@ func NewEngine(points []Point, bounds Rect, opts ...Option) (*Engine, error) {
 		return nil, err
 	}
 
-	return &Engine{
+	e := &Engine{
 		eng:         core.NewEngine(idx, data),
 		points:      append([]Point(nil), points...),
 		bounds:      bounds,
@@ -408,7 +425,17 @@ func NewEngine(points []Point, bounds Rect, opts ...Option) (*Engine, error) {
 		parallelism: cfg.parallelism,
 		rc:          cfg.rcache,
 		cacheSalt:   nextCacheSalt(),
-	}, nil
+	}
+	if cfg.metrics != nil {
+		e.qm = newQueryMetrics(cfg.metrics, flavorStatic)
+		if sd != nil {
+			registerPoolMetrics(cfg.metrics, flavorStatic, sd.IOStats)
+		}
+		if cfg.rcache != nil {
+			registerCacheMetrics(cfg.metrics, flavorStatic, cfg.rcache)
+		}
+	}
+	return e, nil
 }
 
 // KNearest returns the k stored points nearest to q in increasing distance
@@ -443,8 +470,17 @@ func (e *Engine) Diagram() *voronoi.Diagram {
 	return e.data.(diagrammer).Diagram()
 }
 
-// IOStats returns simulated IO counters when the engine was built
-// WithStore; ok is false otherwise.
+// IOStats returns the engine's cumulative simulated IO counters — buffer
+// pool misses (reads) and hits — when it was built WithStore; ok is false
+// otherwise. The counters cover all queries since construction or the
+// last ResetIOStats, across all goroutines. Identical semantics on every
+// flavor: a ShardedEngine sums its shards' private stores, a DynamicEngine
+// has no store and always reports ok == false.
+//
+// Deprecated: IOStats remains as a thin view for quick checks. For the
+// full pool picture (evictions, singleflight joins, bytes, hit rate) and
+// everything else the engine measures, attach a registry with WithMetrics
+// and read MetricsRegistry.Snapshot or serve MetricsHandler.
 func (e *Engine) IOStats() (reads, hits int, ok bool) {
 	if e.store == nil {
 		return 0, 0, false
@@ -453,7 +489,11 @@ func (e *Engine) IOStats() (reads, hits int, ok bool) {
 	return st.PageReads, st.CacheHits, true
 }
 
-// ResetIOStats zeroes the IO counters (no-op without WithStore).
+// ResetIOStats zeroes the IO counters (no-op without WithStore). Identical
+// semantics on every flavor.
+//
+// Deprecated: kept alongside IOStats as a thin view; registry collectors
+// registered by WithMetrics observe the same reset.
 func (e *Engine) ResetIOStats() {
 	if e.store != nil {
 		e.store.ResetIOStats()
@@ -491,6 +531,7 @@ type ShardedEngine struct {
 	stores    []*core.StoreData // per shard; all nil without WithStore
 	rc        *ResultCache      // nil without WithResultCache
 	cacheSalt uint64
+	qm        *queryMetrics // nil without WithMetrics
 }
 
 // NewShardedEngine partitions points into n shards (WithShards; default 1)
@@ -509,9 +550,16 @@ func NewShardedEngine(points []Point, bounds Rect, opts ...Option) (*ShardedEngi
 		numStores = 1 // shard.New clamps the same way
 	}
 	stores := make([]*core.StoreData, numStores)
+	var qm *queryMetrics
+	var sm *shard.Metrics
+	if cfg.metrics != nil {
+		qm = newQueryMetrics(cfg.metrics, flavorSharded)
+		sm = newShardMetrics(cfg.metrics, flavorSharded, qm.execM)
+	}
 	se, err := shard.New(points, bounds, shard.Config{
 		Shards:      cfg.shards,
 		Parallelism: cfg.parallelism,
+		Metrics:     sm,
 		Build: func(si int, pts []Point, bounds Rect) (*core.Engine, error) {
 			data, sd, err := cfg.buildData(pts, bounds)
 			if err != nil {
@@ -530,12 +578,20 @@ func NewShardedEngine(points []Point, bounds Rect, opts ...Option) (*ShardedEngi
 	if err != nil {
 		return nil, fmt.Errorf("vaq: %w", err)
 	}
-	return &ShardedEngine{
+	e := &ShardedEngine{
 		se:        se,
 		stores:    stores[:se.NumShards()],
 		rc:        cfg.rcache,
 		cacheSalt: nextCacheSalt(),
-	}, nil
+		qm:        qm,
+	}
+	if cfg.metrics != nil {
+		registerShardedPoolMetrics(cfg.metrics, flavorSharded, e.stores)
+		if cfg.rcache != nil {
+			registerCacheMetrics(cfg.metrics, flavorSharded, cfg.rcache)
+		}
+	}
+	return e, nil
 }
 
 // KNearest returns the k stored points nearest to q in increasing
@@ -571,8 +627,12 @@ func (e *ShardedEngine) Point(id int64) Point { return e.se.Point(id) }
 // stored point.
 func (e *ShardedEngine) PointOK(id int64) (Point, bool) { return e.se.PointOK(id) }
 
-// IOStats sums the simulated IO counters over every shard's store when
-// the engine was built WithStore; ok is false otherwise.
+// IOStats returns the engine's cumulative simulated IO counters, summed
+// over every shard's private store, when it was built WithStore; ok is
+// false otherwise. Same semantics as Engine.IOStats.
+//
+// Deprecated: thin view; prefer WithMetrics and the registry snapshot,
+// whose sharded pool collectors expose the full summed counter set.
 func (e *ShardedEngine) IOStats() (reads, hits int, ok bool) {
 	for _, sd := range e.stores {
 		if sd == nil {
@@ -586,6 +646,9 @@ func (e *ShardedEngine) IOStats() (reads, hits int, ok bool) {
 }
 
 // ResetIOStats zeroes every shard's IO counters (no-op without WithStore).
+// Same semantics as Engine.ResetIOStats.
+//
+// Deprecated: thin view kept alongside IOStats.
 func (e *ShardedEngine) ResetIOStats() {
 	for _, sd := range e.stores {
 		if sd != nil {
@@ -631,23 +694,35 @@ type DynamicEngine struct {
 	parallelism int
 	rc          *ResultCache // nil without WithResultCache
 	cacheSalt   uint64
+	qm          *queryMetrics // nil without WithMetrics
 }
 
 // NewDynamicEngine returns an empty dynamic engine. All inserted points
 // and query areas must lie within universe. Of the Engine options only
-// WithParallelism (it sizes the QueryAll worker pool) and WithResultCache
-// (entries are keyed by insert epoch, so Insert invalidates) apply; the
-// others describe static construction and are ignored.
+// WithParallelism (it sizes the QueryAll worker pool), WithResultCache
+// (entries are keyed by insert epoch, so Insert invalidates) and
+// WithMetrics (adding epoch-publish latency and snapshot-age collectors)
+// apply; the others describe static construction and are ignored.
 func NewDynamicEngine(universe Rect, opts ...Option) *DynamicEngine {
 	cfg := defaultConfig()
 	for _, o := range opts {
 		o(&cfg)
 	}
+	d := core.NewDynamicEngine(universe)
+	var qm *queryMetrics
+	if cfg.metrics != nil {
+		qm = newQueryMetrics(cfg.metrics, flavorDynamic)
+		registerDynamicMetrics(cfg.metrics, d)
+		if cfg.rcache != nil {
+			registerCacheMetrics(cfg.metrics, flavorDynamic, cfg.rcache)
+		}
+	}
 	return &DynamicEngine{
-		d:           core.NewDynamicEngine(universe),
+		d:           d,
 		parallelism: cfg.parallelism,
 		rc:          cfg.rcache,
 		cacheSalt:   nextCacheSalt(),
+		qm:          qm,
 	}
 }
 
@@ -669,6 +744,7 @@ func (e *DynamicEngine) Snapshot() *Snapshot {
 		parallelism: e.parallelism,
 		rc:          e.rc,
 		cacheSalt:   e.cacheSalt,
+		qm:          e.qm,
 	}
 }
 
@@ -686,6 +762,19 @@ func (e *DynamicEngine) Len() int { return e.d.Len() }
 // Epoch returns the current epoch — the number of accepted inserts so
 // far. Snapshots report the epoch they pinned.
 func (e *DynamicEngine) Epoch() uint64 { return e.d.Epoch() }
+
+// IOStats completes the flavor-uniform IO surface: a DynamicEngine keeps
+// its records in memory (no paged store), so ok is always false. Same
+// signature and semantics as Engine.IOStats.
+//
+// Deprecated: thin view; prefer WithMetrics and the registry snapshot.
+func (e *DynamicEngine) IOStats() (reads, hits int, ok bool) { return 0, 0, false }
+
+// ResetIOStats is a no-op: a DynamicEngine has no store. Same semantics
+// as Engine.ResetIOStats.
+//
+// Deprecated: thin view kept alongside IOStats.
+func (e *DynamicEngine) ResetIOStats() {}
 
 // Universe returns the engine's universe rectangle.
 func (e *DynamicEngine) Universe() Rect { return e.d.Universe() }
@@ -711,6 +800,7 @@ type Snapshot struct {
 	parallelism int
 	rc          *ResultCache // inherited from the parent DynamicEngine
 	cacheSalt   uint64
+	qm          *queryMetrics // inherited from the parent DynamicEngine
 }
 
 // Epoch returns the epoch the snapshot pinned (the number of inserts it
