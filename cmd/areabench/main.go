@@ -13,6 +13,7 @@
 //	areabench -exp hotregion -skews 0.8,1.1,1.4 -cachesizes 8,64,256
 //	areabench -exp hotregion -metricsaddr localhost:9090
 //	areabench -exp all -json BENCH_7.json
+//	areabench -diff BENCH_7.json BENCH_8.json
 //
 // With -metricsaddr, a metrics endpoint serves the live registry while the
 // run progresses (curl it for JSON, add ?format=prom for Prometheus text).
@@ -57,8 +58,32 @@ func main() {
 		cacheSizes  = flag.String("cachesizes", "", "comma-separated result-cache capacities (with -exp hotregion; default 8,64,256)")
 		regions     = flag.Int("regions", 0, "hot-region pool size (with -exp hotregion; default 64)")
 		metricsAddr = flag.String("metricsaddr", "", "serve live engine metrics on this address while the run progresses (with -json or -exp hotregion; adds instrumentation overhead)")
+		diffPath    = flag.String("diff", "", "compare snapshots instead of benchmarking: -diff OLD.json NEW.json (exit 1 on regressions)")
+		diffThresh  = flag.Float64("threshold", bench.DefaultDiffThreshold, "fractional per-metric regression threshold (with -diff)")
 	)
 	flag.Parse()
+
+	if *diffPath != "" {
+		if flag.NArg() != 1 {
+			fatalf("-diff OLD.json takes exactly one positional NEW.json argument")
+		}
+		oldSnap, err := bench.LoadSnapshot(*diffPath)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		newSnap, err := bench.LoadSnapshot(flag.Arg(0))
+		if err != nil {
+			fatalf("%v", err)
+		}
+		d := bench.DiffSnapshots(oldSnap, newSnap, *diffThresh)
+		fmt.Printf("## %s -> %s (threshold %.0f%%)\n", *diffPath, flag.Arg(0), 100*d.Threshold)
+		fmt.Print(bench.FormatDiff(d))
+		if regs := d.Regressions(); len(regs) > 0 {
+			fmt.Fprintf(os.Stderr, "areabench: %d metric(s) regressed beyond %.0f%%\n", len(regs), 100*d.Threshold)
+			os.Exit(1)
+		}
+		return
+	}
 
 	// In metrics mode every engine the run builds shares one registry,
 	// scraped live over HTTP (JSON by default, ?format=prom for

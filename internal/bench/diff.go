@@ -1,0 +1,156 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"strings"
+)
+
+// DefaultDiffThreshold is the fractional change beyond which a metric
+// movement counts as a regression (10%): committed trajectory snapshots
+// come from shared CI machines, so smaller movements are noise.
+const DefaultDiffThreshold = 0.10
+
+// DiffRow is one (family, metric) comparison between two snapshots.
+// Change is the fractional movement in the metric's bad direction —
+// positive means worse (slower, more allocations), negative means better —
+// so one sign convention covers throughput and cost metrics alike.
+type DiffRow struct {
+	Family string
+	Metric string
+	Old    float64
+	New    float64
+	// Change is (worsening)/old; +Inf when a zero baseline became nonzero.
+	Change     float64
+	Regression bool
+}
+
+// Diff is the comparison of two snapshots: per-family metric rows plus the
+// families present on only one side (compared families must match by name).
+type Diff struct {
+	Threshold float64
+	Rows      []DiffRow
+	OnlyOld   []string
+	OnlyNew   []string
+}
+
+// Regressions returns the rows whose bad-direction change exceeds the
+// threshold.
+func (d *Diff) Regressions() []DiffRow {
+	var out []DiffRow
+	for _, r := range d.Rows {
+		if r.Regression {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// LoadSnapshot reads and validates a committed BENCH_<n>.json file.
+func LoadSnapshot(path string) (*Snapshot, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("bench: %w", err)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		return nil, fmt.Errorf("bench: parsing %s: %w", path, err)
+	}
+	if snap.Schema != "areabench/v1" {
+		return nil, fmt.Errorf("bench: %s: unknown snapshot schema %q (want areabench/v1)", path, snap.Schema)
+	}
+	return &snap, nil
+}
+
+// DiffSnapshots compares every family the two snapshots share, metric by
+// metric: queries/s (lower is worse), ns/op, allocs/op and the p99 latency
+// extra (higher is worse). threshold <= 0 uses DefaultDiffThreshold.
+func DiffSnapshots(oldSnap, newSnap *Snapshot, threshold float64) *Diff {
+	if threshold <= 0 {
+		threshold = DefaultDiffThreshold
+	}
+	d := &Diff{Threshold: threshold}
+	newByName := make(map[string]Family, len(newSnap.Families))
+	for _, f := range newSnap.Families {
+		newByName[f.Name] = f
+	}
+	seen := make(map[string]bool, len(oldSnap.Families))
+	for _, of := range oldSnap.Families {
+		nf, ok := newByName[of.Name]
+		if !ok {
+			d.OnlyOld = append(d.OnlyOld, of.Name)
+			continue
+		}
+		seen[of.Name] = true
+		d.add(of.Name, "queries/s", of.QueriesPerSec, nf.QueriesPerSec, true)
+		d.add(of.Name, "ns/op", of.NsPerOp, nf.NsPerOp, false)
+		d.add(of.Name, "allocs/op", of.AllocsPerOp, nf.AllocsPerOp, false)
+		op99, ook := of.Extra["p99_ns"]
+		np99, nok := nf.Extra["p99_ns"]
+		if ook && nok {
+			d.add(of.Name, "p99_ns", op99, np99, false)
+		}
+	}
+	for _, f := range newSnap.Families {
+		if !seen[f.Name] {
+			d.OnlyNew = append(d.OnlyNew, f.Name)
+		}
+	}
+	return d
+}
+
+// add appends one metric row. higherIsBetter flips the worsening
+// direction: for throughput a drop is bad, for costs a rise is bad.
+func (d *Diff) add(family, metric string, oldV, newV float64, higherIsBetter bool) {
+	worsening := newV - oldV
+	if higherIsBetter {
+		worsening = oldV - newV
+	}
+	var change float64
+	switch {
+	case oldV != 0:
+		change = worsening / oldV
+	case worsening == 0:
+		change = 0
+	default:
+		change = math.Inf(int(math.Copysign(1, worsening)))
+	}
+	d.Rows = append(d.Rows, DiffRow{
+		Family: family,
+		Metric: metric,
+		Old:    oldV,
+		New:    newV,
+		Change: change,
+		// A zero baseline (e.g. 0 allocs/op) regresses on any rise beyond
+		// measurement jitter; a nonzero one on a relative move past the
+		// threshold.
+		Regression: change > d.Threshold || (oldV == 0 && worsening > 1),
+	})
+}
+
+// FormatDiff renders the comparison as an aligned text report, flagging
+// regressions and improvements beyond the threshold.
+func FormatDiff(d *Diff) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-22s %-10s %14s %14s %9s\n", "family", "metric", "old", "new", "change")
+	for _, r := range d.Rows {
+		flag := ""
+		switch {
+		case r.Regression:
+			flag = "  << REGRESSION"
+		case r.Change < -d.Threshold:
+			flag = "  improved"
+		}
+		fmt.Fprintf(&b, "%-22s %-10s %14.1f %14.1f %8.1f%%%s\n",
+			r.Family, r.Metric, r.Old, r.New, 100*r.Change, flag)
+	}
+	for _, name := range d.OnlyOld {
+		fmt.Fprintf(&b, "%-22s only in old snapshot\n", name)
+	}
+	for _, name := range d.OnlyNew {
+		fmt.Fprintf(&b, "%-22s only in new snapshot (no baseline)\n", name)
+	}
+	return b.String()
+}

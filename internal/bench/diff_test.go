@@ -1,0 +1,98 @@
+package bench
+
+import (
+	"encoding/json"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func fam(name string, ns, qps, allocs, p99 float64) Family {
+	return Family{Name: name, NsPerOp: ns, QueriesPerSec: qps, AllocsPerOp: allocs,
+		Extra: map[string]float64{"p99_ns": p99}}
+}
+
+func TestDiffSnapshotsFlagsRegressions(t *testing.T) {
+	oldSnap := &Snapshot{Schema: "areabench/v1", Families: []Family{
+		fam("query/voronoi", 1000, 1e6, 10, 2000),
+		fam("sharded/query", 5000, 2e5, 100, 9000),
+		fam("gone/family", 1, 1, 1, 1),
+	}}
+	newSnap := &Snapshot{Schema: "areabench/v1", Families: []Family{
+		// 30% slower queries/s and ns/op: regression on both.
+		fam("query/voronoi", 1300, 0.7e6, 10, 2100),
+		// Faster and leaner: improvement, never a regression.
+		fam("sharded/query", 2500, 4e5, 0, 4000),
+		fam("new/family", 1, 1, 1, 1),
+	}}
+	d := DiffSnapshots(oldSnap, newSnap, 0.10)
+	regs := d.Regressions()
+	if len(regs) != 2 {
+		t.Fatalf("got %d regressions (%v), want 2", len(regs), regs)
+	}
+	for _, r := range regs {
+		if r.Family != "query/voronoi" {
+			t.Errorf("unexpected regression in %s/%s", r.Family, r.Metric)
+		}
+	}
+	if len(d.OnlyOld) != 1 || d.OnlyOld[0] != "gone/family" {
+		t.Errorf("OnlyOld = %v", d.OnlyOld)
+	}
+	if len(d.OnlyNew) != 1 || d.OnlyNew[0] != "new/family" {
+		t.Errorf("OnlyNew = %v", d.OnlyNew)
+	}
+	report := FormatDiff(d)
+	if !strings.Contains(report, "REGRESSION") || !strings.Contains(report, "improved") {
+		t.Errorf("report missing flags:\n%s", report)
+	}
+}
+
+func TestDiffZeroBaselineAllocs(t *testing.T) {
+	oldSnap := &Snapshot{Schema: "areabench/v1", Families: []Family{fam("f", 100, 1e6, 0, 200)}}
+	newSnap := &Snapshot{Schema: "areabench/v1", Families: []Family{fam("f", 100, 1e6, 5, 200)}}
+	d := DiffSnapshots(oldSnap, newSnap, 0.10)
+	var found bool
+	for _, r := range d.Rows {
+		if r.Metric == "allocs/op" {
+			found = true
+			if !r.Regression || !math.IsInf(r.Change, 1) {
+				t.Errorf("0 -> 5 allocs/op: %+v, want +Inf regression", r)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no allocs/op row")
+	}
+}
+
+func TestLoadSnapshotValidatesSchema(t *testing.T) {
+	dir := t.TempDir()
+	good := filepath.Join(dir, "good.json")
+	snap := &Snapshot{Schema: "areabench/v1", Families: []Family{fam("f", 1, 1, 1, 1)}}
+	raw, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(good, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadSnapshot(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded.Families) != 1 || loaded.Families[0].Name != "f" {
+		t.Fatalf("round trip lost data: %+v", loaded)
+	}
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"schema":"other/v9"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadSnapshot(bad); err == nil {
+		t.Fatal("unknown schema accepted")
+	}
+	if _, err := LoadSnapshot(filepath.Join(dir, "missing.json")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

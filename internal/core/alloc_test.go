@@ -1,0 +1,177 @@
+package core
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/workload"
+)
+
+// TestStrictIntersectionStepAllocsZero pins the BFS cell-intersection step
+// — bounding-box reject, packed ring view, exact region-vs-ring test — at
+// zero allocations per visited cell. This is the tentpole guarantee of the
+// flat arena layout: the strict expansion never materializes a cell.
+func TestStrictIntersectionStepAllocsZero(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	pts := workload.UniformPoints(rng, 5000, unitBounds())
+	data, err := NewMemoryData(pts, unitBounds())
+	if err != nil {
+		t.Fatal(err)
+	}
+	area := workload.RandomPolygon(rng, workload.PolygonConfig{Vertices: 10, QuerySize: 0.05}, unitBounds())
+	region := PolygonRegion(area)
+	q := voronoiQuery{region: region, strict: true, regionMBR: region.Bounds()}
+	q.arena = data.CellArena()
+	q.rectRegion, _ = region.(RectIntersecter)
+	q.ringRegion, _ = region.(RingViewIntersecter)
+	xs, ys := data.Coords()
+
+	var stats Stats
+	hits := 0
+	allocs := testing.AllocsPerRun(20, func() {
+		for i := range pts {
+			if q.testCell(int64(i), geom.Point{X: xs[i], Y: ys[i]}, &stats) {
+				hits++
+			}
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("strict intersection step allocates %.1f times per sweep, want 0", allocs)
+	}
+	if hits == 0 {
+		t.Fatal("intersection step never fired; test exercises nothing")
+	}
+}
+
+// TestCircleIntersectionStepAllocsZero pins the generic (non-prepared)
+// region fallback: circles take regionIntersectsRingView over the packed
+// coordinates and must not allocate either.
+func TestCircleIntersectionStepAllocsZero(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	pts := workload.UniformPoints(rng, 3000, unitBounds())
+	data, err := NewMemoryData(pts, unitBounds())
+	if err != nil {
+		t.Fatal(err)
+	}
+	region := CircleRegion(geom.Circle{Center: geom.Pt(0.5, 0.5), R: 0.1})
+	q := voronoiQuery{region: region, strict: true, regionMBR: region.Bounds()}
+	q.arena = data.CellArena()
+	q.rectRegion, _ = region.(RectIntersecter)
+	q.ringRegion, _ = region.(RingViewIntersecter)
+	xs, ys := data.Coords()
+
+	var stats Stats
+	allocs := testing.AllocsPerRun(20, func() {
+		for i := range pts {
+			q.testCell(int64(i), geom.Point{X: xs[i], Y: ys[i]}, &stats)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("circle intersection step allocates %.1f times per sweep, want 0", allocs)
+	}
+}
+
+// fixedSeedIndex pins the KNearest seed without touching a real index, so
+// the allocation test below isolates the Voronoi expansion (frontier heap +
+// distance loop) from index internals.
+type fixedSeedIndex struct{ seed int64 }
+
+func (x fixedSeedIndex) Window(geom.Rect, func(int64) bool) int { return 0 }
+func (x fixedSeedIndex) Nearest(geom.Point) (int64, int, bool)  { return x.seed, 0, true }
+
+// TestKNearestExpansionAllocsZero pins KNearest's expansion — the pooled
+// frontier heap and the structure-of-arrays distance loop — at zero
+// allocations per query once the destination buffer is supplied and the
+// scratch pool is warm.
+func TestKNearestExpansionAllocsZero(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-detector instrumentation allocates inside sync.Pool")
+	}
+	rng := rand.New(rand.NewSource(41))
+	pts := workload.UniformPoints(rng, 5000, unitBounds())
+	data, err := NewMemoryData(pts, unitBounds())
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := NewEngine(fixedSeedIndex{seed: 123}, data)
+	ctx := context.Background()
+	q := geom.Pt(0.4, 0.6)
+	dest := make([]int64, 0, 64)
+	// Warm the scratch pool (visited table, queue, heap capacity).
+	if _, _, err := eng.kNearestInto(ctx, q, 64, dest); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		out, _, err := eng.kNearestInto(ctx, q, 64, dest)
+		if err != nil || len(out) != 64 {
+			t.Fatalf("kNearestInto: %d results, err %v", len(out), err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("KNearest expansion allocates %.1f times per query, want 0", allocs)
+	}
+}
+
+// TestKNearestIntoMatchesKNearest checks the buffer-reusing variant returns
+// exactly what the allocating entry point returns.
+func TestKNearestIntoMatchesKNearest(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	pts := workload.UniformPoints(rng, 2000, unitBounds())
+	data, err := NewMemoryData(pts, unitBounds())
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := NewEngine(NewRTreeIndex(pts, 16), data)
+	ctx := context.Background()
+	dest := make([]int64, 0, 32)
+	for trial := 0; trial < 25; trial++ {
+		q := geom.Pt(rng.Float64(), rng.Float64())
+		want, _, err := eng.KNearest(ctx, q, 32)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, _, err := eng.kNearestInto(ctx, q, 32, dest)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !equalIDs(got, want) {
+			t.Fatalf("trial %d: kNearestInto disagrees with KNearest", trial)
+		}
+	}
+}
+
+// TestDynamicArenaMatchesCell verifies the dynamic engine's lazily built
+// snapshot arena packs exactly the rings DynamicData.Cell constructs — the
+// parity the strict rule relies on when running against a snapshot.
+func TestDynamicArenaMatchesCell(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	d := NewDynamicEngine(unitBounds())
+	for i := 0; i < 500; i++ {
+		if _, _, err := d.Insert(geom.Pt(rng.Float64(), rng.Float64())); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap := d.Snapshot()
+	data := snap.data
+	arena := data.CellArena()
+	if arena.NumCells() != data.NumIDs() {
+		t.Fatalf("arena covers %d cells, snapshot has %d ids", arena.NumCells(), data.NumIDs())
+	}
+	if again := data.CellArena(); again != arena {
+		t.Fatal("CellArena rebuilt on second call; want cached per snapshot")
+	}
+	for id := int64(0); id < int64(data.NumIDs()); id++ {
+		cell := data.Cell(id)
+		view := arena.Ring(int(id))
+		if view.Len() != len(cell) {
+			t.Fatalf("id %d: arena ring has %d vertices, Cell has %d", id, view.Len(), len(cell))
+		}
+		for j := range cell {
+			if view.At(j) != cell[j] {
+				t.Fatalf("id %d vertex %d: arena %v != Cell %v", id, j, view.At(j), cell[j])
+			}
+		}
+	}
+}

@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"repro/internal/geom"
+	"repro/internal/voronoi"
 )
 
 // Errors returned by the engine.
@@ -86,6 +87,26 @@ type CellSource interface {
 // cell whose box misses the region cannot intersect it.
 type CellBoxSource interface {
 	CellBox(id int64) geom.Rect
+}
+
+// CellArenaSource is optionally implemented by DataAccess implementations
+// whose clipped Voronoi cells live in a packed cell arena (one contiguous
+// vertex store with offsets and per-cell boxes, built once at
+// construction). The strict expansion rule runs entirely on it — bounding
+// box rejects and exact ring tests read dense memory with zero per-visit
+// allocation — and falls back to CellSource/CellBoxSource only when it is
+// absent. The returned arena must be immutable.
+type CellArenaSource interface {
+	CellArena() *voronoi.CellArena
+}
+
+// CoordSource is optionally implemented by DataAccess implementations
+// whose point coordinates live in parallel x/y float64 slices
+// (structure-of-arrays storage). Distance and containment loops scan the
+// slices contiguously instead of calling Position through the interface
+// per id. The slices alias internal storage and must not be modified.
+type CoordSource interface {
+	Coords() (xs, ys []float64)
 }
 
 // ResultFilter is optionally implemented by DataAccess implementations

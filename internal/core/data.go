@@ -3,7 +3,6 @@ package core
 import (
 	"errors"
 	"fmt"
-	"sync"
 
 	"repro/internal/geom"
 	"repro/internal/storage"
@@ -17,23 +16,24 @@ var ErrDuplicatePoints = errors.New("core: dataset contains duplicate coordinate
 
 // MemoryData is an in-memory DataAccess: records live in Go slices and
 // Load performs no simulated IO. It is the fastest option and the one used
-// for pure-CPU benchmarking. MemoryData implements CellSource, so the
-// strict expansion rule is available.
+// for pure-CPU benchmarking. MemoryData implements CellSource and
+// CellArenaSource, so the strict expansion rule is available and runs
+// allocation-free.
+//
+// The layout is structure-of-arrays throughout: coordinates live in
+// parallel xs/ys float64 slices (CoordSource) and every clipped Voronoi
+// cell is packed into one contiguous vertex arena at construction
+// (voronoi.BuildCellArena), so the BFS intersection tests and the KNearest
+// distance loop scan dense memory.
 type MemoryData struct {
-	pts     []geom.Point
+	xs, ys  []float64
 	diagram *voronoi.Diagram
-
-	// boxOnce fills boxes — per-cell bounding rectangles, 32 bytes each —
-	// on the strict expansion's first use. Cell rings are deliberately not
-	// retained: the boxes alone carry the fast reject, and measurements
-	// showed no win from caching the rings once the reject and the
-	// prepared region predicates are in place.
-	boxOnce sync.Once
-	boxes   []geom.Rect
+	arena   *voronoi.CellArena
 }
 
-// NewMemoryData builds the Voronoi topology over pts and wraps both in a
-// DataAccess. bounds must contain all points (it bounds the Voronoi cells).
+// NewMemoryData builds the Voronoi topology over pts, clips every cell
+// once into the packed arena, and wraps both in a DataAccess. bounds must
+// contain all points (it bounds the Voronoi cells).
 func NewMemoryData(pts []geom.Point, bounds geom.Rect) (*MemoryData, error) {
 	d, err := voronoi.New(pts, bounds)
 	if err != nil {
@@ -42,14 +42,28 @@ func NewMemoryData(pts []geom.Point, bounds geom.Rect) (*MemoryData, error) {
 	if d.NumSites() != len(pts) {
 		return nil, ErrDuplicatePoints
 	}
-	return &MemoryData{pts: append([]geom.Point(nil), pts...), diagram: d}, nil
+	m := &MemoryData{
+		xs:      make([]float64, len(pts)),
+		ys:      make([]float64, len(pts)),
+		diagram: d,
+		arena:   voronoi.BuildCellArena(d),
+	}
+	for i, p := range pts {
+		m.xs[i], m.ys[i] = p.X, p.Y
+	}
+	return m, nil
 }
 
 // NumIDs implements DataAccess.
-func (m *MemoryData) NumIDs() int { return len(m.pts) }
+func (m *MemoryData) NumIDs() int { return len(m.xs) }
 
 // Position implements DataAccess.
-func (m *MemoryData) Position(id int64) geom.Point { return m.pts[id] }
+func (m *MemoryData) Position(id int64) geom.Point {
+	return geom.Point{X: m.xs[id], Y: m.ys[id]}
+}
+
+// Coords implements CoordSource.
+func (m *MemoryData) Coords() (xs, ys []float64) { return m.xs, m.ys }
 
 // NeighborsFunc implements DataAccess.
 func (m *MemoryData) NeighborsFunc(id int64, fn func(nb int64) bool) {
@@ -66,35 +80,29 @@ func (m *MemoryData) NeighborSlice(id int64) []int32 {
 }
 
 // Load implements DataAccess; in-memory data loads for free.
-func (m *MemoryData) Load(id int64) (geom.Point, error) { return m.pts[id], nil }
+func (m *MemoryData) Load(id int64) (geom.Point, error) {
+	return geom.Point{X: m.xs[id], Y: m.ys[id]}, nil
+}
 
 // Each implements DataAccess.
 func (m *MemoryData) Each(fn func(id int64, pos geom.Point) bool) {
-	for i, p := range m.pts {
-		if !fn(int64(i), p) {
+	for i := range m.xs {
+		if !fn(int64(i), geom.Point{X: m.xs[i], Y: m.ys[i]}) {
 			return
 		}
 	}
 }
 
-// Cell implements CellSource.
-func (m *MemoryData) Cell(id int64) geom.Ring { return m.diagram.Cell(int(id)) }
+// Cell implements CellSource, materializing the packed ring (callers on
+// the hot path read the arena's Ring view instead).
+func (m *MemoryData) Cell(id int64) geom.Ring { return m.arena.Ring(int(id)).Ring() }
 
 // CellBox implements CellBoxSource: the bounding rectangle of id's clipped
-// Voronoi cell. The boxes for the whole dataset are computed lazily on
-// first call (sync.Once, so concurrent queries are safe) — only engines
-// that run the strict expansion pay the one-time O(n) fill, and the
-// retained state is 32 bytes per point.
-func (m *MemoryData) CellBox(id int64) geom.Rect {
-	m.boxOnce.Do(func() {
-		boxes := make([]geom.Rect, len(m.pts))
-		for i := range m.pts {
-			boxes[i] = m.diagram.Cell(i).Bounds()
-		}
-		m.boxes = boxes
-	})
-	return m.boxes[id]
-}
+// Voronoi cell, read from the packed arena.
+func (m *MemoryData) CellBox(id int64) geom.Rect { return m.arena.CellBox(int(id)) }
+
+// CellArena implements CellArenaSource.
+func (m *MemoryData) CellArena() *voronoi.CellArena { return m.arena }
 
 // Diagram exposes the underlying Voronoi diagram (for rendering and
 // inspection).
@@ -174,6 +182,9 @@ func (s *StoreData) NumIDs() int { return s.mem.NumIDs() }
 // Position implements DataAccess (index-resident, no IO).
 func (s *StoreData) Position(id int64) geom.Point { return s.mem.Position(id) }
 
+// Coords implements CoordSource (index-resident, no IO).
+func (s *StoreData) Coords() (xs, ys []float64) { return s.mem.Coords() }
+
 // NeighborsFunc implements DataAccess (index-resident topology, no IO).
 func (s *StoreData) NeighborsFunc(id int64, fn func(nb int64) bool) {
 	s.mem.NeighborsFunc(id, fn)
@@ -206,6 +217,9 @@ func (s *StoreData) Cell(id int64) geom.Ring { return s.mem.Cell(id) }
 
 // CellBox implements CellBoxSource (index-resident, no IO).
 func (s *StoreData) CellBox(id int64) geom.Rect { return s.mem.CellBox(id) }
+
+// CellArena implements CellArenaSource (index-resident, no IO).
+func (s *StoreData) CellArena() *voronoi.CellArena { return s.mem.CellArena() }
 
 // Diagram exposes the underlying Voronoi diagram.
 func (s *StoreData) Diagram() *voronoi.Diagram { return s.mem.Diagram() }

@@ -22,6 +22,13 @@ import (
 // brute-force oracle and scans see only user sites.
 type DynamicData struct {
 	dt *delaunay.Dynamic
+
+	// arena is the packed cell arena over the snapshot's sites, built
+	// lazily by the first strict query against this snapshot (once per
+	// epoch, not per query) — DynamicData always wraps an immutable
+	// triangulation snapshot, so the arena never goes stale.
+	arenaOnce sync.Once
+	arena     *voronoi.CellArena
 }
 
 // NumIDs implements DataAccess (fence sites included).
@@ -64,6 +71,26 @@ func (d *DynamicData) Cell(id int64) geom.Ring {
 	u := d.dt.Universe()
 	clip := u.Expand(u.Width() + u.Height() + 1)
 	return voronoi.CellFromNeighbors(site, pts, clip)
+}
+
+// CellArena implements CellArenaSource: every cell of the pinned epoch,
+// clipped to the same expanded universe Cell uses and packed into one
+// arena. Built on first use and cached for the snapshot's lifetime, so the
+// O(n) clipping pass is paid once per epoch; segment-rule workloads that
+// never run a strict query never pay it.
+func (d *DynamicData) CellArena() *voronoi.CellArena {
+	d.arenaOnce.Do(func() {
+		u := d.dt.Universe()
+		clip := u.Expand(u.Width() + u.Height() + 1)
+		d.arena = voronoi.CellArenaFromSites(
+			d.dt.NumSites(), clip,
+			func(i int) geom.Point { return d.dt.Point(i) },
+			func(i int, fn func(nb geom.Point) bool) {
+				d.dt.Neighbors(i, func(nb int32) bool { return fn(d.dt.Point(int(nb))) })
+			},
+		)
+	})
+	return d.arena
 }
 
 // DynamicEngine answers area queries over a growing dataset: points are

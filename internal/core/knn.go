@@ -1,7 +1,6 @@
 package core
 
 import (
-	"container/heap"
 	"context"
 
 	"repro/internal/geom"
@@ -20,6 +19,15 @@ import (
 // surfacing as ctx.Err() with the statistics of the work already done and
 // no partial result slice.
 func (e *Engine) KNearest(ctx context.Context, q geom.Point, k int) ([]int64, Stats, error) {
+	return e.kNearestInto(ctx, q, k, nil)
+}
+
+// kNearestInto is KNearest appending into dest (from dest[:0]); a nil dest
+// allocates a fresh result slice. With a pre-sized dest the whole expansion
+// — frontier heap (pooled in queryScratch), visited marks, and the packed
+// coordinate distance loop — performs zero allocations on data layers that
+// expose NeighborSlicer and CoordSource.
+func (e *Engine) kNearestInto(ctx context.Context, q geom.Point, k int, dest []int64) ([]int64, Stats, error) {
 	var stats Stats
 	if e.data.NumIDs() == 0 {
 		// Same contract as Query on an empty engine (not nil, nil — callers
@@ -27,7 +35,7 @@ func (e *Engine) KNearest(ctx context.Context, q geom.Point, k int) ([]int64, St
 		return nil, stats, ErrNoData
 	}
 	if k <= 0 {
-		return nil, stats, nil
+		return dest[:0], stats, nil
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, stats, err
@@ -41,15 +49,27 @@ func (e *Engine) KNearest(ctx context.Context, q geom.Point, k int) ([]int64, St
 	// Auxiliary sites (dynamic fence points) are traversed but never
 	// emitted.
 	filter, _ := e.data.(ResultFilter)
+	// Structure-of-arrays coordinates, when packed: the distance loop reads
+	// the slices directly instead of calling Position per neighbor.
+	var xs, ys []float64
+	if cs, ok := e.data.(CoordSource); ok {
+		xs, ys = cs.Coords()
+	}
+	slicer, hasSlices := e.data.(NeighborSlicer)
 
 	s := e.acquireScratch()
 	defer e.releaseScratch(s)
-	h := knnHeap{{id: seed, d2: q.Dist2(e.data.Position(seed))}}
+	s.heap = s.heap[:0]
+	h := &s.heap
+	h.push(knnEntry{id: seed, d2: e.knnDist2(q, xs, ys, seed)})
 	s.mark(seed)
 
-	out := make([]int64, 0, k)
-	for len(h) > 0 && len(out) < k {
-		top := heap.Pop(&h).(knnEntry)
+	out := dest[:0]
+	if dest == nil {
+		out = make([]int64, 0, k)
+	}
+	for len(*h) > 0 && len(out) < k {
+		top := h.pop()
 		if filter == nil || filter.Returnable(top.id) {
 			out = append(out, top.id)
 		}
@@ -60,15 +80,44 @@ func (e *Engine) KNearest(ctx context.Context, q geom.Point, k int) ([]int64, St
 				return nil, stats, err
 			}
 		}
-		e.data.NeighborsFunc(top.id, func(nb int64) bool {
-			if s.mark(nb) {
-				heap.Push(&h, knnEntry{id: nb, d2: q.Dist2(e.data.Position(nb))})
+		if hasSlices {
+			for _, nb := range slicer.NeighborSlice(top.id) {
+				nb64 := int64(nb)
+				if s.mark(nb64) {
+					h.push(knnEntry{id: nb64, d2: e.knnDist2(q, xs, ys, nb64)})
+				}
 			}
-			return true
-		})
+		} else {
+			e.knnExpandFunc(top.id, q, xs, ys, s, h)
+		}
 	}
 	stats.ResultSize = len(out)
 	return out, stats, nil
+}
+
+// knnExpandFunc walks id's neighbors through the callback interface,
+// pushing unvisited ones onto the frontier — the non-slicer path (the
+// dynamic triangulation's ring walk). It lives in its own function so the
+// closure it necessarily builds doesn't force kNearestInto's locals to the
+// heap on the slicer path.
+func (e *Engine) knnExpandFunc(id int64, q geom.Point, xs, ys []float64, s *queryScratch, h *knnHeap) {
+	e.data.NeighborsFunc(id, func(nb int64) bool {
+		if s.mark(nb) {
+			h.push(knnEntry{id: nb, d2: e.knnDist2(q, xs, ys, nb)})
+		}
+		return true
+	})
+}
+
+// knnDist2 is the squared distance from q to id's position, reading the
+// packed coordinate slices when the data layer provides them. Identical
+// arithmetic to q.Dist2(Position(id)) on both paths.
+func (e *Engine) knnDist2(q geom.Point, xs, ys []float64, id int64) float64 {
+	if xs != nil {
+		dx, dy := q.X-xs[id], q.Y-ys[id]
+		return dx*dx + dy*dy
+	}
+	return q.Dist2(e.data.Position(id))
 }
 
 type knnEntry struct {
@@ -76,16 +125,61 @@ type knnEntry struct {
 	d2 float64
 }
 
+// knnHeap is a binary min-heap of (id, squared-distance) frontier entries.
+// Its sift routines replicate container/heap's algorithm exactly — same
+// parent/child index arithmetic, same left-child preference on equal keys —
+// so distance ties pop in the same order the previous container/heap-based
+// implementation produced, without boxing every entry through interface{}.
+// The backing slice is pooled in queryScratch.
 type knnHeap []knnEntry
 
-func (h knnHeap) Len() int            { return len(h) }
-func (h knnHeap) Less(i, j int) bool  { return h[i].d2 < h[j].d2 }
-func (h knnHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *knnHeap) Push(x interface{}) { *h = append(*h, x.(knnEntry)) }
-func (h *knnHeap) Pop() interface{} {
+func (h knnHeap) less(i, j int) bool { return h[i].d2 < h[j].d2 }
+
+// push appends x and sifts it up (container/heap.Push).
+func (h *knnHeap) push(x knnEntry) {
+	*h = append(*h, x)
+	h.up(len(*h) - 1)
+}
+
+// pop removes and returns the minimum entry (container/heap.Pop): swap the
+// root with the last element, sift the new root down over the shortened
+// heap, then detach the old root.
+func (h *knnHeap) pop() knnEntry {
 	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
+	n := len(old) - 1
+	old[0], old[n] = old[n], old[0]
+	old[:n].down(0)
+	x := old[n]
+	*h = old[:n]
 	return x
+}
+
+func (h knnHeap) up(j int) {
+	for {
+		i := (j - 1) / 2 // parent
+		if i == j || !h.less(j, i) {
+			break
+		}
+		h[i], h[j] = h[j], h[i]
+		j = i
+	}
+}
+
+func (h knnHeap) down(i int) {
+	n := len(h)
+	for {
+		j1 := 2*i + 1
+		if j1 >= n {
+			break
+		}
+		j := j1 // left child
+		if j2 := j1 + 1; j2 < n && h.less(j2, j1) {
+			j = j2 // right child, strictly smaller
+		}
+		if !h.less(j, i) {
+			break
+		}
+		h[i], h[j] = h[j], h[i]
+		i = j
+	}
 }

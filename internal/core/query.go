@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/geom"
 	"repro/internal/obs"
+	"repro/internal/voronoi"
 )
 
 // cancelStride is the number of candidates a query processes between
@@ -195,19 +196,31 @@ func (e *Engine) eachTraditional(ctx context.Context, region Region, tr *obs.Que
 func (e *Engine) eachVoronoi(ctx context.Context, region Region, strict bool, tr *obs.QueryTrace, emit emitFunc) (Stats, error) {
 	var stats Stats
 	traced := tr != nil
-	var fetchAcc time.Duration
 
-	var cells CellSource
-	var cellBoxes CellBoxSource // optional fast reject for the strict rule
-	var rectRegion RectIntersecter
+	// Resolve the query-constant expansion state once. The strict rule
+	// prefers the packed cell arena (CellArenaSource) and falls back to the
+	// per-call CellSource/CellBoxSource pair for custom data layers.
+	q := voronoiQuery{region: region, strict: strict, traced: traced, emit: emit}
 	if strict {
-		var ok bool
-		cells, ok = e.data.(CellSource)
-		if !ok {
-			return stats, ErrStrictNotSupported
+		if as, ok := e.data.(CellArenaSource); ok {
+			q.arena = as.CellArena()
 		}
-		cellBoxes, _ = e.data.(CellBoxSource)
-		rectRegion, _ = region.(RectIntersecter)
+		if q.arena == nil {
+			var ok bool
+			q.cells, ok = e.data.(CellSource)
+			if !ok {
+				return stats, ErrStrictNotSupported
+			}
+			q.cellBoxes, _ = e.data.(CellBoxSource)
+		}
+		q.regionMBR = region.Bounds()
+		q.rectRegion, _ = region.(RectIntersecter)
+		q.ringRegion, _ = region.(RingViewIntersecter)
+	}
+	// Structure-of-arrays coordinates, when the data layer packs them: the
+	// expansion tests read neighbor positions straight from the slices.
+	if cs, ok := e.data.(CoordSource); ok {
+		q.xs, q.ys = cs.Coords()
 	}
 
 	// Line 3-4: p_seed := NN(P, arbitrary position in A).
@@ -217,16 +230,10 @@ func (e *Engine) eachVoronoi(ctx context.Context, region Region, strict bool, tr
 	}
 	seedPos := region.InteriorPoint()
 	seed, nnNodes, ok := e.idx.Nearest(seedPos)
+	var bfsStart time.Time
 	if traced {
 		tr.Add(obs.PhaseSeed, time.Since(seedStart))
-		// The BFS below splits into record loads (PhasePageFetch) and the
-		// expansion proper (PhaseExpand); fetch accrues inside the loop
-		// and the deferred split runs on every exit path.
-		bfsStart := time.Now()
-		defer func() {
-			tr.Add(obs.PhasePageFetch, fetchAcc)
-			tr.Add(obs.PhaseExpand, time.Since(bfsStart)-fetchAcc)
-		}()
+		bfsStart = time.Now()
 	}
 	stats.IndexNodesVisited += nnNodes
 	if !ok {
@@ -238,12 +245,155 @@ func (e *Engine) eachVoronoi(ctx context.Context, region Region, strict bool, tr
 	s.mark(seed)
 	s.queue = append(s.queue, seed)
 
-	// Fast path: data sources exposing raw neighbor slices avoid one
-	// closure-based callback per neighbor on the hottest loop.
-	slicer, hasSlices := e.data.(NeighborSlicer)
+	// The BFS proper runs in one of two loops. Data sources exposing raw
+	// neighbor slices and packed coordinates (MemoryData, StoreData) take
+	// the fully inlined loop, which creates no per-query closures — the
+	// whole expansion is allocation-free. Everything else (the dynamic
+	// triangulation's quad-edge ring walk) takes the callback loop.
+	var fetch time.Duration
+	var err error
+	if slicer, ok := e.data.(NeighborSlicer); ok && q.xs != nil {
+		stats, fetch, err = e.voronoiBFSSliced(ctx, q, slicer, s, stats)
+	} else {
+		stats, fetch, err = e.voronoiBFSFunc(ctx, q, s, stats)
+	}
+	if traced {
+		// The BFS splits into record loads (PhasePageFetch) and the
+		// expansion proper (PhaseExpand); both loops accrue fetch time and
+		// funnel every exit path through here.
+		tr.Add(obs.PhasePageFetch, fetch)
+		tr.Add(obs.PhaseExpand, time.Since(bfsStart)-fetch)
+	}
+	return stats, err
+}
 
-	// The expansion closures are hoisted out of the loop; curPos carries
-	// the popped candidate's position into them.
+// voronoiQuery is the query-constant state of one Voronoi BFS, resolved
+// once per query and shared by the sliced and callback expansion loops.
+type voronoiQuery struct {
+	region Region
+	strict bool
+	traced bool
+	emit   emitFunc
+
+	// Strict-rule state. Either arena or cells is set (arena preferred);
+	// the rest are optional accelerators.
+	arena      *voronoi.CellArena
+	cells      CellSource
+	cellBoxes  CellBoxSource
+	rectRegion RectIntersecter
+	ringRegion RingViewIntersecter
+	regionMBR  geom.Rect
+
+	// Structure-of-arrays coordinates (nil when the data layer has none).
+	xs, ys []float64
+}
+
+// testCell is the strict rule's one cell-vs-area decision, resolved by the
+// cheapest exact path available: reject when the cell's packed bounding box
+// misses the region (the common case along the shell), accept when the site
+// itself is in the region (the site lies in its own cell), and only
+// otherwise test the exact cell ring — on the arena path a zero-allocation
+// view over the packed vertices. Every gate agrees with the full test, so
+// results and counters are path-independent.
+func (q *voronoiQuery) testCell(nb int64, nbPos geom.Point, stats *Stats) bool {
+	stats.CellTests++
+	if q.arena != nil {
+		i := int(nb)
+		switch {
+		case !q.arena.InBox(i, q.regionMBR):
+			return false
+		case q.rectRegion != nil && !q.rectRegion.IntersectsRect(q.arena.CellBox(i)):
+			return false
+		case q.region.ContainsPoint(nbPos):
+			return true
+		}
+		if q.ringRegion != nil {
+			return q.ringRegion.IntersectsRingView(q.arena.Ring(i))
+		}
+		return regionIntersectsRingView(q.region, q.arena.Ring(i))
+	}
+	switch {
+	case q.cellBoxes != nil && q.rectRegion != nil &&
+		!q.rectRegion.IntersectsRect(q.cellBoxes.CellBox(nb)):
+		return false
+	case q.region.ContainsPoint(nbPos):
+		return true
+	default:
+		return regionIntersectsRing(q.region, q.cells.Cell(nb))
+	}
+}
+
+// voronoiBFSSliced is the closure-free BFS over a NeighborSlicer with
+// packed coordinates. stats travels by value so the caller's copy never
+// escapes; fetch is the accrued record-load time (for tracing).
+func (e *Engine) voronoiBFSSliced(ctx context.Context, q voronoiQuery, slicer NeighborSlicer, s *queryScratch, stats Stats) (Stats, time.Duration, error) {
+	var fetch time.Duration
+	for head := 0; head < len(s.queue); head++ {
+		if head%cancelStride == 0 {
+			if err := ctx.Err(); err != nil {
+				return stats, fetch, err
+			}
+		}
+		p := s.queue[head]
+		var pos geom.Point
+		var err error
+		if q.traced {
+			t0 := time.Now()
+			pos, err = e.data.Load(p)
+			fetch += time.Since(t0)
+		} else {
+			pos, err = e.data.Load(p)
+		}
+		if err != nil {
+			return stats, fetch, fmt.Errorf("core: loading candidate %d: %w", p, err)
+		}
+		stats.RecordsLoaded++
+		stats.Candidates++
+
+		if q.region.ContainsPoint(pos) {
+			// Internal point: emit, then all unvisited Voronoi neighbors
+			// become candidates (Property 7 bounds them to
+			// internal/boundary).
+			if !q.emit(p, pos) {
+				return stats, fetch, nil
+			}
+			for _, nb := range slicer.NeighborSlice(p) {
+				if s.mark(int64(nb)) {
+					s.queue = append(s.queue, int64(nb))
+				}
+			}
+			continue
+		}
+		// Boundary/external point: expand only toward neighbors that pass
+		// the expansion test.
+		for _, nb := range slicer.NeighborSlice(p) {
+			nb64 := int64(nb)
+			if s.seen(nb64) {
+				continue
+			}
+			nbPos := geom.Point{X: q.xs[nb], Y: q.ys[nb]}
+			var enqueue bool
+			if q.strict {
+				enqueue = q.testCell(nb64, nbPos, &stats)
+			} else {
+				stats.SegmentTests++
+				enqueue = q.region.IntersectsSegment(geom.Seg(pos, nbPos))
+			}
+			if enqueue {
+				s.mark(nb64)
+				s.queue = append(s.queue, nb64)
+			}
+		}
+	}
+	return stats, fetch, nil
+}
+
+// voronoiBFSFunc is the callback-based BFS for data layers without
+// neighbor slices or packed coordinates (the dynamic triangulation walks
+// its quad-edge ring per neighbor). The expansion closures are hoisted out
+// of the loop; curPos carries the popped candidate's position into them.
+func (e *Engine) voronoiBFSFunc(ctx context.Context, q voronoiQuery, s *queryScratch, stats Stats) (Stats, time.Duration, error) {
+	var fetch time.Duration
 	var curPos geom.Point
 	expandAll := func(nb int64) bool {
 		if s.mark(nb) {
@@ -256,27 +406,11 @@ func (e *Engine) eachVoronoi(ctx context.Context, region Region, strict bool, tr
 			return true
 		}
 		enqueue := false
-		if strict {
-			// One cell-vs-area decision, resolved by the cheapest exact
-			// path available: reject when the cell's precomputed bounding
-			// box misses the region (the common case along the shell),
-			// accept when the site itself is in the region (the site lies
-			// in its own cell), and only otherwise test the exact cell
-			// ring. All three agree with the full test, so results and
-			// counters are path-independent.
-			stats.CellTests++
-			switch {
-			case cellBoxes != nil && rectRegion != nil &&
-				!rectRegion.IntersectsRect(cellBoxes.CellBox(nb)):
-				enqueue = false
-			case region.ContainsPoint(e.data.Position(nb)):
-				enqueue = true
-			default:
-				enqueue = regionIntersectsRing(region, cells.Cell(nb))
-			}
+		if q.strict {
+			enqueue = q.testCell(nb, e.data.Position(nb), &stats)
 		} else {
 			stats.SegmentTests++
-			enqueue = region.IntersectsSegment(geom.Seg(curPos, e.data.Position(nb)))
+			enqueue = q.region.IntersectsSegment(geom.Seg(curPos, e.data.Position(nb)))
 		}
 		if enqueue {
 			s.mark(nb)
@@ -288,53 +422,36 @@ func (e *Engine) eachVoronoi(ctx context.Context, region Region, strict bool, tr
 	for head := 0; head < len(s.queue); head++ {
 		if head%cancelStride == 0 {
 			if err := ctx.Err(); err != nil {
-				return stats, err
+				return stats, fetch, err
 			}
 		}
 		p := s.queue[head]
 		var pos geom.Point
 		var err error
-		if traced {
+		if q.traced {
 			t0 := time.Now()
 			pos, err = e.data.Load(p)
-			fetchAcc += time.Since(t0)
+			fetch += time.Since(t0)
 		} else {
 			pos, err = e.data.Load(p)
 		}
 		if err != nil {
-			return stats, fmt.Errorf("core: loading candidate %d: %w", p, err)
+			return stats, fetch, fmt.Errorf("core: loading candidate %d: %w", p, err)
 		}
 		stats.RecordsLoaded++
 		stats.Candidates++
 		curPos = pos
 
-		if region.ContainsPoint(pos) {
-			// Internal point: emit, then all unvisited Voronoi neighbors
-			// become candidates (Property 7 bounds them to
-			// internal/boundary).
-			if !emit(p, pos) {
-				return stats, nil
+		if q.region.ContainsPoint(pos) {
+			if !q.emit(p, pos) {
+				return stats, fetch, nil
 			}
-			if hasSlices {
-				for _, nb := range slicer.NeighborSlice(p) {
-					expandAll(int64(nb))
-				}
-			} else {
-				e.data.NeighborsFunc(p, expandAll)
-			}
+			e.data.NeighborsFunc(p, expandAll)
 			continue
 		}
-		// Boundary/external point: expand only toward neighbors that pass
-		// the expansion test.
-		if hasSlices {
-			for _, nb := range slicer.NeighborSlice(p) {
-				expandBoundary(int64(nb))
-			}
-		} else {
-			e.data.NeighborsFunc(p, expandBoundary)
-		}
+		e.data.NeighborsFunc(p, expandBoundary)
 	}
-	return stats, nil
+	return stats, fetch, nil
 }
 
 // eachBruteForce scans every record; it is the correctness oracle.

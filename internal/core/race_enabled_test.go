@@ -1,0 +1,8 @@
+//go:build race
+
+package core
+
+// raceEnabled reports whether the race detector is active; its
+// instrumentation allocates inside sync.Pool, so allocation pins skip
+// under -race.
+const raceEnabled = true

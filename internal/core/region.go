@@ -27,6 +27,16 @@ type RingIntersecter interface {
 	IntersectsRing(geom.Ring) bool
 }
 
+// RingViewIntersecter is optionally implemented by Regions that can test
+// intersection against a structure-of-arrays ring view (a packed Voronoi
+// cell) exactly; the strict expansion rule uses it when present — prepared
+// polygons implement it — and falls back to a generic
+// vertex/edge/containment sweep over the view otherwise. Results must
+// match RingIntersecter over the materialized ring.
+type RingViewIntersecter interface {
+	IntersectsRingView(geom.RingView) bool
+}
+
 // RectIntersecter is optionally implemented by Regions that can test
 // intersection against a rectangle exactly; the strict expansion rule uses
 // it to reject whole Voronoi cells by their precomputed bounding boxes
@@ -130,4 +140,34 @@ func regionIntersectsRing(region Region, ring geom.Ring) bool {
 	}
 	// Ring may contain the region entirely.
 	return (geom.Polygon{Outer: ring}).ContainsPoint(region.InteriorPoint())
+}
+
+// regionIntersectsRingView is regionIntersectsRing over a packed ring
+// view: the same tests in the same order, reading the arena slices
+// directly, so results match the materialized form bit-for-bit while the
+// common path (custom regions such as circles) allocates nothing.
+func regionIntersectsRingView(region Region, v geom.RingView) bool {
+	n := v.Len()
+	if n == 0 {
+		return false
+	}
+	if ri, ok := region.(RingViewIntersecter); ok {
+		return ri.IntersectsRingView(v)
+	}
+	for i := 0; i < n; i++ {
+		if region.ContainsPoint(v.At(i)) {
+			return true
+		}
+	}
+	for i := 0; i < n; i++ {
+		j := i + 1
+		if j == n {
+			j = 0
+		}
+		if region.IntersectsSegment(geom.Seg(v.At(i), v.At(j))) {
+			return true
+		}
+	}
+	// Ring may contain the region entirely.
+	return v.ContainsPoint(region.InteriorPoint())
 }

@@ -12,6 +12,8 @@ type queryScratch struct {
 	visited []uint32
 	gen     uint32
 	queue   []int64
+	// heap is KNearest's pooled frontier storage (unused by area queries).
+	heap knnHeap
 }
 
 // newScratch returns a scratch covering n ids.

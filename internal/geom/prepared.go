@@ -165,6 +165,48 @@ func (pp *PreparedPolygon) IntersectsRing(ring Ring) bool {
 	return (Polygon{Outer: ring}).ContainsPoint(pp.edges[0].a)
 }
 
+// IntersectsRingView is IntersectsRing over a structure-of-arrays ring
+// view: identical results (same tests in the same order) with zero
+// allocation, reading the packed coordinate slices directly. It is the
+// strict expansion rule's hot test when the data layer exposes a cell
+// arena.
+func (pp *PreparedPolygon) IntersectsRingView(v RingView) bool {
+	n := v.Len()
+	if n == 0 {
+		return false
+	}
+	rb := v.Bounds()
+	if !pp.bound.Intersects(rb) {
+		return false
+	}
+	// Boundary contact first: per-edge boxes skip edges far from the ring,
+	// so a disjoint ring (the common strict-expansion reject) costs one
+	// box compare per edge and no containment scans.
+	for i := range pp.edges {
+		e := &pp.edges[i]
+		if !e.bb.Intersects(rb) {
+			continue
+		}
+		s := Seg(e.a, e.b)
+		for j := 0; j < n; j++ {
+			k := j + 1
+			if k == n {
+				k = 0
+			}
+			if s.Intersects(Seg(v.At(j), v.At(k))) {
+				return true
+			}
+		}
+	}
+	// No boundary contact: the shapes are nested or disjoint, and one
+	// containment probe each way decides which.
+	if pp.ContainsPoint(v.At(0)) {
+		return true // ring inside the polygon
+	}
+	// Polygon inside the ring (edges[0].a is an outer-ring vertex).
+	return v.ContainsPoint(pp.edges[0].a)
+}
+
 // IntersectsRect reports whether the closed polygon and the closed
 // rectangle share at least one point (used by the strict expansion rule
 // to discard Voronoi cells by bounding box, so it is hot). It mirrors

@@ -272,8 +272,11 @@ func shardSpec(spec core.QuerySpec) core.QuerySpec {
 // data cannot provide Voronoi cells (core.ErrStrictNotSupported): silently
 // degrading would break the package's exact-result guarantee, so the
 // error surfaces to the caller instead. Both provided DataAccess types
-// implement CellSource; a custom BuildFunc must too, or its callers must
-// request Traditional/VoronoiBFSStrict explicitly.
+// carry a per-shard packed cell arena (core.CellArenaSource), so the
+// upgraded strict expansion reads each shard's clipped cells from dense
+// memory without materializing rings; a custom BuildFunc must implement
+// CellArenaSource or CellSource too, or its callers must request
+// Traditional/VoronoiBFSStrict explicitly.
 func (s *oneShard) shardQuery(ctx context.Context, region core.Region, spec core.QuerySpec) ([]int64, core.Stats, error) {
 	return s.eng.QueryRegionSpec(ctx, region, shardSpec(spec))
 }

@@ -1,0 +1,176 @@
+package voronoi
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+// clusteredPoints draws n points around k Gaussian cluster centers,
+// clamped into the unit square.
+func clusteredPoints(rng *rand.Rand, n, k int, sigma float64) []geom.Point {
+	centers := uniformPoints(rng, k)
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		c := centers[rng.Intn(k)]
+		x := c.X + rng.NormFloat64()*sigma
+		y := c.Y + rng.NormFloat64()*sigma
+		pts[i] = geom.Pt(clamp01(x), clamp01(y))
+	}
+	return pts
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+// checkArenaParity verifies that the packed arena agrees with per-call
+// Diagram.Cell on every site: identical rings (exact float equality — the
+// builders share the clipping code path), identical bounding boxes, and
+// identical areas.
+func checkArenaParity(t *testing.T, pts []geom.Point, bounds geom.Rect) {
+	t.Helper()
+	d, err := New(pts, bounds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := BuildCellArena(d)
+	if a.NumCells() != d.NumSites() {
+		t.Fatalf("NumCells = %d, want %d", a.NumCells(), d.NumSites())
+	}
+	verts := 0
+	for i := 0; i < d.NumSites(); i++ {
+		cell := d.Cell(i)
+		view := a.Ring(i)
+		if view.Len() != len(cell) {
+			t.Fatalf("site %d: arena ring has %d vertices, Cell has %d", i, view.Len(), len(cell))
+		}
+		for j := range cell {
+			if view.At(j) != cell[j] {
+				t.Fatalf("site %d vertex %d: arena %v != Cell %v", i, j, view.At(j), cell[j])
+			}
+		}
+		if got := a.AppendRing(i, nil); len(got) != len(cell) {
+			t.Fatalf("site %d: AppendRing produced %d vertices, want %d", i, len(got), len(cell))
+		}
+		if len(cell) == 0 {
+			if box := a.CellBox(i); box.MinX <= box.MaxX {
+				t.Fatalf("site %d: degenerate cell packed non-empty box %v", i, box)
+			}
+		} else {
+			if box, want := a.CellBox(i), cell.Bounds(); box != want {
+				t.Fatalf("site %d: CellBox = %v, want %v", i, box, want)
+			}
+			if got, want := a.CellArea(i), cell.Area(); got != want {
+				t.Fatalf("site %d: CellArea = %v, want %v", i, got, want)
+			}
+			if !a.InBox(i, cell.Bounds()) {
+				t.Fatalf("site %d: InBox rejects the cell's own bounds", i)
+			}
+		}
+		verts += view.Len()
+	}
+	if verts != a.NumVertices() {
+		t.Fatalf("NumVertices = %d, rings sum to %d", a.NumVertices(), verts)
+	}
+	if a.Bytes() <= 0 {
+		t.Fatalf("Bytes = %d, want > 0", a.Bytes())
+	}
+}
+
+func TestCellArenaParityUniform(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	checkArenaParity(t, uniformPoints(rng, 1500), unitBounds())
+}
+
+func TestCellArenaParityClustered(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	checkArenaParity(t, clusteredPoints(rng, 1500, 8, 0.01), unitBounds())
+}
+
+func TestCellArenaParityCollinear(t *testing.T) {
+	// All sites on one horizontal line: every Delaunay structure is
+	// degenerate, cells are vertical slabs.
+	pts := make([]geom.Point, 40)
+	for i := range pts {
+		pts[i] = geom.Pt(float64(i+1)/41, 0.5)
+	}
+	checkArenaParity(t, pts, unitBounds())
+}
+
+func TestCellArenaParityDuplicateHeavy(t *testing.T) {
+	// Heavy coordinate reuse: a coarse grid sampled with replacement. New
+	// dedups coincident sites, so the diagram (and arena) cover the
+	// distinct locations only.
+	rng := rand.New(rand.NewSource(99))
+	pts := make([]geom.Point, 0, 600)
+	for len(pts) < cap(pts) {
+		pts = append(pts, geom.Pt(float64(rng.Intn(12))/12+1.0/24, float64(rng.Intn(12))/12+1.0/24))
+	}
+	d, err := New(pts, unitBounds())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NumSites() >= len(pts) {
+		t.Fatalf("expected dedup: %d sites from %d points", d.NumSites(), len(pts))
+	}
+	a := BuildCellArena(d)
+	for i := 0; i < d.NumSites(); i++ {
+		cell := d.Cell(i)
+		view := a.Ring(i)
+		if view.Len() != len(cell) {
+			t.Fatalf("site %d: arena ring has %d vertices, Cell has %d", i, view.Len(), len(cell))
+		}
+		for j := range cell {
+			if view.At(j) != cell[j] {
+				t.Fatalf("site %d vertex %d: arena %v != Cell %v", i, j, view.At(j), cell[j])
+			}
+		}
+	}
+}
+
+func TestCellArenaFromSitesMatchesCellFromNeighbors(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	pts := uniformPoints(rng, 300)
+	d, err := New(pts, unitBounds())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Drive the callback builder off the static diagram's adjacency; rings
+	// must match CellFromNeighbors over the same neighbor sequences.
+	a := CellArenaFromSites(
+		d.NumSites(), d.Bounds(),
+		func(i int) geom.Point { return d.Site(i) },
+		func(i int, fn func(nb geom.Point) bool) {
+			for _, nb := range d.Neighbors(i) {
+				if !fn(d.Site(int(nb))) {
+					return
+				}
+			}
+		},
+	)
+	for i := 0; i < d.NumSites(); i++ {
+		nbs := d.Neighbors(i)
+		nbPts := make([]geom.Point, len(nbs))
+		for j, nb := range nbs {
+			nbPts[j] = d.Site(int(nb))
+		}
+		want := CellFromNeighbors(d.Site(i), nbPts, d.Bounds())
+		view := a.Ring(i)
+		if view.Len() != len(want) {
+			t.Fatalf("site %d: arena ring has %d vertices, want %d", i, view.Len(), len(want))
+		}
+		for j := range want {
+			if view.At(j) != want[j] {
+				t.Fatalf("site %d vertex %d: arena %v != %v", i, j, view.At(j), want[j])
+			}
+		}
+	}
+}

@@ -105,31 +105,40 @@ func (d *Diagram) CellArea(i int) float64 { return d.Cell(i).Area() }
 // to site as to other (Sutherland–Hodgman against the perpendicular
 // bisector).
 func clipHalfPlane(ring geom.Ring, site, other geom.Point) geom.Ring {
-	inside := func(p geom.Point) bool {
-		return p.Dist2(site) <= p.Dist2(other)
-	}
-	cross := func(a, b geom.Point) geom.Point {
-		// Solve |a+td-site|² = |a+td-other|² for t along d = b-a.
-		dir := b.Sub(a)
-		denom := 2 * dir.Dot(other.Sub(site))
-		if denom == 0 {
-			return a // segment parallel to the bisector; degenerate
-		}
-		t := (a.Dist2(other) - a.Dist2(site)) / denom
-		return a.Add(dir.Scale(t))
-	}
-	var out geom.Ring
+	return clipHalfPlaneInto(nil, ring, site, other)
+}
+
+// clipHalfPlaneInto is clipHalfPlane writing into dst[:0] — the
+// allocation-free form the arena builder ping-pongs between two scratch
+// buffers. Cell and BuildCellArena share this one code path, so the arena's
+// packed rings are bit-identical to the per-call rings.
+func clipHalfPlaneInto(dst, ring []geom.Point, site, other geom.Point) []geom.Point {
+	dst = dst[:0]
 	for i := range ring {
 		cur, next := ring[i], ring[(i+1)%len(ring)]
-		curIn, nextIn := inside(cur), inside(next)
+		curIn := cur.Dist2(site) <= cur.Dist2(other)
+		nextIn := next.Dist2(site) <= next.Dist2(other)
 		switch {
 		case curIn && nextIn:
-			out = append(out, next)
+			dst = append(dst, next)
 		case curIn && !nextIn:
-			out = append(out, cross(cur, next))
+			dst = append(dst, bisectorCross(cur, next, site, other))
 		case !curIn && nextIn:
-			out = append(out, cross(cur, next), next)
+			dst = append(dst, bisectorCross(cur, next, site, other), next)
 		}
 	}
-	return out
+	return dst
+}
+
+// bisectorCross returns the crossing of segment a-b with the perpendicular
+// bisector of site and other: solve |a+td-site|² = |a+td-other|² for t
+// along d = b-a.
+func bisectorCross(a, b, site, other geom.Point) geom.Point {
+	dir := b.Sub(a)
+	denom := 2 * dir.Dot(other.Sub(site))
+	if denom == 0 {
+		return a // segment parallel to the bisector; degenerate
+	}
+	t := (a.Dist2(other) - a.Dist2(site)) / denom
+	return a.Add(dir.Scale(t))
 }

@@ -104,6 +104,21 @@
 // independent engine with its own index, topology and store, queried by
 // scatter-gather with shard-MBR pruning.
 //
+// # Memory layout
+//
+// Engines store geometry in flat structure-of-arrays form: point
+// coordinates live in parallel x/y float64 slices, and every Voronoi cell
+// is clipped once at construction and packed into one contiguous cell
+// arena — flat vertex slices, int32 ring offsets, and per-cell bounding
+// boxes. The BFS expansion tests, the strict rule's cell-intersection
+// checks and the KNearest distance loop read that dense memory through
+// zero-allocation views; no cell ring is materialized on any query hot
+// path. The arena's cost is fixed at construction and small: a clipped
+// Voronoi cell averages six vertices, so packed cells add roughly 130
+// bytes per site (16 bytes per vertex plus a 32-byte box and a 4-byte
+// offset) on top of the 16 coordinate bytes. CellArea serves per-cell
+// geometry from the same storage.
+//
 // # Removed method-positional API
 //
 // The pre-Querier per-flavor methods (QueryWith, QueryCircle, Count,
@@ -468,6 +483,15 @@ func (e *Engine) PointOK(id int64) (Point, bool) {
 func (e *Engine) Diagram() *voronoi.Diagram {
 	type diagrammer interface{ Diagram() *voronoi.Diagram }
 	return e.data.(diagrammer).Diagram()
+}
+
+// CellArea returns the area of id's Voronoi cell (clipped to Bounds),
+// computed over the engine's packed cell arena — the flat vertex store
+// every cell was clipped into at construction — so no ring is
+// materialized. The areas of all cells sum to the universe's area. It
+// panics when id is not in [0, Len()).
+func (e *Engine) CellArea(id int64) float64 {
+	return e.data.(core.CellArenaSource).CellArena().CellArea(int(id))
 }
 
 // IOStats returns the engine's cumulative simulated IO counters — buffer
