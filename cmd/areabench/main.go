@@ -12,6 +12,8 @@
 //	areabench -exp sharded -shards 1,2,4,8 -store -queries 512
 //	areabench -exp hotregion -skews 0.8,1.1,1.4 -cachesizes 8,64,256
 //	areabench -exp hotregion -metricsaddr localhost:9090
+//	areabench -exp serve -conns 1,4,16,64 -requests 2000
+//	areabench -exp serve -json BENCH_9.json
 //	areabench -exp all -json BENCH_7.json
 //	areabench -diff BENCH_7.json BENCH_8.json
 //
@@ -37,7 +39,7 @@ import (
 
 func main() {
 	var (
-		exp         = flag.String("exp", "all", "experiment: table1|table2|fig4|fig5|fig6|fig7|throughput|sharded|hotregion|all")
+		exp         = flag.String("exp", "all", "experiment: table1|table2|fig4|fig5|fig6|fig7|throughput|sharded|hotregion|serve|all")
 		parallel    = flag.String("parallel", "1,2,4,8", "comma-separated worker-pool sizes (with -exp throughput)")
 		shards      = flag.String("shards", "1,2,4,8", "comma-separated shard counts (with -exp sharded)")
 		queries     = flag.Int("queries", 512, "batch length (with -exp throughput|sharded)")
@@ -52,8 +54,11 @@ func main() {
 		poolShards  = flag.Int("poolshards", 0, "buffer pool lock shards (with -store; 0 = GOMAXPROCS-based, 1 = single lock)")
 		pageSize    = flag.Int("pagesize", 4096, "page size in bytes (with -store)")
 		quiet       = flag.Bool("q", false, "suppress progress output")
-		jsonPath    = flag.String("json", "", "write a machine-readable benchmark snapshot to this file (with -exp all; skips the table sweeps)")
+		jsonPath    = flag.String("json", "", "write a machine-readable benchmark snapshot to this file (with -exp all or -exp serve; skips the table sweeps)")
 		minTime     = flag.Duration("mintime", 200*time.Millisecond, "minimum measured time per family (with -json)")
+		conns       = flag.String("conns", "", "comma-separated client concurrency levels (with -exp serve; default 1,4,16,64)")
+		requests    = flag.Int("requests", 0, "requests per concurrency level (with -exp serve; default 2000)")
+		backends    = flag.Int("backends", 0, "chunk-server count (with -exp serve; default 2)")
 		skews       = flag.String("skews", "", "comma-separated zipfian s-parameters (with -exp hotregion; default 0.8,1.1,1.4)")
 		cacheSizes  = flag.String("cachesizes", "", "comma-separated result-cache capacities (with -exp hotregion; default 8,64,256)")
 		regions     = flag.Int("regions", 0, "hot-region pool size (with -exp hotregion; default 64)")
@@ -135,10 +140,11 @@ func main() {
 		}
 	}
 
-	if *jsonPath != "" {
-		if *exp != "all" {
-			fatalf("-json requires -exp all")
-		}
+	if *jsonPath != "" && *exp != "all" && *exp != "serve" {
+		fatalf("-json requires -exp all or -exp serve")
+	}
+
+	if *jsonPath != "" && *exp == "all" {
 		dataSize := 0 // RunSnapshot defaults to 1E5
 		if len(cfg.DataSizes) > 0 && *dataSizes != "" {
 			dataSize = cfg.DataSizes[0]
@@ -168,6 +174,47 @@ func main() {
 			for _, f := range snap.Families {
 				fmt.Printf("%-20s %12.0f q/s %12.0f ns/op %8.1f allocs/op\n",
 					f.Name, f.QueriesPerSec, f.NsPerOp, f.AllocsPerOp)
+			}
+		}
+		return
+	}
+
+	if *exp == "serve" {
+		scfg := bench.ServeConfig{
+			Queries:   *queries,
+			Requests:  *requests,
+			Backends:  *backends,
+			Vertices:  cfg.Vertices,
+			QuerySize: cfg.FixedQuerySize,
+			Seed:      cfg.Seed,
+		}
+		if len(cfg.DataSizes) > 0 && *dataSizes != "" {
+			scfg.DataSize = cfg.DataSizes[0]
+		}
+		if *conns != "" {
+			cs, err := parseInts(*conns)
+			if err != nil {
+				fatalf("bad -conns: %v", err)
+			}
+			scfg.Conns = cs
+		}
+		rows, err := bench.RunServe(scfg)
+		if err != nil {
+			fatalf("serve sweep: %v", err)
+		}
+		fmt.Println("## Serving layer — remote queries over loopback HTTP, connection sweep")
+		fmt.Print(bench.FormatServe(rows))
+		if *jsonPath != "" {
+			snap := bench.ServeSnapshot(scfg, rows)
+			out, err := json.MarshalIndent(snap, "", "  ")
+			if err != nil {
+				fatalf("snapshot: %v", err)
+			}
+			if err := os.WriteFile(*jsonPath, append(out, '\n'), 0o644); err != nil {
+				fatalf("snapshot: %v", err)
+			}
+			if !*quiet {
+				fmt.Printf("# wrote %s (%d families)\n", *jsonPath, len(snap.Families))
 			}
 		}
 		return

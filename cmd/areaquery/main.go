@@ -7,6 +7,11 @@
 //	areaquery -n 100000 -polygon "0.1,0.1 0.5,0.2 0.6,0.6 0.3,0.4 0.1,0.5"
 //
 // Without -polygon a random 10-gon covering 1% of the universe is used.
+//
+// With -remote the query runs against running areaserve instances instead
+// of a locally built engine:
+//
+//	areaquery -remote "localhost:8089,localhost:8090" -querysize 2
 package main
 
 import (
@@ -31,20 +36,31 @@ func main() {
 		strict    = flag.Bool("strict", false, "also run the strict expansion variant")
 		showIDs   = flag.Bool("ids", false, "print the matching point ids")
 		timeout   = flag.Duration("timeout", 0, "per-query deadline (0 = none), e.g. 50ms")
+		remote    = flag.String("remote", "", `comma-separated areaserve addresses ("host:port,host:port"); queries run remotely instead of building a local engine`)
+		degraded  = flag.Bool("degraded", false, "with -remote: drop failed backends instead of failing the query")
 	)
 	flag.Parse()
 
 	rng := rand.New(rand.NewSource(*seed))
-	var pts []vaq.Point
-	if *clustered {
-		pts = vaq.ClusteredPoints(rng, *n, 8, 0.04, vaq.UnitSquare())
+	var eng vaq.Querier
+	var err error
+	if *remote != "" {
+		eng, err = dialRemote(*remote, *degraded)
+		if err != nil {
+			fatalf("%v", err)
+		}
 	} else {
-		pts = vaq.UniformPoints(rng, *n, vaq.UnitSquare())
-	}
-	fmt.Fprintf(os.Stderr, "building engine over %d points...\n", *n)
-	eng, err := vaq.NewEngine(pts, vaq.UnitSquare())
-	if err != nil {
-		fatalf("%v", err)
+		var pts []vaq.Point
+		if *clustered {
+			pts = vaq.ClusteredPoints(rng, *n, 8, 0.04, vaq.UnitSquare())
+		} else {
+			pts = vaq.UniformPoints(rng, *n, vaq.UnitSquare())
+		}
+		fmt.Fprintf(os.Stderr, "building engine over %d points...\n", *n)
+		eng, err = vaq.NewEngine(pts, vaq.UnitSquare())
+		if err != nil {
+			fatalf("%v", err)
+		}
 	}
 
 	var area vaq.Polygon
@@ -82,6 +98,32 @@ func main() {
 			fmt.Printf("  ids: %v\n", ids)
 		}
 	}
+}
+
+// dialRemote builds a RemoteEngine over the comma-separated address
+// list, defaulting bare host:port entries to http.
+func dialRemote(list string, degraded bool) (*vaq.RemoteEngine, error) {
+	var urls []string
+	for _, a := range strings.Split(list, ",") {
+		a = strings.TrimSpace(a)
+		if a == "" {
+			continue
+		}
+		if !strings.Contains(a, "://") {
+			a = "http://" + a
+		}
+		urls = append(urls, strings.TrimRight(a, "/"))
+	}
+	var opts []vaq.Option
+	if degraded {
+		opts = append(opts, vaq.WithDegradedFanOut())
+	}
+	eng, err := vaq.DialRemote(context.Background(), urls, opts...)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(os.Stderr, "remote engine: %d backends, %d points\n", eng.NumBackends(), eng.Len())
+	return eng, nil
 }
 
 func parsePolygon(s string) (vaq.Polygon, error) {

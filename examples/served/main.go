@@ -1,0 +1,125 @@
+// Served demonstrates the network serving layer: the dataset is split
+// into contiguous chunks, each chunk served by its own in-process HTTP
+// server (the same handler the areaserve binary mounts), and a
+// RemoteEngine dialed over the group answers queries byte-identically to
+// a local engine over the whole dataset — unary queries, NDJSON streams
+// and k-nearest-neighbor fan-outs alike.
+//
+// It then kills one backend to show the two partial-failure policies:
+// fail-fast (the default) surfaces the backend error, degraded
+// (WithDegradedFanOut) answers from the survivors.
+//
+//	go run ./examples/served
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"math/rand"
+	"net"
+	"net/http"
+	"slices"
+
+	"repro"
+	"repro/internal/serve"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(11))
+	points := vaq.UniformPoints(rng, 60_000, vaq.UnitSquare())
+
+	// One local engine over everything — the oracle.
+	local, err := vaq.NewEngine(points, vaq.UnitSquare())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Three chunk servers, exactly what `areaserve -shard i/3` runs.
+	cuts := []int{0, 20_000, 45_000, len(points)}
+	var urls []string
+	var servers []*http.Server
+	for i := 0; i+1 < len(cuts); i++ {
+		chunk := points[cuts[i]:cuts[i+1]]
+		eng, err := vaq.NewEngine(chunk, vaq.UnitSquare())
+		if err != nil {
+			log.Fatal(err)
+		}
+		h := serve.NewHandler(eng, serve.Config{IDOffset: int64(cuts[i]), Flavor: "static"})
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			log.Fatal(err)
+		}
+		srv := &http.Server{Handler: h}
+		go srv.Serve(ln)
+		servers = append(servers, srv)
+		urls = append(urls, "http://"+ln.Addr().String())
+		fmt.Printf("chunk %d: %5d points (ids %d..%d) on %s\n",
+			i, len(chunk), cuts[i], cuts[i+1]-1, ln.Addr())
+	}
+
+	// Dial the group: /v1/info tells the client each backend's id offset
+	// and bounds, so addresses are all it needs.
+	ctx := context.Background()
+	remote, err := vaq.DialRemote(ctx, urls)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("remote engine: %d backends, %d points\n\n", remote.NumBackends(), remote.Len())
+
+	region := vaq.PolygonRegion(vaq.RandomQueryPolygon(rng, 12, 0.015, vaq.UnitSquare()))
+
+	// Unary query: scattered to the backends whose bounds intersect the
+	// region, merged back into ascending global id order.
+	want, _ := local.Query(ctx, region)
+	got, err := remote.Query(ctx, region)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("query: %d matches, identical to local: %v\n", len(got), slices.Equal(got, want))
+
+	// Streaming: frames arrive as NDJSON, positions bit-exact.
+	streamed := 0
+	err = remote.Each(ctx, region, func(id int64, p vaq.Point) bool {
+		streamed++
+		return true
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("each:  %d frames streamed\n", streamed)
+
+	// KNN: backends are visited in MINDIST order; ones provably unable to
+	// improve the k-th distance are never contacted.
+	q := vaq.Pt(0.42, 0.58)
+	wantKNN, _, _ := local.KNearest(ctx, q, 16)
+	gotKNN, _, err := remote.KNearest(ctx, q, 16)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("knn:   16 nearest identical to local: %v\n\n", slices.Equal(gotKNN, wantKNN))
+
+	// Partial failure: shut one backend down hard and query again.
+	servers[1].Close()
+	if _, err := remote.Query(ctx, region); err != nil {
+		fmt.Printf("fail-fast after losing a backend: %v\n", err)
+	}
+	degraded, err := vaq.NewRemoteEngine([]vaq.RemoteBackend{
+		{URL: urls[0], IDOffset: 0, Len: cuts[1]},
+		{URL: urls[1], IDOffset: int64(cuts[1]), Len: cuts[2] - cuts[1]},
+		{URL: urls[2], IDOffset: int64(cuts[2]), Len: len(points) - cuts[2]},
+	}, vaq.WithDegradedFanOut())
+	if err != nil {
+		log.Fatal(err)
+	}
+	partial, err := degraded.Query(ctx, region)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("degraded answers from survivors: %d of %d matches (%d backend queries dropped)\n",
+		len(partial), len(want), degraded.Dropped())
+
+	for _, srv := range servers {
+		srv.Close()
+	}
+}

@@ -1,0 +1,295 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"net"
+	"net/http"
+	"runtime"
+	"strings"
+	"sync"
+	"time"
+
+	vaq "repro"
+	"repro/internal/obs"
+	"repro/internal/serve"
+	"repro/internal/workload"
+)
+
+// ServeConfig parameterizes the serving-layer load experiment: the
+// dataset is split into contiguous chunks, each chunk served by an
+// in-process HTTP server (the areaserve handler on a loopback listener),
+// and a RemoteEngine dialed over the group replays a query stream at each
+// concurrency level of the sweep.
+type ServeConfig struct {
+	// DataSize is the point count (default 1E5).
+	DataSize int
+	// Backends is the number of chunk servers (default 2).
+	Backends int
+	// Queries is the query-region pool size (default 64).
+	Queries int
+	// Requests is the request count per concurrency level (default 2000).
+	Requests int
+	// QuerySize is the query MBR area fraction (default 0.01).
+	QuerySize float64
+	// Vertices per query polygon (default 10).
+	Vertices int
+	// Conns lists the client concurrency levels to sweep — concurrent
+	// in-flight requests, each on its own pooled connection (default 1,
+	// 4, 16, 64).
+	Conns []int
+	// Seed makes runs reproducible.
+	Seed int64
+}
+
+func (c ServeConfig) withDefaults() ServeConfig {
+	if c.DataSize <= 0 {
+		c.DataSize = 1e5
+	}
+	if c.Backends <= 0 {
+		c.Backends = 2
+	}
+	if c.Queries <= 0 {
+		c.Queries = 64
+	}
+	if c.Requests <= 0 {
+		c.Requests = 2000
+	}
+	if c.QuerySize <= 0 || c.QuerySize > 1 {
+		c.QuerySize = 0.01
+	}
+	if c.Vertices < 3 {
+		c.Vertices = 10
+	}
+	if len(c.Conns) == 0 {
+		c.Conns = []int{1, 4, 16, 64}
+	}
+	if c.Seed == 0 {
+		c.Seed = 20200420
+	}
+	return c
+}
+
+// ServeRow is one concurrency level's measurement: the remote replay's
+// throughput and latency percentiles, with the same stream replayed
+// directly against a local engine at the same concurrency as the
+// serving-overhead baseline.
+type ServeRow struct {
+	Conns    int
+	QPS      float64
+	P50Ns    float64
+	P99Ns    float64
+	LocalQPS float64
+}
+
+// RunServe measures the serving layer under concurrent load. Everything
+// runs in-process over loopback HTTP, so the numbers capture codec +
+// HTTP + fan-out overhead rather than network distance.
+func RunServe(cfg ServeConfig) ([]ServeRow, error) {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	bounds := vaq.UnitSquare()
+	pts := workload.UniformPoints(rng, cfg.DataSize, bounds)
+	ctx := context.Background()
+
+	local, err := vaq.NewEngine(pts, bounds)
+	if err != nil {
+		return nil, fmt.Errorf("bench: building local engine (n=%d): %w", cfg.DataSize, err)
+	}
+
+	// One server per contiguous chunk — what `areaserve -shard i/n` runs.
+	var servers []*http.Server
+	defer func() {
+		for _, srv := range servers {
+			srv.Close()
+		}
+	}()
+	urls := make([]string, cfg.Backends)
+	for i := 0; i < cfg.Backends; i++ {
+		start, end := len(pts)*i/cfg.Backends, len(pts)*(i+1)/cfg.Backends
+		eng, err := vaq.NewEngine(pts[start:end], bounds)
+		if err != nil {
+			return nil, fmt.Errorf("bench: building chunk engine %d: %w", i, err)
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, fmt.Errorf("bench: listen: %w", err)
+		}
+		srv := &http.Server{Handler: serve.NewHandler(eng, serve.Config{
+			IDOffset: int64(start),
+			Flavor:   "static",
+		})}
+		go srv.Serve(ln)
+		servers = append(servers, srv)
+		urls[i] = "http://" + ln.Addr().String()
+	}
+
+	maxConns := 0
+	for _, c := range cfg.Conns {
+		if c > maxConns {
+			maxConns = c
+		}
+	}
+	client := &http.Client{Transport: &http.Transport{
+		MaxIdleConns:        maxConns * cfg.Backends,
+		MaxIdleConnsPerHost: maxConns,
+	}}
+	remote, err := vaq.DialRemote(ctx, urls, vaq.WithRemoteClient(client))
+	if err != nil {
+		return nil, fmt.Errorf("bench: dialing backends: %w", err)
+	}
+
+	regions := make([]vaq.Region, cfg.Queries)
+	for i := range regions {
+		regions[i] = vaq.PolygonRegion(workload.RandomPolygon(rng, workload.PolygonConfig{
+			Vertices:  cfg.Vertices,
+			QuerySize: cfg.QuerySize,
+		}, bounds))
+	}
+
+	// Warm both paths (indexes, Voronoi seeds, HTTP connections) and pin
+	// per-region counts for on-the-fly verification.
+	counts := make([]int, len(regions))
+	for i, region := range regions {
+		ids, err := local.Query(ctx, region)
+		if err != nil {
+			return nil, fmt.Errorf("bench: warmup region %d: %w", i, err)
+		}
+		counts[i] = len(ids)
+		got, err := remote.Query(ctx, region)
+		if err != nil {
+			return nil, fmt.Errorf("bench: warmup region %d (remote): %w", i, err)
+		}
+		if len(got) != len(ids) {
+			return nil, fmt.Errorf("bench: region %d: remote returned %d ids, want %d", i, len(got), len(ids))
+		}
+	}
+
+	// replay issues cfg.Requests queries from conns workers against eng,
+	// returning wall-clock throughput and the per-request latency
+	// distribution (the shared histogram is concurrency-safe).
+	hist := obs.NewHistogram()
+	replay := func(eng vaq.Querier, conns int) (float64, obs.HistogramSnapshot, error) {
+		hist.Reset()
+		next := make(chan int)
+		go func() {
+			for i := 0; i < cfg.Requests; i++ {
+				next <- i
+			}
+			close(next)
+		}()
+		var wg sync.WaitGroup
+		errs := make([]error, conns)
+		start := time.Now()
+		for w := 0; w < conns; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				buf := make([]int64, 0, 4096)
+				for i := range next {
+					ri := i % len(regions)
+					t0 := time.Now()
+					ids, err := eng.Query(ctx, regions[ri], vaq.Reuse(buf))
+					if err != nil {
+						errs[w] = err
+						return
+					}
+					hist.Observe(time.Since(t0))
+					if len(ids) != counts[ri] {
+						errs[w] = fmt.Errorf("region %d returned %d ids, want %d", ri, len(ids), counts[ri])
+						return
+					}
+					buf = ids
+				}
+			}()
+		}
+		wg.Wait()
+		wall := time.Since(start)
+		for _, err := range errs {
+			if err != nil {
+				return 0, obs.HistogramSnapshot{}, err
+			}
+		}
+		return float64(cfg.Requests) / wall.Seconds(), hist.Snapshot(), nil
+	}
+
+	rows := make([]ServeRow, 0, len(cfg.Conns))
+	for _, conns := range cfg.Conns {
+		qps, lat, err := replay(remote, conns)
+		if err != nil {
+			return nil, fmt.Errorf("bench: remote replay (conns=%d): %w", conns, err)
+		}
+		localQPS, _, err := replay(local, conns)
+		if err != nil {
+			return nil, fmt.Errorf("bench: local replay (conns=%d): %w", conns, err)
+		}
+		rows = append(rows, ServeRow{
+			Conns:    conns,
+			QPS:      qps,
+			P50Ns:    lat.Quantile(0.50),
+			P99Ns:    lat.Quantile(0.99),
+			LocalQPS: localQPS,
+		})
+	}
+	return rows, nil
+}
+
+// ServeFamilies converts the sweep into snapshot families
+// (serve/conns=N), one per concurrency level, with latency percentiles
+// and the local-baseline throughput in Extra.
+func ServeFamilies(cfg ServeConfig, rows []ServeRow) []Family {
+	cfg = cfg.withDefaults()
+	fams := make([]Family, 0, len(rows))
+	for _, r := range rows {
+		fams = append(fams, Family{
+			Name:          fmt.Sprintf("serve/conns=%d", r.Conns),
+			Iters:         cfg.Requests,
+			Ops:           1,
+			NsPerOp:       1e9 / r.QPS,
+			QueriesPerSec: r.QPS,
+			Extra: map[string]float64{
+				"p50_ns":    r.P50Ns,
+				"p99_ns":    r.P99Ns,
+				"local_qps": r.LocalQPS,
+			},
+		})
+	}
+	return fams
+}
+
+// ServeSnapshot wraps a sweep in a trajectory Snapshot (schema
+// areabench/v1) so `areabench -exp serve -json` emits a file -diff can
+// compare against other trajectory points.
+func ServeSnapshot(cfg ServeConfig, rows []ServeRow) *Snapshot {
+	cfg = cfg.withDefaults()
+	return &Snapshot{
+		Schema:     "areabench/v1",
+		GoVersion:  runtime.Version(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		CreatedAt:  time.Now().UTC().Format(time.RFC3339),
+		Config: SnapshotConfig{
+			DataSize:  cfg.DataSize,
+			Queries:   cfg.Queries,
+			QuerySize: cfg.QuerySize,
+			Vertices:  cfg.Vertices,
+			Seed:      cfg.Seed,
+		},
+		Families: ServeFamilies(cfg, rows),
+	}
+}
+
+// FormatServe renders the sweep as an aligned text table.
+func FormatServe(rows []ServeRow) string {
+	var b strings.Builder
+	b.WriteString("Conns | Remote q/s | p50 | p99 | Local q/s | Overhead\n")
+	b.WriteString(strings.Repeat("-", 62) + "\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%5d | %10.0f | %7s | %7s | %9.0f | %7.2fx\n",
+			r.Conns, r.QPS,
+			time.Duration(r.P50Ns).Round(time.Microsecond),
+			time.Duration(r.P99Ns).Round(time.Microsecond),
+			r.LocalQPS, r.LocalQPS/r.QPS)
+	}
+	return b.String()
+}

@@ -1,0 +1,65 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunServeSmallSweep(t *testing.T) {
+	cfg := ServeConfig{
+		DataSize: 2000,
+		Backends: 2,
+		Queries:  16,
+		Requests: 48,
+		Conns:    []int{1, 4},
+		Seed:     7,
+	}
+	rows, err := RunServe(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[0].Conns != 1 || rows[1].Conns != 4 {
+		t.Fatalf("conns columns wrong: %+v", rows)
+	}
+	for _, r := range rows {
+		if r.QPS <= 0 || r.LocalQPS <= 0 {
+			t.Errorf("implausible row: %+v", r)
+		}
+		if r.P50Ns <= 0 || r.P99Ns < r.P50Ns {
+			t.Errorf("implausible percentiles: %+v", r)
+		}
+	}
+
+	table := FormatServe(rows)
+	if !strings.Contains(table, "Conns") || !strings.Contains(table, "p99") {
+		t.Errorf("table missing headers:\n%s", table)
+	}
+
+	fams := ServeFamilies(cfg, rows)
+	if len(fams) != 2 || fams[0].Name != "serve/conns=1" || fams[1].Name != "serve/conns=4" {
+		t.Fatalf("families wrong: %+v", fams)
+	}
+	for _, f := range fams {
+		if f.Extra["p99_ns"] <= 0 || f.QueriesPerSec <= 0 {
+			t.Errorf("family missing percentiles or throughput: %+v", f)
+		}
+	}
+
+	snap := ServeSnapshot(cfg, rows)
+	if snap.Schema != "areabench/v1" || len(snap.Families) != 2 {
+		t.Fatalf("snapshot wrong: schema=%q families=%d", snap.Schema, len(snap.Families))
+	}
+}
+
+func TestServeDefaultsApplied(t *testing.T) {
+	cfg := ServeConfig{}.withDefaults()
+	if cfg.DataSize != 1e5 || cfg.Backends != 2 || cfg.Requests != 2000 {
+		t.Errorf("defaults wrong: %+v", cfg)
+	}
+	if len(cfg.Conns) != 4 || cfg.Seed == 0 {
+		t.Errorf("defaults wrong: %+v", cfg)
+	}
+}

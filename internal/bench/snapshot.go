@@ -138,6 +138,9 @@ func measure(minTime time.Duration, op func() error) (iters int, nsPerOp, allocs
 //	dynamic/query — single query on a dynamically built engine
 //	hotregion/uncached, hotregion/cached — the zipfian hot-region stream
 //	    (s=1.1) without and with the result cache (hit rate in extra)
+//	serve/conns=1, serve/conns=16 — remote queries through the serving
+//	    layer (two in-process chunk servers, loopback HTTP) at two client
+//	    concurrency levels (local-baseline q/s in extra)
 func RunSnapshot(cfg SnapshotConfig) (*Snapshot, error) {
 	cfg = cfg.withDefaults()
 	rng := rand.New(rand.NewSource(cfg.Seed))
@@ -304,5 +307,22 @@ func RunSnapshot(cfg SnapshotConfig) (*Snapshot, error) {
 			},
 		},
 	)
+
+	// Serving layer at reduced scale: two in-process chunk servers over
+	// loopback HTTP, one low- and one high-concurrency point of the sweep.
+	scfg := ServeConfig{
+		DataSize:  cfg.DataSize,
+		Queries:   cfg.Queries,
+		Requests:  512,
+		QuerySize: cfg.QuerySize,
+		Vertices:  cfg.Vertices,
+		Conns:     []int{1, 16},
+		Seed:      cfg.Seed,
+	}
+	serveRows, err := RunServe(scfg)
+	if err != nil {
+		return nil, err
+	}
+	snap.Families = append(snap.Families, ServeFamilies(scfg, serveRows)...)
 	return snap, nil
 }

@@ -74,6 +74,11 @@ func CircleRegion(c geom.Circle) Region { return circleRegion{c} }
 
 type circleRegion struct{ c geom.Circle }
 
+// Circle returns the underlying disk, mirroring
+// PreparedPolygon.Polygon: the accessor the wire codec recovers the exact
+// geometry through.
+func (r circleRegion) Circle() geom.Circle { return r.c }
+
 func (r circleRegion) Bounds() geom.Rect                     { return r.c.Bounds() }
 func (r circleRegion) ContainsPoint(p geom.Point) bool       { return r.c.ContainsPoint(p) }
 func (r circleRegion) IntersectsSegment(s geom.Segment) bool { return r.c.IntersectsSegment(s) }

@@ -1,0 +1,383 @@
+// Package serve exposes any vaq engine flavor over HTTP as an area-query
+// backend: the full Querier surface — unary Query, QueryAll, Count and
+// KNearest, plus server-streamed Each as chunked NDJSON — speaking the
+// canonical wire codec (package wire), with client deadlines propagated
+// from the Vaq-Timeout-Ms header into every query's context. cmd/areaserve
+// is the binary around it; the handler itself is dependency-free stdlib
+// net/http, mountable into any mux, and safe for any number of concurrent
+// requests (the engines already are).
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	vaq "repro"
+	"repro/internal/wire"
+)
+
+// Engine is what the handler serves: the Querier surface plus the
+// per-flavor KNearest and size accessor every vaq engine provides.
+type Engine interface {
+	vaq.Querier
+	KNearest(ctx context.Context, q vaq.Point, k int) ([]int64, vaq.Stats, error)
+	Point(id int64) vaq.Point
+	Len() int
+}
+
+// bounded is satisfied by static and sharded engines; universed by the
+// dynamic flavors. Either feeds /v1/info's bounds field.
+type bounded interface{ Bounds() vaq.Rect }
+type universed interface{ Universe() vaq.Rect }
+
+// Config tunes a handler.
+type Config struct {
+	// IDOffset is the global id of this backend's local id 0, advertised
+	// in /v1/info so a fan-out client can remap results without
+	// configuration. Serve the i-th contiguous chunk of a dataset and set
+	// the chunk's start index here.
+	IDOffset int64
+	// Flavor is a free-form backend label for /v1/info ("static",
+	// "sharded", ...).
+	Flavor string
+	// Metrics, when non-nil, is mounted at /metrics (JSON, ?format=prom
+	// for Prometheus text). Build the engine with vaq.WithMetrics on the
+	// same registry to see its query counters there.
+	Metrics *vaq.MetricsRegistry
+	// MaxBodyBytes caps request body size (default 16 MiB).
+	MaxBodyBytes int64
+	// MaxTimeout caps the client-requested deadline; 0 means no cap.
+	MaxTimeout time.Duration
+	// StreamFlushEvery is the frame interval between explicit flushes on
+	// /v1/each streams (default 64; 1 flushes every frame).
+	StreamFlushEvery int
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 16 << 20
+	}
+	if c.StreamFlushEvery <= 0 {
+		c.StreamFlushEvery = 64
+	}
+	return c
+}
+
+type handler struct {
+	eng Engine
+	cfg Config
+}
+
+// NewHandler returns the HTTP handler serving eng. Routes:
+//
+//	POST /v1/query     one area query        → wire.QueryResponse
+//	POST /v1/queryall  a batch               → wire.BatchResponse
+//	POST /v1/count     count without results → wire.QueryResponse (ids nil)
+//	POST /v1/knearest  k nearest neighbors   → wire.KNNResponse
+//	POST /v1/each      streamed area query   → NDJSON wire.Frame lines
+//	GET  /v1/info      backend shape         → wire.Info
+//	GET  /metrics      registry snapshot (when Config.Metrics is set)
+//
+// Errors return a wire.Error JSON body with a classifying code; the
+// /v1/each stream reports errors in its terminal EOF frame instead, since
+// the status line is already on the wire when a query fails mid-stream.
+func NewHandler(eng Engine, cfg Config) http.Handler {
+	h := &handler{eng: eng, cfg: cfg.withDefaults()}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/query", h.query)
+	mux.HandleFunc("POST /v1/queryall", h.queryAll)
+	mux.HandleFunc("POST /v1/count", h.count)
+	mux.HandleFunc("POST /v1/knearest", h.kNearest)
+	mux.HandleFunc("POST /v1/each", h.each)
+	mux.HandleFunc("GET /v1/info", h.info)
+	if h.cfg.Metrics != nil {
+		mux.Handle("GET /metrics", vaq.MetricsHandler(h.cfg.Metrics))
+	}
+	return mux
+}
+
+// requestContext derives the query context: the request's own context
+// (canceled by client disconnect — cancellation over the wire is free)
+// bounded by the Vaq-Timeout-Ms header when present, so a propagated
+// deadline expires server-side even if the connection lingers.
+func (h *handler) requestContext(r *http.Request) (context.Context, context.CancelFunc, error) {
+	ctx := r.Context()
+	hdr := r.Header.Get(wire.TimeoutHeader)
+	if hdr == "" {
+		if h.cfg.MaxTimeout > 0 {
+			ctx, cancel := context.WithTimeout(ctx, h.cfg.MaxTimeout)
+			return ctx, cancel, nil
+		}
+		return ctx, func() {}, nil
+	}
+	ms, err := strconv.ParseInt(hdr, 10, 64)
+	if err != nil || ms <= 0 {
+		return nil, nil, fmt.Errorf("serve: bad %s header %q", wire.TimeoutHeader, hdr)
+	}
+	d := time.Duration(ms) * time.Millisecond
+	if h.cfg.MaxTimeout > 0 && d > h.cfg.MaxTimeout {
+		d = h.cfg.MaxTimeout
+	}
+	ctx, cancel := context.WithTimeout(ctx, d)
+	return ctx, cancel, nil
+}
+
+// decodeBody JSON-decodes the size-capped request body into dst.
+func (h *handler) decodeBody(w http.ResponseWriter, r *http.Request, dst any) error {
+	body := http.MaxBytesReader(w, r.Body, h.cfg.MaxBodyBytes)
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	return dec.Decode(dst)
+}
+
+// writeJSON writes a 200 with the JSON form of v.
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	json.NewEncoder(w).Encode(v)
+}
+
+// writeError writes the classified error body. Client-side cancellation
+// usually never reads it — the connection is gone — but the body keeps
+// curl sessions and proxies honest.
+func writeError(w http.ResponseWriter, we *wire.Error) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(wire.HTTPStatus(we.Code))
+	json.NewEncoder(w).Encode(we)
+}
+
+func badRequest(w http.ResponseWriter, err error) {
+	writeError(w, &wire.Error{Code: wire.CodeBadRequest, Message: err.Error()})
+}
+
+// queryOpts translates wire options into the vaq option set, always
+// routing statistics into st (the response carries them back).
+func queryOpts(opts wire.Options, st *vaq.Stats) ([]vaq.QueryOpt, error) {
+	m, err := wire.ParseMethod(opts.Method)
+	if err != nil {
+		return nil, err
+	}
+	out := []vaq.QueryOpt{vaq.UsingMethod(m), vaq.WithStatsInto(st)}
+	if opts.CountOnly {
+		out = append(out, vaq.CountOnly())
+	}
+	if opts.Limit > 0 {
+		out = append(out, vaq.Limit(opts.Limit))
+	}
+	return out, nil
+}
+
+func (h *handler) query(w http.ResponseWriter, r *http.Request) {
+	var req wire.QueryRequest
+	if err := h.decodeBody(w, r, &req); err != nil {
+		badRequest(w, err)
+		return
+	}
+	region, err := req.Region.Decode()
+	if err != nil {
+		badRequest(w, err)
+		return
+	}
+	ctx, cancel, err := h.requestContext(r)
+	if err != nil {
+		badRequest(w, err)
+		return
+	}
+	defer cancel()
+	var st vaq.Stats
+	opts, err := queryOpts(req.Options, &st)
+	if err != nil {
+		badRequest(w, err)
+		return
+	}
+	ids, err := h.eng.Query(ctx, region, opts...)
+	if err != nil {
+		writeError(w, wire.EncodeError(err))
+		return
+	}
+	ws := wire.FromStats(st)
+	writeJSON(w, wire.QueryResponse{IDs: ids, Count: st.ResultSize, Stats: &ws})
+}
+
+// count is /v1/query with CountOnly forced — sugar so clients and curl
+// sessions need no option plumbing for the common count.
+func (h *handler) count(w http.ResponseWriter, r *http.Request) {
+	var req wire.QueryRequest
+	if err := h.decodeBody(w, r, &req); err != nil {
+		badRequest(w, err)
+		return
+	}
+	req.Options.CountOnly = true
+	region, err := req.Region.Decode()
+	if err != nil {
+		badRequest(w, err)
+		return
+	}
+	ctx, cancel, err := h.requestContext(r)
+	if err != nil {
+		badRequest(w, err)
+		return
+	}
+	defer cancel()
+	var st vaq.Stats
+	opts, err := queryOpts(req.Options, &st)
+	if err != nil {
+		badRequest(w, err)
+		return
+	}
+	if _, err := h.eng.Query(ctx, region, opts...); err != nil {
+		writeError(w, wire.EncodeError(err))
+		return
+	}
+	ws := wire.FromStats(st)
+	writeJSON(w, wire.QueryResponse{Count: st.ResultSize, Stats: &ws})
+}
+
+func (h *handler) queryAll(w http.ResponseWriter, r *http.Request) {
+	var req wire.BatchRequest
+	if err := h.decodeBody(w, r, &req); err != nil {
+		badRequest(w, err)
+		return
+	}
+	regions := make([]vaq.Region, len(req.Regions))
+	for i, wr := range req.Regions {
+		var err error
+		if regions[i], err = wr.Decode(); err != nil {
+			badRequest(w, fmt.Errorf("region %d: %w", i, err))
+			return
+		}
+	}
+	ctx, cancel, err := h.requestContext(r)
+	if err != nil {
+		badRequest(w, err)
+		return
+	}
+	defer cancel()
+	var st vaq.Stats
+	opts, err := queryOpts(req.Options, &st)
+	if err != nil {
+		badRequest(w, err)
+		return
+	}
+	results, err := h.eng.QueryAll(ctx, regions, opts...)
+	if err != nil {
+		writeError(w, wire.EncodeError(err))
+		return
+	}
+	// Align nil sub-slices to empty so the JSON is [] per region, never
+	// null — a batch of n regions always decodes to n slices.
+	for i, ids := range results {
+		if ids == nil {
+			results[i] = []int64{}
+		}
+	}
+	ws := wire.FromStats(st)
+	writeJSON(w, wire.BatchResponse{Results: results, Stats: &ws})
+}
+
+func (h *handler) kNearest(w http.ResponseWriter, r *http.Request) {
+	var req wire.KNNRequest
+	if err := h.decodeBody(w, r, &req); err != nil {
+		badRequest(w, err)
+		return
+	}
+	if req.K < 0 {
+		badRequest(w, errors.New("serve: negative k"))
+		return
+	}
+	ctx, cancel, err := h.requestContext(r)
+	if err != nil {
+		badRequest(w, err)
+		return
+	}
+	defer cancel()
+	ids, st, err := h.eng.KNearest(ctx, req.Point.Point(), req.K)
+	if err != nil {
+		writeError(w, wire.EncodeError(err))
+		return
+	}
+	pts := make([]wire.Coord, len(ids))
+	for i, id := range ids {
+		pts[i] = wire.FromPoint(h.eng.Point(id))
+	}
+	if ids == nil {
+		ids = []int64{}
+	}
+	ws := wire.FromStats(st)
+	writeJSON(w, wire.KNNResponse{IDs: ids, Points: pts, Stats: &ws})
+}
+
+// each streams one area query as NDJSON frames, riding the engine's
+// emit-callback path: every result is on the wire while the BFS is still
+// expanding. The terminal frame carries the statistics (or the error);
+// a stream without one was cut by a disconnect.
+func (h *handler) each(w http.ResponseWriter, r *http.Request) {
+	var req wire.QueryRequest
+	if err := h.decodeBody(w, r, &req); err != nil {
+		badRequest(w, err)
+		return
+	}
+	region, err := req.Region.Decode()
+	if err != nil {
+		badRequest(w, err)
+		return
+	}
+	ctx, cancel, err := h.requestContext(r)
+	if err != nil {
+		badRequest(w, err)
+		return
+	}
+	defer cancel()
+	var st vaq.Stats
+	opts, err := queryOpts(req.Options, &st)
+	if err != nil {
+		badRequest(w, err)
+		return
+	}
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	frames := 0
+	var writeErr error
+	qerr := h.eng.Each(ctx, region, func(id int64, p vaq.Point) bool {
+		if writeErr = enc.Encode(wire.Frame{ID: id, X: p.X, Y: p.Y}); writeErr != nil {
+			return false // client went away; stop the query cleanly
+		}
+		frames++
+		if flusher != nil && frames%h.cfg.StreamFlushEvery == 0 {
+			flusher.Flush()
+		}
+		return true
+	}, opts...)
+	if writeErr != nil {
+		return // connection dead; no terminal frame is deliverable
+	}
+	final := wire.Frame{EOF: true}
+	if qerr != nil {
+		final.Err = wire.EncodeError(qerr)
+	} else {
+		ws := wire.FromStats(st)
+		final.Stats = &ws
+	}
+	enc.Encode(final)
+	if flusher != nil {
+		flusher.Flush()
+	}
+}
+
+func (h *handler) info(w http.ResponseWriter, r *http.Request) {
+	info := wire.Info{Len: h.eng.Len(), IDOffset: h.cfg.IDOffset, Flavor: h.cfg.Flavor}
+	switch e := h.eng.(type) {
+	case bounded:
+		info.Bounds = wire.FromRect(e.Bounds())
+	case universed:
+		info.Bounds = wire.FromRect(e.Universe())
+	}
+	writeJSON(w, info)
+}

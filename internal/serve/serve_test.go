@@ -1,0 +1,500 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	vaq "repro"
+	"repro/internal/wire"
+)
+
+func testEngine(t *testing.T, n int) *vaq.Engine {
+	t.Helper()
+	rng := rand.New(rand.NewSource(42))
+	pts := make([]vaq.Point, n)
+	for i := range pts {
+		pts[i] = vaq.Point{X: rng.Float64(), Y: rng.Float64()}
+	}
+	eng, err := vaq.NewEngine(pts, vaq.NewRect(0, 0, 1, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng
+}
+
+func testRegion() vaq.Region {
+	pg := vaq.MustPolygon([]vaq.Point{
+		{X: 0.2, Y: 0.2}, {X: 0.8, Y: 0.25}, {X: 0.7, Y: 0.8}, {X: 0.25, Y: 0.75},
+	})
+	return vaq.PolygonRegion(pg)
+}
+
+func post(t *testing.T, srv *httptest.Server, path string, body any) *http.Response {
+	t.Helper()
+	data, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := srv.Client().Post(srv.URL+path, "application/json", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func decodeInto(t *testing.T, resp *http.Response, dst any) {
+	t.Helper()
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(resp.Body)
+		t.Fatalf("status %d: %s", resp.StatusCode, b)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(dst); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQueryMatchesLocal(t *testing.T) {
+	eng := testEngine(t, 400)
+	srv := httptest.NewServer(NewHandler(eng, Config{}))
+	defer srv.Close()
+
+	region := testRegion()
+	want, err := eng.Query(context.Background(), region)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want) == 0 {
+		t.Fatal("test region matched nothing; enlarge it")
+	}
+
+	wr, err := wire.EncodeRegion(region)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got wire.QueryResponse
+	decodeInto(t, post(t, srv, "/v1/query", wire.QueryRequest{Region: wr}), &got)
+	if len(got.IDs) != len(want) {
+		t.Fatalf("got %d ids, want %d", len(got.IDs), len(want))
+	}
+	for i := range want {
+		if got.IDs[i] != want[i] {
+			t.Fatalf("id %d: got %d want %d", i, got.IDs[i], want[i])
+		}
+	}
+	if got.Count != len(want) {
+		t.Errorf("count %d, want %d", got.Count, len(want))
+	}
+	if got.Stats == nil || got.Stats.ResultSize != len(want) {
+		t.Errorf("stats missing or wrong: %+v", got.Stats)
+	}
+}
+
+func TestCountAndLimit(t *testing.T) {
+	eng := testEngine(t, 400)
+	srv := httptest.NewServer(NewHandler(eng, Config{}))
+	defer srv.Close()
+
+	region := testRegion()
+	want, err := eng.Query(context.Background(), region)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wr, _ := wire.EncodeRegion(region)
+
+	var cnt wire.QueryResponse
+	decodeInto(t, post(t, srv, "/v1/count", wire.QueryRequest{Region: wr}), &cnt)
+	if cnt.Count != len(want) {
+		t.Errorf("count %d, want %d", cnt.Count, len(want))
+	}
+	if cnt.IDs != nil {
+		t.Errorf("count returned ids: %v", cnt.IDs)
+	}
+
+	var lim wire.QueryResponse
+	decodeInto(t, post(t, srv, "/v1/query",
+		wire.QueryRequest{Region: wr, Options: wire.Options{Limit: 3}}), &lim)
+	if len(lim.IDs) != 3 {
+		t.Errorf("limit 3 returned %d ids", len(lim.IDs))
+	}
+}
+
+func TestQueryAll(t *testing.T) {
+	eng := testEngine(t, 400)
+	srv := httptest.NewServer(NewHandler(eng, Config{}))
+	defer srv.Close()
+
+	inside := testRegion()
+	empty := vaq.CircleRegion(vaq.NewCircle(vaq.Point{X: 0.001, Y: 0.001}, 1e-9))
+	regions := []vaq.Region{inside, empty}
+	want, err := eng.QueryAll(context.Background(), regions)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	req := wire.BatchRequest{Regions: make([]wire.Region, len(regions))}
+	for i, r := range regions {
+		if req.Regions[i], err = wire.EncodeRegion(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var got wire.BatchResponse
+	decodeInto(t, post(t, srv, "/v1/queryall", req), &got)
+	if len(got.Results) != len(want) {
+		t.Fatalf("got %d results, want %d", len(got.Results), len(want))
+	}
+	for i := range want {
+		if len(got.Results[i]) != len(want[i]) {
+			t.Errorf("region %d: got %d ids, want %d", i, len(got.Results[i]), len(want[i]))
+		}
+	}
+	// The empty region's slice must decode as an empty slice, not nil.
+	if got.Results[1] == nil {
+		t.Error("empty region decoded to nil (JSON null), want []")
+	}
+}
+
+func TestKNearest(t *testing.T) {
+	eng := testEngine(t, 400)
+	srv := httptest.NewServer(NewHandler(eng, Config{}))
+	defer srv.Close()
+
+	q := vaq.Point{X: 0.5, Y: 0.5}
+	want, _, err := eng.KNearest(context.Background(), q, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got wire.KNNResponse
+	decodeInto(t, post(t, srv, "/v1/knearest", wire.KNNRequest{Point: wire.FromPoint(q), K: 7}), &got)
+	if len(got.IDs) != len(want) || len(got.Points) != len(want) {
+		t.Fatalf("got %d ids / %d points, want %d", len(got.IDs), len(got.Points), len(want))
+	}
+	for i, id := range want {
+		if got.IDs[i] != id {
+			t.Errorf("id %d: got %d want %d", i, got.IDs[i], id)
+		}
+		if p := eng.Point(id); got.Points[i].Point() != p {
+			t.Errorf("point %d: got %v want %v (must be bit-exact)", i, got.Points[i], p)
+		}
+	}
+}
+
+func TestEachStreams(t *testing.T) {
+	eng := testEngine(t, 400)
+	srv := httptest.NewServer(NewHandler(eng, Config{StreamFlushEvery: 1}))
+	defer srv.Close()
+
+	region := testRegion()
+	want, err := eng.Query(context.Background(), region)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wr, _ := wire.EncodeRegion(region)
+
+	resp := post(t, srv, "/v1/each", wire.QueryRequest{Region: wr})
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "ndjson") {
+		t.Errorf("content type %q", ct)
+	}
+	var ids []int64
+	sawEOF := false
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		var fr wire.Frame
+		if err := json.Unmarshal(sc.Bytes(), &fr); err != nil {
+			t.Fatalf("bad frame %q: %v", sc.Text(), err)
+		}
+		if fr.EOF {
+			sawEOF = true
+			if fr.Err != nil {
+				t.Fatalf("stream error: %+v", fr.Err)
+			}
+			if fr.Stats == nil || fr.Stats.ResultSize != len(want) {
+				t.Errorf("EOF stats: %+v, want result_size %d", fr.Stats, len(want))
+			}
+			break
+		}
+		if p := eng.Point(fr.ID); p.X != fr.X || p.Y != fr.Y {
+			t.Errorf("frame %d coords %v,%v, want %v", fr.ID, fr.X, fr.Y, p)
+		}
+		ids = append(ids, fr.ID)
+	}
+	if !sawEOF {
+		t.Fatal("stream ended without EOF frame")
+	}
+	// Each streams in discovery order; compare as sets via sorted copy.
+	if len(ids) != len(want) {
+		t.Fatalf("streamed %d ids, want %d", len(ids), len(want))
+	}
+	seen := make(map[int64]bool, len(ids))
+	for _, id := range ids {
+		seen[id] = true
+	}
+	for _, id := range want {
+		if !seen[id] {
+			t.Errorf("id %d missing from stream", id)
+		}
+	}
+}
+
+func TestEachClientDisconnect(t *testing.T) {
+	eng := testEngine(t, 2000)
+	srv := httptest.NewServer(NewHandler(eng, Config{StreamFlushEvery: 1}))
+	defer srv.Close()
+
+	// Query the whole universe so the stream is long, then hang up after
+	// the first frame. The handler must stop the query rather than keep
+	// writing into a dead connection.
+	whole := vaq.PolygonRegion(vaq.MustPolygon([]vaq.Point{
+		{X: -0.1, Y: -0.1}, {X: 1.1, Y: -0.1}, {X: 1.1, Y: 1.1}, {X: -0.1, Y: 1.1},
+	}))
+	wr, err := wire.EncodeRegion(whole)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp := post(t, srv, "/v1/each", wire.QueryRequest{Region: wr})
+	sc := bufio.NewScanner(resp.Body)
+	if !sc.Scan() {
+		t.Fatal("no first frame")
+	}
+	resp.Body.Close() // mid-stream disconnect
+
+	// The server notices on its next write; nothing to assert beyond "no
+	// hang": give the handler a moment to unwind under -race.
+	time.Sleep(50 * time.Millisecond)
+}
+
+func TestInfo(t *testing.T) {
+	eng := testEngine(t, 100)
+	srv := httptest.NewServer(NewHandler(eng, Config{IDOffset: 1000, Flavor: "static"}))
+	defer srv.Close()
+
+	resp, err := srv.Client().Get(srv.URL + "/v1/info")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var info wire.Info
+	decodeInto(t, resp, &info)
+	if info.Len != 100 || info.IDOffset != 1000 || info.Flavor != "static" {
+		t.Errorf("info: %+v", info)
+	}
+	if b := info.Rect(); b != eng.Bounds() {
+		t.Errorf("bounds %v, want %v", b, eng.Bounds())
+	}
+}
+
+func TestMetricsMounted(t *testing.T) {
+	reg := vaq.NewMetricsRegistry()
+	rng := rand.New(rand.NewSource(1))
+	pts := make([]vaq.Point, 64)
+	for i := range pts {
+		pts[i] = vaq.Point{X: rng.Float64(), Y: rng.Float64()}
+	}
+	eng, err := vaq.NewEngine(pts, vaq.NewRect(0, 0, 1, 1), vaq.WithMetrics(reg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(NewHandler(eng, Config{Metrics: reg}))
+	defer srv.Close()
+
+	wr, _ := wire.EncodeRegion(testRegion())
+	post(t, srv, "/v1/query", wire.QueryRequest{Region: wr}).Body.Close()
+
+	resp, err := srv.Client().Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap map[string]any
+	decodeInto(t, resp, &snap)
+	if len(snap) == 0 {
+		t.Error("metrics snapshot empty after a query")
+	}
+	resp, err = srv.Client().Get(srv.URL + "/metrics?format=prom")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(b), "vaq_") {
+		t.Errorf("prometheus format missing vaq_ metrics:\n%s", b)
+	}
+}
+
+func TestErrorMapping(t *testing.T) {
+	eng := testEngine(t, 100)
+	srv := httptest.NewServer(NewHandler(eng, Config{}))
+	defer srv.Close()
+
+	// Malformed JSON body.
+	resp, err := srv.Client().Post(srv.URL+"/v1/query", "application/json",
+		strings.NewReader("{not json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed body: status %d", resp.StatusCode)
+	}
+
+	// Structurally invalid region.
+	bad := wire.QueryRequest{Region: wire.Region{Kind: "blob"}}
+	resp = post(t, srv, "/v1/query", bad)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad region: status %d", resp.StatusCode)
+	}
+
+	// Unknown method.
+	wr, _ := wire.EncodeRegion(testRegion())
+	resp = post(t, srv, "/v1/query",
+		wire.QueryRequest{Region: wr, Options: wire.Options{Method: "dijkstra"}})
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("unknown method: status %d", resp.StatusCode)
+	}
+
+	// Empty engine → ErrNoData from KNearest → 422 with no_data code.
+	dyn := vaq.NewDynamicEngine(vaq.NewRect(0, 0, 1, 1))
+	esrv := httptest.NewServer(NewHandler(dyn, Config{}))
+	defer esrv.Close()
+	resp = post(t, esrv, "/v1/knearest", wire.KNNRequest{Point: wire.Coord{X: 0.5, Y: 0.5}, K: 3})
+	if resp.StatusCode != 422 {
+		t.Errorf("knearest on empty: status %d", resp.StatusCode)
+	}
+	var we wire.Error
+	decodeInto2(t, resp, &we)
+	if we.Code != wire.CodeNoData {
+		t.Errorf("code %q, want %q", we.Code, wire.CodeNoData)
+	}
+	if !errors.Is(we.Err(), vaq.ErrNoData) {
+		t.Errorf("decoded error %v does not match ErrNoData", we.Err())
+	}
+}
+
+// decodeInto2 decodes a non-200 JSON body.
+func decodeInto2(t *testing.T, resp *http.Response, dst any) {
+	t.Helper()
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(dst); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// ctxEngine records the context deadline its Query sees.
+type ctxEngine struct {
+	*vaq.Engine
+	sawDeadline atomic.Int64 // remaining ms at Query entry, -1 if none
+}
+
+func (c *ctxEngine) Query(ctx context.Context, region vaq.Region, opts ...vaq.QueryOpt) ([]int64, error) {
+	if d, ok := ctx.Deadline(); ok {
+		c.sawDeadline.Store(time.Until(d).Milliseconds())
+	} else {
+		c.sawDeadline.Store(-1)
+	}
+	return c.Engine.Query(ctx, region, opts...)
+}
+
+func TestDeadlinePropagation(t *testing.T) {
+	ce := &ctxEngine{Engine: testEngine(t, 100)}
+	srv := httptest.NewServer(NewHandler(ce, Config{}))
+	defer srv.Close()
+
+	wr, _ := wire.EncodeRegion(testRegion())
+	data, _ := json.Marshal(wire.QueryRequest{Region: wr})
+
+	// Without the header: no deadline.
+	post(t, srv, "/v1/query", wire.QueryRequest{Region: wr}).Body.Close()
+	if got := ce.sawDeadline.Load(); got != -1 {
+		t.Errorf("no header: query saw deadline %dms, want none", got)
+	}
+
+	// With the header: a deadline within (0, 30s].
+	req, _ := http.NewRequest("POST", srv.URL+"/v1/query", bytes.NewReader(data))
+	req.Header.Set(wire.TimeoutHeader, "30000")
+	resp, err := srv.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got := ce.sawDeadline.Load(); got <= 0 || got > 30000 {
+		t.Errorf("header 30000: query saw remaining %dms", got)
+	}
+
+	// MaxTimeout caps the requested budget.
+	capped := httptest.NewServer(NewHandler(ce, Config{MaxTimeout: 50 * time.Millisecond}))
+	defer capped.Close()
+	req, _ = http.NewRequest("POST", capped.URL+"/v1/query", bytes.NewReader(data))
+	req.Header.Set(wire.TimeoutHeader, "60000")
+	if resp, err = capped.Client().Do(req); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got := ce.sawDeadline.Load(); got <= 0 || got > 50 {
+		t.Errorf("capped: query saw remaining %dms, want <=50", got)
+	}
+
+	// A garbage header is a bad request.
+	req, _ = http.NewRequest("POST", srv.URL+"/v1/query", bytes.NewReader(data))
+	req.Header.Set(wire.TimeoutHeader, "soon")
+	if resp, err = srv.Client().Do(req); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("garbage timeout header: status %d", resp.StatusCode)
+	}
+
+	// An already-expired budget fails with the deadline code.
+	slow := &slowEngine{Engine: ce.Engine}
+	ssrv := httptest.NewServer(NewHandler(slow, Config{}))
+	defer ssrv.Close()
+	req, _ = http.NewRequest("POST", ssrv.URL+"/v1/query", bytes.NewReader(data))
+	req.Header.Set(wire.TimeoutHeader, "1")
+	if resp, err = ssrv.Client().Do(req); err != nil {
+		t.Fatal(err)
+	}
+	var we wire.Error
+	status := resp.StatusCode
+	decodeInto2(t, resp, &we)
+	if status != 504 || we.Code != wire.CodeDeadline {
+		t.Errorf("expired budget: status %d code %q, want 504 %q", status, we.Code, wire.CodeDeadline)
+	}
+}
+
+// slowEngine blocks until the context dies, forcing a deadline error.
+type slowEngine struct{ *vaq.Engine }
+
+func (s *slowEngine) Query(ctx context.Context, region vaq.Region, opts ...vaq.QueryOpt) ([]int64, error) {
+	<-ctx.Done()
+	return nil, ctx.Err()
+}
+
+func TestBodySizeCap(t *testing.T) {
+	eng := testEngine(t, 100)
+	srv := httptest.NewServer(NewHandler(eng, Config{MaxBodyBytes: 128}))
+	defer srv.Close()
+
+	big := `{"region":{"kind":"polygon","outer":[` +
+		strings.Repeat(`[0.1,0.1],`, 64) + `[0.2,0.2]]}}`
+	resp, err := srv.Client().Post(srv.URL+"/v1/query", "application/json",
+		strings.NewReader(big))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("oversized body: status %d, want 400", resp.StatusCode)
+	}
+}

@@ -1,0 +1,461 @@
+// Package wire is the canonical JSON encoding of the serving layer: the
+// one representation of regions, query options, statistics and results
+// that cmd/areaserve and the remote client engine agree on.
+//
+// The encoding discipline follows the result cache's CacheKeyer contract:
+// two regions encode equal iff they are geometry-for-geometry the same
+// shape, and every finite float64 coordinate round-trips bit-exactly
+// (encoding/json emits the shortest representation that parses back to
+// the identical bits). Non-finite coordinates (NaN, ±Inf) are rejected on
+// both encode and decode — they have no JSON representation and no
+// geometric meaning — as are structurally invalid shapes (degenerate
+// rings, negative radii), so a decoded region is always safe to query.
+//
+// Streaming results ride in NDJSON frames (see Frame): one JSON value per
+// line, data frames carrying id and coordinates, a final EOF frame
+// carrying the query's statistics or its error.
+package wire
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+)
+
+// Coord is a point on the wire, encoded as a two-element JSON array
+// [x, y]. Both encode and decode reject non-finite values.
+type Coord struct {
+	X, Y float64
+}
+
+// errNonFinite is the coordinate-rejection error shared by encode and
+// decode paths.
+var errNonFinite = errors.New("wire: non-finite coordinate")
+
+func finite(vs ...float64) bool {
+	for _, v := range vs {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return false
+		}
+	}
+	return true
+}
+
+// MarshalJSON implements json.Marshaler as the array form.
+func (c Coord) MarshalJSON() ([]byte, error) {
+	if !finite(c.X, c.Y) {
+		return nil, errNonFinite
+	}
+	return json.Marshal([2]float64{c.X, c.Y})
+}
+
+// UnmarshalJSON implements json.Unmarshaler, rejecting anything but a
+// two-element array of finite numbers.
+func (c *Coord) UnmarshalJSON(data []byte) error {
+	var a [2]float64
+	if err := json.Unmarshal(data, &a); err != nil {
+		return err
+	}
+	if !finite(a[0], a[1]) {
+		return errNonFinite
+	}
+	c.X, c.Y = a[0], a[1]
+	return nil
+}
+
+// Point converts to the geometry kernel's point.
+func (c Coord) Point() geom.Point { return geom.Point{X: c.X, Y: c.Y} }
+
+// FromPoint converts from the geometry kernel's point.
+func FromPoint(p geom.Point) Coord { return Coord{X: p.X, Y: p.Y} }
+
+// Region kinds.
+const (
+	KindPolygon = "polygon"
+	KindCircle  = "circle"
+)
+
+// Region is a query shape on the wire. Kind selects the variant: a
+// polygon carries Outer (and optionally Holes), a circle carries Center
+// and R. Anchor, when present on either kind, overrides the seed anchor
+// the Voronoi BFS starts from (core.AnchoredRegion).
+type Region struct {
+	Kind   string    `json:"kind"`
+	Outer  []Coord   `json:"outer,omitempty"`
+	Holes  [][]Coord `json:"holes,omitempty"`
+	Center *Coord    `json:"center,omitempty"`
+	R      float64   `json:"r,omitempty"`
+	Anchor *Coord    `json:"anchor,omitempty"`
+}
+
+// polygonSource is implemented by regions whose underlying polygon is
+// recoverable (geom.PreparedPolygon, the shape behind vaq.PolygonRegion).
+type polygonSource interface{ Polygon() geom.Polygon }
+
+// circleSource is implemented by regions whose underlying circle is
+// recoverable (core's circle region).
+type circleSource interface{ Circle() geom.Circle }
+
+// EncodeRegion converts a core.Region into its wire form. Prepared
+// polygons, circle regions and core.AnchoredRegion wrappers of either are
+// supported; custom Region implementations (whose geometry the codec
+// cannot see) return an error. Non-finite coordinates are rejected.
+func EncodeRegion(r core.Region) (Region, error) {
+	var out Region
+	if ar, ok := r.(core.AnchoredRegion); ok {
+		if !finite(ar.Anchor.X, ar.Anchor.Y) {
+			return Region{}, errNonFinite
+		}
+		inner, err := EncodeRegion(ar.Region)
+		if err != nil {
+			return Region{}, err
+		}
+		a := FromPoint(ar.Anchor)
+		inner.Anchor = &a
+		return inner, nil
+	}
+	switch src := r.(type) {
+	case polygonSource:
+		pg := src.Polygon()
+		out.Kind = KindPolygon
+		var err error
+		if out.Outer, err = encodeRing(pg.Outer); err != nil {
+			return Region{}, err
+		}
+		for _, h := range pg.Holes {
+			ring, err := encodeRing(h)
+			if err != nil {
+				return Region{}, err
+			}
+			out.Holes = append(out.Holes, ring)
+		}
+		return out, nil
+	case circleSource:
+		c := src.Circle()
+		if !finite(c.Center.X, c.Center.Y, c.R) {
+			return Region{}, errNonFinite
+		}
+		center := FromPoint(c.Center)
+		return Region{Kind: KindCircle, Center: &center, R: c.R}, nil
+	default:
+		return Region{}, fmt.Errorf("wire: region type %T has no wire encoding", r)
+	}
+}
+
+func encodeRing(r geom.Ring) ([]Coord, error) {
+	out := make([]Coord, len(r))
+	for i, p := range r {
+		if !finite(p.X, p.Y) {
+			return nil, errNonFinite
+		}
+		out[i] = FromPoint(p)
+	}
+	return out, nil
+}
+
+func decodeRing(cs []Coord) []geom.Point {
+	out := make([]geom.Point, len(cs))
+	for i, c := range cs {
+		out[i] = c.Point()
+	}
+	return out
+}
+
+// Decode validates the wire region and converts it back into a prepared
+// core.Region — the exact shape EncodeRegion took apart. Invalid input
+// (unknown kind, degenerate or self-intersecting rings, non-finite or
+// negative radius) fails rather than producing a region that could crash
+// a query.
+func (r Region) Decode() (core.Region, error) {
+	var region core.Region
+	switch r.Kind {
+	case KindPolygon:
+		pg, err := geom.NewPolygon(decodeRing(r.Outer))
+		if err != nil {
+			return nil, fmt.Errorf("wire: polygon: %w", err)
+		}
+		for i, h := range r.Holes {
+			if err := pg.AddHole(decodeRing(h)); err != nil {
+				return nil, fmt.Errorf("wire: polygon hole %d: %w", i, err)
+			}
+		}
+		region = core.PolygonRegion(pg)
+	case KindCircle:
+		if r.Center == nil {
+			return nil, errors.New("wire: circle region missing center")
+		}
+		if !finite(r.Center.X, r.Center.Y, r.R) {
+			return nil, errNonFinite
+		}
+		if r.R < 0 {
+			return nil, errors.New("wire: circle region with negative radius")
+		}
+		region = core.CircleRegion(geom.NewCircle(r.Center.Point(), r.R))
+	default:
+		return nil, fmt.Errorf("wire: unknown region kind %q", r.Kind)
+	}
+	if r.Anchor != nil {
+		if !finite(r.Anchor.X, r.Anchor.Y) {
+			return nil, errNonFinite
+		}
+		region = core.AnchoredRegion{Region: region, Anchor: r.Anchor.Point()}
+	}
+	return region, nil
+}
+
+// Options are the per-query options that travel with a request — exactly
+// the result-shaping subset of the vaq option set (method, count-only,
+// limit). Stats and trace destinations are caller-local and stay on their
+// side of the wire; the server always returns its statistics.
+type Options struct {
+	Method    string `json:"method,omitempty"`
+	CountOnly bool   `json:"count_only,omitempty"`
+	Limit     int    `json:"limit,omitempty"`
+}
+
+// OptionsFromSpec lifts the wire-visible fields out of a resolved query
+// spec.
+func OptionsFromSpec(spec core.QuerySpec) Options {
+	return Options{
+		Method:    MethodString(spec.Method),
+		CountOnly: spec.CountOnly,
+		Limit:     spec.Limit,
+	}
+}
+
+// MethodString names a method on the wire (core's String names are the
+// canonical wire values).
+func MethodString(m core.Method) string { return m.String() }
+
+// ParseMethod inverts MethodString. The empty string selects the default
+// method (VoronoiBFS, matching the zero option set).
+func ParseMethod(s string) (core.Method, error) {
+	switch s {
+	case "":
+		return core.VoronoiBFS, nil
+	case core.Traditional.String():
+		return core.Traditional, nil
+	case core.VoronoiBFS.String():
+		return core.VoronoiBFS, nil
+	case core.VoronoiBFSStrict.String():
+		return core.VoronoiBFSStrict, nil
+	case core.BruteForce.String():
+		return core.BruteForce, nil
+	default:
+		return 0, fmt.Errorf("wire: unknown method %q", s)
+	}
+}
+
+// Stats is core.Stats on the wire. Duration travels as integer
+// nanoseconds.
+type Stats struct {
+	Method               string `json:"method,omitempty"`
+	ResultSize           int    `json:"result_size,omitempty"`
+	Candidates           int    `json:"candidates,omitempty"`
+	RedundantValidations int    `json:"redundant_validations,omitempty"`
+	SegmentTests         int    `json:"segment_tests,omitempty"`
+	CellTests            int    `json:"cell_tests,omitempty"`
+	IndexNodesVisited    int    `json:"index_nodes_visited,omitempty"`
+	RecordsLoaded        int    `json:"records_loaded,omitempty"`
+	DurationNs           int64  `json:"duration_ns,omitempty"`
+}
+
+// FromStats converts engine statistics to wire form.
+func FromStats(st core.Stats) Stats {
+	return Stats{
+		Method:               MethodString(st.Method),
+		ResultSize:           st.ResultSize,
+		Candidates:           st.Candidates,
+		RedundantValidations: st.RedundantValidations,
+		SegmentTests:         st.SegmentTests,
+		CellTests:            st.CellTests,
+		IndexNodesVisited:    st.IndexNodesVisited,
+		RecordsLoaded:        st.RecordsLoaded,
+		DurationNs:           st.Duration.Nanoseconds(),
+	}
+}
+
+// ToStats converts back. An unknown method string degrades to the value's
+// zero method rather than failing — statistics are advisory.
+func (s Stats) ToStats() core.Stats {
+	m, err := ParseMethod(s.Method)
+	if err != nil {
+		m = 0
+	}
+	return core.Stats{
+		Method:               m,
+		ResultSize:           s.ResultSize,
+		Candidates:           s.Candidates,
+		RedundantValidations: s.RedundantValidations,
+		SegmentTests:         s.SegmentTests,
+		CellTests:            s.CellTests,
+		IndexNodesVisited:    s.IndexNodesVisited,
+		RecordsLoaded:        s.RecordsLoaded,
+		Duration:             time.Duration(s.DurationNs),
+	}
+}
+
+// QueryRequest is the body of POST /v1/query and /v1/count.
+type QueryRequest struct {
+	Region  Region  `json:"region"`
+	Options Options `json:"options"`
+}
+
+// QueryResponse is the body of a successful /v1/query or /v1/count.
+// Count always holds the match count; IDs is nil under count-only.
+type QueryResponse struct {
+	IDs   []int64 `json:"ids,omitempty"`
+	Count int     `json:"count"`
+	Stats *Stats  `json:"stats,omitempty"`
+}
+
+// BatchRequest is the body of POST /v1/queryall.
+type BatchRequest struct {
+	Regions []Region `json:"regions"`
+	Options Options  `json:"options"`
+}
+
+// BatchResponse is the body of a successful /v1/queryall: one result
+// slice per request region, aligned, plus the batch's aggregate
+// statistics.
+type BatchResponse struct {
+	Results [][]int64 `json:"results"`
+	Stats   *Stats    `json:"stats,omitempty"`
+}
+
+// KNNRequest is the body of POST /v1/knearest.
+type KNNRequest struct {
+	Point Coord `json:"point"`
+	K     int   `json:"k"`
+}
+
+// KNNResponse is the body of a successful /v1/knearest: ids in increasing
+// distance order and their coordinates, aligned, so a fan-out client can
+// re-merge across backends by exact distance.
+type KNNResponse struct {
+	IDs    []int64 `json:"ids"`
+	Points []Coord `json:"points"`
+	Stats  *Stats  `json:"stats,omitempty"`
+}
+
+// Info is the body of GET /v1/info: what a client needs to fan out to
+// this backend — its size, its universe (for MBR pruning), and the global
+// id its local id 0 corresponds to.
+type Info struct {
+	Len      int        `json:"len"`
+	Bounds   [4]float64 `json:"bounds"` // min x, min y, max x, max y
+	IDOffset int64      `json:"id_offset"`
+	Flavor   string     `json:"flavor,omitempty"`
+}
+
+// Rect converts the bounds quadruple to a rectangle.
+func (i Info) Rect() geom.Rect {
+	return geom.Rect{MinX: i.Bounds[0], MinY: i.Bounds[1], MaxX: i.Bounds[2], MaxY: i.Bounds[3]}
+}
+
+// FromRect fills the bounds quadruple.
+func FromRect(r geom.Rect) [4]float64 { return [4]float64{r.MinX, r.MinY, r.MaxX, r.MaxY} }
+
+// Frame is one line of an NDJSON query stream (POST /v1/each). Data
+// frames carry a result id and its coordinates; the final frame has EOF
+// set and carries either the query's statistics or its error. A stream
+// that ends without an EOF frame was truncated (disconnect) and must not
+// be treated as complete.
+type Frame struct {
+	ID    int64   `json:"id"`
+	X     float64 `json:"x"`
+	Y     float64 `json:"y"`
+	EOF   bool    `json:"eof,omitempty"`
+	Stats *Stats  `json:"stats,omitempty"`
+	Err   *Error  `json:"error,omitempty"`
+}
+
+// Error codes classify failures across the wire so the client can map
+// them back to the sentinel errors local engines return.
+const (
+	CodeBadRequest      = "bad_request"
+	CodeNoData          = "no_data"
+	CodeOutsideUniverse = "outside_universe"
+	CodeCanceled        = "canceled"
+	CodeDeadline        = "deadline_exceeded"
+	CodeInternal        = "internal"
+)
+
+// Error is the JSON error body (and the error half of an EOF frame).
+type Error struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// EncodeError classifies err into a wire error. Callers that know better
+// (bad request decoding) build the Error directly.
+func EncodeError(err error) *Error {
+	return &Error{Code: classify(err), Message: err.Error()}
+}
+
+func classify(err error) string {
+	switch {
+	case errors.Is(err, core.ErrNoData):
+		return CodeNoData
+	case errors.Is(err, core.ErrOutsideUniverse):
+		return CodeOutsideUniverse
+	case errors.Is(err, context.Canceled):
+		return CodeCanceled
+	case errors.Is(err, context.DeadlineExceeded):
+		return CodeDeadline
+	default:
+		return CodeInternal
+	}
+}
+
+// HTTPStatus maps an error code to the response status the server uses.
+// The client keys off the code, not the status; the status exists for
+// curl users and proxies.
+func HTTPStatus(code string) int {
+	switch code {
+	case CodeBadRequest:
+		return 400
+	case CodeNoData, CodeOutsideUniverse:
+		return 422
+	case CodeCanceled:
+		return 499 // client closed request (nginx convention)
+	case CodeDeadline:
+		return 504
+	default:
+		return 500
+	}
+}
+
+// Err converts a wire error back into a Go error whose chain matches the
+// sentinel the server classified — errors.Is(err, core.ErrNoData),
+// context.Canceled, context.DeadlineExceeded and core.ErrOutsideUniverse
+// all work across the wire.
+func (e *Error) Err() error {
+	if e == nil {
+		return nil
+	}
+	switch e.Code {
+	case CodeNoData:
+		return fmt.Errorf("%w (remote: %s)", core.ErrNoData, e.Message)
+	case CodeOutsideUniverse:
+		return fmt.Errorf("%w (remote: %s)", core.ErrOutsideUniverse, e.Message)
+	case CodeCanceled:
+		return fmt.Errorf("%w (remote: %s)", context.Canceled, e.Message)
+	case CodeDeadline:
+		return fmt.Errorf("%w (remote: %s)", context.DeadlineExceeded, e.Message)
+	default:
+		return fmt.Errorf("wire: remote error (%s): %s", e.Code, e.Message)
+	}
+}
+
+// TimeoutHeader is the deadline-propagation header: the client sets it to
+// its context's remaining budget in integer milliseconds, and the server
+// bounds the query's context by it — so a deadline crossing the wire
+// expires server-side even when the transport connection lingers.
+const TimeoutHeader = "Vaq-Timeout-Ms"

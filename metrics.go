@@ -21,6 +21,7 @@ const (
 	flavorStatic  = "static"
 	flavorSharded = "sharded"
 	flavorDynamic = "dynamic"
+	flavorRemote  = "remote"
 )
 
 // MetricsRegistry collects engine metrics: atomic counters, gauges and

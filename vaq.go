@@ -133,6 +133,8 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"net/http"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/geom"
@@ -300,6 +302,13 @@ type config struct {
 	rcache      *ResultCache
 	metrics     *obs.Registry
 	poolShards  int
+	// Remote-engine (DialRemote/NewRemoteEngine) knobs; local
+	// constructors ignore them.
+	remoteClient   *http.Client
+	remotePerTry   time.Duration
+	remoteRetries  int
+	remoteBackoff  time.Duration
+	remoteDegraded bool
 	// poolShardsSet records that WithBufferPoolShards was given, so an
 	// explicit 0 ("use the GOMAXPROCS default") still overrides a
 	// StoreConfig.PoolShards value.

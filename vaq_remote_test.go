@@ -1,0 +1,580 @@
+package vaq_test
+
+// The remote conformance suite: a RemoteEngine fanned out over areaserve
+// backends must answer every query byte-identically to a local engine
+// over the union of the backends' points — plus the wire-specific
+// contracts no local flavor has: deadline propagation into the server,
+// cancellation over the wire, mid-stream disconnects, retry and the
+// degraded partial-failure policy.
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"slices"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	vaq "repro"
+	"repro/internal/serve"
+	"repro/internal/wire"
+)
+
+// remoteFixture is a dataset split into contiguous chunks, each served by
+// its own in-process areaserve handler, plus the local oracle over the
+// whole dataset.
+type remoteFixture struct {
+	pts    []vaq.Point
+	local  *vaq.Engine
+	urls   []string
+	chunks []*vaq.Engine // per-backend engines, for direct inspection
+}
+
+// startFixture splits pts at the given cut indexes (uneven on purpose —
+// even splits hide id-offset bugs) and serves each chunk.
+func startFixture(t *testing.T, pts []vaq.Point, cuts ...int) *remoteFixture {
+	t.Helper()
+	local, err := vaq.NewEngine(pts, vaq.UnitSquare())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := &remoteFixture{pts: pts, local: local}
+	starts := append([]int{0}, cuts...)
+	for i, start := range starts {
+		end := len(pts)
+		if i+1 < len(starts) {
+			end = starts[i+1]
+		}
+		eng, err := vaq.NewEngine(pts[start:end], vaq.UnitSquare())
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv := httptest.NewServer(serve.NewHandler(eng, serve.Config{
+			IDOffset: int64(start),
+			Flavor:   "static",
+		}))
+		t.Cleanup(srv.Close)
+		f.urls = append(f.urls, srv.URL)
+		f.chunks = append(f.chunks, eng)
+	}
+	return f
+}
+
+func (f *remoteFixture) dial(t *testing.T, opts ...vaq.Option) *vaq.RemoteEngine {
+	t.Helper()
+	re, err := vaq.DialRemote(context.Background(), f.urls, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.Len() != len(f.pts) {
+		t.Fatalf("remote engine advertises %d points, dataset has %d", re.Len(), len(f.pts))
+	}
+	return re
+}
+
+// remoteConformanceRegions mirrors the local suite's query shapes.
+func remoteConformanceRegions(rng *rand.Rand) map[string]vaq.Region {
+	return map[string]vaq.Region{
+		"concave": vaq.PolygonRegion(vaq.RandomQueryPolygon(rng, 10, 0.05, vaq.UnitSquare())),
+		"sliver": vaq.PolygonRegion(vaq.MustPolygon([]vaq.Point{
+			vaq.Pt(0.10, 0.10), vaq.Pt(0.90, 0.12), vaq.Pt(0.90, 0.13),
+			vaq.Pt(0.12, 0.125), vaq.Pt(0.11, 0.30), vaq.Pt(0.10, 0.30),
+		})),
+		"circle": vaq.CircleRegion(vaq.NewCircle(vaq.Pt(0.6, 0.4), 0.12)),
+		"empty":  vaq.PolygonRegion(vaq.MustPolygon([]vaq.Point{vaq.Pt(0.0001, 0.0001), vaq.Pt(0.0002, 0.0001), vaq.Pt(0.0002, 0.0002)})),
+	}
+}
+
+// TestRemoteConformance pins RemoteEngine byte-identical to the local
+// oracle across methods × regions × options.
+func TestRemoteConformance(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	pts := vaq.UniformPoints(rng, 2500, vaq.UnitSquare())
+	f := startFixture(t, pts, 1000, 1600) // three uneven chunks
+	re := f.dial(t)
+	ctx := context.Background()
+
+	for rname, region := range remoteConformanceRegions(rng) {
+		oracle, err := f.local.Query(ctx, region)
+		if err != nil {
+			t.Fatalf("%s: local oracle: %v", rname, err)
+		}
+		for _, m := range []vaq.Method{vaq.Traditional, vaq.VoronoiBFS, vaq.VoronoiBFSStrict, vaq.BruteForce} {
+			t.Run(rname+"/"+m.String(), func(t *testing.T) {
+				var st vaq.Stats
+				got, err := re.Query(ctx, region, vaq.UsingMethod(m), vaq.WithStatsInto(&st))
+				if err != nil {
+					t.Fatal(err)
+				}
+				localIDs, err := f.local.Query(ctx, region, vaq.UsingMethod(m))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !slices.Equal(got, localIDs) {
+					t.Fatalf("Query: %d ids, local %d — not byte-identical", len(got), len(localIDs))
+				}
+				if st.ResultSize != len(got) {
+					t.Errorf("stats.ResultSize = %d, want %d", st.ResultSize, len(got))
+				}
+
+				// CountOnly: nil ids, exact count.
+				var cst vaq.Stats
+				ids, err := re.Query(ctx, region, vaq.UsingMethod(m), vaq.CountOnly(), vaq.WithStatsInto(&cst))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if ids != nil {
+					t.Errorf("CountOnly returned %d ids, want nil", len(ids))
+				}
+				if cst.ResultSize != len(oracle) {
+					t.Errorf("CountOnly count = %d, want %d", cst.ResultSize, len(oracle))
+				}
+
+				// Limit: exactly min(lim, total) valid matches, ascending.
+				for _, lim := range []int{1, 3, len(oracle) + 10} {
+					got, err := re.Query(ctx, region, vaq.UsingMethod(m), vaq.Limit(lim))
+					if err != nil {
+						t.Fatalf("Limit(%d): %v", lim, err)
+					}
+					want := min(lim, len(oracle))
+					if len(got) != want {
+						t.Fatalf("Limit(%d): %d ids, want %d", lim, len(got), want)
+					}
+					if !slices.IsSorted(got) {
+						t.Fatalf("Limit(%d): ids not ascending", lim)
+					}
+					for _, id := range got {
+						if _, ok := slices.BinarySearch(oracle, id); !ok {
+							t.Fatalf("Limit(%d): id %d not in oracle", lim, id)
+						}
+					}
+				}
+
+				// Each: streamed set covers the oracle, every position
+				// bit-exact from the wire.
+				var streamed []int64
+				err = re.Each(ctx, region, func(id int64, p vaq.Point) bool {
+					streamed = append(streamed, id)
+					if p != pts[id] {
+						t.Fatalf("Each: id %d position %v, want %v (must be bit-exact)", id, p, pts[id])
+					}
+					return true
+				}, vaq.UsingMethod(m))
+				if err != nil {
+					t.Fatal(err)
+				}
+				slices.Sort(streamed)
+				if !slices.Equal(streamed, oracle) {
+					t.Fatalf("Each streamed %d ids, oracle %d", len(streamed), len(oracle))
+				}
+			})
+		}
+	}
+}
+
+// TestRemoteQueryAll pins the batch entry point against per-region local
+// queries, including the count-only form.
+func TestRemoteQueryAll(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	pts := vaq.UniformPoints(rng, 2000, vaq.UnitSquare())
+	f := startFixture(t, pts, 900)
+	re := f.dial(t)
+	ctx := context.Background()
+
+	regions := make([]vaq.Region, 8)
+	for i := range regions {
+		if i%3 == 2 {
+			regions[i] = vaq.CircleRegion(vaq.NewCircle(vaq.Pt(0.2+0.6*rng.Float64(), 0.2+0.6*rng.Float64()), 0.08))
+		} else {
+			regions[i] = vaq.PolygonRegion(vaq.RandomQueryPolygon(rng, 8, 0.02, vaq.UnitSquare()))
+		}
+	}
+
+	var agg vaq.Stats
+	out, err := re.QueryAll(ctx, regions, vaq.WithStatsInto(&agg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(regions) {
+		t.Fatalf("%d results for %d regions", len(out), len(regions))
+	}
+	total := 0
+	for i, region := range regions {
+		want, err := f.local.Query(ctx, region)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !slices.Equal(out[i], want) {
+			t.Fatalf("batch result %d diverges from the local oracle", i)
+		}
+		total += len(want)
+	}
+	if agg.ResultSize != total {
+		t.Errorf("aggregate ResultSize = %d, want %d", agg.ResultSize, total)
+	}
+
+	var cagg vaq.Stats
+	cout, err := re.QueryAll(ctx, regions, vaq.CountOnly(), vaq.WithStatsInto(&cagg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range cout {
+		if cout[i] != nil {
+			t.Fatalf("CountOnly batch slice %d not nil", i)
+		}
+	}
+	if cagg.ResultSize != total {
+		t.Errorf("CountOnly aggregate = %d, want %d", cagg.ResultSize, total)
+	}
+}
+
+// TestRemoteKNearest pins the fan-out KNN merge byte-identical to the
+// local engine: same ids, same order, for ks spanning chunk boundaries.
+func TestRemoteKNearest(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	pts := vaq.UniformPoints(rng, 1500, vaq.UnitSquare())
+	f := startFixture(t, pts, 500, 1200)
+	re := f.dial(t)
+	ctx := context.Background()
+
+	queries := []vaq.Point{
+		vaq.Pt(0.5, 0.5), vaq.Pt(0.01, 0.99), vaq.Pt(0.73, 0.12), vaq.Pt(1.5, 0.5),
+	}
+	for _, q := range queries {
+		for _, k := range []int{1, 7, 64} {
+			want, _, err := f.local.KNearest(ctx, q, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, st, err := re.KNearest(ctx, q, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !slices.Equal(got, want) {
+				t.Fatalf("KNearest(%v, %d): diverges from local (got %v..., want %v...)",
+					q, k, head(got), head(want))
+			}
+			if st.ResultSize != len(want) {
+				t.Errorf("KNearest stats.ResultSize = %d, want %d", st.ResultSize, len(want))
+			}
+		}
+	}
+	if _, _, err := re.KNearest(ctx, vaq.Pt(0.5, 0.5), 0); err != nil {
+		t.Errorf("k=0: %v", err)
+	}
+}
+
+func head(ids []int64) []int64 {
+	if len(ids) > 5 {
+		return ids[:5]
+	}
+	return ids
+}
+
+// slowServeEngine wraps an engine, blocking Query until its context dies
+// and recording whether that context carried a deadline.
+type slowServeEngine struct {
+	*vaq.Engine
+	sawDeadline atomic.Bool
+	entered     chan struct{} // closed once, on first Query entry
+	once        atomic.Bool
+}
+
+func (s *slowServeEngine) Query(ctx context.Context, region vaq.Region, opts ...vaq.QueryOpt) ([]int64, error) {
+	if _, ok := ctx.Deadline(); ok {
+		s.sawDeadline.Store(true)
+	}
+	if s.once.CompareAndSwap(false, true) {
+		close(s.entered)
+	}
+	<-ctx.Done()
+	return nil, ctx.Err()
+}
+
+func slowBackend(t *testing.T, n int) (*slowServeEngine, string) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(7))
+	eng, err := vaq.NewEngine(vaq.UniformPoints(rng, n, vaq.UnitSquare()), vaq.UnitSquare())
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow := &slowServeEngine{Engine: eng, entered: make(chan struct{})}
+	srv := httptest.NewServer(serve.NewHandler(slow, serve.Config{}))
+	t.Cleanup(srv.Close)
+	return slow, srv.URL
+}
+
+// TestRemoteDeadlinePropagation verifies the deadline crosses the wire:
+// the server-side query context carries a deadline (from the
+// Vaq-Timeout-Ms header), and the caller gets context.DeadlineExceeded
+// well before any transport-level timeout could fire.
+func TestRemoteDeadlinePropagation(t *testing.T) {
+	slow, url := slowBackend(t, 100)
+	re, err := vaq.DialRemote(context.Background(), []string{url})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 150*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err = re.Query(ctx, remoteConformanceRegions(rand.New(rand.NewSource(1)))["circle"])
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+	if d := time.Since(start); d > 5*time.Second {
+		t.Fatalf("deadline took %v to surface", d)
+	}
+	if !slow.sawDeadline.Load() {
+		t.Error("server-side query context carried no deadline — header not propagated")
+	}
+}
+
+// TestRemoteCancellationOverTheWire verifies a client-side cancel reaches
+// the in-flight server query (the request context dies on disconnect) and
+// surfaces as context.Canceled at the caller.
+func TestRemoteCancellationOverTheWire(t *testing.T) {
+	slow, url := slowBackend(t, 100)
+	re, err := vaq.DialRemote(context.Background(), []string{url})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := re.Query(ctx, remoteConformanceRegions(rand.New(rand.NewSource(1)))["circle"])
+		done <- err
+	}()
+	<-slow.entered // the query is live server-side
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancellation never surfaced")
+	}
+}
+
+// TestRemoteEachEarlyStop verifies yield-stop mid-stream: the client
+// stops consuming, Each returns nil, and nothing hangs.
+func TestRemoteEachEarlyStop(t *testing.T) {
+	rng := rand.New(rand.NewSource(45))
+	pts := vaq.UniformPoints(rng, 1500, vaq.UnitSquare())
+	f := startFixture(t, pts, 700)
+	re := f.dial(t)
+
+	whole := vaq.PolygonRegion(vaq.MustPolygon([]vaq.Point{
+		vaq.Pt(-0.1, -0.1), vaq.Pt(1.1, -0.1), vaq.Pt(1.1, 1.1), vaq.Pt(-0.1, 1.1),
+	}))
+	seen := 0
+	err := re.Each(context.Background(), whole, func(id int64, p vaq.Point) bool {
+		seen++
+		return seen < 5
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seen != 5 {
+		t.Fatalf("yield ran %d times after stopping at 5", seen)
+	}
+}
+
+// TestRemoteEachTruncatedStream verifies the truncation contract: a
+// backend that dies mid-stream (frames but no EOF frame) must surface an
+// error, never pass as a complete result.
+func TestRemoteEachTruncatedStream(t *testing.T) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/info", func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(wire.Info{Len: 10, Bounds: [4]float64{0, 0, 1, 1}})
+	})
+	mux.HandleFunc("POST /v1/each", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		for i := 0; i < 3; i++ {
+			fmt.Fprintf(w, `{"id":%d,"x":0.5,"y":0.5}`+"\n", i)
+		}
+		// ...and the backend dies: no EOF frame.
+	})
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	re, err := vaq.DialRemote(context.Background(), []string{srv.URL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	region := vaq.CircleRegion(vaq.NewCircle(vaq.Pt(0.5, 0.5), 0.2))
+	err = re.Each(context.Background(), region, func(id int64, p vaq.Point) bool { return true })
+	if err == nil {
+		t.Fatal("truncated stream passed as complete")
+	}
+}
+
+// flakyProxy fails the first n requests per path with a 500, then proxies
+// to the real handler.
+type flakyProxy struct {
+	inner     http.Handler
+	failures  atomic.Int64
+	remaining atomic.Int64
+}
+
+func (p *flakyProxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if strings.HasPrefix(r.URL.Path, "/v1/") && r.Method == http.MethodPost {
+		if p.remaining.Add(-1) >= 0 {
+			p.failures.Add(1)
+			http.Error(w, `{"code":"internal","message":"transient"}`, http.StatusInternalServerError)
+			return
+		}
+	}
+	p.inner.ServeHTTP(w, r)
+}
+
+// TestRemoteRetry verifies bounded retry-with-backoff: a backend that
+// 500s twice then recovers answers correctly with retries enabled, and
+// fails fast without them.
+func TestRemoteRetry(t *testing.T) {
+	rng := rand.New(rand.NewSource(46))
+	pts := vaq.UniformPoints(rng, 600, vaq.UnitSquare())
+	eng, err := vaq.NewEngine(pts, vaq.UnitSquare())
+	if err != nil {
+		t.Fatal(err)
+	}
+	proxy := &flakyProxy{inner: serve.NewHandler(eng, serve.Config{})}
+	srv := httptest.NewServer(proxy)
+	defer srv.Close()
+	region := vaq.CircleRegion(vaq.NewCircle(vaq.Pt(0.5, 0.5), 0.2))
+	want, err := eng.Query(context.Background(), region)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Without retries: the transient 500 is the caller's problem.
+	proxy.remaining.Store(2)
+	re, err := vaq.DialRemote(context.Background(), []string{srv.URL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := re.Query(context.Background(), region); err == nil {
+		t.Fatal("no-retry query survived a 500")
+	}
+
+	// With retries: two failures are absorbed.
+	proxy.remaining.Store(2)
+	re, err = vaq.DialRemote(context.Background(), []string{srv.URL},
+		vaq.WithRemoteRetries(2, time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := re.Query(context.Background(), region)
+	if err != nil {
+		t.Fatalf("retries did not absorb transient failures: %v", err)
+	}
+	if !slices.Equal(got, want) {
+		t.Fatal("retried result diverges")
+	}
+}
+
+// TestRemoteDegraded verifies the partial-failure policy: fail-fast
+// errors when a backend is down; degraded serves the survivors' points
+// and counts the drop; a fully dead fleet still errors.
+func TestRemoteDegraded(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	pts := vaq.UniformPoints(rng, 1200, vaq.UnitSquare())
+	f := startFixture(t, pts, 600)
+
+	dead := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/v1/info" {
+			json.NewEncoder(w).Encode(wire.Info{Len: 10, Bounds: [4]float64{0, 0, 1, 1}, IDOffset: int64(len(pts))})
+			return
+		}
+		http.Error(w, `{"code":"internal","message":"down"}`, http.StatusInternalServerError)
+	}))
+	defer dead.Close()
+	urls := append(append([]string{}, f.urls...), dead.URL)
+	region := vaq.CircleRegion(vaq.NewCircle(vaq.Pt(0.5, 0.5), 0.15))
+
+	// Fail-fast (default): the dead backend fails the query.
+	ff, err := vaq.DialRemote(context.Background(), urls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ff.Query(context.Background(), region); err == nil {
+		t.Fatal("fail-fast query survived a dead backend")
+	}
+
+	// Degraded: survivors answer; the drop is counted. The survivors are
+	// the full real dataset, so the answer equals the local oracle.
+	deg, err := vaq.DialRemote(context.Background(), urls, vaq.WithDegradedFanOut())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := f.local.Query(context.Background(), region)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := deg.Query(context.Background(), region)
+	if err != nil {
+		t.Fatalf("degraded query failed: %v", err)
+	}
+	if !slices.Equal(got, want) {
+		t.Fatal("degraded result diverges from the survivors' truth")
+	}
+	if deg.Dropped() == 0 {
+		t.Error("degraded drop not counted")
+	}
+
+	// Every backend dead: degraded still errors.
+	allDead, err := vaq.DialRemote(context.Background(), []string{dead.URL}, vaq.WithDegradedFanOut())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := allDead.Query(context.Background(), region); err == nil {
+		t.Fatal("fully dead fleet answered")
+	}
+}
+
+// TestRemoteResultCacheAndMetrics verifies the remote flavor composes
+// with the shared instrumentation exactly like local flavors: repeated
+// queries hit the result cache, and the registry carries remote-flavor
+// counters.
+func TestRemoteResultCacheAndMetrics(t *testing.T) {
+	rng := rand.New(rand.NewSource(48))
+	pts := vaq.UniformPoints(rng, 800, vaq.UnitSquare())
+	f := startFixture(t, pts, 400)
+
+	rc := vaq.NewResultCache(64)
+	reg := vaq.NewMetricsRegistry()
+	re := f.dial(t, vaq.WithResultCache(rc), vaq.WithMetrics(reg))
+	region := vaq.CircleRegion(vaq.NewCircle(vaq.Pt(0.4, 0.6), 0.1))
+
+	first, err := re.Query(context.Background(), region)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := re.Query(context.Background(), region)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !slices.Equal(first, second) {
+		t.Fatal("cache hit changed the result")
+	}
+	if rc.Stats().Hits == 0 {
+		t.Error("second identical query did not hit the result cache")
+	}
+	snap := reg.Snapshot()
+	found := false
+	for name := range snap.Counters {
+		if strings.Contains(name, `flavor="remote"`) {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Error("no remote-flavor counters in the registry snapshot")
+	}
+}
