@@ -139,11 +139,11 @@ func parsePolygon(s string) (vaq.Polygon, error) {
 		}
 		x, err := strconv.ParseFloat(xy[0], 64)
 		if err != nil {
-			return vaq.Polygon{}, fmt.Errorf("vertex %q: %v", f, err)
+			return vaq.Polygon{}, fmt.Errorf("vertex %q: %w", f, err)
 		}
 		y, err := strconv.ParseFloat(xy[1], 64)
 		if err != nil {
-			return vaq.Polygon{}, fmt.Errorf("vertex %q: %v", f, err)
+			return vaq.Polygon{}, fmt.Errorf("vertex %q: %w", f, err)
 		}
 		pts = append(pts, vaq.Pt(x, y))
 	}

@@ -1,0 +1,91 @@
+// Command vaqvet runs the project's own static-analysis suite — the
+// invariants go vet does not know about: cancellation checks in candidate
+// loops (ctxloop), pooled-memory isolation (poolalias), mutex-guarded
+// field access (lockguard), allocation-free hot paths (noalloc), vaq_
+// metric naming (metricname), and sentinel-preserving error wrapping
+// (sentinelerr). See the README's "Static analysis" section for the
+// diagnostic codes and the annotation grammar.
+//
+// Usage:
+//
+//	go run ./cmd/vaqvet ./...
+//	go run ./cmd/vaqvet -json ./internal/remote
+//
+// Patterns follow the loader's rules: "./..." walks the module (skipping
+// testdata directories); a plain path names one package directory.
+// vaqvet exits 1 when it reports findings, 2 on usage or load errors.
+// Suppress a finding in place with `//vaqvet:ignore CODE reason` on the
+// offending line or the line above — unused or malformed suppressions
+// are themselves findings.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/analysis"
+)
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit findings as a JSON array of {code, pos, message}")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: vaqvet [-json] [patterns]\n  (default pattern ./...)\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fatal(err)
+	}
+	loader, err := analysis.NewLoader(cwd)
+	if err != nil {
+		fatal(err)
+	}
+	pkgs, err := loader.Load(patterns...)
+	if err != nil {
+		fatal(err)
+	}
+	diags := analysis.Run(pkgs, analysis.Analyzers)
+
+	// Report positions relative to the working directory — clickable and
+	// stable across checkouts.
+	for i := range diags {
+		if rel, err := filepath.Rel(cwd, diags[i].Pos.Filename); err == nil {
+			diags[i].Pos.Filename = rel
+		}
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if diags == nil {
+			diags = []analysis.Diagnostic{}
+		}
+		if err := enc.Encode(diags); err != nil {
+			fatal(err)
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
+		if len(diags) > 0 {
+			fmt.Fprintf(os.Stderr, "vaqvet: %d finding(s) in %d package(s)\n", len(diags), len(pkgs))
+		}
+	}
+	if len(diags) > 0 {
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "vaqvet:", err)
+	os.Exit(2)
+}

@@ -1,0 +1,100 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildVaqvet compiles the command once per test binary into t's temp
+// space and returns its path plus the module root to run it from.
+func buildVaqvet(t *testing.T) (bin, root string) {
+	t.Helper()
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bin = filepath.Join(t.TempDir(), "vaqvet")
+	cmd := exec.Command("go", "build", "-o", bin, "./cmd/vaqvet")
+	cmd.Dir = root
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("building vaqvet: %v\n%s", err, out)
+	}
+	return bin, root
+}
+
+// TestJSONOutputAndExitCode pins the machine-readable interface: -json
+// emits an array of {code, pos, message} objects and the process exits 1
+// when it found anything.
+func TestJSONOutputAndExitCode(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles and runs the real binary")
+	}
+	bin, root := buildVaqvet(t)
+
+	cmd := exec.Command(bin, "-json", "./internal/analysis/testdata/sentinelerr")
+	cmd.Dir = root
+	out, err := cmd.Output()
+	var exitErr *exec.ExitError
+	if err == nil {
+		t.Fatal("expected exit code 1 on a violation package, got 0")
+	} else if !errors.As(err, &exitErr) || exitErr.ExitCode() != 1 {
+		t.Fatalf("expected exit code 1, got %v (stderr: %s)", err, stderrOf(err))
+	}
+
+	var diags []struct {
+		Code string `json:"code"`
+		Pos  struct {
+			Filename string `json:"Filename"`
+			Line     int    `json:"Line"`
+		} `json:"pos"`
+		Message string `json:"message"`
+	}
+	if err := json.Unmarshal(out, &diags); err != nil {
+		t.Fatalf("output is not a JSON array: %v\n%s", err, out)
+	}
+	if len(diags) == 0 {
+		t.Fatal("expected findings in the sentinelerr testdata package")
+	}
+	for _, d := range diags {
+		if d.Code != "sentinelerr" {
+			t.Errorf("unexpected code %q", d.Code)
+		}
+		if d.Pos.Line == 0 || d.Pos.Filename == "" || d.Message == "" {
+			t.Errorf("incomplete diagnostic: %+v", d)
+		}
+		if filepath.IsAbs(d.Pos.Filename) {
+			t.Errorf("position %q should be relative to the working directory", d.Pos.Filename)
+		}
+	}
+}
+
+// TestCleanPackageExitsZero runs the binary over a package with no
+// violations: empty JSON array, exit code 0.
+func TestCleanPackageExitsZero(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles and runs the real binary")
+	}
+	bin, root := buildVaqvet(t)
+
+	cmd := exec.Command(bin, "-json", "./internal/geom")
+	cmd.Dir = root
+	out, err := cmd.Output()
+	if err != nil {
+		t.Fatalf("expected exit 0 on a clean package, got %v (stderr: %s)", err, stderrOf(err))
+	}
+	if got := strings.TrimSpace(string(out)); got != "[]" {
+		t.Errorf("expected an empty JSON array, got %q", got)
+	}
+}
+
+func stderrOf(err error) []byte {
+	var ee *exec.ExitError
+	if errors.As(err, &ee) {
+		return ee.Stderr
+	}
+	return nil
+}

@@ -1,0 +1,118 @@
+// Package analysis is vaqvet's engine: a dependency-free static-analysis
+// driver (stdlib go/ast, go/parser, go/token, go/types only) that walks
+// the module's packages and runs a suite of project-specific analyzers,
+// each enforcing one of the invariants the engine's correctness rests on —
+// cancellation checks in candidate loops, pooled-memory isolation,
+// mutex-guarded field access, allocation-free hot paths, vaq_ metric
+// naming, and sentinel-preserving error wrapping.
+//
+// Every analyzer has a stable diagnostic code (its name), reports findings
+// as file:line:col positions, and honors line-scoped suppression comments:
+//
+//	//vaqvet:ignore CODE reason
+//
+// placed on the offending line or on the line directly above it. The code
+// must match the diagnostic's code exactly, and the reason is mandatory. A
+// malformed ignore is itself a finding (code "badignore"), and so is an
+// ignore that suppresses nothing (code "staleignore") — stale ignores rot
+// into lies about the code, so the driver refuses to carry them.
+//
+// The annotation grammar analyzers consume:
+//
+//	// guarded by <mu>   on a struct field: accesses require <mu> held
+//	//vaq:noalloc        on a function: body must not contain allocating constructs
+//	//vaq:pooled         on a function: its result is pool-owned memory
+//	//vaq:locked <mu>    on a function: caller is required to hold <mu>
+//
+// cmd/vaqvet is the CLI around this package.
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+)
+
+// A Diagnostic is one finding: a stable code, a position, and a message.
+type Diagnostic struct {
+	Code    string         `json:"code"`
+	Pos     token.Position `json:"pos"`
+	Message string         `json:"message"`
+}
+
+// String renders the conventional file:line:col: code: message line.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Code, d.Message)
+}
+
+// An Analyzer checks one invariant over one package at a time.
+type Analyzer struct {
+	// Code is the diagnostic code every finding of this analyzer carries,
+	// and the code an ignore comment must name to suppress one.
+	Code string
+	// Doc is a one-line description (the README table row).
+	Doc string
+	// Run reports findings through the pass.
+	Run func(*Pass)
+}
+
+// A Pass is one analyzer's view of one package.
+type Pass struct {
+	Pkg      *Package
+	analyzer *Analyzer
+	diags    *[]Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Code:    p.analyzer.Code,
+		Pos:     p.Pkg.Fset.Position(pos),
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// Analyzers is the full vaqvet suite in reporting order.
+var Analyzers = []*Analyzer{
+	CtxLoop,
+	PoolAlias,
+	LockGuard,
+	NoAlloc,
+	MetricName,
+	SentinelErr,
+}
+
+// Run executes the analyzers over every package and applies the
+// suppression protocol per package: matching ignores remove their
+// diagnostics, malformed ignores report as badignore, ignores that
+// suppressed nothing report as staleignore (ignores naming a code outside
+// the analyzer set are left alone — a partial run must not invent
+// staleness). Diagnostics come back sorted by file, line, column, code.
+func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	codes := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		codes[a.Code] = true
+	}
+	var out []Diagnostic
+	for _, pkg := range pkgs {
+		var diags []Diagnostic
+		for _, a := range analyzers {
+			a.Run(&Pass{Pkg: pkg, analyzer: a, diags: &diags})
+		}
+		out = append(out, applyIgnores(pkg, diags, codes)...)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Code < b.Code
+	})
+	return out
+}

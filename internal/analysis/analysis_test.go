@@ -1,0 +1,209 @@
+package analysis_test
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+var update = flag.Bool("update", false, "rewrite the testdata expect.txt goldens")
+
+// sharedLoader memoizes the stdlib type-check across every test in the
+// package — loading net/http's closure once instead of per test is what
+// keeps the suite fast.
+var (
+	loaderOnce sync.Once
+	loader     *analysis.Loader
+	loaderErr  error
+)
+
+func getLoader(t *testing.T) *analysis.Loader {
+	t.Helper()
+	loaderOnce.Do(func() {
+		loader, loaderErr = analysis.NewLoader(".")
+	})
+	if loaderErr != nil {
+		t.Fatalf("NewLoader: %v", loaderErr)
+	}
+	return loader
+}
+
+// loadTestdata loads one testdata violation package through the shared
+// loader and runs the full analyzer suite over it.
+func loadTestdata(t *testing.T, name string) []analysis.Diagnostic {
+	t.Helper()
+	l := getLoader(t)
+	pkgs, err := l.Load("internal/analysis/testdata/" + name)
+	if err != nil {
+		t.Fatalf("Load(%s): %v", name, err)
+	}
+	return analysis.Run(pkgs, analysis.Analyzers)
+}
+
+// render formats diagnostics the way the goldens store them: the file
+// basename (stable across checkouts), position, code, and message.
+func render(diags []analysis.Diagnostic) string {
+	var b strings.Builder
+	for _, d := range diags {
+		fmt.Fprintf(&b, "%s:%d:%d: %s: %s\n",
+			filepath.Base(d.Pos.Filename), d.Pos.Line, d.Pos.Column, d.Code, d.Message)
+	}
+	return b.String()
+}
+
+// TestGolden pins every testdata package's full diagnostic output
+// against its expect.txt. Run with -update to rewrite the goldens.
+func TestGolden(t *testing.T) {
+	ents, err := os.ReadDir("testdata")
+	if err != nil {
+		t.Fatalf("reading testdata: %v", err)
+	}
+	for _, e := range ents {
+		if !e.IsDir() {
+			continue
+		}
+		name := e.Name()
+		t.Run(name, func(t *testing.T) {
+			got := render(loadTestdata(t, name))
+			golden := filepath.Join("testdata", name, "expect.txt")
+			if *update {
+				if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+					t.Fatalf("writing %s: %v", golden, err)
+				}
+				return
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("reading %s (run with -update to create): %v", golden, err)
+			}
+			if got != string(want) {
+				t.Errorf("diagnostics differ from %s\n--- got ---\n%s--- want ---\n%s", golden, got, want)
+			}
+		})
+	}
+}
+
+// TestEveryAnalyzerHasViolationCoverage fails if any registered analyzer
+// has no true-positive pinned in the goldens — a new analyzer must bring
+// a testdata package along.
+func TestEveryAnalyzerHasViolationCoverage(t *testing.T) {
+	covered := make(map[string]bool)
+	ents, err := os.ReadDir("testdata")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		if !e.IsDir() {
+			continue
+		}
+		for _, d := range loadTestdata(t, e.Name()) {
+			covered[d.Code] = true
+		}
+	}
+	for _, a := range analysis.Analyzers {
+		if !covered[a.Code] {
+			t.Errorf("analyzer %s has no true-positive finding in any testdata package", a.Code)
+		}
+	}
+	for _, code := range []string{analysis.CodeBadIgnore, analysis.CodeStaleIgnore} {
+		if !covered[code] {
+			t.Errorf("driver code %s has no finding in any testdata package", code)
+		}
+	}
+}
+
+// TestSuppressionSemantics spells out the //vaqvet:ignore contract the
+// suppress golden encodes: an exact-code match with a reason silences
+// exactly one finding; a wrong code leaves the finding and reports the
+// ignore as stale; malformed directives are badignore findings.
+func TestSuppressionSemantics(t *testing.T) {
+	diags := loadTestdata(t, "suppress")
+
+	codesAtLine := make(map[int][]string)
+	for _, d := range diags {
+		codesAtLine[d.Pos.Line] = append(codesAtLine[d.Pos.Line], d.Code)
+	}
+	hasCode := func(code string) bool {
+		for _, d := range diags {
+			if d.Code == code {
+				return true
+			}
+		}
+		return false
+	}
+
+	// suppressed(): the make sits directly under a well-formed ignore —
+	// nothing may report in the function body (lines 11-15).
+	for line := 11; line <= 15; line++ {
+		if len(codesAtLine[line]) > 0 {
+			t.Errorf("line %d: exact-code suppression failed, got %v", line, codesAtLine[line])
+		}
+	}
+	// wrongCode(): the noalloc finding must survive an ignore naming
+	// ctxloop, and that ignore must be reported stale.
+	if !hasCode("noalloc") {
+		t.Error("wrong-code ignore suppressed a finding it does not name")
+	}
+	if !hasCode(analysis.CodeStaleIgnore) {
+		t.Error("unused ignore directives must report as staleignore")
+	}
+	if !hasCode(analysis.CodeBadIgnore) {
+		t.Error("malformed ignore directives must report as badignore")
+	}
+	// Every surviving finding in this package is one of: the deliberate
+	// noalloc violations, staleignore, badignore.
+	for _, d := range diags {
+		switch d.Code {
+		case "noalloc", analysis.CodeBadIgnore, analysis.CodeStaleIgnore:
+		default:
+			t.Errorf("unexpected code %s at %s", d.Code, d.Pos)
+		}
+	}
+}
+
+// TestCleanTree is the self-test the CI step relies on: the analyzer
+// suite reports nothing on the repository's own packages. A regression
+// here means either a new true positive slipped in or an analyzer grew a
+// false-positive class.
+func TestCleanTree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module")
+	}
+	l := getLoader(t)
+	pkgs, err := l.Load("./...")
+	if err != nil {
+		t.Fatalf("Load(./...): %v", err)
+	}
+	if diags := analysis.Run(pkgs, analysis.Analyzers); len(diags) > 0 {
+		t.Errorf("vaqvet is not clean on the tree:\n%s", render(diags))
+	}
+}
+
+// TestRunConcurrent runs the full suite over the same loaded packages
+// from several goroutines — Run must be read-only over *Package (the
+// -race CI job leans on this).
+func TestRunConcurrent(t *testing.T) {
+	l := getLoader(t)
+	pkgs, err := l.Load("internal/analysis/testdata/suppress", "internal/analysis/testdata/noalloc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := render(analysis.Run(pkgs, analysis.Analyzers))
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if got := render(analysis.Run(pkgs, analysis.Analyzers)); got != want {
+				t.Errorf("concurrent Run diverged:\n%s", got)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,114 @@
+package analysis
+
+import (
+	"go/token"
+	"strings"
+)
+
+// Driver-reserved diagnostic codes. Neither is suppressible — an ignore
+// naming them is malformed by definition.
+const (
+	// CodeBadIgnore marks a //vaqvet:ignore comment that does not parse:
+	// missing code, missing reason, or naming a driver-reserved code.
+	CodeBadIgnore = "badignore"
+	// CodeStaleIgnore marks an ignore comment that suppressed nothing in
+	// this run: the invariant it excuses no longer fires, so the comment
+	// is now misinformation and must be deleted.
+	CodeStaleIgnore = "staleignore"
+)
+
+const ignorePrefix = "//vaqvet:ignore"
+
+// ignoreDirective is one parsed //vaqvet:ignore comment.
+type ignoreDirective struct {
+	pos    token.Position // of the comment
+	code   string
+	reason string
+	bad    string // non-empty: malformed, with the problem description
+	used   bool
+}
+
+// parseIgnores collects every ignore directive in the package's files.
+func parseIgnores(pkg *Package) []*ignoreDirective {
+	var out []*ignoreDirective
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, ignorePrefix) {
+					continue
+				}
+				d := &ignoreDirective{pos: pkg.Fset.Position(c.Pos())}
+				rest := strings.TrimPrefix(c.Text, ignorePrefix)
+				if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+					// e.g. //vaqvet:ignoreXYZ — not a directive at all.
+					continue
+				}
+				fields := strings.Fields(rest)
+				switch {
+				case len(fields) == 0:
+					d.bad = "missing diagnostic code (want //vaqvet:ignore CODE reason)"
+				case len(fields) == 1:
+					d.code = fields[0]
+					d.bad = "missing reason (want //vaqvet:ignore CODE reason)"
+				case fields[0] == CodeBadIgnore || fields[0] == CodeStaleIgnore:
+					d.code = fields[0]
+					d.bad = "code " + fields[0] + " is driver-reserved and cannot be suppressed"
+				default:
+					d.code = fields[0]
+					d.reason = strings.Join(fields[1:], " ")
+				}
+				out = append(out, d)
+			}
+		}
+	}
+	return out
+}
+
+// applyIgnores filters diags through the package's ignore directives. A
+// directive suppresses diagnostics with exactly its code on its own line
+// or on the line directly below it (the comment-above-the-statement
+// idiom). Malformed directives report as badignore; well-formed
+// directives that suppressed nothing report as staleignore, unless they
+// name a code outside ranCodes (that analyzer did not run, so staleness
+// is unknowable).
+func applyIgnores(pkg *Package, diags []Diagnostic, ranCodes map[string]bool) []Diagnostic {
+	directives := parseIgnores(pkg)
+	if len(directives) == 0 {
+		return diags
+	}
+	// Index by (file, line, code); a directive covers its line and the next.
+	type key struct {
+		file string
+		line int
+		code string
+	}
+	index := make(map[key]*ignoreDirective)
+	for _, d := range directives {
+		if d.bad != "" {
+			continue
+		}
+		index[key{d.pos.Filename, d.pos.Line, d.code}] = d
+		index[key{d.pos.Filename, d.pos.Line + 1, d.code}] = d
+	}
+	var out []Diagnostic
+	for _, diag := range diags {
+		if d, ok := index[key{diag.Pos.Filename, diag.Pos.Line, diag.Code}]; ok {
+			d.used = true
+			continue
+		}
+		out = append(out, diag)
+	}
+	for _, d := range directives {
+		switch {
+		case d.bad != "":
+			out = append(out, Diagnostic{Code: CodeBadIgnore, Pos: d.pos, Message: d.bad})
+		case !d.used && ranCodes[d.code]:
+			out = append(out, Diagnostic{
+				Code:    CodeStaleIgnore,
+				Pos:     d.pos,
+				Message: "ignore for " + d.code + " suppresses nothing — the finding it excused is gone; delete the comment",
+			})
+		}
+	}
+	return out
+}

@@ -1,0 +1,150 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// LockGuard enforces `// guarded by <mu>` annotations on struct fields: a
+// field so annotated may only be read or written in functions that lock
+// that mutex on the same base value — the function must contain a
+// <base>.<mu>.Lock() or <base>.<mu>.RLock() call, where <base> renders
+// identically to the access's base expression.
+//
+// The analysis is syntactic and function-granular (deliberately
+// conservative): it does not prove the lock is held at the access, only
+// that the accessing function takes the lock at all, which is the
+// invariant reviewers actually maintain by hand. Two escape hatches keep
+// it honest rather than noisy:
+//
+//   - functions named new*/New* are exempt (construction: the value is
+//     not shared yet);
+//   - functions annotated //vaq:locked <mu> are exempt for fields guarded
+//     by <mu> — the caller-holds-the-lock helper idiom.
+//
+// Everything else needs a //vaqvet:ignore lockguard with a reason.
+var LockGuard = &Analyzer{
+	Code: "lockguard",
+	Doc:  "fields annotated `// guarded by mu` are only touched under that mutex",
+	Run:  runLockGuard,
+}
+
+var guardedByRE = regexp.MustCompile(`guarded by (\w+)`)
+
+func runLockGuard(p *Pass) {
+	guards := collectGuardedFields(p)
+	if len(guards) == 0 {
+		return
+	}
+	for _, f := range p.Pkg.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkLockGuard(p, fn, guards)
+		}
+	}
+}
+
+// collectGuardedFields maps each `// guarded by <mu>`-annotated field's
+// type object to its mutex field name.
+func collectGuardedFields(p *Pass) map[types.Object]string {
+	out := make(map[types.Object]string)
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				mu := guardAnnotation(field)
+				if mu == "" {
+					continue
+				}
+				for _, name := range field.Names {
+					if obj := p.Pkg.Info.Defs[name]; obj != nil {
+						out[obj] = mu
+					}
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// guardAnnotation extracts the mutex name from a field's doc or trailing
+// comment ("" when unannotated).
+func guardAnnotation(field *ast.Field) string {
+	for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
+		if cg == nil {
+			continue
+		}
+		if m := guardedByRE.FindStringSubmatch(cg.Text()); m != nil {
+			return m[1]
+		}
+	}
+	return ""
+}
+
+func checkLockGuard(p *Pass, fn *ast.FuncDecl, guards map[types.Object]string) {
+	name := fn.Name.Name
+	if strings.HasPrefix(name, "new") || strings.HasPrefix(name, "New") {
+		return // construction: the value is not shared yet
+	}
+	lockedMu := ""
+	if marked, arg := hasMarker(fn.Doc, "//vaq:locked"); marked {
+		lockedMu = arg
+	}
+
+	// lockedBases collects "<base>.<mu>" strings the function locks.
+	lockedBases := make(map[string]bool)
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || (sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock") {
+			return true
+		}
+		lockedBases[exprText(sel.X)] = true
+		return true
+	})
+
+	type reportKey struct {
+		field types.Object
+		base  string
+	}
+	reported := make(map[reportKey]bool)
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		selection, ok := p.Pkg.Info.Selections[sel]
+		if !ok || selection.Kind() != types.FieldVal {
+			return true
+		}
+		mu, guarded := guards[selection.Obj()]
+		if !guarded || mu == lockedMu {
+			return true
+		}
+		base := exprText(sel.X)
+		if lockedBases[base+"."+mu] {
+			return true
+		}
+		key := reportKey{selection.Obj(), base}
+		if reported[key] {
+			return true
+		}
+		reported[key] = true
+		p.Reportf(sel.Sel.Pos(),
+			"%s accesses %s.%s (guarded by %s) but never locks %s.%s",
+			name, base, sel.Sel.Name, mu, base, mu)
+		return true
+	})
+}

@@ -1,0 +1,95 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"regexp"
+	"strconv"
+)
+
+// MetricName enforces the project's metric-series naming contract: every
+// series registered through internal/obs — Registry.Counter, .Gauge,
+// .Histogram, .RegisterGaugeFunc — must have a name whose literal base
+// matches ^vaq_[a-z0-9_]+$. The idiomatic label suffix concatenation
+// (`reg.Counter("vaq_queries_total" + lbl)`) is allowed: the leftmost
+// operand of the + chain is the base and must be a conforming string
+// literal. A first argument with no literal base at all is unverifiable
+// and reports too — series names are part of the dashboard contract and
+// must be greppable.
+var MetricName = &Analyzer{
+	Code: "metricname",
+	Doc:  "obs registry series names must match ^vaq_[a-z0-9_]+$",
+	Run:  runMetricName,
+}
+
+var metricNameRE = regexp.MustCompile(`^vaq_[a-z0-9_]+$`)
+
+// obsRegistrars are the Registry methods that mint series names.
+var obsRegistrars = map[string]bool{
+	"Counter":           true,
+	"Gauge":             true,
+	"Histogram":         true,
+	"RegisterGaugeFunc": true,
+}
+
+const obsPkgPath = "repro/internal/obs"
+
+func runMetricName(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || !obsRegistrars[sel.Sel.Name] {
+				return true
+			}
+			if !p.isObsRegistry(sel) {
+				return true
+			}
+			base := leftmostOperand(call.Args[0])
+			lit, ok := base.(*ast.BasicLit)
+			if !ok || lit.Kind != token.STRING {
+				p.Reportf(call.Args[0].Pos(),
+					"series name passed to %s must start with a string literal (got %s) — names must be greppable",
+					sel.Sel.Name, exprText(call.Args[0]))
+				return true
+			}
+			name, err := strconv.Unquote(lit.Value)
+			if err != nil || !metricNameRE.MatchString(name) {
+				p.Reportf(lit.Pos(),
+					"series name %s does not match ^vaq_[a-z0-9_]+$", lit.Value)
+			}
+			return true
+		})
+	}
+}
+
+// isObsRegistry reports whether sel selects a method on the obs Registry
+// type (directly or through a pointer), resolved through type info; when
+// the selection did not resolve, the method-set match alone does not
+// report (documented precision loss, never a false positive).
+func (p *Pass) isObsRegistry(sel *ast.SelectorExpr) bool {
+	if obj := p.Pkg.Info.Uses[sel.Sel]; obj != nil && obj.Pkg() != nil {
+		return obj.Pkg().Path() == obsPkgPath
+	}
+	if selection, ok := p.Pkg.Info.Selections[sel]; ok {
+		return typeIsNamed(selection.Recv(), obsPkgPath, "Registry")
+	}
+	return false
+}
+
+// leftmostOperand descends a `a + b + c` chain to a.
+func leftmostOperand(e ast.Expr) ast.Expr {
+	for {
+		switch x := e.(type) {
+		case *ast.BinaryExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return e
+		}
+	}
+}

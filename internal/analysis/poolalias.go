@@ -1,0 +1,185 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// PoolAlias enforces pooled-memory isolation (the PR 5 page-aliasing bug
+// class): a function that checks memory out of a sync.Pool — or calls a
+// function annotated //vaq:pooled, which declares "my result is
+// pool-owned" — must not return that memory or anything reachable from
+// it. Once the object goes back to the pool another query will scribble
+// over it, so every caller-visible slice/pointer must be a copy.
+//
+// The analysis is an intra-function taint walk: pool checkouts seed the
+// taint, assignments whose right side is rooted in a tainted variable
+// propagate it (selectors, indexes, slices, type asserts, append onto a
+// tainted destination), and any return of a tainted expression with an
+// aliasing type (slice, pointer, map, ...) is a finding. Copies wash the
+// taint by construction: append onto a clean destination and copy(dst,
+// src) leave dst clean. Functions annotated //vaq:pooled are exempt —
+// they are the declared acquire points whose callers inherit the
+// obligation.
+var PoolAlias = &Analyzer{
+	Code: "poolalias",
+	Doc:  "pooled/arena memory must not be returned without a copy",
+	Run:  runPoolAlias,
+}
+
+func runPoolAlias(p *Pass) {
+	pooledFuncs := pooledFuncObjects(p)
+	for _, f := range p.Pkg.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if marked, _ := hasMarker(fn.Doc, "//vaq:pooled"); marked {
+				continue // declared acquire point
+			}
+			checkPoolAlias(p, fn, pooledFuncs)
+		}
+	}
+}
+
+// pooledFuncObjects collects the type objects of //vaq:pooled-annotated
+// functions and methods declared in this package.
+func pooledFuncObjects(p *Pass) map[types.Object]bool {
+	out := make(map[types.Object]bool)
+	for _, f := range p.Pkg.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			if marked, _ := hasMarker(fn.Doc, "//vaq:pooled"); marked {
+				if obj := p.Pkg.Info.Defs[fn.Name]; obj != nil {
+					out[obj] = true
+				}
+			}
+		}
+	}
+	return out
+}
+
+// isPoolSource reports whether call checks memory out of a pool: a .Get()
+// on a sync.Pool, or a call to a //vaq:pooled function.
+func (p *Pass) isPoolSource(call *ast.CallExpr, pooledFuncs map[types.Object]bool) bool {
+	if id, ok := call.Fun.(*ast.Ident); ok {
+		return pooledFuncs[p.Pkg.Info.Uses[id]]
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	if pooledFuncs[p.Pkg.Info.Uses[sel.Sel]] {
+		return true
+	}
+	if sel.Sel.Name != "Get" || len(call.Args) != 0 {
+		return false
+	}
+	if tv, ok := p.Pkg.Info.Types[sel.X]; ok {
+		return typeIsNamed(tv.Type, "sync", "Pool")
+	}
+	return false
+}
+
+func checkPoolAlias(p *Pass, fn *ast.FuncDecl, pooledFuncs map[types.Object]bool) {
+	// tainted holds the names of variables rooted in pooled memory. Name
+	// keying is per-function and deliberately shadow-insensitive —
+	// over-tainting a shadowed name is the conservative direction.
+	tainted := make(map[string]bool)
+
+	taintedExpr := func(e ast.Expr) bool {
+		var walk func(e ast.Expr) bool
+		walk = func(e ast.Expr) bool {
+			switch x := e.(type) {
+			case *ast.CallExpr:
+				if p.isPoolSource(x, pooledFuncs) {
+					return true
+				}
+				// append(dst, ...) stays tainted only when dst is; any
+				// other call result is a fresh value.
+				if id, ok := x.Fun.(*ast.Ident); ok && id.Name == "append" && len(x.Args) > 0 {
+					return walk(x.Args[0])
+				}
+				return false
+			case *ast.TypeAssertExpr:
+				return walk(x.X)
+			default:
+				root := rootIdent(e)
+				return root != nil && tainted[root.Name]
+			}
+		}
+		return walk(e)
+	}
+
+	// Propagate taint through assignments to a fixed point (assignment
+	// chains are short; each pass can only add names).
+	for {
+		grew := false
+		ast.Inspect(fn.Body, func(n ast.Node) bool {
+			assign, ok := n.(*ast.AssignStmt)
+			if !ok {
+				return true
+			}
+			for i, lhs := range assign.Lhs {
+				var rhs ast.Expr
+				if len(assign.Rhs) == len(assign.Lhs) {
+					rhs = assign.Rhs[i]
+				} else if len(assign.Rhs) == 1 {
+					rhs = assign.Rhs[0] // multi-value: taint all targets
+				}
+				if rhs == nil || !taintedExpr(rhs) {
+					continue
+				}
+				if root := rootIdent(lhs); root != nil && !tainted[root.Name] {
+					tainted[root.Name] = true
+					grew = true
+				}
+			}
+			return true
+		})
+		if !grew {
+			break
+		}
+	}
+	if len(tainted) == 0 {
+		// No pool checkout reached a variable; a direct `return pool.Get()`
+		// is still caught below.
+		direct := false
+		ast.Inspect(fn.Body, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok && p.isPoolSource(call, pooledFuncs) {
+				direct = true
+			}
+			return !direct
+		})
+		if !direct {
+			return
+		}
+	}
+
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok {
+			return true
+		}
+		for _, res := range ret.Results {
+			if !taintedExpr(res) {
+				continue
+			}
+			var t types.Type
+			if tv, ok := p.Pkg.Info.Types[res]; ok {
+				t = tv.Type
+			}
+			if !aliasingType(t) {
+				continue // a plain value copy cannot alias the pool
+			}
+			p.Reportf(res.Pos(),
+				"%s returns pool-derived memory %q without a copy — after Put, another query will overwrite it",
+				fn.Name.Name, exprText(res))
+		}
+		return true
+	})
+}

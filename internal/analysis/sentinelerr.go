@@ -1,0 +1,99 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strconv"
+)
+
+// SentinelErr enforces sentinel-preserving error wrapping on the query
+// paths: a fmt.Errorf whose argument is an error must wrap it with %w,
+// never stringify it with %v/%s/%q. Stringifying severs the chain — the
+// exported sentinels (vaq.ErrNoData, vaq.ErrOutsideUniverse, the wire
+// code mapping) stop matching errors.Is across layers, and the serving
+// stack classifies the error as internal instead of its true code.
+//
+// The check needs the argument's static type, so it only fires where the
+// type-checker resolved one (a non-resolving argument is skipped, never
+// guessed). Calls whose format string is not a literal, or uses explicit
+// argument indexes (%[1]v), are skipped as unverifiable.
+var SentinelErr = &Analyzer{
+	Code: "sentinelerr",
+	Doc:  "fmt.Errorf must wrap error values with %w, not stringify with %v/%s",
+	Run:  runSentinelErr,
+}
+
+func runSentinelErr(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		fmtPkg := importName(f, "fmt")
+		if fmtPkg == "" {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isPkgCall(call, fmtPkg, "Errorf") || len(call.Args) < 2 {
+				return true
+			}
+			lit, ok := call.Args[0].(*ast.BasicLit)
+			if !ok || lit.Kind != token.STRING {
+				return true
+			}
+			format, err := strconv.Unquote(lit.Value)
+			if err != nil {
+				return true
+			}
+			verbs, ok := formatVerbs(format)
+			if !ok || len(verbs) != len(call.Args)-1 {
+				return true // indexed/starred format or arg mismatch: vet's turf
+			}
+			for i, verb := range verbs {
+				if verb == 'w' {
+					continue
+				}
+				arg := call.Args[1+i]
+				tv, ok := p.Pkg.Info.Types[arg]
+				if !ok || !implementsError(tv.Type) {
+					continue
+				}
+				p.Reportf(arg.Pos(),
+					"error value %s is stringified with %%%c — use %%w so errors.Is still matches the sentinel through the wrap",
+					exprText(arg), verb)
+			}
+			return true
+		})
+	}
+}
+
+// formatVerbs returns the verb letter consuming each successive argument
+// of a fmt format string. It reports !ok on explicit argument indexes
+// (%[1]v) and * width/precision (argument consumption gets positional),
+// leaving those calls to go vet.
+func formatVerbs(format string) ([]byte, bool) {
+	var verbs []byte
+	for i := 0; i < len(format); i++ {
+		if format[i] != '%' {
+			continue
+		}
+		i++
+		// Flags.
+		for i < len(format) && (format[i] == '+' || format[i] == '-' || format[i] == '#' ||
+			format[i] == ' ' || format[i] == '0') {
+			i++
+		}
+		// Width and precision; * or [n] bail out.
+		for i < len(format) && (format[i] == '.' || (format[i] >= '0' && format[i] <= '9')) {
+			i++
+		}
+		if i >= len(format) {
+			break
+		}
+		switch format[i] {
+		case '*', '[':
+			return nil, false
+		case '%':
+			continue
+		}
+		verbs = append(verbs, format[i])
+	}
+	return verbs, true
+}

@@ -1,0 +1,90 @@
+// Package ctxloop holds deliberate violations of the ctxloop invariant:
+// context-taking functions driving frontier, iterator, and infinite
+// loops with no cancellation check. The expect.txt golden pins one
+// finding per bad loop and none for the compliant variants.
+package ctxloop
+
+import "context"
+
+type scanner struct{ n int }
+
+func (s *scanner) Scan() bool { s.n--; return s.n > 0 }
+
+// frontierNoCheck drains a frontier without ever consulting ctx.
+func frontierNoCheck(ctx context.Context, queue []int64) int {
+	n := 0
+	for len(queue) > 0 {
+		queue = queue[1:]
+		n++
+	}
+	return n
+}
+
+// iteratorNoCheck pulls from an iterator without consulting ctx.
+func iteratorNoCheck(ctx context.Context, sc *scanner) int {
+	n := 0
+	for sc.Scan() {
+		n++
+	}
+	return n
+}
+
+// infiniteNoCheck retries forever without consulting ctx.
+func infiniteNoCheck(ctx context.Context) int {
+	n := 0
+	for {
+		n++
+		if n > 1<<20 {
+			return n
+		}
+	}
+}
+
+// frontierStride uses the engine's cancelStride idiom: compliant.
+func frontierStride(ctx context.Context, queue []int64) (int, error) {
+	n := 0
+	for head := 0; head < len(queue); head++ {
+		if head%64 == 0 {
+			if err := ctx.Err(); err != nil {
+				return n, err
+			}
+		}
+		queue = append(queue, int64(head))
+		if len(queue) > 1<<16 {
+			queue = queue[:0]
+		}
+		n++
+	}
+	return n, nil
+}
+
+// frontierCondCheck folds the check into the condition: compliant.
+func frontierCondCheck(ctx context.Context, queue []int64) int {
+	n := 0
+	for len(queue) > 0 && ctx.Err() == nil {
+		queue = queue[1:]
+		n++
+	}
+	return n
+}
+
+// frontierDelegates passes ctx to the callee each iteration: compliant.
+func frontierDelegates(ctx context.Context, queue []int64) int {
+	n := 0
+	for len(queue) > 0 {
+		queue = shrink(ctx, queue)
+		n++
+	}
+	return n
+}
+
+func shrink(_ context.Context, q []int64) []int64 { return q[1:] }
+
+// boundedRange iterates in-memory items: out of scope, never reported.
+func boundedRange(ctx context.Context, items []int64) int64 {
+	var sum int64
+	for _, v := range items {
+		sum += v
+	}
+	return sum
+}

@@ -1,0 +1,57 @@
+// Package lockguard holds deliberate violations of the guarded-field
+// invariant: fields annotated `// guarded by <mu>` accessed in functions
+// that never lock that mutex.
+package lockguard
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	n  int // guarded by mu
+	m  int // guarded by mu
+}
+
+// readUnlocked reads n with no lock.
+func (c *counter) readUnlocked() int { return c.n }
+
+// readLocked takes the lock: compliant.
+func (c *counter) readLocked() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+// bumpBoth writes both guarded fields under one lock: compliant.
+func (c *counter) bumpBoth() {
+	c.mu.Lock()
+	c.n++
+	c.m++
+	c.mu.Unlock()
+}
+
+// addLocked is documented to run under the caller's lock: exempt.
+//
+//vaq:locked mu
+func (c *counter) addLocked(d int) { c.n += d }
+
+// newCounter is a constructor; pre-publication writes are exempt.
+func newCounter() *counter {
+	c := &counter{}
+	c.n = 1
+	return c
+}
+
+type gauge struct {
+	mu sync.RWMutex
+	v  float64 // guarded by mu
+}
+
+// get read-locks: compliant.
+func (g *gauge) get() float64 {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.v
+}
+
+// peek reads v with no lock.
+func (g *gauge) peek() float64 { return g.v }

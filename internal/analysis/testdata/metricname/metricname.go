@@ -1,0 +1,20 @@
+// Package metricname holds deliberate violations of the series-naming
+// contract: obs registry registrations whose literal base does not match
+// ^vaq_[a-z0-9_]+$, or has no literal base at all.
+package metricname
+
+import "repro/internal/obs"
+
+// register exercises every registrar with bad and good names.
+func register(reg *obs.Registry, lbl string) {
+	reg.Counter("queries_total")     // missing vaq_ prefix
+	reg.Gauge("vaq_Heap_Bytes")      // upper case
+	reg.Histogram(lbl + "_seconds")  // no literal base
+	reg.RegisterGaugeFunc("vaq-age", // hyphen
+		func() float64 { return 0 })
+
+	reg.Counter("vaq_queries_total")     // compliant
+	reg.Gauge("vaq_heap_bytes" + lbl)    // compliant: literal base + label suffix
+	reg.Histogram("vaq_latency_seconds") // compliant
+	reg.RegisterGaugeFunc("vaq_age_seconds", func() float64 { return 0 })
+}

@@ -1,0 +1,59 @@
+// Package noalloc holds deliberate violations of the //vaq:noalloc
+// contract: annotated functions containing allocating constructs.
+package noalloc
+
+import "fmt"
+
+type point struct{ x, y float64 }
+
+// sumCopy allocates a scratch slice inside an annotated function.
+//
+//vaq:noalloc
+func sumCopy(xs []float64) float64 {
+	tmp := make([]float64, len(xs))
+	copy(tmp, xs)
+	s := 0.0
+	for _, v := range tmp {
+		s += v
+	}
+	return s
+}
+
+// describe calls fmt inside an annotated function.
+//
+//vaq:noalloc
+func describe(p point) string {
+	return fmt.Sprintf("(%g,%g)", p.x, p.y)
+}
+
+// boxed returns a heap composite literal inside an annotated function.
+//
+//vaq:noalloc
+func boxed() *point {
+	return &point{x: 1}
+}
+
+// withClosure builds a closure inside an annotated function.
+//
+//vaq:noalloc
+func withClosure(xs []float64) func() int {
+	return func() int { return len(xs) }
+}
+
+// grow self-appends (the caller owns growth): compliant.
+//
+//vaq:noalloc
+func grow(dst []float64, v float64) []float64 {
+	dst = append(dst, v)
+	return dst
+}
+
+// mid builds a struct value (stack, not heap): compliant.
+//
+//vaq:noalloc
+func mid(a, b point) point {
+	return point{x: (a.x + b.x) / 2, y: (a.y + b.y) / 2}
+}
+
+// unannotated functions may allocate freely.
+func unannotated() []int { return make([]int, 4) }

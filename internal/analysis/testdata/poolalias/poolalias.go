@@ -1,0 +1,54 @@
+// Package poolalias holds deliberate violations of the pooled-memory
+// isolation invariant: functions returning sync.Pool-backed slices (or
+// values reached through a declared //vaq:pooled acquire point) without
+// copying them out first.
+package poolalias
+
+import "sync"
+
+var bufPool = sync.Pool{New: func() any { b := make([]byte, 0, 64); return b }}
+
+// leakDirect returns the pooled buffer itself.
+func leakDirect() []byte {
+	b := bufPool.Get().([]byte)
+	return b
+}
+
+// leakAlias launders the pooled buffer through an alias chain.
+func leakAlias() []byte {
+	b := bufPool.Get().([]byte)
+	c := b
+	d := c
+	return d
+}
+
+// leakViaAcquire returns the result of a declared acquire point.
+func leakViaAcquire() []byte {
+	return acquire()
+}
+
+// cleanCopy copies out of the pooled buffer before returning: compliant.
+func cleanCopy() []byte {
+	b := bufPool.Get().([]byte)
+	out := append([]byte(nil), b...)
+	bufPool.Put(b) //nolint:staticcheck // test fixture keeps the leak minimal
+	return out
+}
+
+// cleanScalar returns a value copied out of the pooled buffer (a
+// non-aliasing type): compliant.
+func cleanScalar() byte {
+	b := bufPool.Get().([]byte)
+	if len(b) == 0 {
+		return 0
+	}
+	return b[0]
+}
+
+// acquire is this package's declared acquire point; returning pooled
+// memory is its purpose and is exempt.
+//
+//vaq:pooled
+func acquire() []byte {
+	return bufPool.Get().([]byte)
+}

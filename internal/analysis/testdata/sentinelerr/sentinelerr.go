@@ -1,0 +1,32 @@
+// Package sentinelerr holds deliberate violations of the error-wrapping
+// contract: fmt.Errorf stringifying an error value instead of wrapping
+// it with %w.
+package sentinelerr
+
+import (
+	"errors"
+	"fmt"
+)
+
+var errSentinel = errors.New("sentinel")
+
+// stringifyV severs the sentinel chain with %v.
+func stringifyV(id int64) error {
+	return fmt.Errorf("loading %d: %v", id, errSentinel)
+}
+
+// stringifyS severs the sentinel chain with %s.
+func stringifyS(err error) error {
+	return fmt.Errorf("fan-out failed: %s", err)
+}
+
+// wrapW preserves the chain: compliant.
+func wrapW(id int64, err error) error {
+	return fmt.Errorf("loading %d: %w", id, err)
+}
+
+// stringifyNonError stringifies a plain value: compliant (%v is for
+// non-errors).
+func stringifyNonError(id int64) error {
+	return fmt.Errorf("no record %v", id)
+}

@@ -1,0 +1,47 @@
+// Package suppress exercises the //vaqvet:ignore grammar: a correct
+// suppression (silent), a wrong-code suppression (original finding plus
+// staleignore), a stale suppression on clean code (staleignore), and
+// malformed directives (badignore).
+package suppress
+
+// suppressed has a violation covered by a well-formed ignore on the
+// offending line: no finding.
+//
+//vaq:noalloc
+func suppressed() []int {
+	//vaqvet:ignore noalloc the one-time result allocation is intentional here
+	return make([]int, 4)
+}
+
+// wrongCode names a different analyzer: the noalloc finding stands and
+// the unused ignore is reported stale.
+//
+//vaq:noalloc
+func wrongCode() []int {
+	//vaqvet:ignore ctxloop this code does not match the finding
+	return make([]int, 4)
+}
+
+// missingReason omits the mandatory justification: badignore, and the
+// violation still reports.
+//
+//vaq:noalloc
+func missingReason() []int {
+	//vaqvet:ignore noalloc
+	return make([]int, 4)
+}
+
+// missingCode omits everything: badignore, and the violation still
+// reports.
+//
+//vaq:noalloc
+func missingCode() []int {
+	//vaqvet:ignore
+	return make([]int, 4)
+}
+
+// stale suppresses code that violates nothing: staleignore.
+func stale() int {
+	//vaqvet:ignore noalloc nothing here allocates
+	return 4
+}

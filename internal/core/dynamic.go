@@ -114,9 +114,9 @@ func (d *DynamicData) CellArena() *voronoi.CellArena {
 // guaranteed to observe that insert; a query concurrent with an Insert
 // observes either the epoch before it or after it, never a mixture.
 type DynamicEngine struct {
-	mu   sync.Mutex // serializes writers and snapshot publication
-	dt   *delaunay.Dynamic
-	tree *rtree.Tree
+	mu   sync.Mutex        // serializes writers and snapshot publication
+	dt   *delaunay.Dynamic // guarded by mu (the pointer is set once; mu guards the mutable topology)
+	tree *rtree.Tree       // guarded by mu
 
 	// epoch counts accepted inserts; it is bumped (under mu) after the
 	// triangulation and R-tree both reflect the new point, so a reader
@@ -169,6 +169,8 @@ func (d *DynamicEngine) Len() int { return int(d.epoch.Load()) }
 func (d *DynamicEngine) Epoch() uint64 { return d.epoch.Load() }
 
 // Universe returns the declared universe rectangle.
+//
+//vaqvet:ignore lockguard dt pointer is immutable and the universe rect never changes after construction
 func (d *DynamicEngine) Universe() geom.Rect { return d.dt.Universe() }
 
 // Point returns the coordinates of an inserted id. Safe to call

@@ -27,6 +27,8 @@ func (e *Engine) KNearest(ctx context.Context, q geom.Point, k int) ([]int64, St
 // — frontier heap (pooled in queryScratch), visited marks, and the packed
 // coordinate distance loop — performs zero allocations on data layers that
 // expose NeighborSlicer and CoordSource.
+//
+//vaq:noalloc
 func (e *Engine) kNearestInto(ctx context.Context, q geom.Point, k int, dest []int64) ([]int64, Stats, error) {
 	var stats Stats
 	if e.data.NumIDs() == 0 {
@@ -66,7 +68,7 @@ func (e *Engine) kNearestInto(ctx context.Context, q geom.Point, k int, dest []i
 
 	out := dest[:0]
 	if dest == nil {
-		out = make([]int64, 0, k)
+		out = make([]int64, 0, k) //vaqvet:ignore noalloc nil-dest entry path allocates the caller's result slice exactly once
 	}
 	for len(*h) > 0 && len(out) < k {
 		top := h.pop()
@@ -112,6 +114,8 @@ func (e *Engine) knnExpandFunc(id int64, q geom.Point, xs, ys []float64, s *quer
 // knnDist2 is the squared distance from q to id's position, reading the
 // packed coordinate slices when the data layer provides them. Identical
 // arithmetic to q.Dist2(Position(id)) on both paths.
+//
+//vaq:noalloc
 func (e *Engine) knnDist2(q geom.Point, xs, ys []float64, id int64) float64 {
 	if xs != nil {
 		dx, dy := q.X-xs[id], q.Y-ys[id]
@@ -136,6 +140,8 @@ type knnHeap []knnEntry
 func (h knnHeap) less(i, j int) bool { return h[i].d2 < h[j].d2 }
 
 // push appends x and sifts it up (container/heap.Push).
+//
+//vaq:noalloc
 func (h *knnHeap) push(x knnEntry) {
 	*h = append(*h, x)
 	h.up(len(*h) - 1)
@@ -144,6 +150,8 @@ func (h *knnHeap) push(x knnEntry) {
 // pop removes and returns the minimum entry (container/heap.Pop): swap the
 // root with the last element, sift the new root down over the shortened
 // heap, then detach the old root.
+//
+//vaq:noalloc
 func (h *knnHeap) pop() knnEntry {
 	old := *h
 	n := len(old) - 1
@@ -154,6 +162,7 @@ func (h *knnHeap) pop() knnEntry {
 	return x
 }
 
+//vaq:noalloc
 func (h knnHeap) up(j int) {
 	for {
 		i := (j - 1) / 2 // parent
@@ -165,6 +174,7 @@ func (h knnHeap) up(j int) {
 	}
 }
 
+//vaq:noalloc
 func (h knnHeap) down(i int) {
 	n := len(h)
 	for {

@@ -295,6 +295,8 @@ type voronoiQuery struct {
 // otherwise test the exact cell ring — on the arena path a zero-allocation
 // view over the packed vertices. Every gate agrees with the full test, so
 // results and counters are path-independent.
+//
+//vaq:noalloc
 func (q *voronoiQuery) testCell(nb int64, nbPos geom.Point, stats *Stats) bool {
 	stats.CellTests++
 	if q.arena != nil {
@@ -326,6 +328,8 @@ func (q *voronoiQuery) testCell(nb int64, nbPos geom.Point, stats *Stats) bool {
 // voronoiBFSSliced is the closure-free BFS over a NeighborSlicer with
 // packed coordinates. stats travels by value so the caller's copy never
 // escapes; fetch is the accrued record-load time (for tracing).
+//
+//vaq:noalloc
 func (e *Engine) voronoiBFSSliced(ctx context.Context, q voronoiQuery, slicer NeighborSlicer, s *queryScratch, stats Stats) (Stats, time.Duration, error) {
 	var fetch time.Duration
 	for head := 0; head < len(s.queue); head++ {
@@ -345,6 +349,7 @@ func (e *Engine) voronoiBFSSliced(ctx context.Context, q voronoiQuery, slicer Ne
 			pos, err = e.data.Load(p)
 		}
 		if err != nil {
+			//vaqvet:ignore noalloc cold failure path; the wrap allocates only when a record load already failed
 			return stats, fetch, fmt.Errorf("core: loading candidate %d: %w", p, err)
 		}
 		stats.RecordsLoaded++

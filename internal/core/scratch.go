@@ -34,6 +34,8 @@ func (s *queryScratch) ensureCapacity(n int) {
 }
 
 // nextGen advances the visited generation, handling wraparound by clearing.
+//
+//vaq:noalloc
 func (s *queryScratch) nextGen() {
 	s.gen++
 	if s.gen == 0 { // wrapped: all stamps are stale-but-plausible, clear
@@ -46,6 +48,8 @@ func (s *queryScratch) nextGen() {
 
 // mark records id as visited for the current query; it reports whether the
 // id was new.
+//
+//vaq:noalloc
 func (s *queryScratch) mark(id int64) bool {
 	if s.visited[id] == s.gen {
 		return false
@@ -55,10 +59,14 @@ func (s *queryScratch) mark(id int64) bool {
 }
 
 // seen reports whether id was already marked this query.
+//
+//vaq:noalloc
 func (s *queryScratch) seen(id int64) bool { return s.visited[id] == s.gen }
 
 // acquireScratch checks a scratch out of the engine's pool, sized to the
 // current id space with a fresh generation and an empty queue.
+//
+//vaq:pooled
 func (e *Engine) acquireScratch() *queryScratch {
 	s := e.scratch.Get().(*queryScratch)
 	s.ensureCapacity(e.data.NumIDs())

@@ -264,10 +264,10 @@ func (s HistogramSnapshot) Max() float64 {
 // empty snapshot), so a nil registry disables instrumentation.
 type Registry struct {
 	mu       sync.Mutex
-	counters map[string]*Counter
-	gauges   map[string]*Gauge
-	hists    map[string]*Histogram
-	funcs    map[string]func() float64
+	counters map[string]*Counter       // guarded by mu
+	gauges   map[string]*Gauge         // guarded by mu
+	hists    map[string]*Histogram     // guarded by mu
+	funcs    map[string]func() float64 // guarded by mu
 }
 
 // NewRegistry returns an empty registry.

@@ -59,15 +59,15 @@ func (p Phase) String() string {
 // time.
 type QueryTrace struct {
 	mu         sync.Mutex
-	flavor     string
-	method     string
-	phases     [numPhases]time.Duration
-	total      time.Duration
-	candidates int
-	results    int
-	fanOut     int
-	cacheHit   bool
-	done       bool
+	flavor     string                   // guarded by mu
+	method     string                   // guarded by mu
+	phases     [numPhases]time.Duration // guarded by mu
+	total      time.Duration            // guarded by mu
+	candidates int                      // guarded by mu
+	results    int                      // guarded by mu
+	fanOut     int                      // guarded by mu
+	cacheHit   bool                     // guarded by mu
+	done       bool                     // guarded by mu
 }
 
 // Begin resets the trace for a new query on the given engine flavor

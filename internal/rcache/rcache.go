@@ -64,8 +64,8 @@ func (c Counters) String() string {
 // shards' mutexes off one cache line.
 type cacheShard struct {
 	mu    sync.Mutex
-	items map[string]*list.Element
-	lru   *list.List // front = most recently used
+	items map[string]*list.Element // guarded by mu
+	lru   *list.List               // guarded by mu; front = most recently used
 	_     [64]byte
 }
 

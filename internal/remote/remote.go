@@ -38,6 +38,13 @@ import (
 	"repro/internal/wire"
 )
 
+// cancelStride is the number of stream frames processed between explicit
+// context-cancellation checks, mirroring core's candidate-boundary
+// stride: one check per frame would be pure overhead on the hot path,
+// while a stride bounds cancellation latency to a few dozen cheap frame
+// decodes.
+const cancelStride = 64
+
 // Backend describes one areaserve instance. Dial fills everything but URL
 // from the backend's /v1/info.
 type Backend struct {
@@ -624,7 +631,20 @@ func (e *Engine) streamOne(ctx context.Context, b Backend, req wire.QueryRequest
 	}
 	sc := bufio.NewScanner(resp.Body)
 	sc.Buffer(make([]byte, 0, 4096), 1<<20)
+	frames := 0
 	for sc.Scan() {
+		// Cancellation check on frame boundaries (core's cancelStride
+		// idiom): a canceled context does eventually tear down the body
+		// read through the request's transport, but that only fires on the
+		// next network read — a consumer wedged between buffered frames, or
+		// a slow yield, would otherwise keep draining the buffer after the
+		// caller gave up.
+		if frames%cancelStride == 0 {
+			if err := ctx.Err(); err != nil {
+				return st, false, err
+			}
+		}
+		frames++
 		var fr wire.Frame
 		if err := json.Unmarshal(sc.Bytes(), &fr); err != nil {
 			return st, false, fmt.Errorf("bad stream frame: %w", err)

@@ -82,16 +82,16 @@ type bufferPool struct {
 // false-share with its neighbors'.
 type poolShard struct {
 	mu       sync.Mutex
-	capacity int // frames this shard may hold; <0 unbounded, 0 disabled
-	frames   map[uint32]*frame
-	head     *frame // most recently used
-	tail     *frame // least recently used
-	loads    map[uint32]*loadCall
-	stats    BufferPoolStats
+	capacity int                  // frames this shard may hold; <0 unbounded, 0 disabled
+	frames   map[uint32]*frame    // guarded by mu
+	head     *frame               // guarded by mu; most recently used
+	tail     *frame               // guarded by mu; least recently used
+	loads    map[uint32]*loadCall // guarded by mu
+	stats    BufferPoolStats      // guarded by mu
 	// gen counts resets; loads on the cache-disabled path record it
 	// before loading and skip stats if it moved (the cached path detects
 	// the same condition through loads-map identity instead).
-	gen uint64
+	gen uint64   // guarded by mu
 	_   [40]byte // pad to 128 bytes
 }
 
@@ -262,6 +262,9 @@ func (bp *bufferPool) fetch(pageID uint32, load func(uint32) []byte) []byte {
 	return c.data
 }
 
+// pushFront links f as the most recently used frame.
+//
+//vaq:locked mu
 func (s *poolShard) pushFront(f *frame) {
 	f.prev = nil
 	f.next = s.head
@@ -274,6 +277,9 @@ func (s *poolShard) pushFront(f *frame) {
 	}
 }
 
+// moveToFront marks a resident frame as most recently used.
+//
+//vaq:locked mu
 func (s *poolShard) moveToFront(f *frame) {
 	if s.head == f {
 		return
@@ -291,6 +297,9 @@ func (s *poolShard) moveToFront(f *frame) {
 	s.pushFront(f)
 }
 
+// evict drops the least recently used frame.
+//
+//vaq:locked mu
 func (s *poolShard) evict() {
 	lru := s.tail
 	if lru == nil {

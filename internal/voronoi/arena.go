@@ -118,9 +118,13 @@ func (a *CellArena) pushRing(ring []geom.Point) {
 }
 
 // NumCells returns the number of packed cells.
+//
+//vaq:noalloc
 func (a *CellArena) NumCells() int { return len(a.offs) - 1 }
 
 // NumVertices returns the total vertex count across all rings.
+//
+//vaq:noalloc
 func (a *CellArena) NumVertices() int { return len(a.xs) }
 
 // Bytes returns the arena's retained memory in bytes (coordinate slices,
@@ -131,6 +135,8 @@ func (a *CellArena) Bytes() int {
 
 // Ring returns a zero-allocation view of cell i's ring (empty view for a
 // degenerate cell). The view aliases the arena and must not be modified.
+//
+//vaq:noalloc
 func (a *CellArena) Ring(i int) geom.RingView {
 	lo, hi := a.offs[i], a.offs[i+1]
 	return geom.RingView{XS: a.xs[lo:hi], YS: a.ys[lo:hi]}
@@ -148,6 +154,8 @@ func (a *CellArena) AppendRing(i int, dst geom.Ring) geom.Ring {
 
 // CellBox returns the bounding rectangle of cell i (EmptyRect for a
 // degenerate cell), equal to Cell(i).Bounds().
+//
+//vaq:noalloc
 func (a *CellArena) CellBox(i int) geom.Rect {
 	j := 4 * i
 	return geom.Rect{MinX: a.boxes[j], MinY: a.boxes[j+1], MaxX: a.boxes[j+2], MaxY: a.boxes[j+3]}
@@ -157,6 +165,8 @@ func (a *CellArena) CellBox(i int) geom.Rect {
 // first, dense-memory reject. Identical to CellBox(i).Intersects(r): the
 // plain comparisons reject empty boxes (and empty r) by themselves, since
 // an empty box's MinX exceeds every MaxX.
+//
+//vaq:noalloc
 func (a *CellArena) InBox(i int, r geom.Rect) bool {
 	j := 4 * i
 	return a.boxes[j] <= r.MaxX && r.MinX <= a.boxes[j+2] &&
@@ -166,4 +176,6 @@ func (a *CellArena) InBox(i int, r geom.Rect) bool {
 // CellArea returns the area of cell i, computed by the shoelace formula
 // over the packed coordinates — equal to Cell(i).Area() with no
 // allocation.
+//
+//vaq:noalloc
 func (a *CellArena) CellArea(i int) float64 { return a.Ring(i).Area() }

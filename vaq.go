@@ -119,6 +119,17 @@
 // offset) on top of the 16 coordinate bytes. CellArea serves per-cell
 // geometry from the same storage.
 //
+// # Static analysis
+//
+// The invariants this documentation promises — cancellation checks in
+// every unbounded query loop, pooled scratch memory never escaping a
+// query, mutex-guarded state accessed only under its lock, allocation-free
+// hot paths, vaq_-prefixed metric names, %w-preserved error sentinels —
+// are enforced mechanically, not by convention: `go run ./cmd/vaqvet
+// ./...` runs the project's own analyzer suite (internal/analysis) over
+// the module and CI blocks on its findings. See the README's "Static
+// analysis" section for the diagnostic codes and the annotation grammar.
+//
 // # Removed method-positional API
 //
 // The pre-Querier per-flavor methods (QueryWith, QueryCircle, Count,
